@@ -1,0 +1,154 @@
+//! Micro-benchmarks of the evaluation engine: per-algorithm tuple-insertion
+//! cost (the operation every figure sweeps), query indexing, the JFRT
+//! effect (E2's mechanism), and the SQL parser.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cq_engine::{Algorithm, EngineConfig, Network};
+use cq_relational::{parse_query, Catalog, DataType, RelationSchema, Value};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(
+        RelationSchema::of(
+            "R",
+            &[("A", DataType::Int), ("B", DataType::Int), ("C", DataType::Int)],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c.register(
+        RelationSchema::of(
+            "S",
+            &[("D", DataType::Int), ("E", DataType::Int), ("F", DataType::Int)],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c
+}
+
+fn loaded_network(alg: Algorithm, queries: usize, jfrt: bool) -> Network {
+    let mut net =
+        Network::new(EngineConfig::new(alg).with_nodes(256).with_jfrt(jfrt), catalog());
+    let sql = "SELECT R.A, S.D FROM R, S WHERE R.B = S.E";
+    for i in 0..queries {
+        let poser = net.node_at(i % 256);
+        net.pose_query_sql(poser, sql).unwrap();
+    }
+    net
+}
+
+/// The hot operation: inserting one tuple into a network with installed
+/// queries (drives rewriting, reindexing, matching, notification).
+fn bench_insert_tuple(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/insert-tuple");
+    for alg in Algorithm::ALL {
+        let mut net = loaded_network(alg, 50, true);
+        let mut i = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, _| {
+            b.iter(|| {
+                i += 1;
+                let from = net.node_at((i as usize) % 256);
+                let rel = if i % 2 == 0 { "R" } else { "S" };
+                black_box(
+                    net.insert_tuple(
+                        from,
+                        rel,
+                        vec![Value::Int(i), Value::Int(i % 32), Value::Int(0)],
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E2's mechanism in isolation: reindex cost with the JFRT warm vs cold.
+fn bench_jfrt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e02/jfrt");
+    for (label, jfrt) in [("with-jfrt", true), ("no-jfrt", false)] {
+        let mut net = loaded_network(Algorithm::Sai, 50, jfrt);
+        // Warm the caches with one pass over the value domain.
+        for v in 0..32 {
+            let from = net.node_at(v as usize);
+            net.insert_tuple(from, "R", vec![Value::Int(0), Value::Int(v), Value::Int(0)])
+                .unwrap();
+        }
+        let mut i = 0i64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                i += 1;
+                let from = net.node_at((i as usize) % 256);
+                black_box(
+                    net.insert_tuple(
+                        from,
+                        "R",
+                        vec![Value::Int(i), Value::Int(i % 32), Value::Int(0)],
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pose_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/pose-query");
+    for alg in [Algorithm::Sai, Algorithm::DaiT] {
+        let mut net = Network::new(EngineConfig::new(alg).with_nodes(256), catalog());
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, _| {
+            b.iter(|| {
+                i += 1;
+                let poser = net.node_at(i % 256);
+                black_box(
+                    net.pose_query_sql(poser, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let cat = catalog();
+    let mut group = c.benchmark_group("relational/parse");
+    group.bench_function("t1", |b| {
+        b.iter(|| {
+            black_box(
+                parse_query(
+                    "SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND S.F = 10",
+                    &cat,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("t2", |b| {
+        b.iter(|| {
+            black_box(
+                parse_query(
+                    "SELECT R.A, S.D FROM R, S WHERE 4*R.B + R.C + 8 = 5*S.E + S.D - S.F",
+                    &cat,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // short windows keep `cargo bench --workspace` minutes-scale;
+    // trends matter more than microsecond precision here
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_insert_tuple, bench_jfrt, bench_pose_query, bench_parser
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! One benchmark per reproduced figure/table: times a `Scale::Quick` run of
+//! each experiment end to end (workload generation + network simulation +
+//! metric collection). The experiment *output* for EXPERIMENTS.md comes from
+//! the `experiments` binary; these benches track the cost of regenerating
+//! each figure and catch performance regressions in the simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cq_bench::{experiments, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for (id, f) in experiments::all() {
+        group.bench_function(id, |b| b.iter(|| black_box(f(Scale::Quick).len())));
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // short windows keep `cargo bench --workspace` minutes-scale;
+    // trends matter more than microsecond precision here
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_figures
+}
+criterion_main!(benches);

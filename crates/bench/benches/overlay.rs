@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the overlay substrate, plus the E1 figure
+//! (recursive vs iterative multisend).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cq_overlay::{Id, IdSpace, Ring};
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay/route");
+    for n in [256usize, 1024, 4096] {
+        let ring = Ring::build(IdSpace::new(32), n, "bench-");
+        let from = ring.alive_nodes().next().unwrap();
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                i = i.wrapping_add(0x9e3779b97f4a7c15);
+                let target = ring.space().id(i);
+                black_box(ring.route(from, target).unwrap().hops())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E1: one multisend to k targets, both designs.
+fn bench_multisend(c: &mut Criterion) {
+    let ring = Ring::build(IdSpace::new(32), 1024, "bench-");
+    let from = ring.alive_nodes().next().unwrap();
+    let mut group = c.benchmark_group("e01/multisend");
+    for k in [16usize, 64, 256] {
+        let ids: Vec<Id> = (0..k as u64)
+            .map(|i| ring.space().id(i.wrapping_mul(0x2545F4914F6CDD1D)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("recursive", k), &ids, |b, ids| {
+            b.iter(|| black_box(ring.multisend_recursive(from, ids).unwrap().total_hops))
+        });
+        group.bench_with_input(BenchmarkId::new("iterative", k), &ids, |b, ids| {
+            b.iter(|| black_box(ring.multisend_iterative(from, ids).unwrap().total_hops))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay/build");
+    group.sample_size(10);
+    for n in [512usize, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(Ring::build(IdSpace::new(32), n, "b-").len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stabilization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay/stabilize-round");
+    group.sample_size(10);
+    let base = Ring::build(IdSpace::new(32), 512, "s-");
+    group.bench_function("512-nodes", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut ring| {
+                ring.stabilize_all(1);
+                black_box(ring.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // short windows keep `cargo bench --workspace` minutes-scale;
+    // trends matter more than microsecond precision here
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_route, bench_multisend, bench_ring_build, bench_stabilization
+}
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! # cq-bench — criterion benchmark harness
+//!
+//! One benchmark group per reproduced figure/table (see DESIGN.md's
+//! experiment index) plus micro-benchmarks of the hot operations:
+//! routing, multisend, tuple insertion per algorithm, and SQL parsing.
+//!
+//! Run with `cargo bench --workspace`. Each figure-level benchmark times a
+//! `Scale::Quick` run of the corresponding experiment; the full-scale
+//! numbers for EXPERIMENTS.md come from `cargo run --release -p cq-sim
+//! --bin experiments -- --full`.
+
+/// Re-export used by the benches to keep their imports uniform.
+pub use cq_sim::experiments::{self, Scale};

@@ -1,0 +1,114 @@
+//! Protocol messages exchanged between network nodes (Chapter 4).
+
+use std::sync::Arc;
+
+use cq_overlay::Id;
+use cq_relational::{Notification, QueryRef, RewrittenQuery, Side, Tuple};
+
+/// A protocol message, addressed to the node responsible for an identifier.
+#[derive(Clone, Debug)]
+pub enum Message {
+    /// `query(q, Id(n), IP(n))` — index a query at the attribute level
+    /// (Section 4.3.1 / 4.4.1). The receiving node becomes one of the
+    /// query's rewriters.
+    IndexQuery {
+        /// The query.
+        query: QueryRef,
+        /// Which join-condition side this rewriter represents.
+        index_side: Side,
+        /// `IndexA(q)` for this rewriter.
+        index_attr: String,
+        /// The attribute-level identifier the message targets (a replica
+        /// identifier when the Section 4.7 replication scheme is active).
+        index_id: Id,
+    },
+    /// `al-index(t, A_i)` — a tuple arrives at the attribute level
+    /// (Section 4.2); it triggers stored queries and is *not* stored.
+    AlIndexTuple {
+        /// The tuple.
+        tuple: Arc<Tuple>,
+        /// `IndexA(t)` — the attribute that routed the tuple here.
+        attr: String,
+        /// The attribute-level identifier targeted.
+        index_id: Id,
+    },
+    /// `vl-index(t, A_i)` — a tuple arrives at the value level
+    /// (Section 4.2). Not used by DAI-V.
+    VlIndexTuple {
+        /// The tuple.
+        tuple: Arc<Tuple>,
+        /// `IndexA(t)`.
+        attr: String,
+        /// The value-level identifier targeted.
+        index_id: Id,
+    },
+    /// `join(q'_1, ..., q'_j)` — rewritten queries of one query group
+    /// reindexed at the value level (Sections 4.3.2/4.3.3). All items share
+    /// the same target identifier because they share the join condition.
+    Join {
+        /// The rewritten queries.
+        items: Vec<RewrittenQuery>,
+        /// The value-level identifier targeted.
+        index_id: Id,
+    },
+    /// `join(q', t')` — DAI-V's combined message (Section 4.5): rewritten
+    /// queries of one group plus the triggering tuple, which the evaluator
+    /// stores after matching.
+    JoinV {
+        /// Group key of the queries (matching is group-scoped).
+        group: String,
+        /// The rewritten queries.
+        items: Vec<RewrittenQuery>,
+        /// The triggering tuple, to be stored at the evaluator.
+        tuple: Arc<Tuple>,
+        /// Which side of the group the tuple belongs to.
+        side: Side,
+        /// Canonical form of `valJC` (the store key).
+        value_key: String,
+        /// The value-level identifier targeted (`Hash(valJC)`).
+        index_id: Id,
+    },
+    /// Notification delivery toward `Successor(Id(n))` for an offline
+    /// subscriber (Section 4.6). Online subscribers are contacted directly
+    /// by IP and never see this message.
+    StoreNotifications {
+        /// Identifier of the subscriber's key.
+        subscriber_id: Id,
+        /// The notifications to hold until the subscriber reconnects.
+        notifications: Vec<Notification>,
+    },
+}
+
+impl Message {
+    /// A short label for debugging/tracing.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::IndexQuery { .. } => "query",
+            Message::AlIndexTuple { .. } => "al-index",
+            Message::VlIndexTuple { .. } => "vl-index",
+            Message::Join { .. } => "join",
+            Message::JoinV { .. } => "join-v",
+            Message::StoreNotifications { .. } => "store-notify",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_relational::QueryKey;
+
+    #[test]
+    fn kinds_match_the_paper_message_names() {
+        let msg = Message::StoreNotifications {
+            subscriber_id: Id(1),
+            notifications: vec![Notification {
+                query_key: QueryKey::derive("n", 0),
+                subscriber: "n".into(),
+                values: vec![],
+            }],
+        };
+        assert_eq!(msg.kind(), "store-notify");
+    }
+}
+

@@ -1,0 +1,218 @@
+//! Load and traffic metrics (Section 5.1 / DESIGN.md).
+//!
+//! * **Filtering load** of a node: the number of query–tuple (or rewritten-
+//!   query–tuple) candidate checks it performs.
+//! * **Storage load** of a node: the number of items (queries, rewritten
+//!   queries, tuples, stored notifications) it currently holds.
+//! * **Traffic**: overlay hops and message counts, per protocol message
+//!   category.
+
+use std::fmt;
+
+use cq_overlay::TrafficStats;
+
+/// Categories of protocol messages whose traffic is accounted separately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrafficKind {
+    /// Indexing a query at the attribute level (`query(q, ...)`).
+    QueryIndex,
+    /// Indexing a tuple at the attribute + value levels
+    /// (`al-index`/`vl-index`).
+    TupleIndex,
+    /// Reindexing rewritten queries at the value level (`join(q')`).
+    Reindex,
+    /// Notification delivery.
+    Notify,
+    /// Strategy probes: asking candidate rewriters for their statistics
+    /// before choosing the index attribute (Section 4.3.6).
+    Probe,
+}
+
+impl TrafficKind {
+    /// All categories.
+    pub const ALL: [TrafficKind; 5] = [
+        TrafficKind::QueryIndex,
+        TrafficKind::TupleIndex,
+        TrafficKind::Reindex,
+        TrafficKind::Notify,
+        TrafficKind::Probe,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficKind::QueryIndex => "query-index",
+            TrafficKind::TupleIndex => "tuple-index",
+            TrafficKind::Reindex => "reindex",
+            TrafficKind::Notify => "notify",
+            TrafficKind::Probe => "probe",
+        }
+    }
+}
+
+impl fmt::Display for TrafficKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Per-node load counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeLoad {
+    /// Candidate checks performed while acting as a rewriter
+    /// (attribute-level filtering).
+    pub rewriter_filtering: u64,
+    /// Candidate checks performed while acting as an evaluator
+    /// (value-level filtering).
+    pub evaluator_filtering: u64,
+}
+
+impl NodeLoad {
+    /// Total filtering load of the node.
+    #[inline]
+    pub fn filtering(&self) -> u64 {
+        self.rewriter_filtering + self.evaluator_filtering
+    }
+}
+
+/// Global metric registry for one simulation run.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    loads: Vec<NodeLoad>,
+    traffic: [TrafficStats; TrafficKind::ALL.len()],
+    /// Number of notifications delivered to subscribers (with multiplicity).
+    pub notifications_delivered: u64,
+}
+
+fn kind_slot(kind: TrafficKind) -> usize {
+    match kind {
+        TrafficKind::QueryIndex => 0,
+        TrafficKind::TupleIndex => 1,
+        TrafficKind::Reindex => 2,
+        TrafficKind::Notify => 3,
+        TrafficKind::Probe => 4,
+    }
+}
+
+impl Metrics {
+    /// A registry for `n` node slots.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            loads: vec![NodeLoad::default(); n],
+            traffic: [TrafficStats::new(); TrafficKind::ALL.len()],
+            notifications_delivered: 0,
+        }
+    }
+
+    /// Grows the per-node vectors when nodes join after construction.
+    pub fn ensure_slots(&mut self, n: usize) {
+        if self.loads.len() < n {
+            self.loads.resize(n, NodeLoad::default());
+        }
+    }
+
+    /// Records rewriter-side filtering work at node `slot`.
+    #[inline]
+    pub fn add_rewriter_filtering(&mut self, slot: usize, checks: u64) {
+        self.loads[slot].rewriter_filtering += checks;
+    }
+
+    /// Records evaluator-side filtering work at node `slot`.
+    #[inline]
+    pub fn add_evaluator_filtering(&mut self, slot: usize, checks: u64) {
+        self.loads[slot].evaluator_filtering += checks;
+    }
+
+    /// Records one routed message of the given kind.
+    #[inline]
+    pub fn record_traffic(&mut self, kind: TrafficKind, hops: usize) {
+        self.traffic[kind_slot(kind)].record(hops);
+    }
+
+    /// Records a batch (e.g. one multisend fan-out counted as `messages`
+    /// logical messages over `hops` total hops).
+    #[inline]
+    pub fn record_traffic_batch(&mut self, kind: TrafficKind, messages: u64, hops: usize) {
+        self.traffic[kind_slot(kind)].record_batch(messages, hops);
+    }
+
+    /// Traffic counters for one category.
+    pub fn traffic(&self, kind: TrafficKind) -> TrafficStats {
+        self.traffic[kind_slot(kind)]
+    }
+
+    /// Total traffic over all categories.
+    pub fn total_traffic(&self) -> TrafficStats {
+        let mut t = TrafficStats::new();
+        for s in &self.traffic {
+            t.merge(s);
+        }
+        t
+    }
+
+    /// Per-node load counters (indexed by node slot).
+    pub fn loads(&self) -> &[NodeLoad] {
+        &self.loads
+    }
+
+    /// Total filtering load over all nodes (`TF`).
+    pub fn total_filtering(&self) -> u64 {
+        self.loads.iter().map(NodeLoad::filtering).sum()
+    }
+
+    /// Resets per-node loads and traffic (e.g. to measure only the steady
+    /// state after a warm-up phase).
+    pub fn reset(&mut self) {
+        for l in &mut self.loads {
+            *l = NodeLoad::default();
+        }
+        self.traffic = [TrafficStats::new(); TrafficKind::ALL.len()];
+        self.notifications_delivered = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filtering_sums_roles() {
+        let mut m = Metrics::new(2);
+        m.add_rewriter_filtering(0, 3);
+        m.add_evaluator_filtering(0, 4);
+        m.add_evaluator_filtering(1, 5);
+        assert_eq!(m.loads()[0].filtering(), 7);
+        assert_eq!(m.total_filtering(), 12);
+    }
+
+    #[test]
+    fn traffic_by_kind() {
+        let mut m = Metrics::new(1);
+        m.record_traffic(TrafficKind::Reindex, 5);
+        m.record_traffic_batch(TrafficKind::TupleIndex, 4, 12);
+        assert_eq!(m.traffic(TrafficKind::Reindex).hops, 5);
+        assert_eq!(m.traffic(TrafficKind::TupleIndex).messages, 4);
+        assert_eq!(m.total_traffic().hops, 17);
+        assert_eq!(m.total_traffic().messages, 5);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Metrics::new(1);
+        m.add_rewriter_filtering(0, 1);
+        m.record_traffic(TrafficKind::Notify, 1);
+        m.notifications_delivered = 9;
+        m.reset();
+        assert_eq!(m.total_filtering(), 0);
+        assert_eq!(m.total_traffic().messages, 0);
+        assert_eq!(m.notifications_delivered, 0);
+    }
+
+    #[test]
+    fn ensure_slots_grows() {
+        let mut m = Metrics::new(1);
+        m.ensure_slots(3);
+        m.add_rewriter_filtering(2, 1);
+        assert_eq!(m.loads().len(), 3);
+    }
+}

@@ -1,0 +1,992 @@
+//! The simulated continuous-query network: Chord ring + per-node protocol
+//! state + the four evaluation algorithms of Chapter 4.
+//!
+//! External events (posing a query, inserting a tuple) enqueue protocol
+//! messages that are processed FIFO until the network is quiescent; routing
+//! walks the real finger tables so hop counts are faithful.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cq_overlay::{Id, NodeHandle, Ring};
+use cq_relational::{
+    parse_query, Catalog, JoinQuery, Notification, QueryKey, QueryRef, QueryType,
+    RewrittenQuery, Side, Timestamp, Tuple, Value,
+};
+
+use crate::config::{Algorithm, EngineConfig, IndexStrategy};
+use crate::error::{EngineError, Result};
+use crate::indexing;
+use crate::jfrt::JfrtLookup;
+use crate::messages::Message;
+use crate::metrics::{Metrics, TrafficKind};
+use crate::node::NodeState;
+use crate::tables::{StoredQuery, StoredRewritten, StoredTuple, StoredValueTuple};
+
+/// The whole simulated network.
+pub struct Network {
+    config: EngineConfig,
+    catalog: Catalog,
+    ring: Ring,
+    nodes: Vec<NodeState>,
+    metrics: Metrics,
+    clock: Timestamp,
+    seq: u64,
+    rng: StdRng,
+    pending: VecDeque<(NodeHandle, Message)>,
+    /// `Key(n) → handle` for notification delivery.
+    subscribers: HashMap<String, NodeHandle>,
+    /// Log of every posed query (for oracles and tests).
+    posed_queries: Vec<QueryRef>,
+    /// Log of every inserted tuple (for oracles and tests).
+    inserted_tuples: Vec<Arc<Tuple>>,
+}
+
+impl Network {
+    /// Builds a stable network of `config.nodes` nodes.
+    pub fn new(config: EngineConfig, catalog: Catalog) -> Self {
+        let ring = Ring::build(config.space(), config.nodes, "node-");
+        let slots = ring.slot_count();
+        let seed = config.seed;
+        Network {
+            config,
+            catalog,
+            ring,
+            nodes: (0..slots).map(|_| NodeState::new()).collect(),
+            metrics: Metrics::new(slots),
+            clock: Timestamp(0),
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            pending: VecDeque::new(),
+            subscribers: HashMap::new(),
+            posed_queries: Vec::new(),
+            inserted_tuples: Vec::new(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The schema catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The underlying Chord ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Resets load/traffic counters (e.g. after a warm-up phase).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Current logical time.
+    pub fn clock(&self) -> Timestamp {
+        self.clock
+    }
+
+    /// Advances the logical clock.
+    pub fn advance_clock(&mut self, dt: u64) {
+        self.clock = Timestamp(self.clock.0 + dt);
+    }
+
+    /// Ends a statistics time window on every node: rewriters roll their
+    /// arrival counters (Section 4.3.6 keeps rates "in the last time
+    /// window").
+    pub fn roll_statistics_windows(&mut self) {
+        for n in &mut self.nodes {
+            n.roll_statistics_window();
+        }
+    }
+
+    /// Handle of the `i`-th alive node (panics when out of range).
+    pub fn node_at(&self, i: usize) -> NodeHandle {
+        self.ring.alive_nodes().nth(i).expect("node index in range")
+    }
+
+    /// A pseudo-random alive node.
+    pub fn random_node(&mut self) -> NodeHandle {
+        let n = self.ring.len();
+        let i = self.rng.gen_range(0..n);
+        self.node_at(i)
+    }
+
+    /// Protocol state of a node (read-only).
+    pub fn node_state(&self, h: NodeHandle) -> &NodeState {
+        &self.nodes[h.index()]
+    }
+
+    /// Every query posed so far.
+    pub fn posed_queries(&self) -> &[QueryRef] {
+        &self.posed_queries
+    }
+
+    /// Every tuple inserted so far.
+    pub fn inserted_tuples(&self) -> &[Arc<Tuple>] {
+        &self.inserted_tuples
+    }
+
+    /// Notifications a node has received as a subscriber.
+    pub fn inbox(&self, h: NodeHandle) -> &[Notification] {
+        &self.nodes[h.index()].inbox
+    }
+
+    /// The distinct notification contents delivered anywhere in the network
+    /// (inboxes plus offline stores) — the paper's set semantics.
+    pub fn delivered_set(&self) -> HashSet<Notification> {
+        let mut out = HashSet::new();
+        for n in &self.nodes {
+            out.extend(n.inbox.iter().cloned());
+            out.extend(n.offline_store.iter().map(|(_, n)| n.clone()));
+        }
+        out
+    }
+
+    /// Per-node storage loads, indexed by node slot.
+    pub fn storage_loads(&self) -> Vec<usize> {
+        self.nodes.iter().map(NodeState::storage_load).collect()
+    }
+
+    // ==================================================================
+    // External events
+    // ==================================================================
+
+    /// Poses a continuous query written in the supported SQL subset from
+    /// `node`, returning its key.
+    pub fn pose_query_sql(&mut self, node: NodeHandle, sql: &str) -> Result<QueryKey> {
+        let parsed = parse_query(sql, &self.catalog)?;
+        self.tick();
+        let node_key = self.ring.node(node).key().to_string();
+        let counter = {
+            let st = &mut self.nodes[node.index()];
+            let c = st.query_counter;
+            st.query_counter += 1;
+            c
+        };
+        let key = QueryKey::derive(&node_key, counter);
+        let query = Arc::new(parsed.into_query(key.clone(), node_key, self.clock, &self.catalog)?);
+        self.pose_query(node, query)?;
+        Ok(key)
+    }
+
+    /// Poses an already-built continuous query from `node`.
+    ///
+    /// The query's `insT` is whatever the caller baked into it — unlike
+    /// [`Network::pose_query_sql`], this does not advance the logical clock,
+    /// so a query stamped with a past `insT` will (by the time semantics of
+    /// Section 3.2) be triggered by tuples published at or after that time.
+    pub fn pose_query(&mut self, node: NodeHandle, query: QueryRef) -> Result<()> {
+        if !self.ring.node(node).is_alive() {
+            return Err(EngineError::UnknownNode);
+        }
+        if query.query_type() == QueryType::T2 && self.config.algorithm != Algorithm::DaiV {
+            return Err(EngineError::UnsupportedByAlgorithm {
+                algorithm: self.config.algorithm,
+                detail: "type-T2 queries require DAI-V (Section 4.5)".to_string(),
+            });
+        }
+        self.subscribers.insert(query.subscriber().to_string(), node);
+        self.posed_queries.push(Arc::clone(&query));
+
+        // Which side(s) the query is indexed by, and under which attribute.
+        let sides: Vec<Side> = if self.config.algorithm.is_double() {
+            vec![Side::Left, Side::Right]
+        } else {
+            vec![self.choose_index_side(node, &query)?]
+        };
+
+        let space = self.ring.space();
+        let k = self.config.replication;
+        let mut targets: Vec<(Id, Message)> = Vec::new();
+        for side in sides {
+            let attr = self.pick_index_attr(&query, side);
+            for id in indexing::aindex_replicas(space, query.relation(side), &attr, k) {
+                targets.push((
+                    id,
+                    Message::IndexQuery {
+                        query: Arc::clone(&query),
+                        index_side: side,
+                        index_attr: attr.clone(),
+                        index_id: id,
+                    },
+                ));
+            }
+        }
+        self.dispatch_from(node, targets, TrafficKind::QueryIndex)?;
+        self.process_all()?;
+        Ok(())
+    }
+
+    /// Inserts a tuple of `relation` from `node`, returning its sequence
+    /// number.
+    pub fn insert_tuple(
+        &mut self,
+        node: NodeHandle,
+        relation: &str,
+        values: Vec<Value>,
+    ) -> Result<u64> {
+        if !self.ring.node(node).is_alive() {
+            return Err(EngineError::UnknownNode);
+        }
+        self.tick();
+        let schema = self.catalog.get(relation)?.clone();
+        let seq = self.seq;
+        self.seq += 1;
+        let tuple = Arc::new(Tuple::new(schema, values, self.clock, seq)?);
+        self.inserted_tuples.push(Arc::clone(&tuple));
+
+        let space = self.ring.space();
+        let value_level = self.config.algorithm.indexes_tuples_at_value_level();
+        let ids = indexing::tuple_index_ids(space, &tuple, value_level, self.config.replication);
+        let mut targets: Vec<(Id, Message)> = Vec::with_capacity(ids.len() * 2);
+        for (attr, ai, vi) in ids {
+            targets.push((
+                ai,
+                Message::AlIndexTuple { tuple: Arc::clone(&tuple), attr: attr.clone(), index_id: ai },
+            ));
+            if let Some(vi) = vi {
+                targets.push((
+                    vi,
+                    Message::VlIndexTuple { tuple: Arc::clone(&tuple), attr, index_id: vi },
+                ));
+            }
+        }
+        self.dispatch_from(node, targets, TrafficKind::TupleIndex)?;
+        self.process_all()?;
+        Ok(seq)
+    }
+
+    /// Advances the clock by one — every external event gets a fresh
+    /// timestamp, so `pubT`/`insT` comparisons are never ambiguous.
+    fn tick(&mut self) {
+        self.clock = Timestamp(self.clock.0 + 1);
+    }
+
+    // ==================================================================
+    // Index-attribute choice (SAI, Section 4.3.6)
+    // ==================================================================
+
+    fn choose_index_side(&mut self, node: NodeHandle, query: &JoinQuery) -> Result<Side> {
+        match self.config.strategy {
+            IndexStrategy::Random => {
+                Ok(if self.rng.gen::<bool>() { Side::Left } else { Side::Right })
+            }
+            IndexStrategy::LowestRate => {
+                let (l, r) = self.probe_rewriters(node, query)?;
+                Ok(match l.0.cmp(&r.0) {
+                    std::cmp::Ordering::Less => Side::Left,
+                    std::cmp::Ordering::Greater => Side::Right,
+                    std::cmp::Ordering::Equal => {
+                        if self.rng.gen::<bool>() {
+                            Side::Left
+                        } else {
+                            Side::Right
+                        }
+                    }
+                })
+            }
+            IndexStrategy::MostDistinctValues => {
+                let (l, r) = self.probe_rewriters(node, query)?;
+                Ok(match l.1.cmp(&r.1) {
+                    std::cmp::Ordering::Greater => Side::Left,
+                    std::cmp::Ordering::Less => Side::Right,
+                    std::cmp::Ordering::Equal => {
+                        if self.rng.gen::<bool>() {
+                            Side::Left
+                        } else {
+                            Side::Right
+                        }
+                    }
+                })
+            }
+        }
+    }
+
+    /// Asks the two candidate rewriters for their `(count, distinct)`
+    /// arrival statistics, paying the probe traffic (Section 4.3.6: "any
+    /// node can simply ask the two possible rewriter nodes before indexing
+    /// a query").
+    fn probe_rewriters(
+        &mut self,
+        node: NodeHandle,
+        query: &JoinQuery,
+    ) -> Result<((u64, usize), (u64, usize))> {
+        let space = self.ring.space();
+        let mut out = [(0u64, 0usize); 2];
+        for side in Side::BOTH {
+            let rel = query.relation(side);
+            let attr = self.pick_index_attr(query, side);
+            let id = indexing::aindex_replica(space, rel, &attr, 0, self.config.replication);
+            let route = self.ring.route(node, id)?;
+            // request hops + one direct response hop
+            self.metrics.record_traffic(TrafficKind::Probe, route.hops() + 1);
+            out[side.idx_pub()] = self.nodes[route.owner.index()].arrival_stats(rel, &attr);
+        }
+        Ok((out[0], out[1]))
+    }
+
+    /// The attribute a query is indexed by on a given side: the join
+    /// attribute for T1 queries, a pseudo-random attribute of the condition
+    /// expression for T2 (Section 4.5).
+    fn pick_index_attr(&mut self, query: &JoinQuery, side: Side) -> String {
+        if let Some(a) = query.join_attr(side) {
+            return a.to_string();
+        }
+        let attrs: Vec<&str> = query.condition(side).attributes().into_iter().collect();
+        debug_assert!(!attrs.is_empty(), "validated at construction");
+        let i = self.rng.gen_range(0..attrs.len());
+        attrs[i].to_string()
+    }
+
+    // ==================================================================
+    // Message transport
+    // ==================================================================
+
+    /// Sends a batch of messages from `node` using the configured multisend
+    /// design, accounting traffic, and enqueues them at their owners.
+    fn dispatch_from(
+        &mut self,
+        node: NodeHandle,
+        targets: Vec<(Id, Message)>,
+        kind: TrafficKind,
+    ) -> Result<()> {
+        if targets.is_empty() {
+            return Ok(());
+        }
+        let ids: Vec<Id> = targets.iter().map(|(id, _)| *id).collect();
+        let outcome = if self.config.recursive_multisend {
+            self.ring.multisend_recursive(node, &ids)?
+        } else {
+            self.ring.multisend_iterative(node, &ids)?
+        };
+        self.metrics
+            .record_traffic_batch(kind, targets.len() as u64, outcome.total_hops);
+        let mut by_id: HashMap<Id, Vec<Message>> = HashMap::with_capacity(targets.len());
+        for (id, msg) in targets {
+            by_id.entry(id).or_default().push(msg);
+        }
+        for (owner, ids) in outcome.deliveries {
+            for id in ids {
+                for msg in by_id.remove(&id).into_iter().flatten() {
+                    self.pending.push_back((owner, msg));
+                }
+            }
+        }
+        debug_assert!(by_id.is_empty(), "every target id must be delivered");
+        Ok(())
+    }
+
+    /// Sends one message from a rewriter toward a value-level identifier,
+    /// consulting the JFRT when enabled (Section 4.7).
+    fn send_via_jfrt(&mut self, from: NodeHandle, id: Id, msg: Message) -> Result<()> {
+        let owner = if self.config.use_jfrt {
+            let lookup = {
+                let ring = &self.ring;
+                self.nodes[from.index()]
+                    .jfrt
+                    .lookup(id, |h, id| ring.node(h).is_alive() && ring.owns(h, id))
+            };
+            match lookup {
+                JfrtLookup::Hit(owner) => {
+                    self.metrics.record_traffic(TrafficKind::Reindex, 1);
+                    owner
+                }
+                JfrtLookup::Miss => {
+                    let route = self.ring.route(from, id)?;
+                    self.metrics.record_traffic(TrafficKind::Reindex, route.hops());
+                    self.nodes[from.index()].jfrt.record(id, route.owner);
+                    route.owner
+                }
+                JfrtLookup::Stale(_) => {
+                    // one wasted hop to the stale node, then ordinary routing
+                    let route = self.ring.route(from, id)?;
+                    self.metrics.record_traffic(TrafficKind::Reindex, route.hops() + 1);
+                    self.nodes[from.index()].jfrt.record(id, route.owner);
+                    route.owner
+                }
+            }
+        } else {
+            let route = self.ring.route(from, id)?;
+            self.metrics.record_traffic(TrafficKind::Reindex, route.hops());
+            route.owner
+        };
+        self.pending.push_back((owner, msg));
+        Ok(())
+    }
+
+    /// Processes queued protocol messages until quiescence.
+    fn process_all(&mut self) -> Result<()> {
+        while let Some((at, msg)) = self.pending.pop_front() {
+            self.handle(at, msg)?;
+        }
+        Ok(())
+    }
+
+    // ==================================================================
+    // Message handlers
+    // ==================================================================
+
+    fn handle(&mut self, at: NodeHandle, msg: Message) -> Result<()> {
+        match msg {
+            Message::IndexQuery { query, index_side, index_attr, index_id } => {
+                self.nodes[at.index()].alqt.insert(StoredQuery {
+                    index_id,
+                    query,
+                    index_side,
+                    index_attr,
+                });
+                Ok(())
+            }
+            Message::AlIndexTuple { tuple, attr, index_id } => {
+                self.handle_al_tuple(at, tuple, attr, index_id)
+            }
+            Message::VlIndexTuple { tuple, attr, index_id } => {
+                self.handle_vl_tuple(at, tuple, attr, index_id)
+            }
+            Message::Join { items, index_id } => self.handle_join(at, items, index_id),
+            Message::JoinV { group, items, tuple, side, value_key, index_id } => {
+                self.handle_join_v(at, group, items, tuple, side, value_key, index_id)
+            }
+            Message::StoreNotifications { subscriber_id, notifications } => {
+                let store = &mut self.nodes[at.index()].offline_store;
+                store.extend(notifications.into_iter().map(|n| (subscriber_id, n)));
+                Ok(())
+            }
+        }
+    }
+
+    /// A tuple arrives at the attribute level: trigger, rewrite and reindex
+    /// the stored queries (Sections 4.3.2, 4.4, 4.5).
+    ///
+    /// `index_id` is the (possibly replica) identifier the message was
+    /// addressed to: with the Section 4.7 replication scheme, a node may
+    /// host several replicas of the same rewriter role, and a tuple only
+    /// triggers the queries of the replica it was routed to.
+    fn handle_al_tuple(
+        &mut self,
+        at: NodeHandle,
+        tuple: Arc<Tuple>,
+        attr: String,
+        index_id: Id,
+    ) -> Result<()> {
+        let rel = tuple.relation().to_string();
+        let value_key = tuple.get(&attr)?.canonical();
+        self.nodes[at.index()].record_arrival(&rel, &attr, value_key);
+
+        // Clone out the groups to decouple the borrow from the sends below,
+        // keeping only the addressed replica's entries.
+        let mut checks = 0u64;
+        let groups: Vec<(String, Vec<StoredQuery>)> = self.nodes[at.index()]
+            .alqt
+            .groups(&rel, &attr)
+            .map(|(g, qs)| {
+                let scoped: Vec<StoredQuery> =
+                    qs.iter().filter(|sq| sq.index_id == index_id).cloned().collect();
+                checks += scoped.len() as u64;
+                (g.to_string(), scoped)
+            })
+            .filter(|(_, qs)| !qs.is_empty())
+            .collect();
+        if checks == 0 {
+            return Ok(());
+        }
+        self.metrics.add_rewriter_filtering(at.index(), checks);
+
+        let space = self.ring.space();
+        let algorithm = self.config.algorithm;
+        for (group, stored) in groups {
+            if algorithm == Algorithm::DaiV {
+                if self.config.dai_v_keyed {
+                    // Section 4.5's keyed extension: one evaluator — and one
+                    // message — per (query, valJC); no grouping possible.
+                    for sq in &stored {
+                        if sq.index_attr != attr {
+                            continue;
+                        }
+                        let Some(rq) =
+                            RewrittenQuery::rewrite_value(&sq.query, sq.index_side, &tuple)?
+                        else {
+                            continue;
+                        };
+                        let val = rq.target().value().clone();
+                        let qkey = sq.query.key().0.clone();
+                        let id = indexing::vindex_value_keyed(space, &qkey, &val);
+                        let msg = Message::JoinV {
+                            // matching is scoped per query under this variant
+                            group: format!("K|{qkey}"),
+                            items: vec![rq],
+                            tuple: Arc::clone(&tuple),
+                            side: sq.index_side,
+                            value_key: val.canonical(),
+                            index_id: id,
+                        };
+                        self.send_via_jfrt(at, id, msg)?;
+                    }
+                } else {
+                    // One message per (group, valJC): rewritten queries + tuple.
+                    let mut items: Vec<RewrittenQuery> = Vec::new();
+                    let mut side = None;
+                    let mut val = None;
+                    for sq in &stored {
+                        if sq.index_attr != attr {
+                            continue; // stored under a different attribute bucket
+                        }
+                        if let Some(rq) =
+                            RewrittenQuery::rewrite_value(&sq.query, sq.index_side, &tuple)?
+                        {
+                            side = Some(sq.index_side);
+                            val = Some(rq.target().value().clone());
+                            items.push(rq);
+                        }
+                    }
+                    if let (Some(side), Some(val)) = (side, val) {
+                        let id = indexing::vindex_value(space, &val);
+                        let msg = Message::JoinV {
+                            group: group.clone(),
+                            items,
+                            tuple: Arc::clone(&tuple),
+                            side,
+                            value_key: val.canonical(),
+                            index_id: id,
+                        };
+                        self.send_via_jfrt(at, id, msg)?;
+                    }
+                }
+            } else {
+                // T1 algorithms: one join message per group, targeting
+                // Hash(DisR + DisA + valDA) — identical for the whole group.
+                let mut items: Vec<RewrittenQuery> = Vec::new();
+                let mut target: Option<Id> = None;
+                for sq in &stored {
+                    if sq.index_attr != attr {
+                        continue;
+                    }
+                    let dis_side = sq.index_side.other();
+                    let dis_attr = sq
+                        .query
+                        .join_attr(dis_side)
+                        .expect("T1 validated at pose time")
+                        .to_string();
+                    let Some(rq) = RewrittenQuery::rewrite_attribute(
+                        &sq.query,
+                        sq.index_side,
+                        &sq.index_attr,
+                        &dis_attr,
+                        &tuple,
+                    )?
+                    else {
+                        continue;
+                    };
+                    if algorithm == Algorithm::DaiT {
+                        // Reindex each rewritten query at most once.
+                        if !self.nodes[at.index()].reindexed.insert(rq.key().to_string()) {
+                            continue;
+                        }
+                    }
+                    let id = indexing::vindex_attr(
+                        space,
+                        sq.query.relation(dis_side),
+                        &dis_attr,
+                        rq.target().value(),
+                    );
+                    debug_assert!(target.is_none_or(|t| t == id), "group shares one evaluator");
+                    target = Some(id);
+                    items.push(rq);
+                }
+                if let (Some(id), false) = (target, items.is_empty()) {
+                    self.send_via_jfrt(at, id, Message::Join { items, index_id: id })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A tuple arrives at the value level (SAI/DAI-Q/DAI-T, Section 4.3.4).
+    fn handle_vl_tuple(
+        &mut self,
+        at: NodeHandle,
+        tuple: Arc<Tuple>,
+        attr: String,
+        index_id: Id,
+    ) -> Result<()> {
+        let rel = tuple.relation().to_string();
+        let value_key = tuple.get(&attr)?.canonical();
+        let algorithm = self.config.algorithm;
+
+        // SAI and DAI-T: match stored rewritten queries against the tuple.
+        if matches!(algorithm, Algorithm::Sai | Algorithm::DaiT) {
+            let candidates: Vec<RewrittenQuery> = self.nodes[at.index()]
+                .vlqt
+                .candidates(&rel, &attr, &value_key)
+                .map(|e| e.rq.clone())
+                .collect();
+            self.metrics.add_evaluator_filtering(at.index(), candidates.len() as u64);
+            let mut matches = self.new_matches();
+            for rq in &candidates {
+                if rq.matches(&tuple)? {
+                    matches.add(rq, &tuple)?;
+                }
+            }
+            self.deliver_matches(at, matches)?;
+        }
+
+        // SAI and DAI-Q: store the tuple for future rewritten queries.
+        if matches!(algorithm, Algorithm::Sai | Algorithm::DaiQ) {
+            self.nodes[at.index()].vltt.insert(StoredTuple { index_id, attr, tuple });
+        }
+        Ok(())
+    }
+
+    /// A batch of rewritten queries arrives at an evaluator
+    /// (SAI: Section 4.3.3; DAI-Q: 4.4.2; DAI-T: 4.4.3).
+    fn handle_join(&mut self, at: NodeHandle, items: Vec<RewrittenQuery>, index_id: Id) -> Result<()> {
+        let algorithm = self.config.algorithm;
+        let mut matches = self.new_matches();
+        for rq in items {
+            match algorithm {
+                Algorithm::Sai => {
+                    // Store first (dedup by key); only a *new* rewritten
+                    // query is evaluated against stored tuples — a duplicate
+                    // "need only store the information related to tuple t".
+                    let fresh = self.nodes[at.index()]
+                        .vlqt
+                        .insert(StoredRewritten { index_id, rq: rq.clone() });
+                    if fresh {
+                        self.match_against_vltt(at, &rq, &mut matches)?;
+                    }
+                }
+                Algorithm::DaiQ => {
+                    // Evaluate, never store.
+                    self.match_against_vltt(at, &rq, &mut matches)?;
+                }
+                Algorithm::DaiT => {
+                    // Store, never evaluate (tuples will come to us).
+                    self.nodes[at.index()]
+                        .vlqt
+                        .insert(StoredRewritten { index_id, rq });
+                }
+                Algorithm::DaiV => unreachable!("DAI-V uses JoinV messages"),
+            }
+        }
+        self.deliver_matches(at, matches)?;
+        Ok(())
+    }
+
+    fn match_against_vltt(
+        &mut self,
+        at: NodeHandle,
+        rq: &RewrittenQuery,
+        matches: &mut Matches,
+    ) -> Result<()> {
+        let cq_relational::MatchTarget::Attribute { attr, value } = rq.target() else {
+            unreachable!("T1 rewritten queries carry attribute targets");
+        };
+        let rel = rq.free_relation().to_string();
+        let value_key = value.canonical();
+        let candidates: Vec<Arc<Tuple>> = self.nodes[at.index()]
+            .vltt
+            .candidates(&rel, attr, &value_key)
+            .map(|e| Arc::clone(&e.tuple))
+            .collect();
+        self.metrics.add_evaluator_filtering(at.index(), candidates.len() as u64);
+        for t in &candidates {
+            if rq.matches(t)? {
+                matches.add(rq, t)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// DAI-V's combined join message (Section 4.5): match the rewritten
+    /// queries against stored tuples of the other side, then store the
+    /// triggering tuple. Rewritten queries are not stored.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_join_v(
+        &mut self,
+        at: NodeHandle,
+        group: String,
+        items: Vec<RewrittenQuery>,
+        tuple: Arc<Tuple>,
+        side: Side,
+        value_key: String,
+        index_id: Id,
+    ) -> Result<()> {
+        let other = side.other();
+        let mut matches = self.new_matches();
+        for rq in &items {
+            let candidates: Vec<Arc<Tuple>> = self.nodes[at.index()]
+                .vstore
+                .candidates(&group, &value_key, other)
+                .map(|e| Arc::clone(&e.tuple))
+                .collect();
+            self.metrics.add_evaluator_filtering(at.index(), candidates.len() as u64);
+            for t in &candidates {
+                if rq.matches(t)? {
+                    matches.add(rq, t)?;
+                }
+            }
+        }
+        self.nodes[at.index()].vstore.insert(
+            &group,
+            &value_key,
+            StoredValueTuple { index_id, side, tuple },
+        );
+        self.deliver_matches(at, matches)?;
+        Ok(())
+    }
+
+    // ==================================================================
+    // Notification delivery (Section 4.6)
+    // ==================================================================
+
+    /// Collects join matches at an evaluator. With retention on, full
+    /// notification bodies are built; with retention off only per-subscriber
+    /// counts are kept (delivery traffic and counters stay identical, the
+    /// bodies are never materialized).
+    fn new_matches(&self) -> Matches {
+        if self.config.retain_notifications {
+            Matches::Full(Vec::new())
+        } else {
+            Matches::Counts(HashMap::new())
+        }
+    }
+
+    fn deliver_matches(&mut self, from: NodeHandle, matches: Matches) -> Result<()> {
+        match matches {
+            Matches::Full(notifications) => self.deliver_notifications(from, notifications),
+            Matches::Counts(counts) => {
+                for (subscriber, count) in counts {
+                    if count == 0 {
+                        continue;
+                    }
+                    self.metrics.notifications_delivered += count;
+                    match self.subscribers.get(&subscriber) {
+                        Some(&h) if self.ring.node(h).is_alive() => {
+                            self.metrics.record_traffic(TrafficKind::Notify, 1);
+                        }
+                        _ => {
+                            let id = indexing::subscriber_id(self.ring.space(), &subscriber);
+                            let route = self.ring.route(from, id)?;
+                            self.metrics.record_traffic(TrafficKind::Notify, route.hops());
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn deliver_notifications(
+        &mut self,
+        from: NodeHandle,
+        notifications: Vec<Notification>,
+    ) -> Result<()> {
+        if notifications.is_empty() {
+            return Ok(());
+        }
+        // Group notifications per receiver into one message.
+        let mut by_subscriber: HashMap<String, Vec<Notification>> = HashMap::new();
+        for n in notifications {
+            by_subscriber.entry(n.subscriber.clone()).or_default().push(n);
+        }
+        let retain = self.config.retain_notifications;
+        for (subscriber, batch) in by_subscriber {
+            self.metrics.notifications_delivered += batch.len() as u64;
+            match self.subscribers.get(&subscriber) {
+                Some(&h) if self.ring.node(h).is_alive() => {
+                    // Online at a known IP: one direct hop.
+                    self.metrics.record_traffic(TrafficKind::Notify, 1);
+                    if retain {
+                        self.nodes[h.index()].inbox.extend(batch);
+                    }
+                }
+                _ => {
+                    // Offline: route toward Successor(Id(n)) and store there.
+                    let id =
+                        indexing::subscriber_id(self.ring.space(), &subscriber);
+                    let route = self.ring.route(from, id)?;
+                    self.metrics.record_traffic(TrafficKind::Notify, route.hops());
+                    if retain {
+                        self.pending.push_back((
+                            route.owner,
+                            Message::StoreNotifications {
+                                subscriber_id: id,
+                                notifications: batch,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ==================================================================
+    // Churn: leaves, failures, rejoins with key transfer (Sections 2.2, 4.6)
+    // ==================================================================
+
+    /// Voluntary departure: the node transfers every key it holds to its
+    /// successor, then leaves the ring.
+    pub fn node_leave(&mut self, h: NodeHandle) -> Result<()> {
+        let succ = self
+            .ring
+            .first_alive_successor(h)
+            .ok_or(EngineError::UnknownNode)?;
+        self.ring.leave(h)?;
+        if succ != h {
+            self.transfer_all(h, succ);
+        }
+        Ok(())
+    }
+
+    /// Abrupt failure: the node's keys are lost (best-effort semantics,
+    /// Section 3.2 — "we leave all the handling of failures … to the
+    /// underlying DHT").
+    pub fn node_fail(&mut self, h: NodeHandle) -> Result<()> {
+        self.ring.fail(h)?;
+        let st = &mut self.nodes[h.index()];
+        st.alqt.drain_all();
+        st.vlqt.drain_all();
+        st.vltt.drain_all();
+        st.vstore.drain_all();
+        st.offline_store.clear();
+        Ok(())
+    }
+
+    /// Runs stabilization rounds over the whole ring.
+    pub fn stabilize(&mut self, rounds: usize) {
+        self.ring.stabilize_all(rounds);
+    }
+
+    /// A departed node rejoins with its old key: it takes back the key range
+    /// `(pred, id]` from its successor — including any notifications stored
+    /// for it while it was offline (Section 4.6).
+    pub fn node_rejoin(&mut self, h: NodeHandle) -> Result<()> {
+        let via = self
+            .ring
+            .alive_nodes()
+            .next()
+            .ok_or(EngineError::UnknownNode)?;
+        self.ring.rejoin(h, via)?;
+        self.ring.stabilize_all(2);
+        let (pred, id) = self.ring.owned_range(h)?;
+        let succ = self
+            .ring
+            .first_alive_successor(h)
+            .ok_or(EngineError::UnknownNode)?;
+        if succ != h {
+            let space = self.ring.space();
+            let in_range = move |x: Id| space.in_open_closed(x, pred, id);
+            self.transfer_matching(succ, h, in_range);
+        }
+        // Missed notifications addressed to us move into the inbox.
+        let me = self.ring.node(h).key().to_string();
+        let st = &mut self.nodes[h.index()];
+        let mut kept = Vec::new();
+        for (nid, n) in std::mem::take(&mut st.offline_store) {
+            if n.subscriber == me {
+                st.inbox.push(n);
+            } else {
+                kept.push((nid, n));
+            }
+        }
+        st.offline_store = kept;
+        self.subscribers.insert(me, h);
+        Ok(())
+    }
+
+    fn transfer_all(&mut self, from: NodeHandle, to: NodeHandle) {
+        self.transfer_matching(from, to, |_| true);
+    }
+
+    fn transfer_matching(
+        &mut self,
+        from: NodeHandle,
+        to: NodeHandle,
+        pred: impl Fn(Id) -> bool + Copy,
+    ) {
+        debug_assert_ne!(from, to);
+        let (a, b) = (from.index(), to.index());
+        // Split the borrow: `from` and `to` are distinct slots.
+        let (src, dst) = if a < b {
+            let (l, r) = self.nodes.split_at_mut(b);
+            (&mut l[a], &mut r[0])
+        } else {
+            let (l, r) = self.nodes.split_at_mut(a);
+            (&mut r[0], &mut l[b])
+        };
+        for e in src.alqt.extract_where(&pred) {
+            dst.alqt.insert(e);
+        }
+        for e in src.vlqt.extract_where(&pred) {
+            dst.vlqt.insert(e);
+        }
+        for e in src.vltt.extract_where(&pred) {
+            dst.vltt.insert(e);
+        }
+        for (group, value, e) in src.vstore.extract_where(&pred) {
+            dst.vstore.insert(&group, &value, e);
+        }
+        let mut kept = Vec::new();
+        for (id, n) in std::mem::take(&mut src.offline_store) {
+            if pred(id) {
+                dst.offline_store.push((id, n));
+            } else {
+                kept.push((id, n));
+            }
+        }
+        src.offline_store = kept;
+    }
+}
+
+/// Accumulated join matches at an evaluator (see [`Network::new_matches`]).
+enum Matches {
+    /// Full notification bodies (retention on).
+    Full(Vec<Notification>),
+    /// Per-subscriber match counts (retention off).
+    Counts(HashMap<String, u64>),
+}
+
+impl Matches {
+    /// Records that `rq` matched tuple `t`.
+    fn add(&mut self, rq: &RewrittenQuery, t: &Tuple) -> cq_relational::Result<()> {
+        match self {
+            Matches::Full(v) => v.push(rq.notification_with(t)?),
+            Matches::Counts(c) => {
+                // avoid one String allocation per match on the hot path
+                if let Some(v) = c.get_mut(rq.query().subscriber()) {
+                    *v += 1;
+                } else {
+                    c.insert(rq.query().subscriber().to_string(), 1);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Extension trait used internally to index `[T; 2]` arrays by side.
+trait SideIdx {
+    fn idx_pub(self) -> usize;
+}
+
+impl SideIdx for Side {
+    fn idx_pub(self) -> usize {
+        match self {
+            Side::Left => 0,
+            Side::Right => 1,
+        }
+    }
+}

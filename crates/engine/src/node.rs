@@ -1,0 +1,158 @@
+//! Per-node protocol state: the local tables, the JFRT, observed arrival
+//! statistics and the subscriber inbox.
+
+use std::collections::{HashMap, HashSet};
+
+use cq_overlay::Id;
+use cq_relational::Notification;
+
+use crate::jfrt::Jfrt;
+use crate::tables::{Alqt, VStore, Vlqt, Vltt};
+
+/// Arrival statistics a rewriter keeps per `(relation, attribute)` — "each
+/// node can keep track of the total number of tuples that have arrived … in
+/// the last time window" and of the values seen (Section 4.3.6).
+///
+/// Counts are kept for the current and the previous window; probes read
+/// their sum, so a burst older than two windows no longer biases the
+/// index-attribute choice.
+#[derive(Clone, Debug, Default)]
+pub struct ArrivalStats {
+    /// Tuples seen in the current window.
+    pub count: u64,
+    /// Tuples seen in the previous window.
+    pub prev_count: u64,
+    /// Distinct values observed (canonical forms; kept across windows — the
+    /// domain estimate only grows more accurate).
+    pub distinct: HashSet<String>,
+}
+
+impl ArrivalStats {
+    /// The rate estimate a probe reads: current + previous window.
+    pub fn windowed_count(&self) -> u64 {
+        self.count + self.prev_count
+    }
+
+    /// Rolls the window: current becomes previous, current resets.
+    pub fn roll(&mut self) {
+        self.prev_count = self.count;
+        self.count = 0;
+    }
+}
+
+/// The protocol state of one network node.
+#[derive(Clone, Debug, Default)]
+pub struct NodeState {
+    /// Attribute-level query table (rewriter role).
+    pub alqt: Alqt,
+    /// Value-level query table (evaluator role, SAI/DAI-T).
+    pub vlqt: Vlqt,
+    /// Value-level tuple table (evaluator role, SAI/DAI-Q).
+    pub vltt: Vltt,
+    /// DAI-V evaluator store.
+    pub vstore: VStore,
+    /// Join Fingers Routing Table (rewriter role, Section 4.7).
+    pub jfrt: Jfrt,
+    /// DAI-T rewriter memory of already-reindexed rewritten-query keys —
+    /// "a rewriter does not need to reindex the same rewritten query more
+    /// than once" (Section 4.4.3).
+    pub reindexed: HashSet<String>,
+    /// Notifications this node has received as a subscriber.
+    pub inbox: Vec<Notification>,
+    /// Notifications held for offline subscribers whose key identifier this
+    /// node is responsible for (Section 4.6), with that identifier.
+    pub offline_store: Vec<(Id, Notification)>,
+    /// Per-(relation, attribute) arrival statistics.
+    pub arrivals: HashMap<(String, String), ArrivalStats>,
+    /// Counter for deriving this node's query keys.
+    pub query_counter: u64,
+}
+
+impl NodeState {
+    /// Fresh, empty state.
+    pub fn new() -> Self {
+        NodeState::default()
+    }
+
+    /// Records an attribute-level tuple arrival for strategy statistics.
+    pub fn record_arrival(&mut self, relation: &str, attr: &str, value_key: String) {
+        let stats = self
+            .arrivals
+            .entry((relation.to_string(), attr.to_string()))
+            .or_default();
+        stats.count += 1;
+        stats.distinct.insert(value_key);
+    }
+
+    /// Arrival statistics for `(relation, attr)`:
+    /// `(windowed count, distinct values)`.
+    pub fn arrival_stats(&self, relation: &str, attr: &str) -> (u64, usize) {
+        self.arrivals
+            .get(&(relation.to_string(), attr.to_string()))
+            .map_or((0, 0), |s| (s.windowed_count(), s.distinct.len()))
+    }
+
+    /// Rolls every arrival-statistics window (run by the simulator when a
+    /// measurement window ends).
+    pub fn roll_statistics_window(&mut self) {
+        for s in self.arrivals.values_mut() {
+            s.roll();
+        }
+    }
+
+    /// The node's storage load: every item it holds on behalf of the
+    /// network (queries, rewritten queries, tuples, offline notifications).
+    pub fn storage_load(&self) -> usize {
+        self.alqt.len()
+            + self.vlqt.len()
+            + self.vltt.len()
+            + self.vstore.len()
+            + self.offline_store.len()
+    }
+
+    /// Storage held in the evaluator role only (value-level items), used by
+    /// the E8/E9 experiments.
+    pub fn evaluator_storage(&self) -> usize {
+        self.vlqt.len() + self.vltt.len() + self.vstore.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_stats_accumulate() {
+        let mut n = NodeState::new();
+        n.record_arrival("R", "B", "i:1".into());
+        n.record_arrival("R", "B", "i:1".into());
+        n.record_arrival("R", "B", "i:2".into());
+        assert_eq!(n.arrival_stats("R", "B"), (3, 2));
+        assert_eq!(n.arrival_stats("R", "C"), (0, 0));
+    }
+
+    #[test]
+    fn arrival_window_forgets_old_bursts() {
+        let mut n = NodeState::new();
+        for _ in 0..10 {
+            n.record_arrival("R", "B", "i:1".into());
+        }
+        n.roll_statistics_window();
+        assert_eq!(n.arrival_stats("R", "B").0, 10, "previous window still counted");
+        n.record_arrival("R", "B", "i:2".into());
+        assert_eq!(n.arrival_stats("R", "B").0, 11);
+        n.roll_statistics_window();
+        assert_eq!(n.arrival_stats("R", "B").0, 1, "burst two windows back forgotten");
+        n.roll_statistics_window();
+        assert_eq!(n.arrival_stats("R", "B").0, 0);
+        // distinct-value knowledge is retained
+        assert_eq!(n.arrival_stats("R", "B").1, 2);
+    }
+
+    #[test]
+    fn storage_load_sums_tables() {
+        let n = NodeState::new();
+        assert_eq!(n.storage_load(), 0);
+        assert_eq!(n.evaluator_storage(), 0);
+    }
+}

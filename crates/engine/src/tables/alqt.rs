@@ -1,0 +1,236 @@
+//! The attribute-level query table (ALQT, Section 4.3.5).
+//!
+//! "A two level hash table. At the first level, queries are indexed according
+//! to their index attribute while at the second level the string values of
+//! join conditions are used as keys" — so an incoming tuple finds all
+//! candidate queries in one step, already grouped by equivalent join
+//! condition.
+
+use std::collections::HashMap;
+
+use cq_overlay::Id;
+use cq_relational::{QueryRef, Side};
+
+/// A query stored at a rewriter, remembering which side it was indexed by
+/// and under which attribute-level identifier (for key transfer on churn).
+#[derive(Clone, Debug)]
+pub struct StoredQuery {
+    /// The attribute-level identifier the query was indexed under
+    /// (`Hash(IndexR + IndexA)`, possibly a replica identifier).
+    pub index_id: Id,
+    /// The query itself.
+    pub query: QueryRef,
+    /// Which side of the join condition this rewriter represents.
+    pub index_side: Side,
+    /// `IndexA(q)` — the attribute the query is indexed by here.
+    pub index_attr: String,
+}
+
+/// Level-1 key: the index attribute, prefixed by its relation.
+type AttrKey = (String, String);
+
+/// The two-level attribute-level query table.
+#[derive(Clone, Debug, Default)]
+pub struct Alqt {
+    buckets: HashMap<AttrKey, HashMap<String, Vec<StoredQuery>>>,
+    len: usize,
+}
+
+impl Alqt {
+    /// An empty table.
+    pub fn new() -> Self {
+        Alqt::default()
+    }
+
+    /// Stores a query under its index attribute; idempotent in
+    /// `(query key, index side, index identifier)` so re-deliveries don't
+    /// duplicate. The identifier is part of the dedup key: with replication,
+    /// two replica identifiers can be owned by the same physical node, and
+    /// each must keep its own entry so churn-time key transfer can split
+    /// them again.
+    pub fn insert(&mut self, entry: StoredQuery) -> bool {
+        let key = (
+            entry.query.relation(entry.index_side).to_string(),
+            entry.index_attr.clone(),
+        );
+        let group = entry.query.group_key();
+        let bucket = self.buckets.entry(key).or_default().entry(group).or_default();
+        if bucket.iter().any(|e| {
+            e.query.key() == entry.query.key()
+                && e.index_side == entry.index_side
+                && e.index_id == entry.index_id
+        }) {
+            return false;
+        }
+        bucket.push(entry);
+        self.len += 1;
+        true
+    }
+
+    /// All groups of queries indexed under `(relation, attr)` — the level-1
+    /// lookup an incoming tuple performs. Each item is
+    /// `(group_key, queries)`.
+    pub fn groups(
+        &self,
+        relation: &str,
+        attr: &str,
+    ) -> impl Iterator<Item = (&str, &[StoredQuery])> {
+        self.buckets
+            .get(&(relation.to_string(), attr.to_string()))
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(g, v)| (g.as_str(), v.as_slice())))
+    }
+
+    /// Number of candidate queries an incoming tuple for `(relation, attr)`
+    /// must be checked against — the rewriter's filtering work for that
+    /// tuple.
+    pub fn candidate_count(&self, relation: &str, attr: &str) -> usize {
+        self.buckets
+            .get(&(relation.to_string(), attr.to_string()))
+            .map_or(0, |m| m.values().map(Vec::len).sum())
+    }
+
+    /// Total stored queries (the rewriter's storage load contribution).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes and returns every entry whose index identifier satisfies the
+    /// predicate — used to transfer keys when nodes join or leave.
+    pub fn extract_where(&mut self, mut pred: impl FnMut(Id) -> bool) -> Vec<StoredQuery> {
+        let mut out = Vec::new();
+        for groups in self.buckets.values_mut() {
+            for entries in groups.values_mut() {
+                let mut i = 0;
+                while i < entries.len() {
+                    if pred(entries[i].index_id) {
+                        out.push(entries.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            groups.retain(|_, v| !v.is_empty());
+        }
+        self.buckets.retain(|_, m| !m.is_empty());
+        self.len -= out.len();
+        out
+    }
+
+    /// Removes and returns all entries (voluntary-leave key transfer).
+    pub fn drain_all(&mut self) -> Vec<StoredQuery> {
+        self.extract_where(|_| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_relational::{
+        Catalog, DataType, Expr, JoinQuery, QueryKey, RelationSchema, SelectItem, Timestamp,
+    };
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int)]).unwrap())
+            .unwrap();
+        c.register(RelationSchema::of("S", &[("C", DataType::Int), ("D", DataType::Int)]).unwrap())
+            .unwrap();
+        c
+    }
+
+    fn query(c: &Catalog, n: u64) -> QueryRef {
+        Arc::new(
+            JoinQuery::new(
+                QueryKey::derive("node", n),
+                "node",
+                Timestamp(0),
+                "R",
+                "S",
+                vec![SelectItem { side: Side::Left, attr: "A".into() }],
+                Expr::attr("B"),
+                Expr::attr("C"),
+                vec![],
+                c,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn entry(q: &QueryRef) -> StoredQuery {
+        StoredQuery {
+            index_id: Id(1),
+            query: Arc::clone(q),
+            index_side: Side::Left,
+            index_attr: "B".into(),
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup_by_attribute() {
+        let c = catalog();
+        let mut t = Alqt::new();
+        let q = query(&c, 0);
+        assert!(t.insert(entry(&q)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.candidate_count("R", "B"), 1);
+        assert_eq!(t.candidate_count("R", "A"), 0);
+        assert_eq!(t.candidate_count("S", "B"), 0);
+        let groups: Vec<_> = t.groups("R", "B").collect();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].1.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected() {
+        let c = catalog();
+        let mut t = Alqt::new();
+        let q = query(&c, 0);
+        assert!(t.insert(entry(&q)));
+        assert!(!t.insert(entry(&q)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn equivalent_conditions_share_a_group() {
+        let c = catalog();
+        let mut t = Alqt::new();
+        t.insert(entry(&query(&c, 0)));
+        t.insert(entry(&query(&c, 1)));
+        let groups: Vec<_> = t.groups("R", "B").collect();
+        assert_eq!(groups.len(), 1, "same condition → one group");
+        assert_eq!(groups[0].1.len(), 2);
+    }
+
+    #[test]
+    fn extract_where_partitions_by_identifier() {
+        let c = catalog();
+        let mut t = Alqt::new();
+        let mut e1 = entry(&query(&c, 0));
+        e1.index_id = Id(10);
+        let mut e2 = entry(&query(&c, 1));
+        e2.index_id = Id(20);
+        t.insert(e1);
+        t.insert(e2);
+        let moved = t.extract_where(|id| id == Id(10));
+        assert_eq!(moved.len(), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.candidate_count("R", "B"), 1);
+    }
+
+    #[test]
+    fn drain_empties_table() {
+        let c = catalog();
+        let mut t = Alqt::new();
+        t.insert(entry(&query(&c, 0)));
+        let all = t.drain_all();
+        assert_eq!(all.len(), 1);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,12 @@
+//! Node-local storage: the two-level hash tables of Section 4.3.5
+//! (ALQT, VLQT, VLTT) and the DAI-V evaluator store.
+
+pub mod alqt;
+pub mod vlqt;
+pub mod vltt;
+pub mod vstore;
+
+pub use alqt::{Alqt, StoredQuery};
+pub use vlqt::{StoredRewritten, Vlqt};
+pub use vltt::{StoredTuple, Vltt};
+pub use vstore::{StoredValueTuple, VStore};

@@ -1,0 +1,208 @@
+//! The value-level query table (VLQT, Section 4.3.5).
+//!
+//! "At the first level rewritten queries are indexed according to their load
+//! distributing attribute, while at the second level according to the value
+//! that this attribute must take" — incoming tuples find the rewritten
+//! queries they might match in one step. Entries are keyed by the rewritten
+//! query's unique key, giving the deduplication of Section 4.3.3.
+
+use std::collections::HashMap;
+
+use cq_overlay::Id;
+use cq_relational::{MatchTarget, RewrittenQuery};
+
+/// A rewritten query stored at an evaluator together with the value-level
+/// identifier it was indexed under.
+#[derive(Clone, Debug)]
+pub struct StoredRewritten {
+    /// The value-level identifier (`Hash(DisR + DisA + v)`).
+    pub index_id: Id,
+    /// The rewritten query.
+    pub rq: RewrittenQuery,
+}
+
+/// Level-1 key: the load-distributing attribute (relation + attribute).
+type AttrKey = (String, String);
+
+/// The two-level value-level query table.
+#[derive(Clone, Debug, Default)]
+pub struct Vlqt {
+    buckets: HashMap<AttrKey, HashMap<String, HashMap<String, StoredRewritten>>>,
+    len: usize,
+}
+
+impl Vlqt {
+    /// An empty table.
+    pub fn new() -> Self {
+        Vlqt::default()
+    }
+
+    /// Stores a rewritten query. Returns `false` (and stores nothing) when a
+    /// rewritten query with the same key is already present — "x need only
+    /// store the information related to tuple t".
+    pub fn insert(&mut self, entry: StoredRewritten) -> bool {
+        let MatchTarget::Attribute { attr, value } = entry.rq.target() else {
+            panic!("VLQT stores attribute-targeted rewritten queries only");
+        };
+        let key = (entry.rq.free_relation().to_string(), attr.clone());
+        let vkey = value.canonical();
+        let by_key = self
+            .buckets
+            .entry(key)
+            .or_default()
+            .entry(vkey)
+            .or_default();
+        if by_key.contains_key(entry.rq.key()) {
+            return false;
+        }
+        by_key.insert(entry.rq.key().to_string(), entry);
+        self.len += 1;
+        true
+    }
+
+    /// The rewritten queries an incoming tuple of `(relation, attr = value)`
+    /// might trigger — the evaluator's level-1 + level-2 lookup.
+    pub fn candidates(
+        &self,
+        relation: &str,
+        attr: &str,
+        value_key: &str,
+    ) -> impl Iterator<Item = &StoredRewritten> {
+        self.buckets
+            .get(&(relation.to_string(), attr.to_string()))
+            .and_then(|m| m.get(value_key))
+            .into_iter()
+            .flat_map(|m| m.values())
+    }
+
+    /// Number of candidates for a given `(relation, attr, value)` — the
+    /// evaluator's filtering work for one incoming tuple.
+    pub fn candidate_count(&self, relation: &str, attr: &str, value_key: &str) -> usize {
+        self.buckets
+            .get(&(relation.to_string(), attr.to_string()))
+            .and_then(|m| m.get(value_key))
+            .map_or(0, HashMap::len)
+    }
+
+    /// Total stored rewritten queries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes entries whose index identifier satisfies the predicate
+    /// (key transfer on churn).
+    pub fn extract_where(&mut self, mut pred: impl FnMut(Id) -> bool) -> Vec<StoredRewritten> {
+        let mut out = Vec::new();
+        for by_value in self.buckets.values_mut() {
+            for by_key in by_value.values_mut() {
+                let keys: Vec<String> = by_key
+                    .iter()
+                    .filter(|(_, e)| pred(e.index_id))
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                for k in keys {
+                    out.push(by_key.remove(&k).expect("key listed above"));
+                }
+            }
+            by_value.retain(|_, m| !m.is_empty());
+        }
+        self.buckets.retain(|_, m| !m.is_empty());
+        self.len -= out.len();
+        out
+    }
+
+    /// Removes and returns all entries.
+    pub fn drain_all(&mut self) -> Vec<StoredRewritten> {
+        self.extract_where(|_| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_relational::{
+        Catalog, DataType, Expr, JoinQuery, QueryKey, RelationSchema, SelectItem, Side,
+        Timestamp, Tuple, Value,
+    };
+    use std::sync::Arc;
+
+    fn setup() -> (Catalog, cq_relational::QueryRef) {
+        let mut c = Catalog::new();
+        c.register(RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int)]).unwrap())
+            .unwrap();
+        c.register(RelationSchema::of("S", &[("C", DataType::Int), ("D", DataType::Int)]).unwrap())
+            .unwrap();
+        let q = Arc::new(
+            JoinQuery::new(
+                QueryKey::derive("node", 0),
+                "node",
+                Timestamp(0),
+                "R",
+                "S",
+                vec![SelectItem { side: Side::Left, attr: "A".into() }],
+                Expr::attr("B"),
+                Expr::attr("C"),
+                vec![],
+                &c,
+            )
+            .unwrap(),
+        );
+        (c, q)
+    }
+
+    fn rewritten(c: &Catalog, q: &cq_relational::QueryRef, a: i64, b: i64) -> RewrittenQuery {
+        let t = Tuple::new(
+            c.get("R").unwrap().clone(),
+            vec![Value::Int(a), Value::Int(b)],
+            Timestamp(1),
+            0,
+        )
+        .unwrap();
+        RewrittenQuery::rewrite_attribute(q, Side::Left, "B", "C", &t)
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_and_candidate_lookup() {
+        let (c, q) = setup();
+        let mut t = Vlqt::new();
+        let rq = rewritten(&c, &q, 1, 7);
+        assert!(t.insert(StoredRewritten { index_id: Id(0), rq }));
+        assert_eq!(t.len(), 1);
+        let vkey = Value::Int(7).canonical();
+        assert_eq!(t.candidate_count("S", "C", &vkey), 1);
+        assert_eq!(t.candidate_count("S", "C", &Value::Int(8).canonical()), 0);
+        assert_eq!(t.candidate_count("S", "D", &vkey), 0);
+        assert_eq!(t.candidates("S", "C", &vkey).count(), 1);
+    }
+
+    #[test]
+    fn same_key_is_stored_once() {
+        let (c, q) = setup();
+        let mut t = Vlqt::new();
+        assert!(t.insert(StoredRewritten { index_id: Id(0), rq: rewritten(&c, &q, 1, 7) }));
+        // identical select value and join value → same rewritten key
+        assert!(!t.insert(StoredRewritten { index_id: Id(0), rq: rewritten(&c, &q, 1, 7) }));
+        assert_eq!(t.len(), 1);
+        // different select value → different key
+        assert!(t.insert(StoredRewritten { index_id: Id(0), rq: rewritten(&c, &q, 2, 7) }));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn extract_where_moves_matching_entries() {
+        let (c, q) = setup();
+        let mut t = Vlqt::new();
+        t.insert(StoredRewritten { index_id: Id(1), rq: rewritten(&c, &q, 1, 7) });
+        t.insert(StoredRewritten { index_id: Id(2), rq: rewritten(&c, &q, 1, 8) });
+        let moved = t.extract_where(|id| id == Id(2));
+        assert_eq!(moved.len(), 1);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! The value-level tuple table (VLTT, Section 4.3.5).
+//!
+//! "A two level hash table where tuples are indexed at the first level
+//! according to their index attribute and at the second level according to
+//! the value of this attribute in the tuple." Storing tuples at the value
+//! level is what makes SAI (and DAI-Q) complete when a rewritten query
+//! arrives after matching tuples were inserted.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cq_overlay::Id;
+use cq_relational::Tuple;
+
+/// A tuple stored at the value level together with the attribute it was
+/// indexed by (`IndexA(t)`) and the identifier it was indexed under.
+#[derive(Clone, Debug)]
+pub struct StoredTuple {
+    /// The value-level identifier (`Hash(R + A_i + v_i)`).
+    pub index_id: Id,
+    /// `IndexA(t)` — the attribute that routed the tuple here.
+    pub attr: String,
+    /// The tuple.
+    pub tuple: Arc<Tuple>,
+}
+
+type AttrKey = (String, String);
+
+/// The two-level value-level tuple table.
+#[derive(Clone, Debug, Default)]
+pub struct Vltt {
+    buckets: HashMap<AttrKey, HashMap<String, Vec<StoredTuple>>>,
+    len: usize,
+}
+
+impl Vltt {
+    /// An empty table.
+    pub fn new() -> Self {
+        Vltt::default()
+    }
+
+    /// Stores a tuple under `(relation, attr, value-of-attr)`.
+    pub fn insert(&mut self, entry: StoredTuple) {
+        let value_key = entry
+            .tuple
+            .get(&entry.attr)
+            .expect("index attribute exists in tuple")
+            .canonical();
+        let key = (entry.tuple.relation().to_string(), entry.attr.clone());
+        self.buckets.entry(key).or_default().entry(value_key).or_default().push(entry);
+        self.len += 1;
+    }
+
+    /// The stored tuples a rewritten query targeting
+    /// `(relation, attr = value)` must be matched against.
+    pub fn candidates(
+        &self,
+        relation: &str,
+        attr: &str,
+        value_key: &str,
+    ) -> impl Iterator<Item = &StoredTuple> {
+        self.buckets
+            .get(&(relation.to_string(), attr.to_string()))
+            .and_then(|m| m.get(value_key))
+            .into_iter()
+            .flatten()
+    }
+
+    /// Number of candidates for one arriving rewritten query — the
+    /// evaluator's filtering work.
+    pub fn candidate_count(&self, relation: &str, attr: &str, value_key: &str) -> usize {
+        self.buckets
+            .get(&(relation.to_string(), attr.to_string()))
+            .and_then(|m| m.get(value_key))
+            .map_or(0, Vec::len)
+    }
+
+    /// Total stored tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes entries whose index identifier satisfies the predicate.
+    pub fn extract_where(&mut self, mut pred: impl FnMut(Id) -> bool) -> Vec<StoredTuple> {
+        let mut out = Vec::new();
+        for by_value in self.buckets.values_mut() {
+            for entries in by_value.values_mut() {
+                let mut i = 0;
+                while i < entries.len() {
+                    if pred(entries[i].index_id) {
+                        out.push(entries.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            by_value.retain(|_, v| !v.is_empty());
+        }
+        self.buckets.retain(|_, m| !m.is_empty());
+        self.len -= out.len();
+        out
+    }
+
+    /// Removes and returns all entries.
+    pub fn drain_all(&mut self) -> Vec<StoredTuple> {
+        self.extract_where(|_| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_relational::{DataType, RelationSchema, Timestamp, Value};
+
+    fn tuple(a: i64, b: i64) -> Arc<Tuple> {
+        let schema = Arc::new(
+            RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int)]).unwrap(),
+        );
+        Arc::new(
+            Tuple::new(schema, vec![Value::Int(a), Value::Int(b)], Timestamp(0), 0).unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_and_lookup_by_attr_and_value() {
+        let mut t = Vltt::new();
+        t.insert(StoredTuple { index_id: Id(0), attr: "A".into(), tuple: tuple(7, 1) });
+        t.insert(StoredTuple { index_id: Id(0), attr: "A".into(), tuple: tuple(7, 2) });
+        t.insert(StoredTuple { index_id: Id(0), attr: "B".into(), tuple: tuple(7, 1) });
+        assert_eq!(t.len(), 3);
+        let k7 = Value::Int(7).canonical();
+        assert_eq!(t.candidate_count("R", "A", &k7), 2);
+        assert_eq!(t.candidate_count("R", "B", &Value::Int(1).canonical()), 1);
+        assert_eq!(t.candidate_count("R", "A", &Value::Int(9).canonical()), 0);
+        assert_eq!(t.candidate_count("S", "A", &k7), 0);
+    }
+
+    #[test]
+    fn extract_where_removes_matching() {
+        let mut t = Vltt::new();
+        t.insert(StoredTuple { index_id: Id(1), attr: "A".into(), tuple: tuple(1, 1) });
+        t.insert(StoredTuple { index_id: Id(2), attr: "A".into(), tuple: tuple(2, 2) });
+        let moved = t.extract_where(|id| id == Id(1));
+        assert_eq!(moved.len(), 1);
+        assert_eq!(t.len(), 1);
+        let rest = t.drain_all();
+        assert_eq!(rest.len(), 1);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! DAI-V's evaluator-side tuple store (Section 4.5).
+//!
+//! A DAI-V evaluator receives `join(q', t')` messages, matches `q'` against
+//! tuples of the *other* relation previously stored for the same query group
+//! and join-condition value, and then stores `t'` for future matches.
+//!
+//! The paper ships `t'` as the projection of the triggering tuple on "the
+//! attributes needed for the evaluation of the join"; we store the full
+//! tuple — a pure bandwidth optimization in the paper that does not change
+//! hop counts, load distribution or match results, which are what the
+//! experiments measure.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cq_overlay::Id;
+use cq_relational::{Side, Tuple};
+
+/// A tuple stored at a DAI-V evaluator.
+#[derive(Clone, Debug)]
+pub struct StoredValueTuple {
+    /// The value-level identifier (`Hash(valJC)`).
+    pub index_id: Id,
+    /// Which side of the query group the tuple belongs to.
+    pub side: Side,
+    /// The tuple.
+    pub tuple: Arc<Tuple>,
+}
+
+/// Key: `(query group, join-condition value)` — matching is scoped to a
+/// group so that unrelated conditions that happen to produce the same value
+/// at the same node neither collide nor duplicate.
+type GroupValueKey = (String, String);
+
+/// DAI-V evaluator store.
+#[derive(Clone, Debug, Default)]
+pub struct VStore {
+    buckets: HashMap<GroupValueKey, [Vec<StoredValueTuple>; 2]>,
+    len: usize,
+}
+
+fn side_slot(side: Side) -> usize {
+    match side {
+        Side::Left => 0,
+        Side::Right => 1,
+    }
+}
+
+impl VStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        VStore::default()
+    }
+
+    /// Stores a tuple for `(group, value)` on its side.
+    pub fn insert(&mut self, group: &str, value_key: &str, entry: StoredValueTuple) {
+        let key = (group.to_string(), value_key.to_string());
+        self.buckets.entry(key).or_default()[side_slot(entry.side)].push(entry);
+        self.len += 1;
+    }
+
+    /// Stored tuples of `side` for `(group, value)` — what a rewritten query
+    /// bound on the *other* side is matched against.
+    pub fn candidates(
+        &self,
+        group: &str,
+        value_key: &str,
+        side: Side,
+    ) -> impl Iterator<Item = &StoredValueTuple> {
+        self.buckets
+            .get(&(group.to_string(), value_key.to_string()))
+            .map(|slots| slots[side_slot(side)].as_slice())
+            .unwrap_or(&[])
+            .iter()
+    }
+
+    /// Number of candidates (evaluator filtering work per join message).
+    pub fn candidate_count(&self, group: &str, value_key: &str, side: Side) -> usize {
+        self.buckets
+            .get(&(group.to_string(), value_key.to_string()))
+            .map_or(0, |slots| slots[side_slot(side)].len())
+    }
+
+    /// Total stored tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes entries whose index identifier satisfies the predicate,
+    /// returning them with their `(group, value)` keys.
+    pub fn extract_where(
+        &mut self,
+        mut pred: impl FnMut(Id) -> bool,
+    ) -> Vec<(String, String, StoredValueTuple)> {
+        let mut out = Vec::new();
+        for ((group, value), slots) in self.buckets.iter_mut() {
+            for side_entries in slots.iter_mut() {
+                let mut i = 0;
+                while i < side_entries.len() {
+                    if pred(side_entries[i].index_id) {
+                        out.push((group.clone(), value.clone(), side_entries.swap_remove(i)));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        self.buckets.retain(|_, slots| slots.iter().any(|v| !v.is_empty()));
+        self.len -= out.len();
+        out
+    }
+
+    /// Removes and returns all entries.
+    pub fn drain_all(&mut self) -> Vec<(String, String, StoredValueTuple)> {
+        self.extract_where(|_| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_relational::{DataType, RelationSchema, Timestamp, Value};
+
+    fn tuple() -> Arc<Tuple> {
+        let schema =
+            Arc::new(RelationSchema::of("R", &[("A", DataType::Int)]).unwrap());
+        Arc::new(Tuple::new(schema, vec![Value::Int(1)], Timestamp(0), 0).unwrap())
+    }
+
+    #[test]
+    fn matching_is_group_and_side_scoped() {
+        let mut s = VStore::new();
+        s.insert(
+            "g1",
+            "v25",
+            StoredValueTuple { index_id: Id(0), side: Side::Left, tuple: tuple() },
+        );
+        assert_eq!(s.candidate_count("g1", "v25", Side::Left), 1);
+        assert_eq!(s.candidate_count("g1", "v25", Side::Right), 0);
+        assert_eq!(s.candidate_count("g2", "v25", Side::Left), 0, "other group");
+        assert_eq!(s.candidate_count("g1", "v26", Side::Left), 0, "other value");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn extract_and_drain() {
+        let mut s = VStore::new();
+        s.insert(
+            "g",
+            "v",
+            StoredValueTuple { index_id: Id(1), side: Side::Left, tuple: tuple() },
+        );
+        s.insert(
+            "g",
+            "v",
+            StoredValueTuple { index_id: Id(2), side: Side::Right, tuple: tuple() },
+        );
+        let moved = s.extract_where(|id| id == Id(1));
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].0, "g");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.drain_all().len(), 1);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Dynamicity: voluntary leaves with key transfer, failures, rejoins, and
+//! the Section 4.6 offline-notification scenario.
+
+use cq_engine::{Algorithm, EngineConfig, Network, Oracle};
+use cq_relational::{Catalog, DataType, RelationSchema, Value};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int)]).unwrap())
+        .unwrap();
+    c.register(RelationSchema::of("S", &[("D", DataType::Int), ("E", DataType::Int)]).unwrap())
+        .unwrap();
+    c
+}
+
+fn check_oracle(net: &Network) {
+    let mut oracle = Oracle::new();
+    oracle.ingest(net.posed_queries(), net.inserted_tuples());
+    assert_eq!(net.delivered_set(), oracle.expected().unwrap());
+}
+
+#[test]
+fn voluntary_leave_transfers_state_and_preserves_results() {
+    for alg in Algorithm::ALL {
+        let mut net = Network::new(EngineConfig::new(alg).with_nodes(40).with_seed(1), catalog());
+        let a = net.node_at(0);
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
+        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7)]).unwrap();
+
+        // Every node except the subscriber leaves — whatever nodes hold the
+        // query, the rewritten query or the stored tuple, their state must
+        // survive through successor transfers.
+        let victims: Vec<_> = net
+            .ring()
+            .alive_nodes()
+            .filter(|&h| h != a)
+            .step_by(2)
+            .collect();
+        for v in victims {
+            net.node_leave(v).unwrap();
+        }
+        net.stabilize(3);
+
+        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7)]).unwrap();
+        assert_eq!(net.inbox(a).len(), 1, "{alg}: join must survive departures");
+        check_oracle(&net);
+    }
+}
+
+#[test]
+fn offline_subscriber_receives_missed_notifications_on_rejoin() {
+    // The Section 4.6 scenario: the subscriber disconnects, a notification
+    // is produced meanwhile and stored at Successor(Id(n)); on reconnection
+    // the subscriber "will receive all data related to Id(n) including the
+    // missed notifications".
+    for alg in Algorithm::ALL {
+        let mut net = Network::new(EngineConfig::new(alg).with_nodes(40).with_seed(2), catalog());
+        let a = net.node_at(0);
+        let b = net.node_at(5);
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
+        net.insert_tuple(b, "R", vec![Value::Int(1), Value::Int(7)]).unwrap();
+
+        // Subscriber goes offline (voluntarily, transferring its keys).
+        net.node_leave(a).unwrap();
+        net.stabilize(2);
+
+        // The matching tuple arrives while the subscriber is away.
+        net.insert_tuple(b, "S", vec![Value::Int(2), Value::Int(7)]).unwrap();
+        assert!(net.inbox(a).is_empty(), "{alg}: offline node has no inbox yet");
+        let stored: usize = net
+            .ring()
+            .alive_nodes()
+            .map(|h| net.node_state(h).offline_store.len())
+            .sum();
+        assert_eq!(stored, 1, "{alg}: notification must be stored for the offline node");
+
+        // Reconnection delivers the missed notification.
+        net.node_rejoin(a).unwrap();
+        assert_eq!(net.inbox(a).len(), 1, "{alg}: missed notification delivered on rejoin");
+    }
+}
+
+#[test]
+fn failures_lose_at_most_the_failed_nodes_state() {
+    // Best-effort semantics: a failure may lose notifications, but the
+    // network must keep routing and never produce *wrong* notifications.
+    let mut net =
+        Network::new(EngineConfig::new(Algorithm::DaiT).with_nodes(40).with_seed(3), catalog());
+    let a = net.node_at(0);
+    net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
+    net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7)]).unwrap();
+    let victim = net.node_at(20);
+    if victim != a {
+        net.node_fail(victim).unwrap();
+        net.stabilize(3);
+    }
+    net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7)]).unwrap();
+    // Delivered notifications are a subset of the oracle's expectation.
+    let mut oracle = Oracle::new();
+    oracle.ingest(net.posed_queries(), net.inserted_tuples());
+    let expected = oracle.expected().unwrap();
+    for n in net.delivered_set() {
+        assert!(expected.contains(&n), "spurious notification {n}");
+    }
+}
+
+#[test]
+fn join_after_start_takes_over_range() {
+    let mut net =
+        Network::new(EngineConfig::new(Algorithm::Sai).with_nodes(30).with_seed(4), catalog());
+    let a = net.node_at(0);
+    net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
+    net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7)]).unwrap();
+    // A node leaves, then rejoins (same identifier) — its former range moves
+    // back to it, and the protocol keeps working end to end.
+    let v = net.node_at(10);
+    let v = if v == a { net.node_at(11) } else { v };
+    net.node_leave(v).unwrap();
+    net.stabilize(2);
+    net.insert_tuple(a, "R", vec![Value::Int(3), Value::Int(8)]).unwrap();
+    net.node_rejoin(v).unwrap();
+    net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7)]).unwrap();
+    net.insert_tuple(a, "S", vec![Value::Int(4), Value::Int(8)]).unwrap();
+    assert_eq!(net.inbox(a).len(), 2);
+    check_oracle(&net);
+}

@@ -1,0 +1,88 @@
+//! Property-based end-to-end test: for random interleavings of query
+//! postings and tuple insertions, all four algorithms must deliver exactly
+//! the oracle's notification set — and therefore agree with each other.
+
+use cq_engine::{Algorithm, EngineConfig, Network, Oracle};
+use cq_relational::{Catalog, DataType, RelationSchema, Value};
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int)]).unwrap())
+        .unwrap();
+    c.register(RelationSchema::of("S", &[("D", DataType::Int), ("E", DataType::Int)]).unwrap())
+        .unwrap();
+    c
+}
+
+/// One step of a random workload.
+#[derive(Clone, Debug)]
+enum Step {
+    PoseSimple,
+    PoseWithFilter(i64),
+    InsertR(i64, i64),
+    InsertS(i64, i64),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        1 => Just(Step::PoseSimple),
+        1 => (-2i64..2).prop_map(Step::PoseWithFilter),
+        4 => ((-20i64..20), (-3i64..3)).prop_map(|(a, b)| Step::InsertR(a, b)),
+        4 => ((-20i64..20), (-3i64..3)).prop_map(|(d, e)| Step::InsertS(d, e)),
+    ]
+}
+
+fn run(alg: Algorithm, steps: &[Step], seed: u64) -> Network {
+    let mut net = Network::new(EngineConfig::new(alg).with_nodes(32).with_seed(seed), catalog());
+    for (n, step) in steps.iter().enumerate() {
+        let from = net.node_at(n % 32);
+        match step {
+            Step::PoseSimple => {
+                net.pose_query_sql(from, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
+            }
+            Step::PoseWithFilter(v) => {
+                net.pose_query_sql(
+                    from,
+                    &format!("SELECT R.A FROM R, S WHERE R.B = S.E AND S.D = {v}"),
+                )
+                .unwrap();
+            }
+            Step::InsertR(a, b) => {
+                net.insert_tuple(from, "R", vec![Value::Int(*a), Value::Int(*b)]).unwrap();
+            }
+            Step::InsertS(d, e) => {
+                net.insert_tuple(from, "S", vec![Value::Int(*d), Value::Int(*e)]).unwrap();
+            }
+        }
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_algorithms_agree_with_the_oracle(
+        steps in prop::collection::vec(step_strategy(), 1..40),
+        seed in 0u64..1000,
+    ) {
+        let mut reference: Option<std::collections::HashSet<_>> = None;
+        for alg in Algorithm::ALL {
+            let net = run(alg, &steps, seed);
+            let mut oracle = Oracle::new();
+            oracle.ingest(net.posed_queries(), net.inserted_tuples());
+            let expected = oracle.expected().unwrap();
+            let delivered = net.delivered_set();
+            prop_assert_eq!(
+                &delivered, &expected,
+                "{} diverged from oracle", alg
+            );
+            if let Some(r) = &reference {
+                prop_assert_eq!(r, &delivered, "{} diverged from other algorithms", alg);
+            } else {
+                reference = Some(delivered);
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the node-local tables: `extract_where` must
+//! partition — every entry either stays or moves, nothing is lost or
+//! duplicated — because churn-time key transfer is built on it.
+
+use std::sync::Arc;
+
+use cq_engine::tables::{Alqt, StoredQuery, StoredTuple, Vltt};
+use cq_overlay::Id;
+use cq_relational::{
+    Catalog, DataType, Expr, JoinQuery, QueryKey, RelationSchema, SelectItem, Side, Timestamp,
+    Tuple, Value,
+};
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int)]).unwrap())
+        .unwrap();
+    c.register(RelationSchema::of("S", &[("C", DataType::Int), ("D", DataType::Int)]).unwrap())
+        .unwrap();
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alqt_extract_partitions(
+        ids in prop::collection::vec(0u64..16, 1..40),
+        threshold in 0u64..16,
+    ) {
+        let c = catalog();
+        let mut t = Alqt::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let q = Arc::new(
+                JoinQuery::new(
+                    QueryKey::derive("n", i as u64),
+                    "n",
+                    Timestamp(0),
+                    "R",
+                    "S",
+                    vec![SelectItem { side: Side::Left, attr: "A".into() }],
+                    Expr::attr("B"),
+                    Expr::attr("C"),
+                    vec![],
+                    &c,
+                )
+                .unwrap(),
+            );
+            t.insert(StoredQuery {
+                index_id: Id(id),
+                query: q,
+                index_side: Side::Left,
+                index_attr: "B".into(),
+            });
+        }
+        let before = t.len();
+        let moved = t.extract_where(|id| id.0 < threshold);
+        prop_assert_eq!(moved.len() + t.len(), before, "partition loses nothing");
+        prop_assert!(moved.iter().all(|e| e.index_id.0 < threshold));
+        // remaining entries all fail the predicate
+        let rest = t.drain_all();
+        prop_assert!(rest.iter().all(|e| e.index_id.0 >= threshold));
+    }
+
+    #[test]
+    fn vltt_extract_partitions(
+        ids in prop::collection::vec(0u64..16, 1..40),
+        threshold in 0u64..16,
+    ) {
+        let c = catalog();
+        let schema = c.get("R").unwrap().clone();
+        let mut t = Vltt::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let tuple = Arc::new(
+                Tuple::new(
+                    schema.clone(),
+                    vec![Value::Int(i as i64), Value::Int((i % 5) as i64)],
+                    Timestamp(0),
+                    i as u64,
+                )
+                .unwrap(),
+            );
+            t.insert(StoredTuple { index_id: Id(id), attr: "B".into(), tuple });
+        }
+        let before = t.len();
+        let moved = t.extract_where(|id| id.0 < threshold);
+        prop_assert_eq!(moved.len() + t.len(), before);
+        prop_assert!(moved.iter().all(|e| e.index_id.0 < threshold));
+        let rest = t.drain_all();
+        prop_assert!(rest.iter().all(|e| e.index_id.0 >= threshold));
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for ring construction and routing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::id::Id;
+
+/// Errors produced by the overlay layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OverlayError {
+    /// Two distinct keys hashed to the same identifier. The paper assumes `m`
+    /// is "large enough to avoid the possibility" of this; we surface it
+    /// instead of silently corrupting the ring.
+    IdCollision {
+        /// The contested identifier.
+        id: Id,
+        /// Key of the node already occupying the identifier.
+        existing_key: String,
+        /// Key whose insertion was rejected.
+        new_key: String,
+    },
+    /// An operation referenced a node that is not currently part of the ring.
+    NodeNotAlive,
+    /// An operation referenced a node that is already part of the ring.
+    NodeAlreadyAlive,
+    /// The ring has no alive nodes.
+    EmptyRing,
+    /// Greedy routing failed to converge (broken pointers after heavy churn
+    /// without stabilization).
+    RoutingFailed {
+        /// The identifier being looked up.
+        target: Id,
+        /// Hops consumed before giving up.
+        hops: usize,
+    },
+}
+
+impl fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlayError::IdCollision { id, existing_key, new_key } => write!(
+                f,
+                "identifier collision at {id}: key {new_key:?} collides with {existing_key:?}"
+            ),
+            OverlayError::NodeNotAlive => write!(f, "node is not part of the ring"),
+            OverlayError::NodeAlreadyAlive => write!(f, "node is already part of the ring"),
+            OverlayError::EmptyRing => write!(f, "the ring has no alive nodes"),
+            OverlayError::RoutingFailed { target, hops } => {
+                write!(f, "routing toward {target} failed to converge after {hops} hops")
+            }
+        }
+    }
+}
+
+impl Error for OverlayError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, OverlayError>;

@@ -1,0 +1,151 @@
+//! Deterministic consistent hashing of string keys onto the identifier ring.
+//!
+//! The paper uses SHA-1; any hash that spreads keys ~uniformly over the
+//! identifier circle works for the protocols and the experiments (see
+//! DESIGN.md, "Substitutions"). We use FNV-1a (64-bit), which is
+//! deterministic across runs and platforms — a requirement for reproducible
+//! simulations — and allocation-free.
+
+use crate::id::{Id, IdSpace};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// An incremental FNV-1a hasher for keys built from several parts.
+///
+/// The paper forms keys by *string concatenation* (`Hash(R + A + v)`). Feeding
+/// the parts through [`KeyHasher`] with a separator byte is equivalent but
+/// avoids ambiguity between e.g. `("RA", "B")` and `("R", "AB")` and avoids
+/// allocating the concatenated string.
+#[derive(Clone, Debug)]
+pub struct KeyHasher {
+    state: u64,
+}
+
+impl KeyHasher {
+    /// Starts a fresh hash computation.
+    pub fn new() -> Self {
+        KeyHasher { state: FNV_OFFSET }
+    }
+
+    /// Feeds one key component.
+    pub fn write(&mut self, part: &str) -> &mut Self {
+        for &b in part.as_bytes() {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        // component separator — a byte that cannot occur in UTF-8 text
+        self.state ^= 0xff;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+        self
+    }
+
+    /// Finishes and maps the digest into the given identifier space.
+    pub fn finish(&self, space: IdSpace) -> Id {
+        // Mix the upper bits down so that small spaces still see the whole
+        // digest (plain masking would ignore FNV's high bits).
+        let mut h = self.state;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        space.id(h)
+    }
+
+    /// Raw 64-bit digest (used where a full-width value is wanted, e.g.
+    /// replica selection).
+    pub fn finish_raw(&self) -> u64 {
+        let mut h = self.state;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+}
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Hashes a single string key into the identifier space:
+/// the paper's `Hash(k)`.
+pub fn hash_key(space: IdSpace, key: &str) -> Id {
+    let mut h = KeyHasher::new();
+    h.write(key);
+    h.finish(space)
+}
+
+/// Hashes the concatenation of key parts: the paper's `Hash(p1 + p2 + ...)`.
+pub fn hash_parts(space: IdSpace, parts: &[&str]) -> Id {
+    let mut h = KeyHasher::new();
+    for p in parts {
+        h.write(p);
+    }
+    h.finish(space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let s = IdSpace::new(32);
+        assert_eq!(hash_key(s, "R.B"), hash_key(s, "R.B"));
+        assert_eq!(
+            hash_parts(s, &["R", "B", "7"]),
+            hash_parts(s, &["R", "B", "7"])
+        );
+    }
+
+    #[test]
+    fn separator_prevents_ambiguity() {
+        let s = IdSpace::new(32);
+        assert_ne!(hash_parts(s, &["RA", "B"]), hash_parts(s, &["R", "AB"]));
+        assert_ne!(hash_parts(s, &["R", ""]), hash_parts(s, &["R"]));
+    }
+
+    #[test]
+    fn stays_in_space() {
+        let s = IdSpace::new(8);
+        for i in 0..1000 {
+            let id = hash_key(s, &format!("key-{i}"));
+            assert!(id.0 < s.size());
+        }
+    }
+
+    #[test]
+    fn spread_is_roughly_uniform() {
+        // With 4096 keys in a 16-bit space, each of 16 equal buckets should
+        // receive a share not wildly far from 256.
+        let s = IdSpace::new(16);
+        let mut buckets = [0usize; 16];
+        for i in 0..4096 {
+            let id = hash_key(s, &format!("tuple-{i}-value"));
+            buckets[(id.0 >> 12) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 128 && b < 512, "bucket count {b} far from uniform");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let s = IdSpace::new(32);
+        let mut h = KeyHasher::new();
+        h.write("Document").write("AuthorId").write("42");
+        assert_eq!(h.finish(s), hash_parts(s, &["Document", "AuthorId", "42"]));
+    }
+}

@@ -1,0 +1,721 @@
+//! The Chord ring: membership, ownership, joins, leaves, failures and
+//! stabilization (the paper's Section 2.2).
+//!
+//! The whole overlay lives in one process: the [`Ring`] owns every node's
+//! state and the routing functions walk real finger tables hop by hop, so
+//! hop counts are those an actual deployment would pay.
+
+use std::collections::BTreeMap;
+
+use crate::error::{OverlayError, Result};
+use crate::hash::hash_key;
+use crate::id::{Id, IdSpace};
+use crate::node::{Node, NodeHandle};
+
+/// Default successor-list length (`r` in the paper; "in practice even small
+/// values of r are enough to achieve robustness").
+pub const DEFAULT_SUCCESSOR_LIST_LEN: usize = 4;
+
+/// A simulated Chord overlay network.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    space: IdSpace,
+    succ_len: usize,
+    slots: Vec<Node>,
+    /// Alive nodes ordered by identifier — the ground truth used to verify
+    /// routing and to implement perfect pointer construction.
+    by_id: BTreeMap<u64, NodeHandle>,
+}
+
+impl Ring {
+    /// Creates an empty ring over the given identifier space.
+    pub fn new(space: IdSpace) -> Self {
+        Ring::with_successor_list(space, DEFAULT_SUCCESSOR_LIST_LEN)
+    }
+
+    /// Creates an empty ring with an explicit successor-list length `r`.
+    pub fn with_successor_list(space: IdSpace, succ_len: usize) -> Self {
+        assert!(succ_len >= 1, "successor list must hold at least one entry");
+        Ring { space, succ_len, slots: Vec::new(), by_id: BTreeMap::new() }
+    }
+
+    /// Builds a stable `n`-node network with keys `"{key_prefix}{i}"` and
+    /// fully correct successor/predecessor/finger pointers — the steady state
+    /// the paper's experiments assume.
+    pub fn build(space: IdSpace, n: usize, key_prefix: &str) -> Self {
+        let mut ring = Ring::new(space);
+        let mut added = 0usize;
+        let mut attempt = 0usize;
+        while added < n {
+            let key = format!("{key_prefix}{attempt}");
+            attempt += 1;
+            if ring.insert_node(&key).is_ok() {
+                added += 1;
+            }
+        }
+        ring.rebuild_pointers();
+        ring
+    }
+
+    /// The identifier space of this ring.
+    #[inline]
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// Number of alive nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the ring has no alive nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Total number of slots ever allocated (alive + departed).
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Immutable access to a node's state.
+    #[inline]
+    pub fn node(&self, h: NodeHandle) -> &Node {
+        &self.slots[h.index()]
+    }
+
+    /// Iterates over the handles of all alive nodes in identifier order.
+    pub fn alive_nodes(&self) -> impl Iterator<Item = NodeHandle> + '_ {
+        self.by_id.values().copied()
+    }
+
+    /// Identifier of a node.
+    #[inline]
+    pub fn id_of(&self, h: NodeHandle) -> Id {
+        self.slots[h.index()].id
+    }
+
+    /// Ground truth: the alive node responsible for `id`
+    /// (`successor(id)` in the paper's terminology).
+    pub fn owner_of(&self, id: Id) -> Result<NodeHandle> {
+        if self.by_id.is_empty() {
+            return Err(OverlayError::EmptyRing);
+        }
+        // first alive node with identifier >= id, wrapping around
+        let h = self
+            .by_id
+            .range(id.0..)
+            .next()
+            .or_else(|| self.by_id.iter().next())
+            .map(|(_, &h)| h)
+            .expect("non-empty map");
+        Ok(h)
+    }
+
+    /// The range `(pred, id]` a node is responsible for, as ground truth.
+    pub fn owned_range(&self, h: NodeHandle) -> Result<(Id, Id)> {
+        let node = self.node(h);
+        if !node.alive {
+            return Err(OverlayError::NodeNotAlive);
+        }
+        let id = node.id;
+        let pred = self
+            .by_id
+            .range(..id.0)
+            .next_back()
+            .or_else(|| self.by_id.iter().next_back())
+            .map(|(&i, _)| Id(i))
+            .expect("alive node implies non-empty map");
+        Ok((pred, id))
+    }
+
+    /// Whether `h` is (per ground truth) responsible for identifier `id`.
+    pub fn owns(&self, h: NodeHandle, id: Id) -> bool {
+        match self.owner_of(id) {
+            Ok(owner) => owner == h,
+            Err(_) => false,
+        }
+    }
+
+    /// Inserts a brand-new node with the given key and *no* pointers set.
+    /// Used by [`Ring::build`] and by [`Ring::join`].
+    pub fn insert_node(&mut self, key: &str) -> Result<NodeHandle> {
+        let id = hash_key(self.space, key);
+        if let Some(&existing) = self.by_id.get(&id.0) {
+            return Err(OverlayError::IdCollision {
+                id,
+                existing_key: self.node(existing).key.clone(),
+                new_key: key.to_string(),
+            });
+        }
+        let h = NodeHandle(self.slots.len() as u32);
+        self.slots.push(Node::new(key.to_string(), id, self.space.bits()));
+        self.by_id.insert(id.0, h);
+        Ok(h)
+    }
+
+    /// Recomputes every alive node's successor list, predecessor and finger
+    /// table from ground truth ("perfect" pointers).
+    pub fn rebuild_pointers(&mut self) {
+        let handles: Vec<NodeHandle> = self.by_id.values().copied().collect();
+        if handles.is_empty() {
+            return;
+        }
+        let m = self.space.bits();
+        for &h in &handles {
+            let id = self.id_of(h);
+            let succs = self.true_successor_list(id);
+            let pred = self.true_predecessor(id);
+            let mut fingers = Vec::with_capacity(m as usize);
+            for j in 1..=m {
+                let start = self.space.finger_start(id, j);
+                fingers.push(self.owner_of(start).ok());
+            }
+            let node = &mut self.slots[h.index()];
+            node.successors = succs;
+            node.predecessor = Some(pred);
+            node.fingers = fingers;
+        }
+    }
+
+    fn true_successor_list(&self, id: Id) -> Vec<NodeHandle> {
+        let mut out = Vec::with_capacity(self.succ_len);
+        let mut cur = self.space.add(id, 1);
+        for _ in 0..self.succ_len.min(self.by_id.len()) {
+            let h = self.owner_of(cur).expect("non-empty ring");
+            out.push(h);
+            cur = self.space.add(self.id_of(h), 1);
+        }
+        out
+    }
+
+    fn true_predecessor(&self, id: Id) -> NodeHandle {
+        self.by_id
+            .range(..id.0)
+            .next_back()
+            .or_else(|| self.by_id.iter().next_back())
+            .map(|(_, &h)| h)
+            .expect("non-empty ring")
+    }
+
+    /// A node joins the ring through `via` (the out-of-band contact node of
+    /// Section 2.2): only its successor pointer is discovered (by routing a
+    /// lookup through `via`); stabilization must propagate the rest.
+    ///
+    /// Returns the new handle and the number of overlay hops the join lookup
+    /// consumed.
+    pub fn join(&mut self, key: &str, via: NodeHandle) -> Result<(NodeHandle, usize)> {
+        if !self.node(via).alive {
+            return Err(OverlayError::NodeNotAlive);
+        }
+        let id = hash_key(self.space, key);
+        // Route before inserting, so the lookup sees the pre-join ring.
+        let route = self.route(via, id)?;
+        let succ = route.owner;
+        let hops = route.hops();
+        if let Some(&existing) = self.by_id.get(&id.0) {
+            return Err(OverlayError::IdCollision {
+                id,
+                existing_key: self.node(existing).key.clone(),
+                new_key: key.to_string(),
+            });
+        }
+        let h = NodeHandle(self.slots.len() as u32);
+        let mut node = Node::new(key.to_string(), id, self.space.bits());
+        node.successors = vec![succ];
+        self.slots.push(node);
+        self.by_id.insert(id.0, h);
+        Ok((h, hops))
+    }
+
+    /// A previously departed node rejoins with its old key (and therefore its
+    /// old identifier) — the Section 4.6 reconnection scenario.
+    pub fn rejoin(&mut self, h: NodeHandle, via: NodeHandle) -> Result<usize> {
+        if self.node(h).alive {
+            return Err(OverlayError::NodeAlreadyAlive);
+        }
+        if !self.node(via).alive {
+            return Err(OverlayError::NodeNotAlive);
+        }
+        let id = self.id_of(h);
+        let route = self.route(via, id)?;
+        let succ = route.owner;
+        let hops = route.hops();
+        debug_assert!(!self.by_id.contains_key(&id.0), "slot ids are unique");
+        let node = &mut self.slots[h.index()];
+        node.alive = true;
+        node.successors = vec![succ];
+        node.predecessor = None;
+        node.fingers.iter_mut().for_each(|f| *f = None);
+        self.by_id.insert(id.0, h);
+        Ok(hops)
+    }
+
+    /// Voluntary departure: the node informs its successor and predecessor so
+    /// they can splice it out immediately (Section 2.2). The caller is
+    /// responsible for transferring the node's keys to its successor first
+    /// (see [`Ring::owner_of`] after the call, or capture the successor with
+    /// [`Node::successor`] before it).
+    pub fn leave(&mut self, h: NodeHandle) -> Result<()> {
+        if !self.node(h).alive {
+            return Err(OverlayError::NodeNotAlive);
+        }
+        let id = self.id_of(h);
+        self.by_id.remove(&id.0);
+        let succ = self.first_alive_successor(h);
+        let pred = self.node(h).predecessor.filter(|&p| self.node(p).alive);
+        if let (Some(s), Some(p)) = (succ, pred) {
+            if s != h && p != h {
+                // predecessor adopts our successor; successor adopts our predecessor
+                let pn = &mut self.slots[p.index()];
+                if pn.successors.first() == Some(&h) {
+                    pn.successors[0] = s;
+                } else {
+                    pn.successors.insert(0, s);
+                    pn.successors.truncate(self.succ_len);
+                }
+                let sn = &mut self.slots[s.index()];
+                if sn.predecessor == Some(h) {
+                    sn.predecessor = Some(p);
+                }
+            }
+        }
+        self.slots[h.index()].alive = false;
+        Ok(())
+    }
+
+    /// Abrupt failure: the node vanishes without telling anyone. Pointers at
+    /// other nodes keep referring to it until stabilization repairs them.
+    pub fn fail(&mut self, h: NodeHandle) -> Result<()> {
+        if !self.node(h).alive {
+            return Err(OverlayError::NodeNotAlive);
+        }
+        let id = self.id_of(h);
+        self.by_id.remove(&id.0);
+        self.slots[h.index()].alive = false;
+        Ok(())
+    }
+
+    /// First alive entry of `h`'s successor list, skipping failed nodes —
+    /// how Chord survives successor failures.
+    pub fn first_alive_successor(&self, h: NodeHandle) -> Option<NodeHandle> {
+        self.node(h)
+            .successor_list()
+            .iter()
+            .copied()
+            .find(|&s| self.node(s).alive)
+    }
+
+    // ------------------------------------------------------------------
+    // Stabilization (Section 2.2): periodic algorithms every node runs.
+    // ------------------------------------------------------------------
+
+    /// One `stabilize()` round for node `h`: ask the successor for its
+    /// predecessor, adopt it if it sits between us, notify the successor,
+    /// and refresh the successor list from the successor's list.
+    pub fn stabilize(&mut self, h: NodeHandle) {
+        if !self.node(h).alive {
+            return;
+        }
+        if self.first_alive_successor(h).is_none() {
+            // The whole successor list died at once (more than `r` adjacent
+            // failures). Fall back to the closest alive node we still know
+            // of — fingers or predecessor; if nothing is alive we must be
+            // alone and point at ourselves, as Chord's single node does.
+            match self.emergency_successor(h) {
+                Some(s) => self.slots[h.index()].successors = vec![s],
+                None => {
+                    let node = &mut self.slots[h.index()];
+                    node.successors = vec![h];
+                    node.predecessor = Some(h);
+                    return;
+                }
+            }
+        }
+        let Some(succ) = self.first_alive_successor(h) else { return };
+        let id = self.id_of(h);
+        // Adopt a recently joined node sitting between us and our successor.
+        let mut new_succ = succ;
+        if let Some(sp) = self.node(succ).predecessor {
+            if self.node(sp).alive && sp != h {
+                let sp_id = self.id_of(sp);
+                if self.space.in_open(sp_id, id, self.id_of(succ)) {
+                    new_succ = sp;
+                }
+            }
+        }
+        // Refresh our successor list: new_succ followed by its list.
+        let mut list = Vec::with_capacity(self.succ_len);
+        list.push(new_succ);
+        for &s in self.node(new_succ).successor_list() {
+            if list.len() >= self.succ_len {
+                break;
+            }
+            if s != h && self.node(s).alive && !list.contains(&s) {
+                list.push(s);
+            }
+        }
+        self.slots[h.index()].successors = list;
+        // notify(new_succ): "h might be your predecessor"
+        let ns_id = self.id_of(new_succ);
+        let adopt = match self.node(new_succ).predecessor {
+            Some(p) if self.node(p).alive => self.space.in_open(id, self.id_of(p), ns_id),
+            _ => true,
+        };
+        if adopt && new_succ != h {
+            self.slots[new_succ.index()].predecessor = Some(h);
+        }
+    }
+
+    /// One `fix_fingers()` step for node `h`: refresh the next finger entry
+    /// (round-robin), using greedy routing through the current ring state.
+    pub fn fix_finger(&mut self, h: NodeHandle) {
+        if !self.node(h).alive {
+            return;
+        }
+        let m = self.space.bits();
+        let j = (self.node(h).next_finger % m) + 1; // 1-based finger index
+        self.slots[h.index()].next_finger = j % m;
+        let start = self.space.finger_start(self.id_of(h), j);
+        if let Ok(route) = self.route(h, start) {
+            self.slots[h.index()].fingers[(j - 1) as usize] = Some(route.owner);
+        }
+    }
+
+    /// The closest alive node clockwise from `h` among everything `h` still
+    /// knows (fingers and predecessor), used when the successor list is
+    /// entirely dead.
+    fn emergency_successor(&self, h: NodeHandle) -> Option<NodeHandle> {
+        let id = self.id_of(h);
+        let node = self.node(h);
+        let mut best: Option<(u64, NodeHandle)> = None;
+        let candidates = node
+            .fingers
+            .iter()
+            .flatten()
+            .copied()
+            .chain(node.predecessor);
+        for cand in candidates {
+            if cand == h || !self.node(cand).alive {
+                continue;
+            }
+            let d = self.space.distance(id, self.id_of(cand));
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, cand));
+            }
+        }
+        best.map(|(_, n)| n)
+    }
+
+    /// `check_predecessor()`: clear the predecessor pointer if it has failed.
+    pub fn check_predecessor(&mut self, h: NodeHandle) {
+        if !self.node(h).alive {
+            return;
+        }
+        if let Some(p) = self.node(h).predecessor {
+            if !self.node(p).alive {
+                self.slots[h.index()].predecessor = None;
+            }
+        }
+    }
+
+    /// Runs `rounds` full stabilization sweeps over every alive node
+    /// (stabilize + check_predecessor + a full finger refresh).
+    pub fn stabilize_all(&mut self, rounds: usize) {
+        let m = self.space.bits();
+        for _ in 0..rounds {
+            let handles: Vec<NodeHandle> = self.alive_nodes().collect();
+            for &h in &handles {
+                self.check_predecessor(h);
+                self.stabilize(h);
+            }
+            for &h in &handles {
+                for _ in 0..m {
+                    self.fix_finger(h);
+                }
+            }
+        }
+    }
+}
+
+/// The hop-by-hop path a routed message takes. `path[0]` is the sender;
+/// the final element is the responsible node (`successor(target)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Every node the message visited, starting at the sender.
+    pub path: Vec<NodeHandle>,
+    /// The node responsible for the target identifier.
+    pub owner: NodeHandle,
+}
+
+impl Route {
+    /// Number of overlay hops consumed (edges traversed).
+    #[inline]
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+impl Ring {
+    /// Greedy Chord routing of the paper's `send(msg, I)`: walk finger tables
+    /// from `from` until the node responsible for `target` is reached.
+    /// Returns the full hop path so callers can account traffic.
+    pub fn route(&self, from: NodeHandle, target: Id) -> Result<Route> {
+        if !self.node(from).alive {
+            return Err(OverlayError::NodeNotAlive);
+        }
+        let mut path = vec![from];
+        let mut cur = from;
+        // A node knows its own range: deliver locally when we own the target.
+        if self.local_owner_check(cur, target) {
+            return Ok(Route { path, owner: cur });
+        }
+        let max_hops = 4 * self.space.bits() as usize + self.by_id.len() + 8;
+        loop {
+            if path.len() > max_hops {
+                return Err(OverlayError::RoutingFailed { target, hops: path.len() });
+            }
+            let Some(succ) = self.first_alive_successor(cur) else {
+                return Err(OverlayError::RoutingFailed { target, hops: path.len() });
+            };
+            let cur_id = self.id_of(cur);
+            if self.space.in_open_closed(target, cur_id, self.id_of(succ)) {
+                path.push(succ);
+                return Ok(Route { path, owner: succ });
+            }
+            let next = self.closest_preceding_alive(cur, target).unwrap_or(succ);
+            if next == cur {
+                // no progress through fingers; fall back to the successor
+                path.push(succ);
+                cur = succ;
+            } else {
+                path.push(next);
+                cur = next;
+            }
+            // The forwarding node may itself be responsible (paper: "if
+            // id(x) >= I then x processes msg").
+            if self.local_owner_check(cur, target) {
+                return Ok(Route { path, owner: cur });
+            }
+        }
+    }
+
+    /// Whether `h` can tell from its own predecessor pointer that it is
+    /// responsible for `target`.
+    fn local_owner_check(&self, h: NodeHandle, target: Id) -> bool {
+        match self.node(h).predecessor {
+            Some(p) if self.node(p).alive => {
+                self.space.in_open_closed(target, self.id_of(p), self.id_of(h))
+            }
+            _ => self.by_id.len() == 1,
+        }
+    }
+
+    /// Chord's `closest_preceding_finger`: the highest finger (or successor-
+    /// list entry) that is alive and lies strictly between `h` and `target`.
+    fn closest_preceding_alive(&self, h: NodeHandle, target: Id) -> Option<NodeHandle> {
+        let id = self.id_of(h);
+        let node = self.node(h);
+        let mut best: Option<(u64, NodeHandle)> = None;
+        let mut consider = |cand: NodeHandle, ring: &Ring| {
+            if !ring.node(cand).alive {
+                return;
+            }
+            let cid = ring.id_of(cand);
+            if ring.space.in_open(cid, id, target) {
+                let d = ring.space.distance(cid, target);
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, cand));
+                }
+            }
+        };
+        for f in node.fingers.iter().flatten() {
+            consider(*f, self);
+        }
+        for s in node.successor_list() {
+            consider(*s, self);
+        }
+        best.map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ring(n: usize) -> Ring {
+        Ring::build(IdSpace::new(16), n, "node-")
+    }
+
+    #[test]
+    fn build_creates_n_alive_nodes() {
+        let ring = small_ring(50);
+        assert_eq!(ring.len(), 50);
+        assert_eq!(ring.alive_nodes().count(), 50);
+    }
+
+    #[test]
+    fn owner_is_first_clockwise() {
+        let ring = small_ring(20);
+        let handles: Vec<_> = ring.alive_nodes().collect();
+        for w in handles.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let mid = Id((ring.id_of(a).0 + ring.id_of(b).0) / 2 + 1);
+            if mid != ring.id_of(a) {
+                assert_eq!(ring.owner_of(mid).unwrap(), b);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_wraps_around() {
+        let ring = small_ring(20);
+        let first = ring.alive_nodes().next().unwrap();
+        let last = ring.alive_nodes().last().unwrap();
+        let behind_last = ring.space().add(ring.id_of(last), 1);
+        assert_eq!(ring.owner_of(behind_last).unwrap(), first);
+    }
+
+    #[test]
+    fn owned_range_covers_ring_exactly_once() {
+        let ring = small_ring(13);
+        let mut total = 0u64;
+        for h in ring.alive_nodes() {
+            let (pred, id) = ring.owned_range(h).unwrap();
+            total += ring.space().distance(pred, id);
+        }
+        assert_eq!(total, ring.space().size());
+    }
+
+    #[test]
+    fn perfect_fingers_match_definition() {
+        let ring = small_ring(40);
+        for h in ring.alive_nodes() {
+            let node = ring.node(h);
+            for j in 1..=ring.space().bits() {
+                let start = ring.space().finger_start(node.id(), j);
+                let expect = ring.owner_of(start).unwrap();
+                assert_eq!(node.fingers()[(j - 1) as usize], Some(expect));
+            }
+        }
+    }
+
+    #[test]
+    fn routing_reaches_true_owner_from_everywhere() {
+        let ring = small_ring(64);
+        let targets: Vec<Id> = (0..50).map(|i| Id(i * 1301 % ring.space().size())).collect();
+        for from in ring.alive_nodes().take(8) {
+            for &t in &targets {
+                let route = ring.route(from, t).unwrap();
+                assert_eq!(route.owner, ring.owner_of(t).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_logarithmic() {
+        let ring = Ring::build(IdSpace::new(24), 512, "n");
+        let from = ring.alive_nodes().next().unwrap();
+        let mut max_hops = 0;
+        for i in 0..200 {
+            let t = Id(i * 57_731 % ring.space().size());
+            let r = ring.route(from, t).unwrap();
+            max_hops = max_hops.max(r.hops());
+        }
+        // O(log N) with high probability; log2(512) = 9, allow slack.
+        assert!(max_hops <= 2 * 9 + 2, "max hops {max_hops} not logarithmic");
+    }
+
+    #[test]
+    fn self_owned_target_routes_locally() {
+        let ring = small_ring(10);
+        let h = ring.alive_nodes().next().unwrap();
+        let route = ring.route(h, ring.id_of(h)).unwrap();
+        assert_eq!(route.owner, h);
+        assert_eq!(route.hops(), 0);
+    }
+
+    #[test]
+    fn voluntary_leave_moves_ownership_to_successor() {
+        let mut ring = small_ring(30);
+        let victim = ring.alive_nodes().nth(7).unwrap();
+        let id = ring.id_of(victim);
+        let succ = ring.first_alive_successor(victim).unwrap();
+        ring.leave(victim).unwrap();
+        assert_eq!(ring.owner_of(id).unwrap(), succ);
+        assert_eq!(ring.len(), 29);
+        // routing still works
+        let from = ring.alive_nodes().next().unwrap();
+        let r = ring.route(from, id).unwrap();
+        assert_eq!(r.owner, succ);
+    }
+
+    #[test]
+    fn failure_is_survived_via_successor_lists() {
+        let mut ring = small_ring(30);
+        let victim = ring.alive_nodes().nth(11).unwrap();
+        let id = ring.id_of(victim);
+        ring.fail(victim).unwrap();
+        // No stabilization yet: routing must still converge by skipping the
+        // dead node through successor lists.
+        let from = ring.alive_nodes().next().unwrap();
+        let r = ring.route(from, id).unwrap();
+        assert_eq!(r.owner, ring.owner_of(id).unwrap());
+    }
+
+    #[test]
+    fn join_then_stabilize_integrates_node() {
+        let mut ring = small_ring(20);
+        let via = ring.alive_nodes().next().unwrap();
+        let (h, hops) = ring.join("late-joiner-xyz", via).unwrap();
+        assert!(hops <= 20);
+        assert_eq!(ring.len(), 21);
+        ring.stabilize_all(3);
+        // the new node's pointers now agree with ground truth
+        let (pred, _) = ring.owned_range(h).unwrap();
+        assert_eq!(ring.node(h).predecessor(), Some(ring.owner_of(pred).unwrap()));
+        let from = ring.alive_nodes().next().unwrap();
+        let r = ring.route(from, ring.id_of(h)).unwrap();
+        assert_eq!(r.owner, h);
+    }
+
+    #[test]
+    fn rejoin_restores_same_identifier() {
+        let mut ring = small_ring(15);
+        let victim = ring.alive_nodes().nth(4).unwrap();
+        let id = ring.id_of(victim);
+        ring.leave(victim).unwrap();
+        let via = ring.alive_nodes().next().unwrap();
+        ring.rejoin(victim, via).unwrap();
+        ring.stabilize_all(3);
+        assert_eq!(ring.id_of(victim), id);
+        assert!(ring.owns(victim, id));
+    }
+
+    #[test]
+    fn stabilization_repairs_mass_failure() {
+        let mut ring = Ring::build(IdSpace::new(20), 100, "n");
+        let victims: Vec<_> = ring.alive_nodes().step_by(10).collect();
+        for v in victims {
+            ring.fail(v).unwrap();
+        }
+        ring.stabilize_all(4);
+        // After repair, every node's successor pointer matches ground truth.
+        for h in ring.alive_nodes().collect::<Vec<_>>() {
+            let succ = ring.first_alive_successor(h).unwrap();
+            let expect = ring.owner_of(ring.space().add(ring.id_of(h), 1)).unwrap();
+            assert_eq!(succ, expect, "successor pointer not repaired");
+        }
+    }
+
+    #[test]
+    fn collision_is_reported() {
+        let mut ring = Ring::new(IdSpace::new(16));
+        ring.insert_node("a").unwrap();
+        let err = ring.insert_node("a").unwrap_err();
+        assert!(matches!(err, OverlayError::IdCollision { .. }));
+    }
+}

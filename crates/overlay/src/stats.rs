@@ -1,0 +1,80 @@
+//! Overlay traffic accounting.
+//!
+//! The paper's primary network-cost metric is *overlay hops*. Every protocol
+//! message routed through the ring records its hop count here; higher layers
+//! keep one counter per message category.
+
+/// Running totals for one category of messages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Number of logical messages sent.
+    pub messages: u64,
+    /// Total overlay hops those messages consumed.
+    pub hops: u64,
+}
+
+impl TrafficStats {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        TrafficStats::default()
+    }
+
+    /// Records one message that consumed `hops` overlay hops.
+    #[inline]
+    pub fn record(&mut self, hops: usize) {
+        self.messages += 1;
+        self.hops += hops as u64;
+    }
+
+    /// Records a batch of `messages` messages consuming `hops` total hops
+    /// (e.g. one multisend fan-out).
+    #[inline]
+    pub fn record_batch(&mut self, messages: u64, hops: usize) {
+        self.messages += messages;
+        self.hops += hops as u64;
+    }
+
+    /// Folds another counter into this one.
+    #[inline]
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.messages += other.messages;
+        self.hops += other.hops;
+    }
+
+    /// Average hops per message (0 when nothing was sent).
+    pub fn hops_per_message(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.hops as f64 / self.messages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = TrafficStats::new();
+        s.record(5);
+        s.record(3);
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.hops, 8);
+        assert!((s.hops_per_message() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = TrafficStats { messages: 2, hops: 7 };
+        let b = TrafficStats { messages: 3, hops: 4 };
+        a.merge(&b);
+        assert_eq!(a, TrafficStats { messages: 5, hops: 11 });
+    }
+
+    #[test]
+    fn empty_average_is_zero() {
+        assert_eq!(TrafficStats::new().hops_per_message(), 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the Chord ring invariants.
+
+use cq_overlay::{Id, IdSpace, Ring};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Greedy routing always terminates at the ground-truth owner,
+    /// from any start node, for any target identifier.
+    #[test]
+    fn routing_agrees_with_ground_truth(
+        n in 1usize..120,
+        start in 0usize..120,
+        targets in prop::collection::vec(0u64..u64::MAX, 1..20),
+    ) {
+        let ring = Ring::build(IdSpace::new(24), n, "p-");
+        let from = ring.alive_nodes().nth(start % n).unwrap();
+        for raw in targets {
+            let t = ring.space().id(raw);
+            let route = ring.route(from, t).unwrap();
+            prop_assert_eq!(route.owner, ring.owner_of(t).unwrap());
+            // path is connected and starts at the sender
+            prop_assert_eq!(route.path[0], from);
+            prop_assert_eq!(*route.path.last().unwrap(), route.owner);
+        }
+    }
+
+    /// Multisend (both designs) partitions the identifier list over exactly
+    /// the true owners, with no identifier lost or duplicated.
+    #[test]
+    fn multisend_partitions_targets(
+        n in 1usize..100,
+        start in 0usize..100,
+        targets in prop::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let ring = Ring::build(IdSpace::new(24), n, "q-");
+        let from = ring.alive_nodes().nth(start % n).unwrap();
+        let ids: Vec<Id> = targets.iter().map(|&r| ring.space().id(r)).collect();
+        for out in [
+            ring.multisend_recursive(from, &ids).unwrap(),
+            ring.multisend_iterative(from, &ids).unwrap(),
+        ] {
+            let mut delivered: Vec<Id> =
+                out.deliveries.iter().flat_map(|(_, v)| v.clone()).collect();
+            delivered.sort();
+            let mut expect = ids.clone();
+            expect.sort();
+            expect.dedup();
+            prop_assert_eq!(delivered, expect);
+            for (owner, owned) in &out.deliveries {
+                for id in owned {
+                    prop_assert_eq!(ring.owner_of(*id).unwrap(), *owner);
+                }
+            }
+        }
+    }
+
+    /// After arbitrary failures followed by stabilization, every surviving
+    /// node's successor pointer matches ground truth and routing works.
+    #[test]
+    fn stabilization_restores_successors(
+        n in 8usize..80,
+        kill in prop::collection::vec(0usize..80, 0..8),
+        probe in 0u64..u64::MAX,
+    ) {
+        let mut ring = Ring::build(IdSpace::new(24), n, "s-");
+        let handles: Vec<_> = ring.alive_nodes().collect();
+        let mut killed = std::collections::HashSet::new();
+        for k in kill {
+            let h = handles[k % handles.len()];
+            if killed.insert(h) && ring.len() > 1 {
+                ring.fail(h).unwrap();
+            }
+        }
+        // Chord repairs one link per round in the worst case; give the
+        // protocol enough rounds to provably converge for this ring size.
+        ring.stabilize_all(ring.len().max(4));
+        let t = ring.space().id(probe);
+        let from = ring.alive_nodes().next().unwrap();
+        let route = ring.route(from, t).unwrap();
+        prop_assert_eq!(route.owner, ring.owner_of(t).unwrap());
+        for h in ring.alive_nodes().collect::<Vec<_>>() {
+            let succ = ring.first_alive_successor(h).unwrap();
+            let expect = ring.owner_of(ring.space().add(ring.id_of(h), 1)).unwrap();
+            prop_assert_eq!(succ, expect);
+        }
+    }
+
+    /// Ownership ranges of all alive nodes tile the identifier circle.
+    #[test]
+    fn ownership_tiles_the_circle(n in 1usize..100) {
+        let ring = Ring::build(IdSpace::new(24), n, "t-");
+        let mut total = 0u64;
+        for h in ring.alive_nodes() {
+            let (pred, id) = ring.owned_range(h).unwrap();
+            // pred == id means a single node owning the whole circle
+            total += if pred == id {
+                ring.space().size()
+            } else {
+                ring.space().distance(pred, id)
+            };
+        }
+        prop_assert_eq!(total, ring.space().size());
+    }
+}

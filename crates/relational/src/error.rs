@@ -1,0 +1,92 @@
+//! Error types for the relational layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building schemas, tuples, queries, or parsing SQL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelationalError {
+    /// Two attributes with the same name in one relation.
+    DuplicateAttribute {
+        /// Relation being defined.
+        relation: String,
+        /// Offending attribute name.
+        attribute: String,
+    },
+    /// A relation name registered twice.
+    DuplicateRelation {
+        /// Offending relation name.
+        relation: String,
+    },
+    /// Reference to a relation the catalog does not know.
+    UnknownRelation {
+        /// Offending relation name.
+        relation: String,
+    },
+    /// Reference to an attribute the relation does not have.
+    UnknownAttribute {
+        /// Relation searched.
+        relation: String,
+        /// Offending attribute name.
+        attribute: String,
+    },
+    /// A tuple's values do not match its schema (wrong arity or types).
+    SchemaMismatch {
+        /// Relation the tuple claims to belong to.
+        relation: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Expression evaluation failed (type error, overflow, division by zero).
+    EvalError {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// SQL text could not be parsed.
+    ParseError {
+        /// Byte offset of the error in the input.
+        offset: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The parsed query is outside the supported class
+    /// (continuous two-way equi-joins).
+    UnsupportedQuery {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::DuplicateAttribute { relation, attribute } => {
+                write!(f, "duplicate attribute {attribute:?} in relation {relation:?}")
+            }
+            RelationalError::DuplicateRelation { relation } => {
+                write!(f, "relation {relation:?} already registered")
+            }
+            RelationalError::UnknownRelation { relation } => {
+                write!(f, "unknown relation {relation:?}")
+            }
+            RelationalError::UnknownAttribute { relation, attribute } => {
+                write!(f, "relation {relation:?} has no attribute {attribute:?}")
+            }
+            RelationalError::SchemaMismatch { relation, detail } => {
+                write!(f, "tuple does not match schema of {relation:?}: {detail}")
+            }
+            RelationalError::EvalError { detail } => write!(f, "evaluation error: {detail}"),
+            RelationalError::ParseError { offset, detail } => {
+                write!(f, "parse error at byte {offset}: {detail}")
+            }
+            RelationalError::UnsupportedQuery { detail } => {
+                write!(f, "unsupported query: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for RelationalError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, RelationalError>;

@@ -1,0 +1,255 @@
+//! Tokenizer for the supported SQL subset.
+
+use crate::error::{RelationalError, Result};
+
+/// A lexical token with its byte offset in the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset where the token starts (for error reporting).
+    pub offset: usize,
+}
+
+/// The kinds of token the SQL subset uses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Keyword `SELECT` (case-insensitive).
+    Select,
+    /// Keyword `FROM`.
+    From,
+    /// Keyword `WHERE`.
+    Where,
+    /// Keyword `AND`.
+    And,
+    /// Keyword `AS`.
+    As,
+    /// Identifier (relation, alias or attribute name).
+    Ident(String),
+    /// Integer literal (negative literals are handled by the parser).
+    Int(i64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `||`
+    Concat,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenizes the input, returning the token stream ending in
+/// [`TokenKind::Eof`].
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let kind = match c {
+            ',' => {
+                i += 1;
+                TokenKind::Comma
+            }
+            '.' => {
+                i += 1;
+                TokenKind::Dot
+            }
+            '=' => {
+                i += 1;
+                TokenKind::Eq
+            }
+            '+' => {
+                i += 1;
+                TokenKind::Plus
+            }
+            '-' => {
+                i += 1;
+                TokenKind::Minus
+            }
+            '*' => {
+                i += 1;
+                TokenKind::Star
+            }
+            '(' => {
+                i += 1;
+                TokenKind::LParen
+            }
+            ')' => {
+                i += 1;
+                TokenKind::RParen
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    i += 2;
+                    TokenKind::Concat
+                } else {
+                    return Err(err(start, "expected '||'"));
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') => {
+                            // '' escapes a quote inside the literal
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                        None => return Err(err(start, "unterminated string literal")),
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| err(start, &format!("integer literal {text:?} out of range")))?;
+                TokenKind::Int(v)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => TokenKind::Select,
+                    "FROM" => TokenKind::From,
+                    "WHERE" => TokenKind::Where,
+                    "AND" => TokenKind::And,
+                    "AS" => TokenKind::As,
+                    _ => TokenKind::Ident(word.to_string()),
+                }
+            }
+            other => return Err(err(start, &format!("unexpected character {other:?}"))),
+        };
+        tokens.push(Token { kind, offset: start });
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(tokens)
+}
+
+fn err(offset: usize, detail: &str) -> RelationalError {
+    RelationalError::ParseError { offset, detail: detail.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_case_insensitively() {
+        assert_eq!(
+            kinds("select FROM Where aNd as"),
+            vec![
+                TokenKind::Select,
+                TokenKind::From,
+                TokenKind::Where,
+                TokenKind::And,
+                TokenKind::As,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_qualified_attribute() {
+        assert_eq!(
+            kinds("R.A"),
+            vec![
+                TokenKind::Ident("R".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("A".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_literals() {
+        assert_eq!(
+            kinds("42 'Smith' 'O''Hara'"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Str("Smith".into()),
+                TokenKind::Str("O'Hara".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("+ - * || = ( ) ,"),
+            vec![
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Concat,
+                TokenKind::Eq,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_unterminated_string() {
+        assert!(matches!(lex("'oops"), Err(RelationalError::ParseError { .. })));
+    }
+
+    #[test]
+    fn reports_stray_character() {
+        assert!(matches!(lex("R ; S"), Err(RelationalError::ParseError { .. })));
+    }
+
+    #[test]
+    fn single_pipe_is_an_error() {
+        assert!(matches!(lex("a | b"), Err(RelationalError::ParseError { .. })));
+    }
+}

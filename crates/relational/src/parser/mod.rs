@@ -1,0 +1,632 @@
+//! Parser for the supported SQL subset (Section 3.2):
+//!
+//! ```sql
+//! SELECT R.A1, ..., S.B1, ...
+//! FROM R [AS r], S [AS s]
+//! WHERE <expr over R> = <expr over S> [AND attr = const]...
+//! ```
+//!
+//! Exactly one `WHERE` conjunct must reference both relations (the join
+//! condition); every other conjunct must be an `attr = const` filter.
+
+mod lexer;
+
+pub use lexer::{lex, Token, TokenKind};
+
+use crate::error::{RelationalError, Result};
+use crate::expr::{BinOp, Expr};
+use crate::query::{Filter, JoinQuery, QueryKey, SelectItem, Side};
+use crate::schema::Catalog;
+use crate::value::{Timestamp, Value};
+
+/// An attribute reference as written in the SQL text, before resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RawAttr {
+    qualifier: Option<String>,
+    name: String,
+    offset: usize,
+}
+
+/// Expression AST before attribute resolution.
+#[derive(Clone, Debug)]
+enum RawExpr {
+    Attr(RawAttr),
+    Const(Value),
+    Bin { op: BinOp, lhs: Box<RawExpr>, rhs: Box<RawExpr> },
+}
+
+/// A parsed and resolved query, ready to be instantiated with a key,
+/// subscriber and insertion time.
+#[derive(Clone, Debug)]
+pub struct ParsedQuery {
+    /// Left (`R`) relation name.
+    pub left_relation: String,
+    /// Right (`S`) relation name.
+    pub right_relation: String,
+    /// Select list.
+    pub select: Vec<SelectItem>,
+    /// Join-condition side over the left relation (`α`).
+    pub cond_left: Expr,
+    /// Join-condition side over the right relation (`β`).
+    pub cond_right: Expr,
+    /// Extra `attr = const` filters.
+    pub filters: Vec<Filter>,
+}
+
+impl ParsedQuery {
+    /// Instantiates a continuous query from the parsed form.
+    pub fn into_query(
+        self,
+        key: QueryKey,
+        subscriber: impl Into<String>,
+        ins_time: Timestamp,
+        catalog: &Catalog,
+    ) -> Result<JoinQuery> {
+        JoinQuery::new(
+            key,
+            subscriber,
+            ins_time,
+            self.left_relation,
+            self.right_relation,
+            self.select,
+            self.cond_left,
+            self.cond_right,
+            self.filters,
+            catalog,
+        )
+    }
+}
+
+/// Parses a continuous two-way equi-join query and resolves every attribute
+/// reference against the catalog.
+pub fn parse_query(sql: &str, catalog: &Catalog) -> Result<ParsedQuery> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let parsed = p.parse(catalog)?;
+    Ok(parsed)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// A relation mentioned in `FROM` with its optional alias.
+#[derive(Clone, Debug)]
+struct FromItem {
+    relation: String,
+    alias: Option<String>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token> {
+        let t = self.next();
+        if std::mem::discriminant(&t.kind) == std::mem::discriminant(kind) {
+            Ok(t)
+        } else {
+            Err(self.err_at(t.offset, &format!("expected {what}, found {:?}", t.kind)))
+        }
+    }
+
+    fn err_at(&self, offset: usize, detail: &str) -> RelationalError {
+        RelationalError::ParseError { offset, detail: detail.to_string() }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, usize)> {
+        let t = self.next();
+        match t.kind {
+            TokenKind::Ident(s) => Ok((s, t.offset)),
+            other => Err(self.err_at(t.offset, &format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn parse(&mut self, catalog: &Catalog) -> Result<ParsedQuery> {
+        self.expect(&TokenKind::Select, "SELECT")?;
+        let select_raw = self.parse_select_list()?;
+        self.expect(&TokenKind::From, "FROM")?;
+        let left = self.parse_from_item()?;
+        self.expect(&TokenKind::Comma, "',' between the two FROM relations")?;
+        let right = self.parse_from_item()?;
+        self.expect(&TokenKind::Where, "WHERE")?;
+        let mut equalities = vec![self.parse_equality()?];
+        while self.peek().kind == TokenKind::And {
+            self.next();
+            equalities.push(self.parse_equality()?);
+        }
+        let eof = self.next();
+        if eof.kind != TokenKind::Eof {
+            return Err(self.err_at(eof.offset, "trailing input after query"));
+        }
+        Resolver::new(catalog, left, right)?.resolve(select_raw, equalities)
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<RawAttr>> {
+        let mut items = vec![self.parse_raw_attr()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.next();
+            items.push(self.parse_raw_attr()?);
+        }
+        Ok(items)
+    }
+
+    fn parse_raw_attr(&mut self) -> Result<RawAttr> {
+        let (first, offset) = self.ident("attribute name")?;
+        if self.peek().kind == TokenKind::Dot {
+            self.next();
+            let (name, _) = self.ident("attribute name after '.'")?;
+            Ok(RawAttr { qualifier: Some(first), name, offset })
+        } else {
+            Ok(RawAttr { qualifier: None, name: first, offset })
+        }
+    }
+
+    fn parse_from_item(&mut self) -> Result<FromItem> {
+        let (relation, _) = self.ident("relation name")?;
+        let alias = if self.peek().kind == TokenKind::As {
+            self.next();
+            Some(self.ident("alias after AS")?.0)
+        } else if let TokenKind::Ident(_) = self.peek().kind {
+            // implicit alias: FROM Document D
+            Some(self.ident("alias")?.0)
+        } else {
+            None
+        };
+        Ok(FromItem { relation, alias })
+    }
+
+    fn parse_equality(&mut self) -> Result<(RawExpr, RawExpr, usize)> {
+        let offset = self.peek().offset;
+        let lhs = self.parse_expr()?;
+        self.expect(&TokenKind::Eq, "'=' in WHERE conjunct")?;
+        let rhs = self.parse_expr()?;
+        Ok((lhs, rhs, offset))
+    }
+
+    /// expr := term (('+' | '-' | '||') term)*
+    fn parse_expr(&mut self) -> Result<RawExpr> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Concat => BinOp::Concat,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_term()?;
+            lhs = RawExpr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    /// term := factor ('*' factor)*
+    fn parse_term(&mut self) -> Result<RawExpr> {
+        let mut lhs = self.parse_factor()?;
+        while self.peek().kind == TokenKind::Star {
+            self.next();
+            let rhs = self.parse_factor()?;
+            lhs = RawExpr::Bin { op: BinOp::Mul, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self) -> Result<RawExpr> {
+        let t = self.next();
+        match t.kind {
+            TokenKind::Int(v) => Ok(RawExpr::Const(Value::Int(v))),
+            TokenKind::Str(s) => Ok(RawExpr::Const(Value::Str(s))),
+            TokenKind::Minus => {
+                let inner = self.parse_factor()?;
+                match inner {
+                    RawExpr::Const(Value::Int(v)) => Ok(RawExpr::Const(Value::Int(-v))),
+                    other => Ok(RawExpr::Bin {
+                        op: BinOp::Sub,
+                        lhs: Box::new(RawExpr::Const(Value::Int(0))),
+                        rhs: Box::new(other),
+                    }),
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            TokenKind::Ident(first) => {
+                if self.peek().kind == TokenKind::Dot {
+                    self.next();
+                    let (name, _) = self.ident("attribute name after '.'")?;
+                    Ok(RawExpr::Attr(RawAttr { qualifier: Some(first), name, offset: t.offset }))
+                } else {
+                    Ok(RawExpr::Attr(RawAttr { qualifier: None, name: first, offset: t.offset }))
+                }
+            }
+            other => Err(self.err_at(t.offset, &format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Resolves raw attribute references to sides and validates the shape of the
+/// WHERE clause.
+struct Resolver<'a> {
+    catalog: &'a Catalog,
+    relations: [String; 2],
+    aliases: [Option<String>; 2],
+}
+
+impl<'a> Resolver<'a> {
+    fn new(catalog: &'a Catalog, left: FromItem, right: FromItem) -> Result<Self> {
+        // Validate that the relations exist up front for decent errors.
+        catalog.get(&left.relation)?;
+        catalog.get(&right.relation)?;
+        Ok(Resolver {
+            catalog,
+            relations: [left.relation, right.relation],
+            aliases: [left.alias, right.alias],
+        })
+    }
+
+    fn side_of_qualifier(&self, q: &str, offset: usize) -> Result<Side> {
+        for side in Side::BOTH {
+            let i = side.idx();
+            if self.relations[i] == q || self.aliases[i].as_deref() == Some(q) {
+                return Ok(side);
+            }
+        }
+        Err(RelationalError::ParseError {
+            offset,
+            detail: format!("unknown relation or alias {q:?}"),
+        })
+    }
+
+    fn resolve_attr(&self, raw: &RawAttr) -> Result<(Side, String)> {
+        match &raw.qualifier {
+            Some(q) => {
+                let side = self.side_of_qualifier(q, raw.offset)?;
+                let schema = self.catalog.get(&self.relations[side.idx()])?;
+                schema.index_of(&raw.name)?;
+                Ok((side, raw.name.clone()))
+            }
+            None => {
+                let mut found = None;
+                for side in Side::BOTH {
+                    let schema = self.catalog.get(&self.relations[side.idx()])?;
+                    if schema.has_attribute(&raw.name) {
+                        if found.is_some() {
+                            return Err(RelationalError::ParseError {
+                                offset: raw.offset,
+                                detail: format!(
+                                    "attribute {:?} is ambiguous between {} and {}",
+                                    raw.name, self.relations[0], self.relations[1]
+                                ),
+                            });
+                        }
+                        found = Some(side);
+                    }
+                }
+                match found {
+                    Some(side) => Ok((side, raw.name.clone())),
+                    None => Err(RelationalError::ParseError {
+                        offset: raw.offset,
+                        detail: format!("attribute {:?} not found in either relation", raw.name),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Resolves an expression, returning it together with the single side it
+    /// references (`None` if it references no attribute at all).
+    fn resolve_expr(&self, raw: &RawExpr) -> Result<(Expr, Option<Side>)> {
+        match raw {
+            RawExpr::Const(v) => Ok((Expr::Const(v.clone()), None)),
+            RawExpr::Attr(a) => {
+                let (side, name) = self.resolve_attr(a)?;
+                Ok((Expr::Attr(name), Some(side)))
+            }
+            RawExpr::Bin { op, lhs, rhs } => {
+                let (l, ls) = self.resolve_expr(lhs)?;
+                let (r, rs) = self.resolve_expr(rhs)?;
+                let side = match (ls, rs) {
+                    (Some(a), Some(b)) if a != b => {
+                        return Err(RelationalError::UnsupportedQuery {
+                            detail:
+                                "a join-condition side must reference attributes of one relation only"
+                                    .to_string(),
+                        })
+                    }
+                    (Some(a), _) => Some(a),
+                    (_, b) => b,
+                };
+                Ok((Expr::bin(*op, l, r), side))
+            }
+        }
+    }
+
+    fn resolve(
+        self,
+        select_raw: Vec<RawAttr>,
+        equalities: Vec<(RawExpr, RawExpr, usize)>,
+    ) -> Result<ParsedQuery> {
+        let mut select = Vec::with_capacity(select_raw.len());
+        for raw in &select_raw {
+            let (side, attr) = self.resolve_attr(raw)?;
+            select.push(SelectItem { side, attr });
+        }
+
+        let mut join: Option<(Expr, Expr)> = None;
+        let mut filters = Vec::new();
+        for (lhs_raw, rhs_raw, offset) in &equalities {
+            let (lhs, ls) = self.resolve_expr(lhs_raw)?;
+            let (rhs, rs) = self.resolve_expr(rhs_raw)?;
+            match (ls, rs) {
+                // join condition: one side per relation
+                (Some(a), Some(b)) if a != b => {
+                    if join.is_some() {
+                        return Err(RelationalError::UnsupportedQuery {
+                            detail: "more than one join condition (only two-way joins supported)"
+                                .to_string(),
+                        });
+                    }
+                    let (alpha, beta) =
+                        if a == Side::Left { (lhs, rhs) } else { (rhs, lhs) };
+                    join = Some((alpha, beta));
+                }
+                // filter: attr = const (either order)
+                (Some(side), None) | (None, Some(side)) => {
+                    let (attr_expr, const_expr) =
+                        if ls.is_some() { (&lhs, &rhs) } else { (&rhs, &lhs) };
+                    let attr = attr_expr.as_single_attr().ok_or_else(|| {
+                        RelationalError::UnsupportedQuery {
+                            detail: "filters must have the form attribute = constant".to_string(),
+                        }
+                    })?;
+                    let value = match const_expr {
+                        Expr::Const(v) => v.clone(),
+                        _ => {
+                            return Err(RelationalError::UnsupportedQuery {
+                                detail: "filters must compare against a constant".to_string(),
+                            })
+                        }
+                    };
+                    filters.push(Filter { side, attr: attr.to_string(), value });
+                }
+                (Some(_), Some(_)) => {
+                    // same side on both ends: a single-relation predicate we
+                    // don't support (not attr = const)
+                    return Err(RelationalError::UnsupportedQuery {
+                        detail: "single-relation predicates must be attribute = constant"
+                            .to_string(),
+                    });
+                }
+                (None, None) => {
+                    return Err(RelationalError::ParseError {
+                        offset: *offset,
+                        detail: "conjunct references no attribute".to_string(),
+                    })
+                }
+            }
+        }
+        let (cond_left, cond_right) = join.ok_or_else(|| RelationalError::UnsupportedQuery {
+            detail: "WHERE clause has no join condition linking the two relations".to_string(),
+        })?;
+        Ok(ParsedQuery {
+            left_relation: self.relations[0].clone(),
+            right_relation: self.relations[1].clone(),
+            select,
+            cond_left,
+            cond_right,
+            filters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::value::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            RelationSchema::of(
+                "Document",
+                &[
+                    ("Id", DataType::Int),
+                    ("Title", DataType::Str),
+                    ("Conference", DataType::Str),
+                    ("AuthorId", DataType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.register(
+            RelationSchema::of(
+                "Authors",
+                &[("Id", DataType::Int), ("Name", DataType::Str), ("Surname", DataType::Str)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.register(
+            RelationSchema::of(
+                "R",
+                &[("A", DataType::Int), ("B", DataType::Int), ("C", DataType::Int)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.register(
+            RelationSchema::of(
+                "S",
+                &[("D", DataType::Int), ("E", DataType::Int), ("F", DataType::Int)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn parses_the_paper_elearning_query() {
+        // Section 3.2's example query, verbatim modulo whitespace.
+        let c = catalog();
+        let p = parse_query(
+            "Select D.Title, D.Conference \
+             From Document as D, Authors as A \
+             Where D.AuthorId = A.Id and A.Surname = 'Smith'",
+            &c,
+        )
+        .unwrap();
+        assert_eq!(p.left_relation, "Document");
+        assert_eq!(p.right_relation, "Authors");
+        assert_eq!(p.select.len(), 2);
+        assert!(p.select.iter().all(|s| s.side == Side::Left));
+        assert_eq!(p.cond_left, Expr::attr("AuthorId"));
+        assert_eq!(p.cond_right, Expr::attr("Id"));
+        assert_eq!(
+            p.filters,
+            vec![Filter {
+                side: Side::Right,
+                attr: "Surname".into(),
+                value: Value::Str("Smith".into())
+            }]
+        );
+        let q = p
+            .into_query(QueryKey::derive("n", 0), "n", Timestamp(0), &c)
+            .unwrap();
+        assert_eq!(q.query_type(), crate::query::QueryType::T1);
+    }
+
+    #[test]
+    fn parses_the_paper_t2_query() {
+        // Section 4.5's type-T2 example.
+        let c = catalog();
+        let p = parse_query(
+            "SELECT R.A, S.D FROM R, S \
+             WHERE 4*R.B + R.C + 8 = 5*S.E + S.D - S.F",
+            &c,
+        )
+        .unwrap();
+        let q = p
+            .into_query(QueryKey::derive("n", 0), "n", Timestamp(0), &c)
+            .unwrap();
+        assert_eq!(q.query_type(), crate::query::QueryType::T2);
+        assert_eq!(q.join_attr(Side::Left), None);
+    }
+
+    #[test]
+    fn join_condition_sides_are_normalized() {
+        // S-side written first: α must still be the R-side expression.
+        let c = catalog();
+        let p = parse_query("SELECT R.A FROM R, S WHERE S.E = R.B", &c).unwrap();
+        assert_eq!(p.cond_left, Expr::attr("B"));
+        assert_eq!(p.cond_right, Expr::attr("E"));
+    }
+
+    #[test]
+    fn unqualified_attributes_resolve_when_unique() {
+        let c = catalog();
+        let p = parse_query("SELECT A, D FROM R, S WHERE B = E", &c).unwrap();
+        assert_eq!(p.select[0].side, Side::Left);
+        assert_eq!(p.select[1].side, Side::Right);
+    }
+
+    #[test]
+    fn ambiguous_unqualified_attribute_is_rejected() {
+        let c = catalog();
+        // Id exists in both Document and Authors.
+        let err =
+            parse_query("SELECT Id FROM Document, Authors WHERE AuthorId = Authors.Id", &c)
+                .unwrap_err();
+        assert!(matches!(err, RelationalError::ParseError { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_join_condition_is_rejected() {
+        let c = catalog();
+        let err = parse_query("SELECT R.A FROM R, S WHERE R.A = 5", &c).unwrap_err();
+        assert!(matches!(err, RelationalError::UnsupportedQuery { .. }));
+    }
+
+    #[test]
+    fn two_join_conditions_are_rejected() {
+        let c = catalog();
+        let err =
+            parse_query("SELECT R.A FROM R, S WHERE R.A = S.D AND R.B = S.E", &c).unwrap_err();
+        assert!(matches!(err, RelationalError::UnsupportedQuery { .. }));
+    }
+
+    #[test]
+    fn mixed_side_expression_is_rejected() {
+        let c = catalog();
+        let err = parse_query("SELECT R.A FROM R, S WHERE R.A + S.D = S.E", &c).unwrap_err();
+        assert!(matches!(err, RelationalError::UnsupportedQuery { .. }));
+    }
+
+    #[test]
+    fn negative_literals_parse() {
+        let c = catalog();
+        let p = parse_query("SELECT R.A FROM R, S WHERE R.B - -3 = S.E", &c).unwrap();
+        let q = p
+            .into_query(QueryKey::derive("n", 0), "n", Timestamp(0), &c)
+            .unwrap();
+        assert_eq!(q.query_type(), crate::query::QueryType::T2);
+    }
+
+    #[test]
+    fn parenthesized_expressions_parse() {
+        let c = catalog();
+        let p = parse_query("SELECT R.A FROM R, S WHERE 2*(R.B + R.C) = S.E", &c).unwrap();
+        assert_eq!(p.cond_left.attributes().len(), 2);
+    }
+
+    #[test]
+    fn implicit_alias_without_as() {
+        let c = catalog();
+        let p = parse_query(
+            "SELECT d.Title FROM Document d, Authors a WHERE d.AuthorId = a.Id",
+            &c,
+        )
+        .unwrap();
+        assert_eq!(p.left_relation, "Document");
+    }
+
+    #[test]
+    fn unknown_relation_is_reported() {
+        let c = catalog();
+        let err = parse_query("SELECT X.A FROM X, S WHERE X.A = S.D", &c).unwrap_err();
+        assert!(matches!(err, RelationalError::UnknownRelation { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let c = catalog();
+        let err = parse_query("SELECT R.A FROM R, S WHERE R.B = S.E GARBAGE MORE", &c)
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::ParseError { .. }));
+    }
+
+    #[test]
+    fn filter_with_constant_on_left_side() {
+        let c = catalog();
+        let p = parse_query("SELECT R.A FROM R, S WHERE R.B = S.E AND 7 = R.C", &c).unwrap();
+        assert_eq!(
+            p.filters,
+            vec![Filter { side: Side::Left, attr: "C".into(), value: Value::Int(7) }]
+        );
+    }
+}

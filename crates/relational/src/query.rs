@@ -1,0 +1,551 @@
+//! Continuous two-way equi-join queries (Section 3.2).
+//!
+//! ```sql
+//! SELECT R.A1, ..., S.B1, ...
+//! FROM   R, S
+//! WHERE  α = β  [AND attr = const ...]
+//! ```
+//!
+//! where `α` involves only attributes of `R` (plus constants) and `β` only
+//! attributes of `S`. If both sides are bare attributes the query is of
+//! **type T1**; otherwise **type T2** (handled only by DAI-V).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{RelationalError, Result};
+use crate::expr::Expr;
+use crate::schema::Catalog;
+use crate::tuple::Tuple;
+use crate::value::{Timestamp, Value};
+
+/// One of the two sides of a join: `Left` is the first `FROM` relation
+/// (`R`), `Right` the second (`S`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The `R` side.
+    Left,
+    /// The `S` side.
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    #[inline]
+    pub fn other(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+
+    /// Both sides, left first.
+    pub const BOTH: [Side; 2] = [Side::Left, Side::Right];
+
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        match self {
+            Side::Left => 0,
+            Side::Right => 1,
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Left => write!(f, "L"),
+            Side::Right => write!(f, "R"),
+        }
+    }
+}
+
+/// One item of the `SELECT` clause: an attribute of one of the two relations.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SelectItem {
+    /// Which relation the attribute belongs to.
+    pub side: Side,
+    /// Attribute name.
+    pub attr: String,
+}
+
+/// An extra conjunct of the `WHERE` clause of the form `attr = const`
+/// ("a join condition conjoined with a highly selective predicate",
+/// Section 4.3.6).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Filter {
+    /// Which relation the predicate constrains.
+    pub side: Side,
+    /// Attribute name.
+    pub attr: String,
+    /// Constant the attribute must equal.
+    pub value: Value,
+}
+
+/// The unique key of a query: `Key(q) = Key(n) + "#" + counter`
+/// (Section 3.2).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryKey(pub String);
+
+impl QueryKey {
+    /// Builds a query key from the posing node's key and a local counter.
+    pub fn derive(node_key: &str, counter: u64) -> QueryKey {
+        QueryKey(format!("{node_key}#{counter}"))
+    }
+}
+
+impl fmt::Display for QueryKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The class of a query (Section 3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryType {
+    /// Both join-condition sides are single attributes with a unique
+    /// solution (bare attribute references).
+    T1,
+    /// At least one side is a compound expression.
+    T2,
+}
+
+/// A validated continuous two-way equi-join query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinQuery {
+    key: QueryKey,
+    subscriber: String,
+    ins_time: Timestamp,
+    relations: [String; 2],
+    select: Vec<SelectItem>,
+    conditions: [Expr; 2],
+    filters: Vec<Filter>,
+}
+
+impl JoinQuery {
+    /// Builds and validates a query against the catalog.
+    ///
+    /// Validation enforces the supported class: two *distinct* relations,
+    /// every referenced attribute exists, each condition side references at
+    /// least one attribute of its own relation, and the select list is
+    /// non-empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        key: QueryKey,
+        subscriber: impl Into<String>,
+        ins_time: Timestamp,
+        left_relation: impl Into<String>,
+        right_relation: impl Into<String>,
+        select: Vec<SelectItem>,
+        cond_left: Expr,
+        cond_right: Expr,
+        filters: Vec<Filter>,
+        catalog: &Catalog,
+    ) -> Result<Self> {
+        let relations = [left_relation.into(), right_relation.into()];
+        if relations[0] == relations[1] {
+            return Err(RelationalError::UnsupportedQuery {
+                detail: format!(
+                    "self-joins are not supported (relation {:?} on both sides)",
+                    relations[0]
+                ),
+            });
+        }
+        let schemas = [catalog.get(&relations[0])?, catalog.get(&relations[1])?];
+        if select.is_empty() {
+            return Err(RelationalError::UnsupportedQuery {
+                detail: "empty select list".to_string(),
+            });
+        }
+        for item in &select {
+            let schema = schemas[item.side.idx()];
+            schema.index_of(&item.attr)?;
+        }
+        let conditions = [cond_left, cond_right];
+        for side in Side::BOTH {
+            let expr = &conditions[side.idx()];
+            let attrs = expr.attributes();
+            if attrs.is_empty() {
+                return Err(RelationalError::UnsupportedQuery {
+                    detail: format!("join-condition side {side} references no attribute"),
+                });
+            }
+            for a in attrs {
+                schemas[side.idx()].index_of(a)?;
+            }
+        }
+        for flt in &filters {
+            let schema = schemas[flt.side.idx()];
+            let ty = schema.type_of(&flt.attr)?;
+            if ty != flt.value.data_type() {
+                return Err(RelationalError::UnsupportedQuery {
+                    detail: format!(
+                        "filter {}={} has type {} but attribute is {}",
+                        flt.attr,
+                        flt.value,
+                        flt.value.data_type(),
+                        ty
+                    ),
+                });
+            }
+        }
+        Ok(JoinQuery { key, subscriber: subscriber.into(), ins_time, relations, select, conditions, filters })
+    }
+
+    /// The query's unique key `Key(q)`.
+    #[inline]
+    pub fn key(&self) -> &QueryKey {
+        &self.key
+    }
+
+    /// Key of the node that posed the query (used to deliver notifications).
+    #[inline]
+    pub fn subscriber(&self) -> &str {
+        &self.subscriber
+    }
+
+    /// Insertion time `insT(q)`.
+    #[inline]
+    pub fn ins_time(&self) -> Timestamp {
+        self.ins_time
+    }
+
+    /// Relation name of one side.
+    #[inline]
+    pub fn relation(&self, side: Side) -> &str {
+        &self.relations[side.idx()]
+    }
+
+    /// The side a given relation plays in this query, if any.
+    pub fn side_of(&self, relation: &str) -> Option<Side> {
+        Side::BOTH.into_iter().find(|s| self.relation(*s) == relation)
+    }
+
+    /// The join-condition expression of one side (`α` or `β`).
+    #[inline]
+    pub fn condition(&self, side: Side) -> &Expr {
+        &self.conditions[side.idx()]
+    }
+
+    /// The select list.
+    #[inline]
+    pub fn select(&self) -> &[SelectItem] {
+        &self.select
+    }
+
+    /// The extra equality filters.
+    #[inline]
+    pub fn filters(&self) -> &[Filter] {
+        &self.filters
+    }
+
+    /// Query type classification (Section 3.2).
+    pub fn query_type(&self) -> QueryType {
+        if self.join_attr(Side::Left).is_some() && self.join_attr(Side::Right).is_some() {
+            QueryType::T1
+        } else {
+            QueryType::T2
+        }
+    }
+
+    /// If the condition side is a bare attribute, its name — the candidate
+    /// index/load-distributing attribute of the T1 algorithms.
+    pub fn join_attr(&self, side: Side) -> Option<&str> {
+        self.condition(side).as_single_attr()
+    }
+
+    /// Attributes of `side` appearing in the select list, with their select
+    /// positions.
+    pub fn select_positions(&self, side: Side) -> impl Iterator<Item = (usize, &str)> {
+        self.select
+            .iter()
+            .enumerate()
+            .filter(move |(_, it)| it.side == side)
+            .map(|(i, it)| (i, it.attr.as_str()))
+    }
+
+    /// Whether a tuple of `side`'s relation satisfies every filter on that
+    /// side. (Filters on the other side are checked when the other tuple is
+    /// examined.)
+    pub fn filters_pass(&self, side: Side, tuple: &Tuple) -> Result<bool> {
+        for flt in self.filters.iter().filter(|f| f.side == side) {
+            if tuple.get(&flt.attr)? != &flt.value {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether a tuple of `side`'s relation can trigger this query:
+    /// `pubT(t) >= insT(q)` and the side's filters pass.
+    pub fn triggered_by(&self, side: Side, tuple: &Tuple) -> Result<bool> {
+        if tuple.pub_time() < self.ins_time {
+            return Ok(false);
+        }
+        if tuple.relation() != self.relation(side) {
+            return Ok(false);
+        }
+        self.filters_pass(side, tuple)
+    }
+
+    /// The grouping key for "queries with equivalent join condition"
+    /// (Section 4.3.5): relations, condition expressions and filters —
+    /// everything that determines *where* rewritten forms are reindexed and
+    /// *which* tuples trigger them. Select lists may differ within a group.
+    pub fn group_key(&self) -> String {
+        let mut s = String::with_capacity(64);
+        s.push_str(&self.relations[0]);
+        s.push('|');
+        s.push_str(&self.relations[1]);
+        s.push('|');
+        s.push_str(&self.conditions[0].canonical());
+        s.push('=');
+        s.push_str(&self.conditions[1].canonical());
+        let mut filters: Vec<String> = self
+            .filters
+            .iter()
+            .map(|f| format!("{}{}.{}={}", '|', f.side, f.attr, f.value.canonical()))
+            .collect();
+        filters.sort();
+        for f in filters {
+            s.push_str(&f);
+        }
+        s
+    }
+}
+
+impl fmt::Display for JoinQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, it) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let rel = self.relation(it.side);
+            write!(f, "{rel}.{}", it.attr)?;
+        }
+        write!(
+            f,
+            " FROM {}, {} WHERE {} = {}",
+            self.relations[0], self.relations[1], self.conditions[0], self.conditions[1]
+        )?;
+        for flt in &self.filters {
+            write!(f, " AND {}.{} = {}", self.relation(flt.side), flt.attr, flt.value)?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared handle to a query, as stored in node-local tables.
+pub type QueryRef = Arc<JoinQuery>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::value::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            RelationSchema::of(
+                "R",
+                &[("A", DataType::Int), ("B", DataType::Int), ("C", DataType::Int)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.register(
+            RelationSchema::of(
+                "S",
+                &[("B", DataType::Str), ("E", DataType::Int), ("D", DataType::Int)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    fn t1_query(c: &Catalog) -> JoinQuery {
+        JoinQuery::new(
+            QueryKey::derive("n1", 0),
+            "n1",
+            Timestamp(10),
+            "R",
+            "S",
+            vec![
+                SelectItem { side: Side::Left, attr: "A".into() },
+                SelectItem { side: Side::Right, attr: "D".into() },
+            ],
+            Expr::attr("C"),
+            Expr::attr("E"),
+            vec![],
+            c,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn t1_classification() {
+        let c = catalog();
+        let q = t1_query(&c);
+        assert_eq!(q.query_type(), QueryType::T1);
+        assert_eq!(q.join_attr(Side::Left), Some("C"));
+        assert_eq!(q.join_attr(Side::Right), Some("E"));
+    }
+
+    #[test]
+    fn t2_classification() {
+        let c = catalog();
+        let q = JoinQuery::new(
+            QueryKey::derive("n1", 1),
+            "n1",
+            Timestamp(0),
+            "R",
+            "S",
+            vec![SelectItem { side: Side::Left, attr: "A".into() }],
+            Expr::bin(crate::expr::BinOp::Add, Expr::attr("B"), Expr::attr("C")),
+            Expr::attr("E"),
+            vec![],
+            &c,
+        )
+        .unwrap();
+        assert_eq!(q.query_type(), QueryType::T2);
+        assert_eq!(q.join_attr(Side::Left), None);
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let c = catalog();
+        let err = JoinQuery::new(
+            QueryKey::derive("n1", 2),
+            "n1",
+            Timestamp(0),
+            "R",
+            "R",
+            vec![SelectItem { side: Side::Left, attr: "A".into() }],
+            Expr::attr("B"),
+            Expr::attr("C"),
+            vec![],
+            &c,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationalError::UnsupportedQuery { .. }));
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let c = catalog();
+        let err = JoinQuery::new(
+            QueryKey::derive("n1", 3),
+            "n1",
+            Timestamp(0),
+            "R",
+            "S",
+            vec![SelectItem { side: Side::Left, attr: "Zzz".into() }],
+            Expr::attr("C"),
+            Expr::attr("E"),
+            vec![],
+            &c,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationalError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn filter_type_mismatch_rejected() {
+        let c = catalog();
+        let err = JoinQuery::new(
+            QueryKey::derive("n1", 4),
+            "n1",
+            Timestamp(0),
+            "R",
+            "S",
+            vec![SelectItem { side: Side::Left, attr: "A".into() }],
+            Expr::attr("C"),
+            Expr::attr("E"),
+            vec![Filter { side: Side::Left, attr: "A".into(), value: Value::Str("x".into()) }],
+            &c,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationalError::UnsupportedQuery { .. }));
+    }
+
+    #[test]
+    fn triggering_respects_time_and_filters() {
+        let c = catalog();
+        let q = JoinQuery::new(
+            QueryKey::derive("n1", 5),
+            "n1",
+            Timestamp(10),
+            "R",
+            "S",
+            vec![SelectItem { side: Side::Left, attr: "A".into() }],
+            Expr::attr("C"),
+            Expr::attr("E"),
+            vec![Filter { side: Side::Left, attr: "B".into(), value: Value::Int(7) }],
+            &c,
+        )
+        .unwrap();
+        let schema = c.get("R").unwrap().clone();
+        let mk = |b: i64, t: u64| {
+            Tuple::new(
+                schema.clone(),
+                vec![Value::Int(1), Value::Int(b), Value::Int(3)],
+                Timestamp(t),
+                0,
+            )
+            .unwrap()
+        };
+        assert!(q.triggered_by(Side::Left, &mk(7, 10)).unwrap());
+        assert!(!q.triggered_by(Side::Left, &mk(7, 9)).unwrap(), "too old");
+        assert!(!q.triggered_by(Side::Left, &mk(8, 10)).unwrap(), "filter fails");
+    }
+
+    #[test]
+    fn group_key_ignores_select_list() {
+        let c = catalog();
+        let q1 = t1_query(&c);
+        let q2 = JoinQuery::new(
+            QueryKey::derive("n2", 0),
+            "n2",
+            Timestamp(99),
+            "R",
+            "S",
+            vec![SelectItem { side: Side::Right, attr: "B".into() }],
+            Expr::attr("C"),
+            Expr::attr("E"),
+            vec![],
+            &c,
+        )
+        .unwrap();
+        assert_eq!(q1.group_key(), q2.group_key());
+    }
+
+    #[test]
+    fn group_key_distinguishes_conditions() {
+        let c = catalog();
+        let q1 = t1_query(&c);
+        let q3 = JoinQuery::new(
+            QueryKey::derive("n3", 0),
+            "n3",
+            Timestamp(0),
+            "R",
+            "S",
+            vec![SelectItem { side: Side::Left, attr: "A".into() }],
+            Expr::attr("B"),
+            Expr::attr("E"),
+            vec![],
+            &c,
+        )
+        .unwrap();
+        assert_ne!(q1.group_key(), q3.group_key());
+    }
+
+    #[test]
+    fn display_roundtrips_structure() {
+        let c = catalog();
+        let q = t1_query(&c);
+        assert_eq!(q.to_string(), "SELECT R.A, S.D FROM R, S WHERE C = E");
+    }
+}

@@ -1,0 +1,214 @@
+//! Relation schemas and the catalog.
+//!
+//! "Data is described using the relational data model … different schemas can
+//! co-exist but schema mappings are not supported" (Section 3.2).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{RelationalError, Result};
+use crate::value::DataType;
+
+/// One attribute of a relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, unique within its relation.
+    pub name: String,
+    /// Attribute type.
+    pub ty: DataType,
+}
+
+/// The schema of a relation `R(A_1, ..., A_h)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<Attribute>,
+    by_name: HashMap<String, usize>,
+}
+
+impl RelationSchema {
+    /// Builds a schema; attribute names must be distinct.
+    pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Result<Self> {
+        let name = name.into();
+        let mut by_name = HashMap::with_capacity(attributes.len());
+        for (i, a) in attributes.iter().enumerate() {
+            if by_name.insert(a.name.clone(), i).is_some() {
+                return Err(RelationalError::DuplicateAttribute {
+                    relation: name,
+                    attribute: a.name.clone(),
+                });
+            }
+        }
+        Ok(RelationSchema { name, attributes, by_name })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(name: impl Into<String>, attrs: &[(&str, DataType)]) -> Result<Self> {
+        RelationSchema::new(
+            name,
+            attrs
+                .iter()
+                .map(|(n, t)| Attribute { name: (*n).to_string(), ty: *t })
+                .collect(),
+        )
+    }
+
+    /// The relation name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All attributes in declaration order.
+    #[inline]
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes (`h` in Section 4.2).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Index of an attribute by name.
+    pub fn index_of(&self, attr: &str) -> Result<usize> {
+        self.by_name.get(attr).copied().ok_or_else(|| RelationalError::UnknownAttribute {
+            relation: self.name.clone(),
+            attribute: attr.to_string(),
+        })
+    }
+
+    /// Whether the relation has an attribute with this name.
+    pub fn has_attribute(&self, attr: &str) -> bool {
+        self.by_name.contains_key(attr)
+    }
+
+    /// The attribute's declared type.
+    pub fn type_of(&self, attr: &str) -> Result<DataType> {
+        Ok(self.attributes[self.index_of(attr)?].ty)
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", a.name, a.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A set of co-existing relation schemas known to every node.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    relations: HashMap<String, Arc<RelationSchema>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a schema; relation names must be unique.
+    pub fn register(&mut self, schema: RelationSchema) -> Result<Arc<RelationSchema>> {
+        let name = schema.name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(RelationalError::DuplicateRelation { relation: name });
+        }
+        let arc = Arc::new(schema);
+        self.relations.insert(name, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Looks up a relation schema by name.
+    pub fn get(&self, relation: &str) -> Result<&Arc<RelationSchema>> {
+        self.relations.get(relation).ok_or_else(|| RelationalError::UnknownRelation {
+            relation: relation.to_string(),
+        })
+    }
+
+    /// Iterates over all registered schemas.
+    pub fn relations(&self) -> impl Iterator<Item = &Arc<RelationSchema>> {
+        self.relations.values()
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc_schema() -> RelationSchema {
+        // The paper's e-learning example schema.
+        RelationSchema::of(
+            "Document",
+            &[
+                ("Id", DataType::Int),
+                ("Title", DataType::Str),
+                ("Conference", DataType::Str),
+                ("AuthorId", DataType::Int),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = doc_schema();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.index_of("AuthorId").unwrap(), 3);
+        assert_eq!(s.type_of("Title").unwrap(), DataType::Str);
+        assert!(s.has_attribute("Id"));
+        assert!(!s.has_attribute("Nope"));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = RelationSchema::of("R", &[("A", DataType::Int), ("A", DataType::Str)])
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn unknown_attribute_reported() {
+        let s = doc_schema();
+        assert!(matches!(
+            s.index_of("Missing"),
+            Err(RelationalError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn catalog_register_and_get() {
+        let mut c = Catalog::new();
+        c.register(doc_schema()).unwrap();
+        assert_eq!(c.get("Document").unwrap().name(), "Document");
+        assert!(c.get("Authors").is_err());
+        assert!(matches!(
+            c.register(doc_schema()),
+            Err(RelationalError::DuplicateRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = RelationSchema::of("R", &[("A", DataType::Int)]).unwrap();
+        assert_eq!(s.to_string(), "R(A INT)");
+    }
+}

@@ -1,0 +1,178 @@
+//! Data tuples.
+//!
+//! Each tuple carries its publication time `pubT(t)` (Section 3.2); a tuple
+//! can trigger a query `q` iff `pubT(t) >= insT(q)`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{RelationalError, Result};
+use crate::schema::RelationSchema;
+use crate::value::{Timestamp, Value};
+
+/// A relational tuple bound to its schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tuple {
+    schema: Arc<RelationSchema>,
+    values: Vec<Value>,
+    pub_time: Timestamp,
+    /// A network-unique sequence number assigned at insertion, used only to
+    /// tell apart equal-content tuples in tests and the oracle.
+    seq: u64,
+}
+
+impl Tuple {
+    /// Creates a tuple, validating arity and types against the schema.
+    pub fn new(
+        schema: Arc<RelationSchema>,
+        values: Vec<Value>,
+        pub_time: Timestamp,
+        seq: u64,
+    ) -> Result<Self> {
+        if values.len() != schema.arity() {
+            return Err(RelationalError::SchemaMismatch {
+                relation: schema.name().to_string(),
+                detail: format!("expected {} values, got {}", schema.arity(), values.len()),
+            });
+        }
+        for (v, a) in values.iter().zip(schema.attributes()) {
+            if v.data_type() != a.ty {
+                return Err(RelationalError::SchemaMismatch {
+                    relation: schema.name().to_string(),
+                    detail: format!(
+                        "attribute {} expects {}, got {}",
+                        a.name,
+                        a.ty,
+                        v.data_type()
+                    ),
+                });
+            }
+        }
+        Ok(Tuple { schema, values, pub_time, seq })
+    }
+
+    /// The relation this tuple belongs to.
+    #[inline]
+    pub fn relation(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// The tuple's schema.
+    #[inline]
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        &self.schema
+    }
+
+    /// All values in schema order.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Publication time `pubT(t)`.
+    #[inline]
+    pub fn pub_time(&self) -> Timestamp {
+        self.pub_time
+    }
+
+    /// Network-unique sequence number.
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Value of an attribute by name.
+    pub fn get(&self, attr: &str) -> Result<&Value> {
+        let i = self.schema.index_of(attr)?;
+        Ok(&self.values[i])
+    }
+
+    /// Projects the tuple onto a list of attribute names, in the given order.
+    pub fn project(&self, attrs: &[String]) -> Result<Vec<Value>> {
+        attrs.iter().map(|a| self.get(a).cloned()).collect()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.schema.name())?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")@{}", self.pub_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::value::DataType;
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(
+            RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Str)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn valid_tuple_roundtrips() {
+        let t = Tuple::new(
+            schema(),
+            vec![Value::Int(1), Value::Str("x".into())],
+            Timestamp(5),
+            0,
+        )
+        .unwrap();
+        assert_eq!(t.relation(), "R");
+        assert_eq!(t.get("A").unwrap(), &Value::Int(1));
+        assert_eq!(t.get("B").unwrap(), &Value::Str("x".into()));
+        assert_eq!(t.pub_time(), Timestamp(5));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = Tuple::new(schema(), vec![Value::Int(1)], Timestamp(0), 0).unwrap_err();
+        assert!(matches!(err, RelationalError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let err = Tuple::new(
+            schema(),
+            vec![Value::Str("oops".into()), Value::Str("x".into())],
+            Timestamp(0),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationalError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn projection_preserves_order() {
+        let t = Tuple::new(
+            schema(),
+            vec![Value::Int(1), Value::Str("x".into())],
+            Timestamp(0),
+            0,
+        )
+        .unwrap();
+        let p = t.project(&["B".to_string(), "A".to_string()]).unwrap();
+        assert_eq!(p, vec![Value::Str("x".into()), Value::Int(1)]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = Tuple::new(
+            schema(),
+            vec![Value::Int(1), Value::Str("x".into())],
+            Timestamp(3),
+            0,
+        )
+        .unwrap();
+        assert_eq!(t.to_string(), "R(1, 'x')@t3");
+    }
+}

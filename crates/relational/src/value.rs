@@ -1,0 +1,139 @@
+//! Attribute values.
+//!
+//! The paper's expressions are "arithmetic, string" over attributes and
+//! constants (Section 3.2); values are hashed "treated as a string" when
+//! computing value-level identifiers (Section 4.2). [`Value::canonical`]
+//! provides that string form.
+
+use std::fmt;
+
+/// The type of an attribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Str => write!(f, "STRING"),
+        }
+    }
+}
+
+/// A single attribute value.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Integer value.
+    Int(i64),
+    /// String value.
+    Str(String),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+
+    /// The canonical string form used for value-level hashing
+    /// (`Hash(R + A + v)` — "when the value of an attribute is numeric,
+    /// this value is also treated as a string").
+    pub fn canonical(&self) -> String {
+        match self {
+            Value::Int(i) => format!("i:{i}"),
+            Value::Str(s) => format!("s:{s}"),
+        }
+    }
+
+    /// Integer content, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// String content, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A logical timestamp (the simulator's synchronized clock; the paper assumes
+/// NTP-synchronized real clocks, see DESIGN.md "Substitutions").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp(pub u64);
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_disambiguates_types() {
+        assert_ne!(Value::Int(42).canonical(), Value::Str("42".into()).canonical());
+    }
+
+    #[test]
+    fn canonical_is_injective_on_ints() {
+        assert_ne!(Value::Int(1).canonical(), Value::Int(11).canonical());
+        assert_ne!(Value::Int(-1).canonical(), Value::Int(1).canonical());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7), Value::Int(7));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Int(7).as_str(), None);
+    }
+
+    #[test]
+    fn timestamps_order() {
+        assert!(Timestamp(1) < Timestamp(2));
+    }
+}

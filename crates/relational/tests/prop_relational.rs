@@ -1,0 +1,191 @@
+//! Property-based tests for the relational layer: the rewriting machinery
+//! must agree with direct evaluation of the join condition, and displayed
+//! queries must reparse to equivalent queries.
+
+use std::sync::Arc;
+
+use cq_relational::{
+    parse_query, Catalog, DataType, Expr, JoinQuery, QueryKey, QueryRef, RelationSchema,
+    RewrittenQuery, SelectItem, Side, Timestamp, Tuple, Value,
+};
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(
+        RelationSchema::of(
+            "R",
+            &[("A", DataType::Int), ("B", DataType::Int), ("C", DataType::Int)],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c.register(
+        RelationSchema::of(
+            "S",
+            &[("D", DataType::Int), ("E", DataType::Int), ("F", DataType::Int)],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c
+}
+
+fn t1_query(c: &Catalog, ins: u64) -> QueryRef {
+    Arc::new(
+        JoinQuery::new(
+            QueryKey::derive("n", 0),
+            "n",
+            Timestamp(ins),
+            "R",
+            "S",
+            vec![
+                SelectItem { side: Side::Left, attr: "A".into() },
+                SelectItem { side: Side::Right, attr: "D".into() },
+            ],
+            Expr::attr("B"),
+            Expr::attr("E"),
+            vec![],
+            c,
+        )
+        .unwrap(),
+    )
+}
+
+fn r_tuple(c: &Catalog, vals: [i64; 3], t: u64) -> Tuple {
+    Tuple::new(
+        c.get("R").unwrap().clone(),
+        vals.into_iter().map(Value::Int).collect(),
+        Timestamp(t),
+        0,
+    )
+    .unwrap()
+}
+
+fn s_tuple(c: &Catalog, vals: [i64; 3], t: u64) -> Tuple {
+    Tuple::new(
+        c.get("S").unwrap().clone(),
+        vals.into_iter().map(Value::Int).collect(),
+        Timestamp(t),
+        0,
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// For T1 queries, rewrite-then-match must agree with directly checking
+    /// the join condition and the time semantics, regardless of which side
+    /// is rewritten first.
+    #[test]
+    fn rewrite_agrees_with_direct_evaluation(
+        r_vals in prop::array::uniform3(-5i64..5),
+        s_vals in prop::array::uniform3(-5i64..5),
+        r_time in 0u64..20,
+        s_time in 0u64..20,
+        ins in 0u64..20,
+    ) {
+        let c = catalog();
+        let q = t1_query(&c, ins);
+        let r = r_tuple(&c, r_vals, r_time);
+        let s = s_tuple(&c, s_vals, s_time);
+        let expected = r_vals[1] == s_vals[1] && r_time >= ins && s_time >= ins;
+
+        // Rewrite on the left, match the right tuple.
+        let via_left = RewrittenQuery::rewrite_attribute(&q, Side::Left, "B", "E", &r)
+            .unwrap()
+            .and_then(|rq| rq.match_tuple(&s).unwrap());
+        // Rewrite on the right, match the left tuple.
+        let via_right = RewrittenQuery::rewrite_attribute(&q, Side::Right, "E", "B", &s)
+            .unwrap()
+            .and_then(|rq| rq.match_tuple(&r).unwrap());
+
+        prop_assert_eq!(via_left.is_some(), expected);
+        prop_assert_eq!(via_right.is_some(), expected);
+        if expected {
+            // Both directions must produce the identical notification.
+            prop_assert_eq!(via_left.unwrap(), via_right.unwrap());
+        }
+    }
+
+    /// DAI-V rewriting must agree with the attribute rewriting for T1
+    /// queries (Section 4.5: "covers queries of type T1 as well").
+    #[test]
+    fn value_rewrite_covers_t1(
+        r_vals in prop::array::uniform3(-5i64..5),
+        s_vals in prop::array::uniform3(-5i64..5),
+    ) {
+        let c = catalog();
+        let q = t1_query(&c, 0);
+        let r = r_tuple(&c, r_vals, 1);
+        let s = s_tuple(&c, s_vals, 1);
+        let attr = RewrittenQuery::rewrite_attribute(&q, Side::Left, "B", "E", &r)
+            .unwrap()
+            .and_then(|rq| rq.match_tuple(&s).unwrap());
+        let value = RewrittenQuery::rewrite_value(&q, Side::Left, &r)
+            .unwrap()
+            .and_then(|rq| rq.match_tuple(&s).unwrap());
+        prop_assert_eq!(attr, value);
+    }
+
+    /// Displaying a query and reparsing it yields the same structure
+    /// (condition sides, select list sides, filters).
+    #[test]
+    fn display_reparses(
+        sel_left in prop::bool::ANY,
+        filter_val in -100i64..100,
+        use_filter in prop::bool::ANY,
+    ) {
+        let c = catalog();
+        let mut select = vec![SelectItem { side: Side::Right, attr: "D".into() }];
+        if sel_left {
+            select.insert(0, SelectItem { side: Side::Left, attr: "A".into() });
+        }
+        let filters = if use_filter {
+            vec![cq_relational::Filter {
+                side: Side::Left,
+                attr: "C".into(),
+                value: Value::Int(filter_val),
+            }]
+        } else {
+            vec![]
+        };
+        let q = JoinQuery::new(
+            QueryKey::derive("n", 1),
+            "n",
+            Timestamp(0),
+            "R",
+            "S",
+            select,
+            Expr::attr("B"),
+            Expr::attr("E"),
+            filters,
+            &c,
+        )
+        .unwrap();
+        let sql = q.to_string();
+        let reparsed = parse_query(&sql, &c)
+            .unwrap()
+            .into_query(QueryKey::derive("n", 1), "n", Timestamp(0), &c)
+            .unwrap();
+        prop_assert_eq!(q, reparsed);
+    }
+
+    /// Rewritten-query keys are injective in the (select values, join value)
+    /// pair and invariant in everything else.
+    #[test]
+    fn rewritten_keys_are_content_addressed(
+        a1 in -5i64..5, b1 in -5i64..5,
+        a2 in -5i64..5, b2 in -5i64..5,
+        t1 in 0u64..10, t2 in 0u64..10,
+    ) {
+        let c = catalog();
+        let q = t1_query(&c, 0);
+        let r1 = r_tuple(&c, [a1, b1, 0], t1);
+        let r2 = r_tuple(&c, [a2, b2, 99], t2); // C differs but is irrelevant
+        let k1 = RewrittenQuery::rewrite_attribute(&q, Side::Left, "B", "E", &r1)
+            .unwrap().unwrap().key().to_string();
+        let k2 = RewrittenQuery::rewrite_attribute(&q, Side::Left, "B", "E", &r2)
+            .unwrap().unwrap().key().to_string();
+        prop_assert_eq!(k1 == k2, a1 == a2 && b1 == b2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates the paper's evaluation figures and Table 4.1.
+//!
+//! ```text
+//! experiments [--full] [--csv] [ids...]
+//!
+//!   --full     paper-approaching scale (default: quick)
+//!   --csv      also print CSV blocks after each table
+//!   ids        e01..e16, t01 (default: all)
+//! ```
+
+use std::time::Instant;
+
+use cq_sim::experiments::{all, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let csv = args.iter().any(|a| a == "--csv");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let scale = if full { Scale::Full } else { Scale::Quick };
+
+    let registry = all();
+    let selected: Vec<_> = if ids.is_empty() {
+        registry
+    } else {
+        registry
+            .into_iter()
+            .filter(|(id, _)| ids.iter().any(|want| want.as_str() == *id))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no experiment matches; known ids: e01..e16, t01, a01");
+        std::process::exit(2);
+    }
+
+    println!(
+        "# Continuous equi-join experiments — scale: {}",
+        if full { "full" } else { "quick" }
+    );
+    for (id, f) in selected {
+        let start = Instant::now();
+        let report = f(scale);
+        let elapsed = start.elapsed();
+        println!("{}", report.render());
+        if csv {
+            println!("```csv\n{}```", report.to_csv());
+        }
+        println!("[{} finished in {:.2?}]\n", id, elapsed);
+    }
+}

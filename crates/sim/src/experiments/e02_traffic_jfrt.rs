@@ -1,0 +1,95 @@
+//! E2 — Figure "Traffic cost and JFRT effect" (Section 5.2.1).
+//!
+//! Measures the overlay hops consumed per inserted tuple, isolating the
+//! *reindex* category the Join Fingers Routing Table acts on (total traffic
+//! additionally contains tuple indexing and notification delivery, which the
+//! JFRT does not touch). Expected shape: with the JFRT warm, every repeated
+//! reindex target costs one hop instead of O(log N), cutting reindex hops by
+//! roughly the log-factor; DAI-T sends the fewest reindex messages (each
+//! rewritten query at most once).
+
+use cq_engine::{Algorithm, TrafficKind};
+use cq_workload::WorkloadConfig;
+
+use crate::harness::{run as run_once, RunConfig};
+use crate::report::{fnum, Report};
+use super::Scale;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let nodes = scale.pick(128, 1024);
+    let queries = scale.pick(60, 5000);
+    let tuples = scale.pick(250, 800);
+    let mut report = Report::new(
+        "E2",
+        &format!("reindex hops per tuple, JFRT on/off (N={nodes}, Q={queries}, T={tuples})"),
+        &[
+            "algorithm",
+            "reindex/t no JFRT",
+            "reindex/t JFRT",
+            "saving %",
+            "reindex msgs",
+            "total hops/t",
+        ],
+    );
+    for alg in Algorithm::ALL {
+        let mut reindex = [0.0f64; 2];
+        let mut reindex_msgs = 0u64;
+        let mut total = 0.0f64;
+        for (i, jfrt) in [false, true].into_iter().enumerate() {
+            let cfg = RunConfig {
+                algorithm: alg,
+                nodes,
+                queries,
+                tuples,
+                use_jfrt: jfrt,
+                workload: WorkloadConfig {
+                    domain: scale.pick(40, 400),
+                    ..WorkloadConfig::default()
+                },
+                ..RunConfig::new(alg)
+            };
+            let r = run_once(&cfg);
+            reindex[i] = r.traffic_of(TrafficKind::Reindex).hops as f64 / tuples as f64;
+            if jfrt {
+                reindex_msgs = r.traffic_of(TrafficKind::Reindex).messages;
+                total = r.hops_per_tuple();
+            }
+        }
+        let saving = if reindex[0] > 0.0 {
+            100.0 * (reindex[0] - reindex[1]) / reindex[0]
+        } else {
+            0.0
+        };
+        report.row(vec![
+            alg.name().to_string(),
+            fnum(reindex[0]),
+            fnum(reindex[1]),
+            fnum(saving),
+            reindex_msgs.to_string(),
+            fnum(total),
+        ]);
+    }
+    report.note("JFRT turns repeated O(log N) reindex lookups into 1 hop");
+    report.note("DAI-T reindexes each rewritten query once; totals are notification-dominated");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jfrt_reduces_reindex_hops_for_every_algorithm() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.len(), 4);
+        for line in r.to_csv().lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let off: f64 = cells[1].parse().unwrap();
+            let on: f64 = cells[2].parse().unwrap();
+            assert!(on < off, "{line}: JFRT must cut reindex hops");
+            let saving: f64 = cells[3].parse().unwrap();
+            assert!(saving > 20.0, "{line}: saving should be substantial, got {saving}%");
+        }
+    }
+}

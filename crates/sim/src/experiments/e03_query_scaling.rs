@@ -1,0 +1,63 @@
+//! E3 — Figure "Effect of the number of indexed queries in network traffic"
+//! (Section 5.2.2).
+//!
+//! Sweeps the number of installed queries and measures hops per inserted
+//! tuple for each algorithm. Expected shape: traffic grows with the query
+//! population (more triggerings → more rewritten queries and more delivered
+//! notifications), sublinearly thanks to grouping; DAI-T grows slowest —
+//! after its rewritten queries are distributed, repeated values cost no
+//! reindexing and duplicate-content notifications are suppressed by key.
+
+use cq_engine::Algorithm;
+use cq_workload::WorkloadConfig;
+
+use crate::harness::{run as run_once, RunConfig};
+use crate::report::{fnum, Report};
+use super::Scale;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let nodes = scale.pick(128, 1024);
+    let tuples = scale.pick(200, 800);
+    let sweep: Vec<usize> = scale.pick(vec![20, 60, 120, 240], vec![1000, 2500, 5000, 10_000]);
+    let mut report = Report::new(
+        "E3",
+        &format!("hops per tuple vs installed queries (N={nodes}, T={tuples})"),
+        &["queries", "SAI", "DAI-Q", "DAI-T", "DAI-V"],
+    );
+    for &q in &sweep {
+        let mut row = vec![q.to_string()];
+        for alg in Algorithm::ALL {
+            let cfg = RunConfig {
+                algorithm: alg,
+                nodes,
+                queries: q,
+                tuples,
+                workload: WorkloadConfig { domain: scale.pick(40, 400), ..WorkloadConfig::default() },
+                ..RunConfig::new(alg)
+            };
+            row.push(fnum(run_once(&cfg).hops_per_tuple()));
+        }
+        report.row(row);
+    }
+    report.note("paper: traffic rises with queries; DAI-T flattest (reindex + notification dedup)");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_grows_with_queries() {
+        let r = run(Scale::Quick);
+        let rows: Vec<Vec<f64>> = r
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').skip(1).map(|c| c.parse().unwrap()).collect())
+            .collect();
+        // SAI traffic at the largest sweep point exceeds the smallest.
+        assert!(rows.last().unwrap()[0] > rows[0][0]);
+    }
+}

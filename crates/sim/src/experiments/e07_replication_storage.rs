@@ -1,0 +1,65 @@
+//! E7 — Figure "Effect of the replication scheme in storage load
+//! distribution" (Section 5.3).
+//!
+//! The flip side of E6: every query is stored at all `k` replicas, so total
+//! attribute-level storage grows ~k-fold while per-node peaks stay bounded.
+//! Expected shape: total query storage scales with k; the per-node storage
+//! curve spreads over more nodes.
+
+use cq_engine::Algorithm;
+use cq_workload::WorkloadConfig;
+
+use crate::harness::{run as run_once, RunConfig};
+use crate::report::{fnum, Report};
+use crate::stats;
+use super::Scale;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let nodes = scale.pick(128, 1024);
+    let queries = scale.pick(60, 5000);
+    let tuples = scale.pick(200, 800);
+    let mut report = Report::new(
+        "E7",
+        &format!("storage-load distribution vs replication k (SAI, N={nodes}, Q={queries})"),
+        &["k", "total storage", "max node", "gini", "nodes storing"],
+    );
+    for k in [1usize, 2, 4, 8] {
+        let cfg = RunConfig {
+            algorithm: Algorithm::Sai,
+            nodes,
+            queries,
+            tuples,
+            replication: k,
+            workload: WorkloadConfig { domain: scale.pick(40, 400), ..WorkloadConfig::default() },
+            ..RunConfig::new(Algorithm::Sai)
+        };
+        let r = run_once(&cfg);
+        report.row(vec![
+            k.to_string(),
+            fnum(r.total_storage()),
+            fnum(stats::max(&r.storage)),
+            fnum(stats::gini(&r.storage)),
+            r.storage.iter().filter(|&&l| l > 0.0).count().to_string(),
+        ]);
+    }
+    report.note("paper: replication trades extra (replicated) storage for filtering balance");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_grows_total_storage() {
+        let r = run(Scale::Quick);
+        let totals: Vec<f64> = r
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(totals[3] > totals[0], "k=8 total {} !> k=1 total {}", totals[3], totals[0]);
+    }
+}

@@ -1,0 +1,66 @@
+//! E14 — Figure "Effect in filtering load distribution of increasing the
+//! network size" (Section 5.4).
+//!
+//! Fixed workload, growing ring. Expected shape: "when the overlay network
+//! grows, query processing becomes easier since new nodes relieve other
+//! nodes by taking a portion of the existing workload" — mean per-node load
+//! falls roughly as 1/N while total load stays flat.
+
+use cq_engine::Algorithm;
+use cq_workload::WorkloadConfig;
+
+use crate::harness::{run as run_once, RunConfig};
+use crate::report::{fnum, Report};
+use crate::stats;
+use super::Scale;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let queries = scale.pick(60, 5000);
+    let tuples = scale.pick(300, 800);
+    let sizes: Vec<usize> = scale.pick(vec![64, 128, 256, 512], vec![1000, 2500, 5000]);
+    let mut report = Report::new(
+        "E14",
+        &format!("filtering distribution vs network size (Q={queries}, T={tuples})"),
+        &["N", "SAI mean", "SAI loaded", "DAI-T mean", "DAI-T loaded", "DAI-V mean", "DAI-V loaded"],
+    );
+    for &n in &sizes {
+        let mut row = vec![n.to_string()];
+        for alg in [Algorithm::Sai, Algorithm::DaiT, Algorithm::DaiV] {
+            let cfg = RunConfig {
+                algorithm: alg,
+                nodes: n,
+                queries,
+                tuples,
+                workload: WorkloadConfig { domain: scale.pick(40, 400), ..WorkloadConfig::default() },
+                ..RunConfig::new(alg)
+            };
+            let r = run_once(&cfg);
+            // Mean over nodes that exist; "loaded" = nodes doing any work.
+            row.push(fnum(stats::mean(&r.filtering)));
+            row.push(r.filtering.iter().filter(|&&l| l > 0.0).count().to_string());
+        }
+        report.row(row);
+    }
+    report.note("paper: growing N dilutes per-node load (scalability)");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_load_falls_as_network_grows() {
+        let r = run(Scale::Quick);
+        let rows: Vec<Vec<String>> = r
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_string).collect())
+            .collect();
+        let first: f64 = rows[0][1].parse().unwrap();
+        let last: f64 = rows.last().unwrap()[1].parse().unwrap();
+        assert!(last < first, "SAI mean load {last} !< {first} as N grew");
+    }
+}

@@ -1,0 +1,63 @@
+//! E15 — Figure "Effect in filtering load distribution of increasing the
+//! network size for the most loaded nodes" (Section 5.4).
+//!
+//! The hot-spot view of E14: how the most-loaded nodes' filtering loads
+//! evolve as the ring grows. Expected shape: the hottest *rewriters* are
+//! pinned to `Hash(R + A)` regardless of N, so the very top of the curve
+//! falls slowly — growing the network helps the median much more than the
+//! maximum (this is what motivates the Section 4.7 replication scheme).
+
+use cq_engine::Algorithm;
+use cq_workload::WorkloadConfig;
+
+use crate::harness::{run as run_once, RunConfig};
+use crate::report::{fnum, Report};
+use crate::stats;
+use super::Scale;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let queries = scale.pick(60, 5000);
+    let tuples = scale.pick(300, 800);
+    let sizes: Vec<usize> = scale.pick(vec![64, 128, 256, 512], vec![1000, 2500, 5000]);
+    let mut report = Report::new(
+        "E15",
+        &format!("most-loaded nodes vs network size (Q={queries}, T={tuples})"),
+        &["N", "SAI max", "SAI p99", "DAI-T max", "DAI-T p99", "DAI-V max", "DAI-V p99"],
+    );
+    for &n in &sizes {
+        let mut row = vec![n.to_string()];
+        for alg in [Algorithm::Sai, Algorithm::DaiT, Algorithm::DaiV] {
+            let cfg = RunConfig {
+                algorithm: alg,
+                nodes: n,
+                queries,
+                tuples,
+                workload: WorkloadConfig { domain: scale.pick(40, 400), ..WorkloadConfig::default() },
+                ..RunConfig::new(alg)
+            };
+            let r = run_once(&cfg);
+            row.push(fnum(stats::max(&r.filtering)));
+            row.push(fnum(stats::percentile(&r.filtering, 99.0)));
+        }
+        report.row(row);
+    }
+    report.note("paper: the hottest rewriters shrink much slower than the median as N grows");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_has_a_row_per_network_size() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.len(), 4);
+        // Max loads stay positive at every size.
+        for line in r.to_csv().lines().skip(1) {
+            let max: f64 = line.split(',').nth(1).unwrap().parse().unwrap();
+            assert!(max > 0.0);
+        }
+    }
+}

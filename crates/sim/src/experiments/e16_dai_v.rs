@@ -1,0 +1,80 @@
+//! E16 — Figure "Effect in filtering load distribution of DAI-V of
+//! increasing the network size, queries or tuples" (Section 5.4).
+//!
+//! DAI-V's sensitivity sweeps on type-T2 workloads (the class only it can
+//! evaluate). Expected shape: per-node load dilutes with N, grows with
+//! queries and tuples; evaluator load is concentrated on the nodes owning
+//! popular join-condition values (no attribute prefix in the identifier).
+
+use cq_engine::Algorithm;
+use cq_workload::WorkloadConfig;
+
+use crate::harness::{run as run_once, RunConfig};
+use crate::report::{fnum, Report};
+use crate::stats;
+use super::Scale;
+
+fn one(nodes: usize, queries: usize, tuples: usize, domain: i64) -> (f64, f64, f64) {
+    let cfg = RunConfig {
+        algorithm: Algorithm::DaiV,
+        nodes,
+        queries,
+        tuples,
+        t2_queries: true,
+        workload: WorkloadConfig { domain, ..WorkloadConfig::default() },
+        ..RunConfig::new(Algorithm::DaiV)
+    };
+    let r = run_once(&cfg);
+    (stats::mean(&r.filtering), stats::max(&r.filtering), stats::gini(&r.filtering))
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let base_n = scale.pick(128, 1024);
+    let base_q = scale.pick(40, 2000);
+    let base_t = scale.pick(200, 600);
+    let domain = scale.pick(40, 400);
+    let mut report = Report::new(
+        "E16",
+        "DAI-V (T2 queries): filtering distribution sweeps",
+        &["sweep", "value", "mean", "max", "gini"],
+    );
+    for n in scale.pick(vec![64, 128, 256], vec![1000, 2500, 5000]) {
+        let (mean, max, gini) = one(n, base_q, base_t, domain);
+        report.row(vec!["N".into(), n.to_string(), fnum(mean), fnum(max), fnum(gini)]);
+    }
+    for q in scale.pick(vec![20, 40, 80], vec![1000, 4000, 8000]) {
+        let (mean, max, gini) = one(base_n, q, base_t, domain);
+        report.row(vec!["queries".into(), q.to_string(), fnum(mean), fnum(max), fnum(gini)]);
+    }
+    for t in scale.pick(vec![100, 200, 400], vec![500, 1000, 2000]) {
+        let (mean, max, gini) = one(base_n, base_q, t, domain);
+        report.row(vec!["tuples".into(), t.to_string(), fnum(mean), fnum(max), fnum(gini)]);
+    }
+    report.note("paper: DAI-V scales with N/queries/tuples but concentrates on hot values");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_behave_monotonically_at_the_ends() {
+        let r = run(Scale::Quick);
+        let rows: Vec<Vec<String>> = r
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_string).collect())
+            .collect();
+        let n_rows: Vec<&Vec<String>> = rows.iter().filter(|r| r[0] == "N").collect();
+        let mean_small: f64 = n_rows[0][2].parse().unwrap();
+        let mean_big: f64 = n_rows.last().unwrap()[2].parse().unwrap();
+        assert!(mean_big <= mean_small, "mean load must dilute with N");
+        let t_rows: Vec<&Vec<String>> = rows.iter().filter(|r| r[0] == "tuples").collect();
+        let max_low: f64 = t_rows[0][3].parse().unwrap();
+        let max_high: f64 = t_rows.last().unwrap()[3].parse().unwrap();
+        assert!(max_high >= max_low, "load must grow with the tuple rate");
+    }
+}

@@ -1,0 +1,90 @@
+//! One module per reproduced figure/table (ids from DESIGN.md).
+//!
+//! Every experiment exposes `run(scale) -> Report`. `Scale::Quick` finishes
+//! in milliseconds-to-seconds (used by tests and criterion benches);
+//! `Scale::Full` approaches the paper's set-up (used by the
+//! `experiments` binary that fills EXPERIMENTS.md).
+
+pub mod a01_dai_v_keyed;
+pub mod e01_multisend;
+pub mod e02_traffic_jfrt;
+pub mod e03_query_scaling;
+pub mod e04_strategy;
+pub mod e05_bos_ratio;
+pub mod e06_replication_filter;
+pub mod e07_replication_storage;
+pub mod e08_window_filter;
+pub mod e09_window_storage;
+pub mod e10_load_distribution;
+pub mod e11_totals;
+pub mod e12_tuple_rate;
+pub mod e13_query_count;
+pub mod e14_network_size;
+pub mod e15_top_loaded;
+pub mod e16_dai_v;
+pub mod t01_comparison;
+
+use crate::report::Report;
+
+/// An experiment entry point: builds its report at the given scale.
+pub type ExperimentFn = fn(Scale) -> Report;
+
+/// How big an experiment run should be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Milliseconds-to-seconds versions for tests and benches.
+    Quick,
+    /// Paper-approaching versions for the experiments binary.
+    Full,
+}
+
+impl Scale {
+    /// Selects a parameter by scale.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The registry of all experiments, in paper order.
+pub fn all() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("e01", e01_multisend::run as ExperimentFn),
+        ("e02", e02_traffic_jfrt::run),
+        ("e03", e03_query_scaling::run),
+        ("e04", e04_strategy::run),
+        ("e05", e05_bos_ratio::run),
+        ("e06", e06_replication_filter::run),
+        ("e07", e07_replication_storage::run),
+        ("e08", e08_window_filter::run),
+        ("e09", e09_window_storage::run),
+        ("e10", e10_load_distribution::run),
+        ("e11", e11_totals::run),
+        ("e12", e12_tuple_rate::run),
+        ("e13", e13_query_count::run),
+        ("e14", e14_network_size::run),
+        ("e15", e15_top_loaded::run),
+        ("e16", e16_dai_v::run),
+        ("t01", t01_comparison::run),
+        ("a01", a01_dai_v_keyed::run),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_figure_and_table() {
+        // 16 experiment figures + Table 4.1 + the keyed-DAI-V ablation.
+        assert_eq!(all().len(), 18);
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

@@ -1,0 +1,295 @@
+//! The experiment harness: builds a network + workload from a [`RunConfig`],
+//! installs queries, streams tuples and collects the metric vectors the
+//! figures are built from.
+
+use cq_engine::{Algorithm, EngineConfig, IndexStrategy, Network, TrafficKind};
+use cq_overlay::TrafficStats;
+use cq_workload::{Workload, WorkloadConfig};
+
+/// Parameters of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Evaluation algorithm.
+    pub algorithm: Algorithm,
+    /// Network size `N`.
+    pub nodes: usize,
+    /// Number of continuous queries to install.
+    pub queries: usize,
+    /// Number of tuples to stream in the measured window.
+    pub tuples: usize,
+    /// Warm-up tuples streamed *before* queries are installed (builds the
+    /// rewriters' arrival statistics for the probing strategies and fills
+    /// value-level stores).
+    pub warmup_tuples: usize,
+    /// SAI index-attribute strategy.
+    pub strategy: IndexStrategy,
+    /// JFRT on/off.
+    pub use_jfrt: bool,
+    /// Attribute-level replication factor.
+    pub replication: usize,
+    /// Generate type-T2 queries (requires DAI-V).
+    pub t2_queries: bool,
+    /// Reset traffic/load counters after installation, so results cover only
+    /// the measured tuple window.
+    pub measure_stream_only: bool,
+    /// Workload shape (domain, skew, bos ratio, ...).
+    pub workload: WorkloadConfig,
+}
+
+impl RunConfig {
+    /// A small, fast default over two relations.
+    pub fn new(algorithm: Algorithm) -> Self {
+        RunConfig {
+            algorithm,
+            nodes: 128,
+            queries: 50,
+            tuples: 300,
+            warmup_tuples: 0,
+            strategy: IndexStrategy::LowestRate,
+            use_jfrt: true,
+            replication: 1,
+            t2_queries: false,
+            measure_stream_only: true,
+            workload: WorkloadConfig::default(),
+        }
+    }
+}
+
+/// The metric vectors collected by one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Per-node total filtering load (rewriter + evaluator), by node slot.
+    pub filtering: Vec<f64>,
+    /// Per-node rewriter-only filtering load.
+    pub rewriter_filtering: Vec<f64>,
+    /// Per-node evaluator-only filtering load.
+    pub evaluator_filtering: Vec<f64>,
+    /// Per-node storage load.
+    pub storage: Vec<f64>,
+    /// Per-node evaluator storage (value-level items only).
+    pub evaluator_storage: Vec<f64>,
+    /// Total rewritten queries stored at evaluators (VLQT sizes).
+    pub stored_rewritten: u64,
+    /// Total tuples stored at evaluators (VLTT + DAI-V store sizes).
+    pub stored_tuples: u64,
+    /// Traffic per category.
+    pub traffic: Vec<(TrafficKind, TrafficStats)>,
+    /// Total traffic.
+    pub total_traffic: TrafficStats,
+    /// Notifications delivered (with multiplicity).
+    pub notifications: u64,
+    /// Tuples actually streamed in the measured window.
+    pub streamed: usize,
+    /// Traffic of the installation phase (warm-up + query indexing),
+    /// captured before any reset — e.g. the strategy probes of E4.
+    pub install_traffic: Vec<(TrafficKind, TrafficStats)>,
+}
+
+impl RunResult {
+    /// Traffic of one category.
+    pub fn traffic_of(&self, kind: TrafficKind) -> TrafficStats {
+        self.traffic
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
+    /// Installation-phase traffic of one category.
+    pub fn install_traffic_of(&self, kind: TrafficKind) -> TrafficStats {
+        self.install_traffic
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
+    /// Average overlay hops consumed per streamed tuple (the paper's
+    /// traffic-cost metric).
+    pub fn hops_per_tuple(&self) -> f64 {
+        if self.streamed == 0 {
+            0.0
+        } else {
+            self.total_traffic.hops as f64 / self.streamed as f64
+        }
+    }
+
+    /// Total filtering load over all nodes (`TF`).
+    pub fn total_filtering(&self) -> f64 {
+        self.filtering.iter().sum()
+    }
+
+    /// Total storage load over all nodes (`TS`).
+    pub fn total_storage(&self) -> f64 {
+        self.storage.iter().sum()
+    }
+
+    /// Total evaluator storage.
+    pub fn total_evaluator_storage(&self) -> f64 {
+        self.evaluator_storage.iter().sum()
+    }
+
+    /// Total evaluator filtering.
+    pub fn total_evaluator_filtering(&self) -> f64 {
+        self.evaluator_filtering.iter().sum()
+    }
+}
+
+/// Executes one run.
+pub fn run(cfg: &RunConfig) -> RunResult {
+    let mut workload = Workload::new(cfg.workload.clone());
+    let engine_cfg = EngineConfig {
+        algorithm: cfg.algorithm,
+        space_bits: 32,
+        nodes: cfg.nodes,
+        strategy: cfg.strategy,
+        use_jfrt: cfg.use_jfrt,
+        replication: cfg.replication,
+        recursive_multisend: true,
+        // Delivery traffic and counts are measured; retaining millions of
+        // notification bodies would dominate simulator memory at full scale.
+        retain_notifications: false,
+        dai_v_keyed: false,
+        seed: cfg.workload.seed,
+    };
+    let mut net = Network::new(engine_cfg, workload.catalog().clone());
+
+    // Warm-up stream (before queries exist, so it only builds statistics
+    // and value-level tuple stores).
+    for _ in 0..cfg.warmup_tuples {
+        stream_one(&mut net, &mut workload);
+    }
+
+    // Install queries over the focused pair (R0, R1).
+    for _ in 0..cfg.queries {
+        let poser = net.random_node();
+        let sql = if cfg.t2_queries {
+            workload.random_t2_query_sql()
+        } else {
+            workload.query_between(0, 1)
+        };
+        net.pose_query_sql(poser, &sql).expect("generated queries are valid");
+    }
+
+    let install_traffic: Vec<(TrafficKind, TrafficStats)> = TrafficKind::ALL
+        .iter()
+        .map(|&k| (k, net.metrics().traffic(k)))
+        .collect();
+    if cfg.measure_stream_only {
+        net.reset_metrics();
+    }
+
+    // The measured tuple window.
+    for _ in 0..cfg.tuples {
+        stream_one(&mut net, &mut workload);
+    }
+
+    let mut result = collect(&net, cfg.tuples);
+    result.install_traffic = install_traffic;
+    result
+}
+
+fn stream_one(net: &mut Network, workload: &mut Workload) {
+    let rel = workload.next_stream_relation();
+    let values = workload.random_tuple_values();
+    let from = net.random_node();
+    net.insert_tuple(from, &rel, values).expect("generated tuples are valid");
+}
+
+fn collect(net: &Network, streamed: usize) -> RunResult {
+    let loads = net.metrics().loads();
+    let filtering: Vec<f64> = loads.iter().map(|l| l.filtering() as f64).collect();
+    let rewriter_filtering: Vec<f64> =
+        loads.iter().map(|l| l.rewriter_filtering as f64).collect();
+    let evaluator_filtering: Vec<f64> =
+        loads.iter().map(|l| l.evaluator_filtering as f64).collect();
+    let storage: Vec<f64> = net.storage_loads().iter().map(|&s| s as f64).collect();
+    let mut stored_rewritten = 0u64;
+    let mut stored_tuples = 0u64;
+    let evaluator_storage: Vec<f64> = (0..storage.len())
+        .map(|i| {
+            let st = net.node_state(cq_overlay::NodeHandle::from_index(i));
+            stored_rewritten += st.vlqt.len() as u64;
+            stored_tuples += (st.vltt.len() + st.vstore.len()) as u64;
+            st.evaluator_storage() as f64
+        })
+        .collect();
+    let traffic: Vec<(TrafficKind, TrafficStats)> = TrafficKind::ALL
+        .iter()
+        .map(|&k| (k, net.metrics().traffic(k)))
+        .collect();
+    RunResult {
+        filtering,
+        rewriter_filtering,
+        evaluator_filtering,
+        storage,
+        evaluator_storage,
+        total_traffic: net.metrics().total_traffic(),
+        traffic,
+        notifications: net.metrics().notifications_delivered,
+        streamed,
+        install_traffic: Vec::new(),
+        stored_rewritten,
+        stored_tuples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_produces_consistent_vectors() {
+        let cfg = RunConfig { nodes: 32, queries: 5, tuples: 40, ..RunConfig::new(Algorithm::Sai) };
+        let r = run(&cfg);
+        assert_eq!(r.filtering.len(), 32);
+        assert_eq!(r.storage.len(), 32);
+        assert!(r.total_traffic.hops > 0);
+        assert!(r.hops_per_tuple() > 0.0);
+        assert!(
+            (r.total_filtering()
+                - (r.rewriter_filtering.iter().sum::<f64>()
+                    + r.evaluator_filtering.iter().sum::<f64>()))
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn all_algorithms_run() {
+        for alg in Algorithm::ALL {
+            let cfg = RunConfig { nodes: 32, queries: 4, tuples: 30, ..RunConfig::new(alg) };
+            let r = run(&cfg);
+            assert!(r.total_traffic.messages > 0, "{alg}");
+        }
+    }
+
+    #[test]
+    fn t2_runs_under_dai_v() {
+        let cfg = RunConfig {
+            nodes: 32,
+            queries: 4,
+            tuples: 30,
+            t2_queries: true,
+            ..RunConfig::new(Algorithm::DaiV)
+        };
+        let r = run(&cfg);
+        assert!(r.total_traffic.messages > 0);
+    }
+
+    #[test]
+    fn measure_stream_only_excludes_installation() {
+        let mk = |measure_stream_only| {
+            let cfg = RunConfig {
+                nodes: 32,
+                queries: 20,
+                tuples: 1,
+                measure_stream_only,
+                ..RunConfig::new(Algorithm::Sai)
+            };
+            run(&cfg).traffic_of(TrafficKind::QueryIndex).messages
+        };
+        assert_eq!(mk(true), 0);
+        assert!(mk(false) >= 20);
+    }
+}

@@ -1,0 +1,24 @@
+//! # cq-sim — simulation harness and the paper's experiments
+//!
+//! Drives `cq-engine` networks over `cq-workload` streams and regenerates
+//! every figure and table of the paper's evaluation (Chapter 5). Each
+//! experiment lives in [`experiments`] under its DESIGN.md id (E1..E16, T1)
+//! and renders a text [`report::Report`].
+//!
+//! ```
+//! use cq_sim::experiments::{self, Scale};
+//!
+//! // A milliseconds-scale version of Figure "traffic cost and JFRT effect".
+//! let report = experiments::e02_traffic_jfrt::run(Scale::Quick);
+//! println!("{}", report.render());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+pub mod stats;
+
+pub use harness::{run, RunConfig, RunResult};
+pub use report::Report;

@@ -1,0 +1,182 @@
+//! Descriptive statistics for load-distribution figures.
+//!
+//! The paper's distribution plots show per-node load curves; in a text
+//! harness we summarize each curve by its Gini coefficient, the load share
+//! of the most-loaded nodes, percentiles and utilization (fraction of nodes
+//! that carry any load at all).
+
+/// Gini coefficient of a non-negative sample (0 = perfectly even,
+/// → 1 = concentrated on one node). Returns 0 for empty or all-zero input.
+pub fn gini(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite loads"));
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // G = (2 * sum_i i*x_i) / (n * total) - (n + 1) / n, with 1-based i
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, x)| (i + 1) as f64 * x).sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// The values sorted in descending order.
+pub fn sorted_desc(values: &[f64]) -> Vec<f64> {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| b.partial_cmp(a).expect("finite loads"));
+    v
+}
+
+/// Share of the total carried by the most-loaded `frac` of the population
+/// (e.g. `top_share(loads, 0.01)` = load fraction on the top 1% of nodes).
+pub fn top_share(values: &[f64], frac: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sorted = sorted_desc(values);
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let k = ((values.len() as f64 * frac).ceil() as usize).clamp(1, values.len());
+    sorted[..k].iter().sum::<f64>() / total
+}
+
+/// `p`-th percentile (0..=100) by nearest-rank on the sorted data.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite loads"));
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Maximum (0 for empty input).
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+/// Fraction of entries that are strictly positive — the paper's "network
+/// utilization" (percentage of nodes participating in query processing).
+pub fn utilization(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v > 0.0).count() as f64 / values.len() as f64
+}
+
+/// Converts integer loads to `f64` for the functions above.
+pub fn to_f64<T: Copy + Into<f64>>(values: &[T]) -> Vec<f64> {
+    values.iter().map(|&v| v.into()).collect()
+}
+
+/// Converts `u64`/`usize` loads (not `Into<f64>`) losslessly enough for
+/// statistics.
+pub fn loads_to_f64(values: &[u64]) -> Vec<f64> {
+    values.iter().map(|&v| v as f64).collect()
+}
+
+/// Summary of one load-distribution curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistributionSummary {
+    /// Gini coefficient.
+    pub gini: f64,
+    /// Maximum per-node load.
+    pub max: f64,
+    /// Mean per-node load.
+    pub mean: f64,
+    /// Load share of the top 1% of nodes.
+    pub top1: f64,
+    /// Load share of the top 10% of nodes.
+    pub top10: f64,
+    /// Fraction of nodes with any load.
+    pub utilization: f64,
+}
+
+impl DistributionSummary {
+    /// Computes the summary of a curve.
+    pub fn of(values: &[f64]) -> Self {
+        DistributionSummary {
+            gini: gini(values),
+            max: max(values),
+            mean: mean(values),
+            top1: top_share(values, 0.01),
+            top10: top_share(values, 0.10),
+            utilization: utilization(values),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_of_uniform_is_zero() {
+        assert!(gini(&[5.0, 5.0, 5.0, 5.0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_of_concentrated_approaches_one() {
+        let mut v = vec![0.0; 100];
+        v[0] = 100.0;
+        assert!(gini(&v) > 0.98);
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((gini(&a) - gini(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_handles_degenerate_input() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn top_share_concentration() {
+        let mut v = vec![1.0; 100];
+        v[0] = 901.0; // total 1000, top node has 90.1%
+        assert!((top_share(&v, 0.01) - 0.901).abs() < 1e-9);
+        assert!(top_share(&v, 1.0) > 0.999);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+    }
+
+    #[test]
+    fn utilization_counts_positive() {
+        assert!((utilization(&[0.0, 1.0, 2.0, 0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let v = [0.0, 10.0, 10.0, 0.0];
+        let s = DistributionSummary::of(&v);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.utilization - 0.5).abs() < 1e-12);
+    }
+}

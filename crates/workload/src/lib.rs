@@ -1,0 +1,15 @@
+//! # cq-workload — synthetic workload generation
+//!
+//! Reproduces the experimental set-up of the paper's Chapter 5: synthetic
+//! relational schemas, tuple streams with uniform or Zipf-skewed attribute
+//! values, continuous-query mixes over random join attributes, and the knobs
+//! the experiments sweep (number of queries, tuple rate, *bos* ratio — the
+//! bias between the two joined relations' arrival rates, see DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod zipf;
+
+pub use generator::{Workload, WorkloadConfig};
+pub use zipf::Zipf;

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Splices the full-scale experiment output into EXPERIMENTS.md.
+
+Usage: python3 scripts/assemble_experiments.py full_experiments.txt
+Replaces the block between the "---" markers around <!-- RESULTS --> with the
+measured tables (CSV blocks stripped — they remain available in the raw file).
+"""
+import re
+import sys
+
+def main() -> int:
+    raw_path = sys.argv[1] if len(sys.argv) > 1 else "full_experiments.txt"
+    with open(raw_path) as f:
+        raw = f.read()
+    # Drop the CSV blocks; keep the aligned tables and timing lines.
+    raw = re.sub(r"```csv\n.*?```\n", "", raw, flags=re.S)
+    # Keep everything from the first table onward.
+    start = raw.find("== ")
+    if start < 0:
+        print("no experiment tables found in", raw_path, file=sys.stderr)
+        return 1
+    body = raw[start:].rstrip() + "\n"
+    body = "## Measured results (full scale)\n\n```\n" + body + "```\n"
+
+    with open("EXPERIMENTS.md") as f:
+        doc = f.read()
+    marker = "<!-- RESULTS -->"
+    if marker not in doc:
+        print("marker missing in EXPERIMENTS.md", file=sys.stderr)
+        return 1
+    doc = doc.replace(marker, body)
+    with open("EXPERIMENTS.md", "w") as f:
+        f.write(doc)
+    print("spliced", raw_path, "into EXPERIMENTS.md")
+    return 0
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+//! Cross-crate integration: generated workloads driven through the full
+//! stack (workload → parser → engine → overlay) checked against the oracle,
+//! including runs with churn in the middle of the stream.
+
+use cq_engine::{Algorithm, EngineConfig, Network, Oracle};
+use cq_workload::{Workload, WorkloadConfig};
+
+fn drive(net: &mut Network, w: &mut Workload, queries: usize, tuples: usize) {
+    for _ in 0..queries {
+        let poser = net.random_node();
+        let sql = w.query_between(0, 1);
+        net.pose_query_sql(poser, &sql).unwrap();
+    }
+    for _ in 0..tuples {
+        let rel = w.next_stream_relation();
+        let vals = w.random_tuple_values();
+        let from = net.random_node();
+        net.insert_tuple(from, &rel, vals).unwrap();
+    }
+}
+
+fn assert_oracle(net: &Network) {
+    let mut oracle = Oracle::new();
+    oracle.ingest(net.posed_queries(), net.inserted_tuples());
+    assert_eq!(net.delivered_set(), oracle.expected().unwrap());
+}
+
+#[test]
+fn generated_workloads_match_oracle_for_all_algorithms() {
+    for alg in Algorithm::ALL {
+        for seed in [1u64, 2, 3] {
+            let mut w = Workload::new(WorkloadConfig {
+                domain: 12,
+                zipf_theta: 0.9,
+                filter_probability: 0.3,
+                seed,
+                ..WorkloadConfig::default()
+            });
+            let mut net = Network::new(
+                EngineConfig::new(alg).with_nodes(48).with_seed(seed),
+                w.catalog().clone(),
+            );
+            drive(&mut net, &mut w, 10, 120);
+            assert!(
+                !net.delivered_set().is_empty(),
+                "{alg} seed {seed}: workload should produce matches"
+            );
+            assert_oracle(&net);
+        }
+    }
+}
+
+#[test]
+fn t2_workloads_match_oracle_under_dai_v() {
+    let mut w = Workload::new(WorkloadConfig { domain: 6, zipf_theta: 0.5, seed: 4, ..WorkloadConfig::default() });
+    let mut net =
+        Network::new(EngineConfig::new(Algorithm::DaiV).with_nodes(48).with_seed(4), w.catalog().clone());
+    for _ in 0..6 {
+        let poser = net.random_node();
+        let sql = w.random_t2_query_sql();
+        net.pose_query_sql(poser, &sql).unwrap();
+    }
+    for _ in 0..120 {
+        let rel = w.next_stream_relation();
+        let vals = w.random_tuple_values();
+        let from = net.random_node();
+        net.insert_tuple(from, &rel, vals).unwrap();
+    }
+    assert_oracle(&net);
+}
+
+#[test]
+fn voluntary_churn_mid_stream_preserves_exactness() {
+    // Voluntary departures transfer keys, so even with churn between
+    // insertions the delivered set must be exact for every algorithm.
+    for alg in Algorithm::ALL {
+        let mut w = Workload::new(WorkloadConfig { domain: 8, seed: 9, ..WorkloadConfig::default() });
+        let mut net = Network::new(
+            EngineConfig::new(alg).with_nodes(40).with_seed(9),
+            w.catalog().clone(),
+        );
+        drive(&mut net, &mut w, 6, 40);
+        // Five nodes leave gracefully (skip subscribers so inboxes survive;
+        // their notifications would otherwise be parked as offline state).
+        let subscribers: Vec<_> = net
+            .posed_queries()
+            .iter()
+            .map(|q| q.subscriber().to_string())
+            .collect();
+        let victims: Vec<_> = net
+            .ring()
+            .alive_nodes()
+            .filter(|h| !subscribers.contains(&net.ring().node(*h).key().to_string()))
+            .take(5)
+            .collect();
+        for v in victims {
+            net.node_leave(v).unwrap();
+        }
+        net.stabilize(2);
+        // Stream continues after the churn.
+        for _ in 0..40 {
+            let rel = w.next_stream_relation();
+            let vals = w.random_tuple_values();
+            let from = net.random_node();
+            net.insert_tuple(from, &rel, vals).unwrap();
+        }
+        assert_oracle(&net);
+    }
+}
+
+#[test]
+fn replication_and_jfrt_compose_with_real_workloads() {
+    let mut w = Workload::new(WorkloadConfig { domain: 10, seed: 13, ..WorkloadConfig::default() });
+    let mut net = Network::new(
+        EngineConfig::new(Algorithm::DaiT)
+            .with_nodes(64)
+            .with_replication(4)
+            .with_jfrt(true)
+            .with_seed(13),
+        w.catalog().clone(),
+    );
+    drive(&mut net, &mut w, 12, 150);
+    assert_oracle(&net);
+}
