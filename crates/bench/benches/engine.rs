@@ -12,7 +12,11 @@ fn catalog() -> Catalog {
     c.register(
         RelationSchema::of(
             "R",
-            &[("A", DataType::Int), ("B", DataType::Int), ("C", DataType::Int)],
+            &[
+                ("A", DataType::Int),
+                ("B", DataType::Int),
+                ("C", DataType::Int),
+            ],
         )
         .unwrap(),
     )
@@ -20,7 +24,11 @@ fn catalog() -> Catalog {
     c.register(
         RelationSchema::of(
             "S",
-            &[("D", DataType::Int), ("E", DataType::Int), ("F", DataType::Int)],
+            &[
+                ("D", DataType::Int),
+                ("E", DataType::Int),
+                ("F", DataType::Int),
+            ],
         )
         .unwrap(),
     )
@@ -29,8 +37,10 @@ fn catalog() -> Catalog {
 }
 
 fn loaded_network(alg: Algorithm, queries: usize, jfrt: bool) -> Network {
-    let mut net =
-        Network::new(EngineConfig::new(alg).with_nodes(256).with_jfrt(jfrt), catalog());
+    let mut net = Network::new(
+        EngineConfig::new(alg).with_nodes(256).with_jfrt(jfrt),
+        catalog(),
+    );
     let sql = "SELECT R.A, S.D FROM R, S WHERE R.B = S.E";
     for i in 0..queries {
         let poser = net.node_at(i % 256);
@@ -142,7 +152,7 @@ fn bench_parser(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // short windows keep `cargo bench --workspace` minutes-scale;
     // trends matter more than microsecond precision here

@@ -17,7 +17,7 @@ fn bench_figures(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // short windows keep `cargo bench --workspace` minutes-scale;
     // trends matter more than microsecond precision here

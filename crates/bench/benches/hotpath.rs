@@ -1,0 +1,170 @@
+//! Micro-benchmarks of the allocation-sensitive hot paths: owner-only
+//! routing vs path-collecting routing, the borrowed-key candidate lookups
+//! of the value-level tables, and the end-to-end tuple insert they add up
+//! to.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cq_engine::tables::{StoredRewritten, StoredTuple, Vlqt, Vltt};
+use cq_engine::{Algorithm, EngineConfig, Network};
+use cq_overlay::{Id, IdSpace, Ring};
+use cq_relational::{
+    parse_query, Catalog, DataType, QueryKey, RelationSchema, RewrittenQuery, Side, Timestamp,
+    Tuple, Value,
+};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int)]).unwrap())
+        .unwrap();
+    c.register(RelationSchema::of("S", &[("C", DataType::Int), ("D", DataType::Int)]).unwrap())
+        .unwrap();
+    c
+}
+
+/// `route` allocates and returns the hop path; `route_owner` walks the same
+/// fingers but only counts. The delta is the allocation overhead every
+/// owner-only caller used to pay.
+fn bench_route_vs_route_owner(c: &mut Criterion) {
+    let ring = Ring::build(IdSpace::new(32), 1024, "bench-");
+    let from = ring.alive_nodes().next().unwrap();
+    let mut group = c.benchmark_group("hotpath/route");
+    let mut i = 0u64;
+    group.bench_function("route (path-collecting)", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e3779b97f4a7c15);
+            let target = ring.space().id(i);
+            black_box(ring.route(from, target).unwrap().hops())
+        })
+    });
+    let mut j = 0u64;
+    group.bench_function("route_owner (allocation-free)", |b| {
+        b.iter(|| {
+            j = j.wrapping_add(0x9e3779b97f4a7c15);
+            let target = ring.space().id(j);
+            black_box(ring.route_owner(from, target).unwrap().1)
+        })
+    });
+    group.finish();
+}
+
+fn stored_tuple(cat: &Catalog, a: i64, b: i64) -> StoredTuple {
+    let tuple = Arc::new(
+        Tuple::new(
+            cat.get("R").unwrap().clone(),
+            vec![Value::Int(a), Value::Int(b)],
+            Timestamp(1),
+            a as u64,
+        )
+        .unwrap(),
+    );
+    StoredTuple {
+        index_id: Id(a as u64),
+        attr: "B".to_string(),
+        tuple,
+    }
+}
+
+/// VLTT candidate lookup: the per-rewritten-query probe of `handle_join`.
+/// Keys are borrowed `&str`s — no allocation per lookup.
+fn bench_vltt_lookup(c: &mut Criterion) {
+    let cat = catalog();
+    let mut group = c.benchmark_group("hotpath/vltt-candidates");
+    for &n in &[1_000usize, 10_000] {
+        let mut vltt = Vltt::new();
+        for i in 0..n as i64 {
+            vltt.insert(stored_tuple(&cat, i, i % 64));
+        }
+        let mut i = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                i += 1;
+                let key = format!("i:{}", i % 64);
+                black_box(vltt.candidates("R", "B", &key).count())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// VLQT candidate lookup: the per-tuple probe of `handle_vl_tuple`.
+fn bench_vlqt_lookup(c: &mut Criterion) {
+    let cat = catalog();
+    let query = Arc::new(
+        parse_query("SELECT R.A, S.D FROM R, S WHERE R.B = S.C", &cat)
+            .unwrap()
+            .into_query(QueryKey::derive("bench", 0), "bench", Timestamp(0), &cat)
+            .unwrap(),
+    );
+    let mut group = c.benchmark_group("hotpath/vlqt-candidates");
+    for &n in &[1_000usize, 10_000] {
+        let mut vlqt = Vlqt::new();
+        for i in 0..n as i64 {
+            let t = Tuple::new(
+                cat.get("R").unwrap().clone(),
+                vec![Value::Int(i), Value::Int(i % 64)],
+                Timestamp(1),
+                i as u64,
+            )
+            .unwrap();
+            let rq = RewrittenQuery::rewrite_attribute(&query, Side::Left, "B", "C", &t)
+                .unwrap()
+                .unwrap();
+            vlqt.insert(StoredRewritten {
+                index_id: Id(i as u64),
+                rq,
+            });
+        }
+        let mut i = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                i += 1;
+                let key = format!("i:{}", i % 64);
+                black_box(vlqt.candidates("S", "C", &key).count())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end tuple insertion — the operation the routing and table work
+/// composes into; every figure sweep is dominated by this path.
+fn bench_insert_e2e(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath/insert-e2e");
+    for alg in [Algorithm::Sai, Algorithm::DaiT] {
+        let mut net = Network::new(
+            EngineConfig::new(alg).with_nodes(256).with_seed(7),
+            catalog(),
+        );
+        let sql = "SELECT R.A, S.D FROM R, S WHERE R.B = S.C";
+        for i in 0..50 {
+            let poser = net.node_at(i % 256);
+            net.pose_query_sql(poser, sql).unwrap();
+        }
+        let mut i = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, _| {
+            b.iter(|| {
+                i += 1;
+                let from = net.node_at((i as usize) % 256);
+                let (rel, values) = if i % 2 == 0 {
+                    ("R", vec![Value::Int(i), Value::Int(i % 32)])
+                } else {
+                    ("S", vec![Value::Int(i % 32), Value::Int(i)])
+                };
+                black_box(net.insert_tuple(from, rel, values).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_route_vs_route_owner, bench_vltt_lookup, bench_vlqt_lookup, bench_insert_e2e
+}
+criterion_main!(benches);

@@ -69,7 +69,7 @@ fn bench_stabilization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // short windows keep `cargo bench --workspace` minutes-scale;
     // trends matter more than microsecond precision here

@@ -25,18 +25,18 @@ pub fn aindex_replica(space: IdSpace, relation: &str, attr: &str, i: usize, k: u
         return aindex(space, relation, attr);
     }
     let mut h = KeyHasher::new();
-    h.write("A").write(relation).write(attr).write(&format!("#{i}"));
+    h.write("A")
+        .write(relation)
+        .write(attr)
+        .write(&format!("#{i}"));
     h.finish(space)
 }
 
 /// All `k` attribute-level replica identifiers for `(relation, attribute)`.
-pub fn aindex_replicas(
-    space: IdSpace,
-    relation: &str,
-    attr: &str,
-    k: usize,
-) -> Vec<Id> {
-    (0..k.max(1)).map(|i| aindex_replica(space, relation, attr, i, k.max(1))).collect()
+pub fn aindex_replicas(space: IdSpace, relation: &str, attr: &str, k: usize) -> Vec<Id> {
+    (0..k.max(1))
+        .map(|i| aindex_replica(space, relation, attr, i, k.max(1)))
+        .collect()
 }
 
 /// Which replica an incoming tuple's value is routed to: deterministic in the
@@ -55,7 +55,10 @@ pub fn replica_for_value(value: &Value, k: usize) -> usize {
 /// DAI-T.
 pub fn vindex_attr(space: IdSpace, relation: &str, attr: &str, value: &Value) -> Id {
     let mut h = KeyHasher::new();
-    h.write("V").write(relation).write(attr).write(&value.canonical());
+    h.write("V")
+        .write(relation)
+        .write(attr)
+        .write(&value.canonical());
     h.finish(space)
 }
 
@@ -146,7 +149,10 @@ mod tests {
         // A query indexed at the attribute level must never collide with a
         // value-level identifier by accident of concatenation.
         let s = space();
-        assert_ne!(aindex(s, "R", "B"), vindex_value(s, &Value::Str("R".into())));
+        assert_ne!(
+            aindex(s, "R", "B"),
+            vindex_value(s, &Value::Str("R".into()))
+        );
     }
 
     #[test]

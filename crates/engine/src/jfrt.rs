@@ -7,8 +7,7 @@
 //! a cached entry can go stale; a stale hit costs one wasted hop and falls
 //! back to ordinary routing.
 
-use std::collections::HashMap;
-
+use cq_fasthash::FxHashMap;
 use cq_overlay::{Id, NodeHandle};
 
 /// Outcome of consulting the JFRT for one reindex message.
@@ -26,7 +25,7 @@ pub enum JfrtLookup {
 /// Per-rewriter cache of `value-level identifier → evaluator`.
 #[derive(Clone, Debug, Default)]
 pub struct Jfrt {
-    entries: HashMap<Id, NodeHandle>,
+    entries: FxHashMap<Id, NodeHandle>,
     hits: u64,
     misses: u64,
     stale: u64,
@@ -41,11 +40,7 @@ impl Jfrt {
     /// Consults the cache; `still_owner` must report whether a node is alive
     /// and currently responsible for the identifier (a node can verify this
     /// with one direct probe).
-    pub fn lookup(
-        &mut self,
-        id: Id,
-        still_owner: impl Fn(NodeHandle, Id) -> bool,
-    ) -> JfrtLookup {
+    pub fn lookup(&mut self, id: Id, still_owner: impl Fn(NodeHandle, Id) -> bool) -> JfrtLookup {
         match self.entries.get(&id) {
             Some(&node) if still_owner(node, id) => {
                 self.hits += 1;
@@ -104,7 +99,10 @@ mod tests {
         let mut j = Jfrt::new();
         let id = Id(42);
         j.record(id, NodeHandle::from_index(3));
-        assert_eq!(j.lookup(id, |_, _| false), JfrtLookup::Stale(NodeHandle::from_index(3)));
+        assert_eq!(
+            j.lookup(id, |_, _| false),
+            JfrtLookup::Stale(NodeHandle::from_index(3))
+        );
         // entry evicted: next lookup is a miss
         assert_eq!(j.lookup(id, |_, _| true), JfrtLookup::Miss);
         assert!(j.is_empty());
@@ -116,6 +114,9 @@ mod tests {
         j.record(Id(1), NodeHandle::from_index(1));
         j.record(Id(1), NodeHandle::from_index(2));
         assert_eq!(j.len(), 1);
-        assert_eq!(j.lookup(Id(1), |_, _| true), JfrtLookup::Hit(NodeHandle::from_index(2)));
+        assert_eq!(
+            j.lookup(Id(1), |_, _| true),
+            JfrtLookup::Hit(NodeHandle::from_index(2))
+        );
     }
 }

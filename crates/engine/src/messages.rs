@@ -111,4 +111,3 @@ mod tests {
         assert_eq!(msg.kind(), "store-notify");
     }
 }
-

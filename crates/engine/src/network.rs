@@ -5,16 +5,17 @@
 //! messages that are processed FIFO until the network is quiescent; routing
 //! walks the real finger tables so hop counts are faithful.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
+use cq_fasthash::FxHashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use cq_overlay::{Id, NodeHandle, Ring};
 use cq_relational::{
-    parse_query, Catalog, JoinQuery, Notification, QueryKey, QueryRef, QueryType,
-    RewrittenQuery, Side, Timestamp, Tuple, Value,
+    parse_query, Catalog, JoinQuery, Notification, QueryKey, QueryRef, QueryType, RewrittenQuery,
+    Side, Timestamp, Tuple, Value,
 };
 
 use crate::config::{Algorithm, EngineConfig, IndexStrategy};
@@ -38,7 +39,7 @@ pub struct Network {
     rng: StdRng,
     pending: VecDeque<(NodeHandle, Message)>,
     /// `Key(n) → handle` for notification delivery.
-    subscribers: HashMap<String, NodeHandle>,
+    subscribers: FxHashMap<String, NodeHandle>,
     /// Log of every posed query (for oracles and tests).
     posed_queries: Vec<QueryRef>,
     /// Log of every inserted tuple (for oracles and tests).
@@ -61,7 +62,7 @@ impl Network {
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
             pending: VecDeque::new(),
-            subscribers: HashMap::new(),
+            subscribers: FxHashMap::default(),
             posed_queries: Vec::new(),
             inserted_tuples: Vec::new(),
         }
@@ -176,7 +177,8 @@ impl Network {
             c
         };
         let key = QueryKey::derive(&node_key, counter);
-        let query = Arc::new(parsed.into_query(key.clone(), node_key, self.clock, &self.catalog)?);
+        let query =
+            Arc::new(parsed.into_query(key.clone(), node_key, self.clock, &self.catalog)?);
         self.pose_query(node, query)?;
         Ok(key)
     }
@@ -197,7 +199,8 @@ impl Network {
                 detail: "type-T2 queries require DAI-V (Section 4.5)".to_string(),
             });
         }
-        self.subscribers.insert(query.subscriber().to_string(), node);
+        self.subscribers
+            .insert(query.subscriber().to_string(), node);
         self.posed_queries.push(Arc::clone(&query));
 
         // Which side(s) the query is indexed by, and under which attribute.
@@ -254,12 +257,20 @@ impl Network {
         for (attr, ai, vi) in ids {
             targets.push((
                 ai,
-                Message::AlIndexTuple { tuple: Arc::clone(&tuple), attr: attr.clone(), index_id: ai },
+                Message::AlIndexTuple {
+                    tuple: Arc::clone(&tuple),
+                    attr: attr.clone(),
+                    index_id: ai,
+                },
             ));
             if let Some(vi) = vi {
                 targets.push((
                     vi,
-                    Message::VlIndexTuple { tuple: Arc::clone(&tuple), attr, index_id: vi },
+                    Message::VlIndexTuple {
+                        tuple: Arc::clone(&tuple),
+                        attr,
+                        index_id: vi,
+                    },
                 ));
             }
         }
@@ -280,9 +291,11 @@ impl Network {
 
     fn choose_index_side(&mut self, node: NodeHandle, query: &JoinQuery) -> Result<Side> {
         match self.config.strategy {
-            IndexStrategy::Random => {
-                Ok(if self.rng.gen::<bool>() { Side::Left } else { Side::Right })
-            }
+            IndexStrategy::Random => Ok(if self.rng.gen::<bool>() {
+                Side::Left
+            } else {
+                Side::Right
+            }),
             IndexStrategy::LowestRate => {
                 let (l, r) = self.probe_rewriters(node, query)?;
                 Ok(match l.0.cmp(&r.0) {
@@ -329,10 +342,10 @@ impl Network {
             let rel = query.relation(side);
             let attr = self.pick_index_attr(query, side);
             let id = indexing::aindex_replica(space, rel, &attr, 0, self.config.replication);
-            let route = self.ring.route(node, id)?;
+            let (owner, hops) = self.ring.route_owner(node, id)?;
             // request hops + one direct response hop
-            self.metrics.record_traffic(TrafficKind::Probe, route.hops() + 1);
-            out[side.idx_pub()] = self.nodes[route.owner.index()].arrival_stats(rel, &attr);
+            self.metrics.record_traffic(TrafficKind::Probe, hops + 1);
+            out[side.idx_pub()] = self.nodes[owner.index()].arrival_stats(rel, &attr);
         }
         Ok((out[0], out[1]))
     }
@@ -373,7 +386,8 @@ impl Network {
         };
         self.metrics
             .record_traffic_batch(kind, targets.len() as u64, outcome.total_hops);
-        let mut by_id: HashMap<Id, Vec<Message>> = HashMap::with_capacity(targets.len());
+        let mut by_id: FxHashMap<Id, Vec<Message>> =
+            FxHashMap::with_capacity_and_hasher(targets.len(), Default::default());
         for (id, msg) in targets {
             by_id.entry(id).or_default().push(msg);
         }
@@ -404,23 +418,23 @@ impl Network {
                     owner
                 }
                 JfrtLookup::Miss => {
-                    let route = self.ring.route(from, id)?;
-                    self.metrics.record_traffic(TrafficKind::Reindex, route.hops());
-                    self.nodes[from.index()].jfrt.record(id, route.owner);
-                    route.owner
+                    let (owner, hops) = self.ring.route_owner(from, id)?;
+                    self.metrics.record_traffic(TrafficKind::Reindex, hops);
+                    self.nodes[from.index()].jfrt.record(id, owner);
+                    owner
                 }
                 JfrtLookup::Stale(_) => {
                     // one wasted hop to the stale node, then ordinary routing
-                    let route = self.ring.route(from, id)?;
-                    self.metrics.record_traffic(TrafficKind::Reindex, route.hops() + 1);
-                    self.nodes[from.index()].jfrt.record(id, route.owner);
-                    route.owner
+                    let (owner, hops) = self.ring.route_owner(from, id)?;
+                    self.metrics.record_traffic(TrafficKind::Reindex, hops + 1);
+                    self.nodes[from.index()].jfrt.record(id, owner);
+                    owner
                 }
             }
         } else {
-            let route = self.ring.route(from, id)?;
-            self.metrics.record_traffic(TrafficKind::Reindex, route.hops());
-            route.owner
+            let (owner, hops) = self.ring.route_owner(from, id)?;
+            self.metrics.record_traffic(TrafficKind::Reindex, hops);
+            owner
         };
         self.pending.push_back((owner, msg));
         Ok(())
@@ -440,7 +454,12 @@ impl Network {
 
     fn handle(&mut self, at: NodeHandle, msg: Message) -> Result<()> {
         match msg {
-            Message::IndexQuery { query, index_side, index_attr, index_id } => {
+            Message::IndexQuery {
+                query,
+                index_side,
+                index_attr,
+                index_id,
+            } => {
                 self.nodes[at.index()].alqt.insert(StoredQuery {
                     index_id,
                     query,
@@ -449,17 +468,29 @@ impl Network {
                 });
                 Ok(())
             }
-            Message::AlIndexTuple { tuple, attr, index_id } => {
-                self.handle_al_tuple(at, tuple, attr, index_id)
-            }
-            Message::VlIndexTuple { tuple, attr, index_id } => {
-                self.handle_vl_tuple(at, tuple, attr, index_id)
-            }
+            Message::AlIndexTuple {
+                tuple,
+                attr,
+                index_id,
+            } => self.handle_al_tuple(at, tuple, attr, index_id),
+            Message::VlIndexTuple {
+                tuple,
+                attr,
+                index_id,
+            } => self.handle_vl_tuple(at, tuple, attr, index_id),
             Message::Join { items, index_id } => self.handle_join(at, items, index_id),
-            Message::JoinV { group, items, tuple, side, value_key, index_id } => {
-                self.handle_join_v(at, group, items, tuple, side, value_key, index_id)
-            }
-            Message::StoreNotifications { subscriber_id, notifications } => {
+            Message::JoinV {
+                group,
+                items,
+                tuple,
+                side,
+                value_key,
+                index_id,
+            } => self.handle_join_v(at, group, items, tuple, side, value_key, index_id),
+            Message::StoreNotifications {
+                subscriber_id,
+                notifications,
+            } => {
                 let store = &mut self.nodes[at.index()].offline_store;
                 store.extend(notifications.into_iter().map(|n| (subscriber_id, n)));
                 Ok(())
@@ -481,19 +512,22 @@ impl Network {
         attr: String,
         index_id: Id,
     ) -> Result<()> {
-        let rel = tuple.relation().to_string();
-        let value_key = tuple.get(&attr)?.canonical();
-        self.nodes[at.index()].record_arrival(&rel, &attr, value_key);
+        let rel = tuple.relation();
+        let value_key = tuple.canonical_of(&attr)?;
+        self.nodes[at.index()].record_arrival(rel, &attr, value_key);
 
         // Clone out the groups to decouple the borrow from the sends below,
         // keeping only the addressed replica's entries.
         let mut checks = 0u64;
         let groups: Vec<(String, Vec<StoredQuery>)> = self.nodes[at.index()]
             .alqt
-            .groups(&rel, &attr)
+            .groups(rel, &attr)
             .map(|(g, qs)| {
-                let scoped: Vec<StoredQuery> =
-                    qs.iter().filter(|sq| sq.index_id == index_id).cloned().collect();
+                let scoped: Vec<StoredQuery> = qs
+                    .iter()
+                    .filter(|sq| sq.index_id == index_id)
+                    .cloned()
+                    .collect();
                 checks += scoped.len() as u64;
                 (g.to_string(), scoped)
             })
@@ -591,7 +625,10 @@ impl Network {
                     };
                     if algorithm == Algorithm::DaiT {
                         // Reindex each rewritten query at most once.
-                        if !self.nodes[at.index()].reindexed.insert(rq.key().to_string()) {
+                        if !self.nodes[at.index()]
+                            .reindexed
+                            .insert(rq.key().to_string())
+                        {
                             continue;
                         }
                     }
@@ -606,7 +643,14 @@ impl Network {
                     items.push(rq);
                 }
                 if let (Some(id), false) = (target, items.is_empty()) {
-                    self.send_via_jfrt(at, id, Message::Join { items, index_id: id })?;
+                    self.send_via_jfrt(
+                        at,
+                        id,
+                        Message::Join {
+                            items,
+                            index_id: id,
+                        },
+                    )?;
                 }
             }
         }
@@ -621,18 +665,19 @@ impl Network {
         attr: String,
         index_id: Id,
     ) -> Result<()> {
-        let rel = tuple.relation().to_string();
-        let value_key = tuple.get(&attr)?.canonical();
+        let rel = tuple.relation();
+        let value_key = tuple.canonical_of(&attr)?;
         let algorithm = self.config.algorithm;
 
         // SAI and DAI-T: match stored rewritten queries against the tuple.
         if matches!(algorithm, Algorithm::Sai | Algorithm::DaiT) {
             let candidates: Vec<RewrittenQuery> = self.nodes[at.index()]
                 .vlqt
-                .candidates(&rel, &attr, &value_key)
+                .candidates(rel, &attr, value_key)
                 .map(|e| e.rq.clone())
                 .collect();
-            self.metrics.add_evaluator_filtering(at.index(), candidates.len() as u64);
+            self.metrics
+                .add_evaluator_filtering(at.index(), candidates.len() as u64);
             let mut matches = self.new_matches();
             for rq in &candidates {
                 if rq.matches(&tuple)? {
@@ -644,14 +689,23 @@ impl Network {
 
         // SAI and DAI-Q: store the tuple for future rewritten queries.
         if matches!(algorithm, Algorithm::Sai | Algorithm::DaiQ) {
-            self.nodes[at.index()].vltt.insert(StoredTuple { index_id, attr, tuple });
+            self.nodes[at.index()].vltt.insert(StoredTuple {
+                index_id,
+                attr,
+                tuple,
+            });
         }
         Ok(())
     }
 
     /// A batch of rewritten queries arrives at an evaluator
     /// (SAI: Section 4.3.3; DAI-Q: 4.4.2; DAI-T: 4.4.3).
-    fn handle_join(&mut self, at: NodeHandle, items: Vec<RewrittenQuery>, index_id: Id) -> Result<()> {
+    fn handle_join(
+        &mut self,
+        at: NodeHandle,
+        items: Vec<RewrittenQuery>,
+        index_id: Id,
+    ) -> Result<()> {
         let algorithm = self.config.algorithm;
         let mut matches = self.new_matches();
         for rq in items {
@@ -660,9 +714,10 @@ impl Network {
                     // Store first (dedup by key); only a *new* rewritten
                     // query is evaluated against stored tuples — a duplicate
                     // "need only store the information related to tuple t".
-                    let fresh = self.nodes[at.index()]
-                        .vlqt
-                        .insert(StoredRewritten { index_id, rq: rq.clone() });
+                    let fresh = self.nodes[at.index()].vlqt.insert(StoredRewritten {
+                        index_id,
+                        rq: rq.clone(),
+                    });
                     if fresh {
                         self.match_against_vltt(at, &rq, &mut matches)?;
                     }
@@ -693,14 +748,15 @@ impl Network {
         let cq_relational::MatchTarget::Attribute { attr, value } = rq.target() else {
             unreachable!("T1 rewritten queries carry attribute targets");
         };
-        let rel = rq.free_relation().to_string();
-        let value_key = value.canonical();
+        let mut value_key = String::with_capacity(24);
+        value.canonical_into(&mut value_key);
         let candidates: Vec<Arc<Tuple>> = self.nodes[at.index()]
             .vltt
-            .candidates(&rel, attr, &value_key)
+            .candidates(rq.free_relation(), attr, &value_key)
             .map(|e| Arc::clone(&e.tuple))
             .collect();
-        self.metrics.add_evaluator_filtering(at.index(), candidates.len() as u64);
+        self.metrics
+            .add_evaluator_filtering(at.index(), candidates.len() as u64);
         for t in &candidates {
             if rq.matches(t)? {
                 matches.add(rq, t)?;
@@ -731,7 +787,8 @@ impl Network {
                 .candidates(&group, &value_key, other)
                 .map(|e| Arc::clone(&e.tuple))
                 .collect();
-            self.metrics.add_evaluator_filtering(at.index(), candidates.len() as u64);
+            self.metrics
+                .add_evaluator_filtering(at.index(), candidates.len() as u64);
             for t in &candidates {
                 if rq.matches(t)? {
                     matches.add(rq, t)?;
@@ -741,7 +798,11 @@ impl Network {
         self.nodes[at.index()].vstore.insert(
             &group,
             &value_key,
-            StoredValueTuple { index_id, side, tuple },
+            StoredValueTuple {
+                index_id,
+                side,
+                tuple,
+            },
         );
         self.deliver_matches(at, matches)?;
         Ok(())
@@ -759,7 +820,7 @@ impl Network {
         if self.config.retain_notifications {
             Matches::Full(Vec::new())
         } else {
-            Matches::Counts(HashMap::new())
+            Matches::Counts(FxHashMap::default())
         }
     }
 
@@ -778,8 +839,8 @@ impl Network {
                         }
                         _ => {
                             let id = indexing::subscriber_id(self.ring.space(), &subscriber);
-                            let route = self.ring.route(from, id)?;
-                            self.metrics.record_traffic(TrafficKind::Notify, route.hops());
+                            let (_, hops) = self.ring.route_owner(from, id)?;
+                            self.metrics.record_traffic(TrafficKind::Notify, hops);
                         }
                     }
                 }
@@ -797,9 +858,12 @@ impl Network {
             return Ok(());
         }
         // Group notifications per receiver into one message.
-        let mut by_subscriber: HashMap<String, Vec<Notification>> = HashMap::new();
+        let mut by_subscriber: FxHashMap<String, Vec<Notification>> = FxHashMap::default();
         for n in notifications {
-            by_subscriber.entry(n.subscriber.clone()).or_default().push(n);
+            by_subscriber
+                .entry(n.subscriber.clone())
+                .or_default()
+                .push(n);
         }
         let retain = self.config.retain_notifications;
         for (subscriber, batch) in by_subscriber {
@@ -814,13 +878,12 @@ impl Network {
                 }
                 _ => {
                     // Offline: route toward Successor(Id(n)) and store there.
-                    let id =
-                        indexing::subscriber_id(self.ring.space(), &subscriber);
-                    let route = self.ring.route(from, id)?;
-                    self.metrics.record_traffic(TrafficKind::Notify, route.hops());
+                    let id = indexing::subscriber_id(self.ring.space(), &subscriber);
+                    let (owner, hops) = self.ring.route_owner(from, id)?;
+                    self.metrics.record_traffic(TrafficKind::Notify, hops);
                     if retain {
                         self.pending.push_back((
-                            route.owner,
+                            owner,
                             Message::StoreNotifications {
                                 subscriber_id: id,
                                 notifications: batch,
@@ -956,7 +1019,7 @@ enum Matches {
     /// Full notification bodies (retention on).
     Full(Vec<Notification>),
     /// Per-subscriber match counts (retention off).
-    Counts(HashMap<String, u64>),
+    Counts(FxHashMap<String, u64>),
 }
 
 impl Matches {

@@ -1,12 +1,12 @@
 //! Per-node protocol state: the local tables, the JFRT, observed arrival
 //! statistics and the subscriber inbox.
 
-use std::collections::{HashMap, HashSet};
-
+use cq_fasthash::{FxHashMap, FxHashSet};
 use cq_overlay::Id;
 use cq_relational::Notification;
 
 use crate::jfrt::Jfrt;
+use crate::tables::keys::{bucket_mut, lookup_key, StrPair};
 use crate::tables::{Alqt, VStore, Vlqt, Vltt};
 
 /// Arrival statistics a rewriter keeps per `(relation, attribute)` — "each
@@ -24,7 +24,7 @@ pub struct ArrivalStats {
     pub prev_count: u64,
     /// Distinct values observed (canonical forms; kept across windows — the
     /// domain estimate only grows more accurate).
-    pub distinct: HashSet<String>,
+    pub distinct: FxHashSet<Box<str>>,
 }
 
 impl ArrivalStats {
@@ -56,14 +56,14 @@ pub struct NodeState {
     /// DAI-T rewriter memory of already-reindexed rewritten-query keys —
     /// "a rewriter does not need to reindex the same rewritten query more
     /// than once" (Section 4.4.3).
-    pub reindexed: HashSet<String>,
+    pub reindexed: FxHashSet<String>,
     /// Notifications this node has received as a subscriber.
     pub inbox: Vec<Notification>,
     /// Notifications held for offline subscribers whose key identifier this
     /// node is responsible for (Section 4.6), with that identifier.
     pub offline_store: Vec<(Id, Notification)>,
     /// Per-(relation, attribute) arrival statistics.
-    pub arrivals: HashMap<(String, String), ArrivalStats>,
+    pub arrivals: FxHashMap<StrPair, ArrivalStats>,
     /// Counter for deriving this node's query keys.
     pub query_counter: u64,
 }
@@ -75,20 +75,22 @@ impl NodeState {
     }
 
     /// Records an attribute-level tuple arrival for strategy statistics.
-    pub fn record_arrival(&mut self, relation: &str, attr: &str, value_key: String) {
-        let stats = self
-            .arrivals
-            .entry((relation.to_string(), attr.to_string()))
-            .or_default();
+    ///
+    /// `value_key` is the tuple value's canonical form; it is only copied
+    /// into the distinct-value set the first time it is seen.
+    pub fn record_arrival(&mut self, relation: &str, attr: &str, value_key: &str) {
+        let stats = bucket_mut(&mut self.arrivals, relation, attr);
         stats.count += 1;
-        stats.distinct.insert(value_key);
+        if !stats.distinct.contains(value_key) {
+            stats.distinct.insert(value_key.into());
+        }
     }
 
     /// Arrival statistics for `(relation, attr)`:
     /// `(windowed count, distinct values)`.
     pub fn arrival_stats(&self, relation: &str, attr: &str) -> (u64, usize) {
         self.arrivals
-            .get(&(relation.to_string(), attr.to_string()))
+            .get(lookup_key(&(relation, attr)))
             .map_or((0, 0), |s| (s.windowed_count(), s.distinct.len()))
     }
 
@@ -124,9 +126,9 @@ mod tests {
     #[test]
     fn arrival_stats_accumulate() {
         let mut n = NodeState::new();
-        n.record_arrival("R", "B", "i:1".into());
-        n.record_arrival("R", "B", "i:1".into());
-        n.record_arrival("R", "B", "i:2".into());
+        n.record_arrival("R", "B", "i:1");
+        n.record_arrival("R", "B", "i:1");
+        n.record_arrival("R", "B", "i:2");
         assert_eq!(n.arrival_stats("R", "B"), (3, 2));
         assert_eq!(n.arrival_stats("R", "C"), (0, 0));
     }
@@ -135,14 +137,22 @@ mod tests {
     fn arrival_window_forgets_old_bursts() {
         let mut n = NodeState::new();
         for _ in 0..10 {
-            n.record_arrival("R", "B", "i:1".into());
+            n.record_arrival("R", "B", "i:1");
         }
         n.roll_statistics_window();
-        assert_eq!(n.arrival_stats("R", "B").0, 10, "previous window still counted");
-        n.record_arrival("R", "B", "i:2".into());
+        assert_eq!(
+            n.arrival_stats("R", "B").0,
+            10,
+            "previous window still counted"
+        );
+        n.record_arrival("R", "B", "i:2");
         assert_eq!(n.arrival_stats("R", "B").0, 11);
         n.roll_statistics_window();
-        assert_eq!(n.arrival_stats("R", "B").0, 1, "burst two windows back forgotten");
+        assert_eq!(
+            n.arrival_stats("R", "B").0,
+            1,
+            "burst two windows back forgotten"
+        );
         n.roll_statistics_window();
         assert_eq!(n.arrival_stats("R", "B").0, 0);
         // distinct-value knowledge is retained

@@ -70,8 +70,7 @@ impl Oracle {
 mod tests {
     use super::*;
     use cq_relational::{
-        Catalog, DataType, Expr, JoinQuery, QueryKey, RelationSchema, SelectItem, Timestamp,
-        Value,
+        Catalog, DataType, Expr, JoinQuery, QueryKey, RelationSchema, SelectItem, Timestamp, Value,
     };
 
     fn setup() -> (Catalog, QueryRef) {
@@ -88,8 +87,14 @@ mod tests {
                 "R",
                 "S",
                 vec![
-                    SelectItem { side: Side::Left, attr: "A".into() },
-                    SelectItem { side: Side::Right, attr: "D".into() },
+                    SelectItem {
+                        side: Side::Left,
+                        attr: "A".into(),
+                    },
+                    SelectItem {
+                        side: Side::Right,
+                        attr: "D".into(),
+                    },
                 ],
                 Expr::attr("B"),
                 Expr::attr("C"),

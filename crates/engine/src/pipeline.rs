@@ -72,7 +72,11 @@ impl Pipeline {
     /// (the node that subscribes to every stage and republishes derived
     /// tuples).
     pub fn new(driver: NodeHandle) -> Self {
-        Pipeline { driver, feeds: Vec::new(), final_queries: Vec::new() }
+        Pipeline {
+            driver,
+            feeds: Vec::new(),
+            final_queries: Vec::new(),
+        }
     }
 
     /// The driver node.
@@ -194,26 +198,32 @@ mod tests {
         c.register(RelationSchema::of("T", &[("E", DataType::Int), ("F", DataType::Int)]).unwrap())
             .unwrap();
         // Derived relation: (R.A, S.D) pairs from stage one.
-        c.register(RelationSchema::of("RS", &[("A", DataType::Int), ("D", DataType::Int)]).unwrap())
-            .unwrap();
+        c.register(
+            RelationSchema::of("RS", &[("A", DataType::Int), ("D", DataType::Int)]).unwrap(),
+        )
+        .unwrap();
         c
     }
 
     #[test]
     fn three_way_join_via_pipeline() {
-        let mut net =
-            Network::new(EngineConfig::new(Algorithm::DaiT).with_nodes(48), catalog());
+        let mut net = Network::new(EngineConfig::new(Algorithm::DaiT).with_nodes(48), catalog());
         let driver = net.node_at(0);
         let mut p = Pipeline::new(driver);
         // Stage 1: R ⋈ S on B = C, emitting (A, D) into RS.
-        p.add_stage(&mut net, "SELECT R.A, S.D FROM R, S WHERE R.B = S.C", "RS").unwrap();
+        p.add_stage(&mut net, "SELECT R.A, S.D FROM R, S WHERE R.B = S.C", "RS")
+            .unwrap();
         // Stage 2: RS ⋈ T on D = E, emitting (A, F).
-        p.add_final_stage(&mut net, "SELECT RS.A, T.F FROM RS, T WHERE RS.D = T.E").unwrap();
+        p.add_final_stage(&mut net, "SELECT RS.A, T.F FROM RS, T WHERE RS.D = T.E")
+            .unwrap();
 
         // R(1, 5) ⋈ S(5, 9) → RS(1, 9); RS(1, 9) ⋈ T(9, 42) → (1, 42).
-        net.insert_tuple(driver, "R", vec![Value::Int(1), Value::Int(5)]).unwrap();
-        net.insert_tuple(driver, "S", vec![Value::Int(5), Value::Int(9)]).unwrap();
-        net.insert_tuple(driver, "T", vec![Value::Int(9), Value::Int(42)]).unwrap();
+        net.insert_tuple(driver, "R", vec![Value::Int(1), Value::Int(5)])
+            .unwrap();
+        net.insert_tuple(driver, "S", vec![Value::Int(5), Value::Int(9)])
+            .unwrap();
+        net.insert_tuple(driver, "T", vec![Value::Int(9), Value::Int(42)])
+            .unwrap();
         let derived = p.pump(&mut net).unwrap();
         assert_eq!(derived, 1, "one RS tuple republished");
 
@@ -224,12 +234,13 @@ mod tests {
 
     #[test]
     fn pipeline_matches_brute_force_three_way_join() {
-        let mut net =
-            Network::new(EngineConfig::new(Algorithm::Sai).with_nodes(48), catalog());
+        let mut net = Network::new(EngineConfig::new(Algorithm::Sai).with_nodes(48), catalog());
         let driver = net.node_at(0);
         let mut p = Pipeline::new(driver);
-        p.add_stage(&mut net, "SELECT R.A, S.D FROM R, S WHERE R.B = S.C", "RS").unwrap();
-        p.add_final_stage(&mut net, "SELECT RS.A, T.F FROM RS, T WHERE RS.D = T.E").unwrap();
+        p.add_stage(&mut net, "SELECT R.A, S.D FROM R, S WHERE R.B = S.C", "RS")
+            .unwrap();
+        p.add_final_stage(&mut net, "SELECT RS.A, T.F FROM RS, T WHERE RS.D = T.E")
+            .unwrap();
 
         let mut rs_data = Vec::new();
         let mut s_data = Vec::new();
@@ -243,13 +254,16 @@ mod tests {
         };
         for _ in 0..25 {
             let (a, b) = (rnd(10), rnd(4));
-            net.insert_tuple(driver, "R", vec![Value::Int(a), Value::Int(b)]).unwrap();
+            net.insert_tuple(driver, "R", vec![Value::Int(a), Value::Int(b)])
+                .unwrap();
             rs_data.push((a, b));
             let (c, d) = (rnd(4), rnd(5));
-            net.insert_tuple(driver, "S", vec![Value::Int(c), Value::Int(d)]).unwrap();
+            net.insert_tuple(driver, "S", vec![Value::Int(c), Value::Int(d)])
+                .unwrap();
             s_data.push((c, d));
             let (e, f) = (rnd(5), rnd(10));
-            net.insert_tuple(driver, "T", vec![Value::Int(e), Value::Int(f)]).unwrap();
+            net.insert_tuple(driver, "T", vec![Value::Int(e), Value::Int(f)])
+                .unwrap();
             t_data.push((e, f));
             p.pump(&mut net).unwrap();
         }
@@ -271,16 +285,14 @@ mod tests {
                 }
             }
         }
-        let got: HashSet<Vec<Value>> =
-            p.results(&net).into_iter().map(|n| n.values).collect();
+        let got: HashSet<Vec<Value>> = p.results(&net).into_iter().map(|n| n.values).collect();
         assert_eq!(got, expected);
         assert!(!got.is_empty(), "workload should produce three-way matches");
     }
 
     #[test]
     fn arity_mismatch_is_rejected() {
-        let mut net =
-            Network::new(EngineConfig::new(Algorithm::DaiT).with_nodes(32), catalog());
+        let mut net = Network::new(EngineConfig::new(Algorithm::DaiT).with_nodes(32), catalog());
         let driver = net.node_at(0);
         let mut p = Pipeline::new(driver);
         let err = p

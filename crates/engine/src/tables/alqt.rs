@@ -6,10 +6,11 @@
 //! candidate queries in one step, already grouped by equivalent join
 //! condition.
 
-use std::collections::HashMap;
-
+use cq_fasthash::FxHashMap;
 use cq_overlay::Id;
 use cq_relational::{QueryRef, Side};
+
+use super::keys::{bucket_mut, lookup_key, str_bucket_mut, StrPair};
 
 /// A query stored at a rewriter, remembering which side it was indexed by
 /// and under which attribute-level identifier (for key transfer on churn).
@@ -26,13 +27,14 @@ pub struct StoredQuery {
     pub index_attr: String,
 }
 
-/// Level-1 key: the index attribute, prefixed by its relation.
-type AttrKey = (String, String);
-
 /// The two-level attribute-level query table.
+///
+/// Level-1 buckets are keyed by the index attribute (relation + attribute)
+/// as an owned [`StrPair`], level-2 by the join-condition group key; lookups
+/// borrow the caller's `&str`s instead of allocating (see [`super::keys`]).
 #[derive(Clone, Debug, Default)]
 pub struct Alqt {
-    buckets: HashMap<AttrKey, HashMap<String, Vec<StoredQuery>>>,
+    buckets: FxHashMap<StrPair, FxHashMap<Box<str>, Vec<StoredQuery>>>,
     len: usize,
 }
 
@@ -49,12 +51,13 @@ impl Alqt {
     /// each must keep its own entry so churn-time key transfer can split
     /// them again.
     pub fn insert(&mut self, entry: StoredQuery) -> bool {
-        let key = (
-            entry.query.relation(entry.index_side).to_string(),
-            entry.index_attr.clone(),
-        );
         let group = entry.query.group_key();
-        let bucket = self.buckets.entry(key).or_default().entry(group).or_default();
+        let groups = bucket_mut(
+            &mut self.buckets,
+            entry.query.relation(entry.index_side),
+            &entry.index_attr,
+        );
+        let bucket = str_bucket_mut(groups, &group);
         if bucket.iter().any(|e| {
             e.query.key() == entry.query.key()
                 && e.index_side == entry.index_side
@@ -76,9 +79,9 @@ impl Alqt {
         attr: &str,
     ) -> impl Iterator<Item = (&str, &[StoredQuery])> {
         self.buckets
-            .get(&(relation.to_string(), attr.to_string()))
+            .get(lookup_key(&(relation, attr)))
             .into_iter()
-            .flat_map(|m| m.iter().map(|(g, v)| (g.as_str(), v.as_slice())))
+            .flat_map(|m| m.iter().map(|(g, v)| (&**g, v.as_slice())))
     }
 
     /// Number of candidate queries an incoming tuple for `(relation, attr)`
@@ -86,7 +89,7 @@ impl Alqt {
     /// tuple.
     pub fn candidate_count(&self, relation: &str, attr: &str) -> usize {
         self.buckets
-            .get(&(relation.to_string(), attr.to_string()))
+            .get(lookup_key(&(relation, attr)))
             .map_or(0, |m| m.values().map(Vec::len).sum())
     }
 
@@ -153,7 +156,10 @@ mod tests {
                 Timestamp(0),
                 "R",
                 "S",
-                vec![SelectItem { side: Side::Left, attr: "A".into() }],
+                vec![SelectItem {
+                    side: Side::Left,
+                    attr: "A".into(),
+                }],
                 Expr::attr("B"),
                 Expr::attr("C"),
                 vec![],

@@ -1,0 +1,160 @@
+//! Borrow-friendly composite keys for the two-level tables.
+//!
+//! The tables are keyed by string pairs — `(relation, attribute)` for the
+//! query/tuple tables, `(group, value)` for the DAI-V store. Keying a
+//! `HashMap` by `(String, String)` forces every *lookup* to allocate two
+//! fresh `String`s just to form the key. [`StrPair`] plus the [`PairQuery`]
+//! trait object avoid that: the map is keyed by the owned pair, but lookups
+//! pass `&(a, b) as &dyn PairQuery`, which borrows the caller's `&str`s.
+//!
+//! The trick is the classic `Borrow<dyn Trait>` pattern: `StrPair`
+//! implements `Borrow<dyn PairQuery>`, and `Hash`/`Eq` are defined on the
+//! trait object so that owned and borrowed forms hash identically.
+
+use std::borrow::Borrow;
+use std::hash::{Hash, Hasher};
+
+/// An owned pair of interned strings used as a bucket key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StrPair {
+    /// First component (relation or group).
+    pub a: Box<str>,
+    /// Second component (attribute or value).
+    pub b: Box<str>,
+}
+
+impl StrPair {
+    /// Builds an owned pair from borrowed components.
+    pub fn new(a: &str, b: &str) -> Self {
+        StrPair {
+            a: a.into(),
+            b: b.into(),
+        }
+    }
+}
+
+/// A borrowed view of a string pair; the lookup-side counterpart of
+/// [`StrPair`].
+pub trait PairQuery {
+    /// First component of the pair.
+    fn first(&self) -> &str;
+    /// Second component of the pair.
+    fn second(&self) -> &str;
+}
+
+impl PairQuery for StrPair {
+    #[inline]
+    fn first(&self) -> &str {
+        &self.a
+    }
+    #[inline]
+    fn second(&self) -> &str {
+        &self.b
+    }
+}
+
+impl PairQuery for (&str, &str) {
+    #[inline]
+    fn first(&self) -> &str {
+        self.0
+    }
+    #[inline]
+    fn second(&self) -> &str {
+        self.1
+    }
+}
+
+impl Hash for dyn PairQuery + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.first().hash(state);
+        self.second().hash(state);
+    }
+}
+
+impl PartialEq for dyn PairQuery + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.first() == other.first() && self.second() == other.second()
+    }
+}
+
+impl Eq for dyn PairQuery + '_ {}
+
+// The map hashes owned keys through the same trait-object impl, so owned
+// and borrowed forms land in the same bucket.
+impl Hash for StrPair {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (self as &dyn PairQuery).hash(state)
+    }
+}
+
+impl<'a> Borrow<dyn PairQuery + 'a> for StrPair {
+    fn borrow(&self) -> &(dyn PairQuery + 'a) {
+        self
+    }
+}
+
+/// Casts a borrowed pair for map lookup:
+/// `map.get(lookup_key(&(relation, attr)))`.
+#[inline]
+pub fn lookup_key<'a>(pair: &'a (&'a str, &'a str)) -> &'a (dyn PairQuery + 'a) {
+    pair
+}
+
+/// Get-or-insert for a [`StrPair`]-keyed map that only allocates the owned
+/// key when the bucket does not exist yet (the `entry` API would force an
+/// allocation on every call).
+pub fn bucket_mut<'m, V: Default>(
+    map: &'m mut cq_fasthash::FxHashMap<StrPair, V>,
+    a: &str,
+    b: &str,
+) -> &'m mut V {
+    if map.contains_key(lookup_key(&(a, b))) {
+        map.get_mut(lookup_key(&(a, b))).expect("checked above")
+    } else {
+        map.entry(StrPair::new(a, b)).or_default()
+    }
+}
+
+/// Get-or-insert for a `Box<str>`-keyed second-level map, same rationale as
+/// [`bucket_mut`].
+pub fn str_bucket_mut<'m, V: Default>(
+    map: &'m mut cq_fasthash::FxHashMap<Box<str>, V>,
+    key: &str,
+) -> &'m mut V {
+    if map.contains_key(key) {
+        map.get_mut(key).expect("checked above")
+    } else {
+        map.entry(key.into()).or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_fasthash::FxHashMap;
+
+    #[test]
+    fn owned_and_borrowed_forms_agree() {
+        let mut m: FxHashMap<StrPair, u32> = FxHashMap::default();
+        m.insert(StrPair::new("R", "A"), 1);
+        m.insert(StrPair::new("R", "B"), 2);
+        assert_eq!(m.get(lookup_key(&("R", "A"))), Some(&1));
+        assert_eq!(m.get(lookup_key(&("R", "B"))), Some(&2));
+        assert_eq!(m.get(lookup_key(&("S", "A"))), None);
+        // The separator property: ("RA","") must not collide with ("R","A").
+        assert_eq!(m.get(lookup_key(&("RA", ""))), None);
+    }
+
+    #[test]
+    fn hash_consistency_between_forms() {
+        use std::hash::BuildHasher;
+        let bh = cq_fasthash::FxBuildHasher::default();
+        let owned = StrPair::new("Doc", "AuthorId");
+        let borrowed: &dyn PairQuery = &("Doc", "AuthorId");
+        assert_eq!(bh.hash_one(&owned), {
+            let mut h = bh.build_hasher();
+            borrowed.hash(&mut h);
+            std::hash::Hasher::finish(&h)
+        });
+    }
+}

@@ -2,6 +2,7 @@
 //! (ALQT, VLQT, VLTT) and the DAI-V evaluator store.
 
 pub mod alqt;
+pub mod keys;
 pub mod vlqt;
 pub mod vltt;
 pub mod vstore;

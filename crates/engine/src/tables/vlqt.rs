@@ -6,10 +6,11 @@
 //! queries they might match in one step. Entries are keyed by the rewritten
 //! query's unique key, giving the deduplication of Section 4.3.3.
 
-use std::collections::HashMap;
-
+use cq_fasthash::FxHashMap;
 use cq_overlay::Id;
 use cq_relational::{MatchTarget, RewrittenQuery};
+
+use super::keys::{bucket_mut, lookup_key, str_bucket_mut, StrPair};
 
 /// A rewritten query stored at an evaluator together with the value-level
 /// identifier it was indexed under.
@@ -21,15 +22,20 @@ pub struct StoredRewritten {
     pub rq: RewrittenQuery,
 }
 
-/// Level-1 key: the load-distributing attribute (relation + attribute).
-type AttrKey = (String, String);
-
 /// The two-level value-level query table.
+///
+/// First-level buckets are keyed by the load-distributing attribute as an
+/// owned `(relation, attr)` [`StrPair`]; the second level by the value's
+/// canonical form; the third by the rewritten query's dedup key. Lookups
+/// borrow the caller's `&str`s instead of allocating (see [`super::keys`]).
 #[derive(Clone, Debug, Default)]
 pub struct Vlqt {
-    buckets: HashMap<AttrKey, HashMap<String, HashMap<String, StoredRewritten>>>,
+    buckets: FxHashMap<StrPair, ByValue>,
     len: usize,
 }
+
+/// Second level (canonical value) → third level (rewritten-query dedup key).
+type ByValue = FxHashMap<Box<str>, FxHashMap<Box<str>, StoredRewritten>>;
 
 impl Vlqt {
     /// An empty table.
@@ -44,18 +50,14 @@ impl Vlqt {
         let MatchTarget::Attribute { attr, value } = entry.rq.target() else {
             panic!("VLQT stores attribute-targeted rewritten queries only");
         };
-        let key = (entry.rq.free_relation().to_string(), attr.clone());
-        let vkey = value.canonical();
-        let by_key = self
-            .buckets
-            .entry(key)
-            .or_default()
-            .entry(vkey)
-            .or_default();
+        let mut vkey = String::new();
+        value.canonical_into(&mut vkey);
+        let by_value = bucket_mut(&mut self.buckets, entry.rq.free_relation(), attr);
+        let by_key = str_bucket_mut(by_value, &vkey);
         if by_key.contains_key(entry.rq.key()) {
             return false;
         }
-        by_key.insert(entry.rq.key().to_string(), entry);
+        by_key.insert(entry.rq.key().into(), entry);
         self.len += 1;
         true
     }
@@ -69,7 +71,7 @@ impl Vlqt {
         value_key: &str,
     ) -> impl Iterator<Item = &StoredRewritten> {
         self.buckets
-            .get(&(relation.to_string(), attr.to_string()))
+            .get(lookup_key(&(relation, attr)))
             .and_then(|m| m.get(value_key))
             .into_iter()
             .flat_map(|m| m.values())
@@ -79,9 +81,9 @@ impl Vlqt {
     /// evaluator's filtering work for one incoming tuple.
     pub fn candidate_count(&self, relation: &str, attr: &str, value_key: &str) -> usize {
         self.buckets
-            .get(&(relation.to_string(), attr.to_string()))
+            .get(lookup_key(&(relation, attr)))
             .and_then(|m| m.get(value_key))
-            .map_or(0, HashMap::len)
+            .map_or(0, FxHashMap::len)
     }
 
     /// Total stored rewritten queries.
@@ -100,13 +102,13 @@ impl Vlqt {
         let mut out = Vec::new();
         for by_value in self.buckets.values_mut() {
             for by_key in by_value.values_mut() {
-                let keys: Vec<String> = by_key
+                let keys: Vec<Box<str>> = by_key
                     .iter()
                     .filter(|(_, e)| pred(e.index_id))
                     .map(|(k, _)| k.clone())
                     .collect();
                 for k in keys {
-                    out.push(by_key.remove(&k).expect("key listed above"));
+                    out.push(by_key.remove(&*k).expect("key listed above"));
                 }
             }
             by_value.retain(|_, m| !m.is_empty());
@@ -126,8 +128,8 @@ impl Vlqt {
 mod tests {
     use super::*;
     use cq_relational::{
-        Catalog, DataType, Expr, JoinQuery, QueryKey, RelationSchema, SelectItem, Side,
-        Timestamp, Tuple, Value,
+        Catalog, DataType, Expr, JoinQuery, QueryKey, RelationSchema, SelectItem, Side, Timestamp,
+        Tuple, Value,
     };
     use std::sync::Arc;
 
@@ -144,7 +146,10 @@ mod tests {
                 Timestamp(0),
                 "R",
                 "S",
-                vec![SelectItem { side: Side::Left, attr: "A".into() }],
+                vec![SelectItem {
+                    side: Side::Left,
+                    attr: "A".into(),
+                }],
                 Expr::attr("B"),
                 Expr::attr("C"),
                 vec![],
@@ -173,7 +178,10 @@ mod tests {
         let (c, q) = setup();
         let mut t = Vlqt::new();
         let rq = rewritten(&c, &q, 1, 7);
-        assert!(t.insert(StoredRewritten { index_id: Id(0), rq }));
+        assert!(t.insert(StoredRewritten {
+            index_id: Id(0),
+            rq
+        }));
         assert_eq!(t.len(), 1);
         let vkey = Value::Int(7).canonical();
         assert_eq!(t.candidate_count("S", "C", &vkey), 1);
@@ -186,12 +194,21 @@ mod tests {
     fn same_key_is_stored_once() {
         let (c, q) = setup();
         let mut t = Vlqt::new();
-        assert!(t.insert(StoredRewritten { index_id: Id(0), rq: rewritten(&c, &q, 1, 7) }));
+        assert!(t.insert(StoredRewritten {
+            index_id: Id(0),
+            rq: rewritten(&c, &q, 1, 7)
+        }));
         // identical select value and join value → same rewritten key
-        assert!(!t.insert(StoredRewritten { index_id: Id(0), rq: rewritten(&c, &q, 1, 7) }));
+        assert!(!t.insert(StoredRewritten {
+            index_id: Id(0),
+            rq: rewritten(&c, &q, 1, 7)
+        }));
         assert_eq!(t.len(), 1);
         // different select value → different key
-        assert!(t.insert(StoredRewritten { index_id: Id(0), rq: rewritten(&c, &q, 2, 7) }));
+        assert!(t.insert(StoredRewritten {
+            index_id: Id(0),
+            rq: rewritten(&c, &q, 2, 7)
+        }));
         assert_eq!(t.len(), 2);
     }
 
@@ -199,8 +216,14 @@ mod tests {
     fn extract_where_moves_matching_entries() {
         let (c, q) = setup();
         let mut t = Vlqt::new();
-        t.insert(StoredRewritten { index_id: Id(1), rq: rewritten(&c, &q, 1, 7) });
-        t.insert(StoredRewritten { index_id: Id(2), rq: rewritten(&c, &q, 1, 8) });
+        t.insert(StoredRewritten {
+            index_id: Id(1),
+            rq: rewritten(&c, &q, 1, 7),
+        });
+        t.insert(StoredRewritten {
+            index_id: Id(2),
+            rq: rewritten(&c, &q, 1, 8),
+        });
         let moved = t.extract_where(|id| id == Id(2));
         assert_eq!(moved.len(), 1);
         assert_eq!(t.len(), 1);

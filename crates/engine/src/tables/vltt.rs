@@ -6,11 +6,13 @@
 //! level is what makes SAI (and DAI-Q) complete when a rewritten query
 //! arrives after matching tuples were inserted.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
+use cq_fasthash::FxHashMap;
 use cq_overlay::Id;
 use cq_relational::Tuple;
+
+use super::keys::{bucket_mut, lookup_key, str_bucket_mut, StrPair};
 
 /// A tuple stored at the value level together with the attribute it was
 /// indexed by (`IndexA(t)`) and the identifier it was indexed under.
@@ -24,12 +26,15 @@ pub struct StoredTuple {
     pub tuple: Arc<Tuple>,
 }
 
-type AttrKey = (String, String);
-
 /// The two-level value-level tuple table.
+///
+/// Buckets are keyed by an owned `(relation, attr)` [`StrPair`] at the first
+/// level and by the value's canonical form at the second; lookups borrow the
+/// caller's `&str`s instead of allocating key strings (see
+/// [`super::keys`]).
 #[derive(Clone, Debug, Default)]
 pub struct Vltt {
-    buckets: HashMap<AttrKey, HashMap<String, Vec<StoredTuple>>>,
+    buckets: FxHashMap<StrPair, FxHashMap<Box<str>, Vec<StoredTuple>>>,
     len: usize,
 }
 
@@ -41,13 +46,12 @@ impl Vltt {
 
     /// Stores a tuple under `(relation, attr, value-of-attr)`.
     pub fn insert(&mut self, entry: StoredTuple) {
-        let value_key = entry
-            .tuple
-            .get(&entry.attr)
-            .expect("index attribute exists in tuple")
-            .canonical();
-        let key = (entry.tuple.relation().to_string(), entry.attr.clone());
-        self.buckets.entry(key).or_default().entry(value_key).or_default().push(entry);
+        let tuple = Arc::clone(&entry.tuple);
+        let value_key = tuple
+            .canonical_of(&entry.attr)
+            .expect("index attribute exists in tuple");
+        let by_value = bucket_mut(&mut self.buckets, tuple.relation(), &entry.attr);
+        str_bucket_mut(by_value, value_key).push(entry);
         self.len += 1;
     }
 
@@ -60,7 +64,7 @@ impl Vltt {
         value_key: &str,
     ) -> impl Iterator<Item = &StoredTuple> {
         self.buckets
-            .get(&(relation.to_string(), attr.to_string()))
+            .get(lookup_key(&(relation, attr)))
             .and_then(|m| m.get(value_key))
             .into_iter()
             .flatten()
@@ -70,7 +74,7 @@ impl Vltt {
     /// evaluator's filtering work.
     pub fn candidate_count(&self, relation: &str, attr: &str, value_key: &str) -> usize {
         self.buckets
-            .get(&(relation.to_string(), attr.to_string()))
+            .get(lookup_key(&(relation, attr)))
             .and_then(|m| m.get(value_key))
             .map_or(0, Vec::len)
     }
@@ -121,17 +125,27 @@ mod tests {
         let schema = Arc::new(
             RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int)]).unwrap(),
         );
-        Arc::new(
-            Tuple::new(schema, vec![Value::Int(a), Value::Int(b)], Timestamp(0), 0).unwrap(),
-        )
+        Arc::new(Tuple::new(schema, vec![Value::Int(a), Value::Int(b)], Timestamp(0), 0).unwrap())
     }
 
     #[test]
     fn insert_and_lookup_by_attr_and_value() {
         let mut t = Vltt::new();
-        t.insert(StoredTuple { index_id: Id(0), attr: "A".into(), tuple: tuple(7, 1) });
-        t.insert(StoredTuple { index_id: Id(0), attr: "A".into(), tuple: tuple(7, 2) });
-        t.insert(StoredTuple { index_id: Id(0), attr: "B".into(), tuple: tuple(7, 1) });
+        t.insert(StoredTuple {
+            index_id: Id(0),
+            attr: "A".into(),
+            tuple: tuple(7, 1),
+        });
+        t.insert(StoredTuple {
+            index_id: Id(0),
+            attr: "A".into(),
+            tuple: tuple(7, 2),
+        });
+        t.insert(StoredTuple {
+            index_id: Id(0),
+            attr: "B".into(),
+            tuple: tuple(7, 1),
+        });
         assert_eq!(t.len(), 3);
         let k7 = Value::Int(7).canonical();
         assert_eq!(t.candidate_count("R", "A", &k7), 2);
@@ -143,8 +157,16 @@ mod tests {
     #[test]
     fn extract_where_removes_matching() {
         let mut t = Vltt::new();
-        t.insert(StoredTuple { index_id: Id(1), attr: "A".into(), tuple: tuple(1, 1) });
-        t.insert(StoredTuple { index_id: Id(2), attr: "A".into(), tuple: tuple(2, 2) });
+        t.insert(StoredTuple {
+            index_id: Id(1),
+            attr: "A".into(),
+            tuple: tuple(1, 1),
+        });
+        t.insert(StoredTuple {
+            index_id: Id(2),
+            attr: "A".into(),
+            tuple: tuple(2, 2),
+        });
         let moved = t.extract_where(|id| id == Id(1));
         assert_eq!(moved.len(), 1);
         assert_eq!(t.len(), 1);

@@ -10,11 +10,13 @@
 //! hop counts, load distribution or match results, which are what the
 //! experiments measure.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
+use cq_fasthash::FxHashMap;
 use cq_overlay::Id;
 use cq_relational::{Side, Tuple};
+
+use super::keys::{bucket_mut, lookup_key, StrPair};
 
 /// A tuple stored at a DAI-V evaluator.
 #[derive(Clone, Debug)]
@@ -27,15 +29,16 @@ pub struct StoredValueTuple {
     pub tuple: Arc<Tuple>,
 }
 
-/// Key: `(query group, join-condition value)` — matching is scoped to a
-/// group so that unrelated conditions that happen to produce the same value
-/// at the same node neither collide nor duplicate.
-type GroupValueKey = (String, String);
-
 /// DAI-V evaluator store.
+///
+/// Keyed by `(query group, join-condition value)` — matching is scoped to a
+/// group so that unrelated conditions that happen to produce the same value
+/// at the same node neither collide nor duplicate. The key is an owned
+/// [`StrPair`] so lookups borrow instead of allocating (see
+/// [`super::keys`]).
 #[derive(Clone, Debug, Default)]
 pub struct VStore {
-    buckets: HashMap<GroupValueKey, [Vec<StoredValueTuple>; 2]>,
+    buckets: FxHashMap<StrPair, [Vec<StoredValueTuple>; 2]>,
     len: usize,
 }
 
@@ -54,8 +57,7 @@ impl VStore {
 
     /// Stores a tuple for `(group, value)` on its side.
     pub fn insert(&mut self, group: &str, value_key: &str, entry: StoredValueTuple) {
-        let key = (group.to_string(), value_key.to_string());
-        self.buckets.entry(key).or_default()[side_slot(entry.side)].push(entry);
+        bucket_mut(&mut self.buckets, group, value_key)[side_slot(entry.side)].push(entry);
         self.len += 1;
     }
 
@@ -68,7 +70,7 @@ impl VStore {
         side: Side,
     ) -> impl Iterator<Item = &StoredValueTuple> {
         self.buckets
-            .get(&(group.to_string(), value_key.to_string()))
+            .get(lookup_key(&(group, value_key)))
             .map(|slots| slots[side_slot(side)].as_slice())
             .unwrap_or(&[])
             .iter()
@@ -77,7 +79,7 @@ impl VStore {
     /// Number of candidates (evaluator filtering work per join message).
     pub fn candidate_count(&self, group: &str, value_key: &str, side: Side) -> usize {
         self.buckets
-            .get(&(group.to_string(), value_key.to_string()))
+            .get(lookup_key(&(group, value_key)))
             .map_or(0, |slots| slots[side_slot(side)].len())
     }
 
@@ -98,19 +100,24 @@ impl VStore {
         mut pred: impl FnMut(Id) -> bool,
     ) -> Vec<(String, String, StoredValueTuple)> {
         let mut out = Vec::new();
-        for ((group, value), slots) in self.buckets.iter_mut() {
+        for (key, slots) in self.buckets.iter_mut() {
             for side_entries in slots.iter_mut() {
                 let mut i = 0;
                 while i < side_entries.len() {
                     if pred(side_entries[i].index_id) {
-                        out.push((group.clone(), value.clone(), side_entries.swap_remove(i)));
+                        out.push((
+                            key.a.to_string(),
+                            key.b.to_string(),
+                            side_entries.swap_remove(i),
+                        ));
                     } else {
                         i += 1;
                     }
                 }
             }
         }
-        self.buckets.retain(|_, slots| slots.iter().any(|v| !v.is_empty()));
+        self.buckets
+            .retain(|_, slots| slots.iter().any(|v| !v.is_empty()));
         self.len -= out.len();
         out
     }
@@ -127,8 +134,7 @@ mod tests {
     use cq_relational::{DataType, RelationSchema, Timestamp, Value};
 
     fn tuple() -> Arc<Tuple> {
-        let schema =
-            Arc::new(RelationSchema::of("R", &[("A", DataType::Int)]).unwrap());
+        let schema = Arc::new(RelationSchema::of("R", &[("A", DataType::Int)]).unwrap());
         Arc::new(Tuple::new(schema, vec![Value::Int(1)], Timestamp(0), 0).unwrap())
     }
 
@@ -138,7 +144,11 @@ mod tests {
         s.insert(
             "g1",
             "v25",
-            StoredValueTuple { index_id: Id(0), side: Side::Left, tuple: tuple() },
+            StoredValueTuple {
+                index_id: Id(0),
+                side: Side::Left,
+                tuple: tuple(),
+            },
         );
         assert_eq!(s.candidate_count("g1", "v25", Side::Left), 1);
         assert_eq!(s.candidate_count("g1", "v25", Side::Right), 0);
@@ -153,12 +163,20 @@ mod tests {
         s.insert(
             "g",
             "v",
-            StoredValueTuple { index_id: Id(1), side: Side::Left, tuple: tuple() },
+            StoredValueTuple {
+                index_id: Id(1),
+                side: Side::Left,
+                tuple: tuple(),
+            },
         );
         s.insert(
             "g",
             "v",
-            StoredValueTuple { index_id: Id(2), side: Side::Right, tuple: tuple() },
+            StoredValueTuple {
+                index_id: Id(2),
+                side: Side::Right,
+                tuple: tuple(),
+            },
         );
         let moved = s.extract_where(|id| id == Id(1));
         assert_eq!(moved.len(), 1);

@@ -10,7 +10,11 @@ fn catalog() -> Catalog {
     c.register(
         RelationSchema::of(
             "R",
-            &[("A", DataType::Int), ("B", DataType::Int), ("C", DataType::Int)],
+            &[
+                ("A", DataType::Int),
+                ("B", DataType::Int),
+                ("C", DataType::Int),
+            ],
         )
         .unwrap(),
     )
@@ -18,7 +22,11 @@ fn catalog() -> Catalog {
     c.register(
         RelationSchema::of(
             "S",
-            &[("D", DataType::Int), ("E", DataType::Int), ("F", DataType::Int)],
+            &[
+                ("D", DataType::Int),
+                ("E", DataType::Int),
+                ("F", DataType::Int),
+            ],
         )
         .unwrap(),
     )
@@ -27,7 +35,10 @@ fn catalog() -> Catalog {
 }
 
 fn network(alg: Algorithm) -> Network {
-    Network::new(EngineConfig::new(alg).with_nodes(48).with_seed(7), catalog())
+    Network::new(
+        EngineConfig::new(alg).with_nodes(48).with_seed(7),
+        catalog(),
+    )
 }
 
 fn check_against_oracle(net: &Network) {
@@ -36,7 +47,8 @@ fn check_against_oracle(net: &Network) {
     let expected = oracle.expected().unwrap();
     let delivered = net.delivered_set();
     assert_eq!(
-        delivered, expected,
+        delivered,
+        expected,
         "algorithm {:?} diverged from the oracle",
         net.config().algorithm
     );
@@ -60,8 +72,9 @@ fn run_mixed_workload(alg: Algorithm, queries: usize, tuples: usize, domain: i64
         for _ in 0..(tuples / queries.max(1)) {
             let from = net.node_at((rnd() % 48) as usize);
             let rel = if rnd() % 2 == 0 { "R" } else { "S" };
-            let vals: Vec<Value> =
-                (0..3).map(|_| Value::Int((rnd() % domain as u64) as i64)).collect();
+            let vals: Vec<Value> = (0..3)
+                .map(|_| Value::Int((rnd() % domain as u64) as i64))
+                .collect();
             net.insert_tuple(from, rel, vals).unwrap();
         }
         let _ = i;
@@ -72,7 +85,10 @@ fn run_mixed_workload(alg: Algorithm, queries: usize, tuples: usize, domain: i64
 #[test]
 fn sai_matches_oracle_on_mixed_workload() {
     let net = run_mixed_workload(Algorithm::Sai, 8, 80, 6);
-    assert!(!net.delivered_set().is_empty(), "workload must produce matches");
+    assert!(
+        !net.delivered_set().is_empty(),
+        "workload must produce matches"
+    );
     check_against_oracle(&net);
 }
 
@@ -103,18 +119,26 @@ fn tuples_inserted_before_a_query_never_trigger_it() {
     for alg in Algorithm::ALL {
         let mut net = network(alg);
         let a = net.node_at(0);
-        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7), Value::Int(0)]).unwrap();
-        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7), Value::Int(0)]).unwrap();
-        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
-        assert!(net.delivered_set().is_empty(), "{alg}: old tuples must not match");
+        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7), Value::Int(0)])
+            .unwrap();
+        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7), Value::Int(0)])
+            .unwrap();
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+            .unwrap();
+        assert!(
+            net.delivered_set().is_empty(),
+            "{alg}: old tuples must not match"
+        );
         // A pair straddling the insertion time must not match either.
-        net.insert_tuple(a, "S", vec![Value::Int(3), Value::Int(7), Value::Int(0)]).unwrap();
+        net.insert_tuple(a, "S", vec![Value::Int(3), Value::Int(7), Value::Int(0)])
+            .unwrap();
         assert!(
             net.delivered_set().is_empty(),
             "{alg}: pre-query R tuple must not join post-query S tuple"
         );
         // A fully post-query pair must match.
-        net.insert_tuple(a, "R", vec![Value::Int(4), Value::Int(7), Value::Int(0)]).unwrap();
+        net.insert_tuple(a, "R", vec![Value::Int(4), Value::Int(7), Value::Int(0)])
+            .unwrap();
         assert_eq!(net.delivered_set().len(), 1, "{alg}");
         check_against_oracle(&net);
     }
@@ -125,13 +149,18 @@ fn both_arrival_orders_produce_the_join() {
     for alg in Algorithm::ALL {
         let mut net = network(alg);
         let a = net.node_at(0);
-        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+            .unwrap();
         // R before S
-        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(5), Value::Int(0)]).unwrap();
-        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(5), Value::Int(0)]).unwrap();
+        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(5), Value::Int(0)])
+            .unwrap();
+        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(5), Value::Int(0)])
+            .unwrap();
         // S before R (different join value to keep pairs apart)
-        net.insert_tuple(a, "S", vec![Value::Int(3), Value::Int(6), Value::Int(0)]).unwrap();
-        net.insert_tuple(a, "R", vec![Value::Int(4), Value::Int(6), Value::Int(0)]).unwrap();
+        net.insert_tuple(a, "S", vec![Value::Int(3), Value::Int(6), Value::Int(0)])
+            .unwrap();
+        net.insert_tuple(a, "R", vec![Value::Int(4), Value::Int(6), Value::Int(0)])
+            .unwrap();
         let got = net.delivered_set();
         assert_eq!(got.len(), 2, "{alg}: both orders must join, got {got:?}");
         check_against_oracle(&net);
@@ -147,11 +176,18 @@ fn no_duplicate_notifications_with_multiplicity() {
     for alg in Algorithm::ALL {
         let mut net = network(alg);
         let a = net.node_at(0);
-        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
-        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7), Value::Int(0)]).unwrap();
-        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7), Value::Int(0)]).unwrap();
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+            .unwrap();
+        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7), Value::Int(0)])
+            .unwrap();
+        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7), Value::Int(0)])
+            .unwrap();
         let inbox = net.inbox(a);
-        assert_eq!(inbox.len(), 1, "{alg}: expected exactly one notification, got {inbox:?}");
+        assert_eq!(
+            inbox.len(),
+            1,
+            "{alg}: expected exactly one notification, got {inbox:?}"
+        );
     }
 }
 
@@ -166,14 +202,18 @@ fn filters_restrict_matches() {
         )
         .unwrap();
         // matches the join but fails R.C = 2
-        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7), Value::Int(0)]).unwrap();
-        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7), Value::Int(1)]).unwrap();
+        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7), Value::Int(0)])
+            .unwrap();
+        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7), Value::Int(1)])
+            .unwrap();
         assert!(net.delivered_set().is_empty(), "{alg}");
         // passes both filters
-        net.insert_tuple(a, "R", vec![Value::Int(9), Value::Int(7), Value::Int(2)]).unwrap();
+        net.insert_tuple(a, "R", vec![Value::Int(9), Value::Int(7), Value::Int(2)])
+            .unwrap();
         assert_eq!(net.delivered_set().len(), 1, "{alg}");
         // fails S.F = 1
-        net.insert_tuple(a, "S", vec![Value::Int(3), Value::Int(7), Value::Int(0)]).unwrap();
+        net.insert_tuple(a, "S", vec![Value::Int(3), Value::Int(7), Value::Int(0)])
+            .unwrap();
         assert_eq!(net.delivered_set().len(), 1, "{alg}");
         check_against_oracle(&net);
     }
@@ -186,10 +226,14 @@ fn multiple_queries_same_condition_all_notified() {
         let mut net = network(alg);
         let a = net.node_at(0);
         let b = net.node_at(1);
-        net.pose_query_sql(a, "SELECT R.A FROM R, S WHERE R.B = S.E").unwrap();
-        net.pose_query_sql(b, "SELECT S.D FROM R, S WHERE R.B = S.E").unwrap();
-        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(4), Value::Int(0)]).unwrap();
-        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(4), Value::Int(0)]).unwrap();
+        net.pose_query_sql(a, "SELECT R.A FROM R, S WHERE R.B = S.E")
+            .unwrap();
+        net.pose_query_sql(b, "SELECT S.D FROM R, S WHERE R.B = S.E")
+            .unwrap();
+        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(4), Value::Int(0)])
+            .unwrap();
+        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(4), Value::Int(0)])
+            .unwrap();
         assert_eq!(net.inbox(a).len(), 1, "{alg}: subscriber a");
         assert_eq!(net.inbox(b).len(), 1, "{alg}: subscriber b");
         check_against_oracle(&net);
@@ -207,8 +251,10 @@ fn t2_queries_run_under_dai_v() {
     )
     .unwrap();
     // valJC(left) = 4*4 + 9 + 8 = 33; right: 5*6 + 5 - 2 = 33.
-    net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(4), Value::Int(9)]).unwrap();
-    net.insert_tuple(a, "S", vec![Value::Int(5), Value::Int(6), Value::Int(2)]).unwrap();
+    net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(4), Value::Int(9)])
+        .unwrap();
+    net.insert_tuple(a, "S", vec![Value::Int(5), Value::Int(6), Value::Int(2)])
+        .unwrap();
     let got = net.delivered_set();
     assert_eq!(got.len(), 1);
     let n = got.iter().next().unwrap();
@@ -235,16 +281,28 @@ fn t2_queries_are_rejected_by_t1_algorithms() {
 fn replication_preserves_correctness() {
     for alg in Algorithm::ALL {
         let mut net = Network::new(
-            EngineConfig::new(alg).with_nodes(48).with_replication(4).with_seed(3),
+            EngineConfig::new(alg)
+                .with_nodes(48)
+                .with_replication(4)
+                .with_seed(3),
             catalog(),
         );
         let a = net.node_at(0);
-        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+            .unwrap();
         for v in 0..6 {
-            net.insert_tuple(a, "R", vec![Value::Int(v), Value::Int(v % 3), Value::Int(0)])
-                .unwrap();
-            net.insert_tuple(a, "S", vec![Value::Int(v + 10), Value::Int(v % 3), Value::Int(0)])
-                .unwrap();
+            net.insert_tuple(
+                a,
+                "R",
+                vec![Value::Int(v), Value::Int(v % 3), Value::Int(0)],
+            )
+            .unwrap();
+            net.insert_tuple(
+                a,
+                "S",
+                vec![Value::Int(v + 10), Value::Int(v % 3), Value::Int(0)],
+            )
+            .unwrap();
         }
         check_against_oracle(&net);
     }
@@ -263,12 +321,21 @@ fn retention_off_preserves_counts_and_traffic() {
             catalog(),
         );
         let a = net.node_at(0);
-        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+            .unwrap();
         for i in 0..12 {
-            net.insert_tuple(a, "R", vec![Value::Int(i), Value::Int(i % 3), Value::Int(0)])
-                .unwrap();
-            net.insert_tuple(a, "S", vec![Value::Int(i), Value::Int(i % 3), Value::Int(0)])
-                .unwrap();
+            net.insert_tuple(
+                a,
+                "R",
+                vec![Value::Int(i), Value::Int(i % 3), Value::Int(0)],
+            )
+            .unwrap();
+            net.insert_tuple(
+                a,
+                "S",
+                vec![Value::Int(i), Value::Int(i % 3), Value::Int(0)],
+            )
+            .unwrap();
         }
         (
             net.metrics().notifications_delivered,
@@ -289,18 +356,33 @@ fn keyed_dai_v_matches_oracle() {
     // The Section 4.5 extension trades traffic for distribution; results
     // must be identical to the grouped variant and the oracle.
     let mut net = Network::new(
-        EngineConfig::new(Algorithm::DaiV).with_nodes(48).with_dai_v_keyed(true).with_seed(8),
+        EngineConfig::new(Algorithm::DaiV)
+            .with_nodes(48)
+            .with_dai_v_keyed(true)
+            .with_seed(8),
         catalog(),
     );
     let a = net.node_at(0);
     let b = net.node_at(1);
-    net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
-    net.pose_query_sql(b, "SELECT R.C FROM R, S WHERE R.B = S.E").unwrap();
-    net.pose_query_sql(a, "SELECT S.F FROM R, S WHERE 2*R.B = S.E + S.F").unwrap();
+    net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+        .unwrap();
+    net.pose_query_sql(b, "SELECT R.C FROM R, S WHERE R.B = S.E")
+        .unwrap();
+    net.pose_query_sql(a, "SELECT S.F FROM R, S WHERE 2*R.B = S.E + S.F")
+        .unwrap();
     for i in 0..8 {
-        net.insert_tuple(a, "R", vec![Value::Int(i), Value::Int(i % 3), Value::Int(9)]).unwrap();
-        net.insert_tuple(a, "S", vec![Value::Int(i), Value::Int(i % 3), Value::Int(i % 4)])
-            .unwrap();
+        net.insert_tuple(
+            a,
+            "R",
+            vec![Value::Int(i), Value::Int(i % 3), Value::Int(9)],
+        )
+        .unwrap();
+        net.insert_tuple(
+            a,
+            "S",
+            vec![Value::Int(i), Value::Int(i % 3), Value::Int(i % 4)],
+        )
+        .unwrap();
     }
     check_against_oracle(&net);
     assert!(!net.delivered_set().is_empty());
@@ -315,13 +397,19 @@ fn replication_does_not_duplicate_triggering() {
     // duplicate inbox entry.
     for k in [2usize, 4, 8] {
         let mut net = Network::new(
-            EngineConfig::new(Algorithm::DaiQ).with_nodes(8).with_replication(k).with_seed(k as u64),
+            EngineConfig::new(Algorithm::DaiQ)
+                .with_nodes(8)
+                .with_replication(k)
+                .with_seed(k as u64),
             catalog(),
         );
         let a = net.node_at(0);
-        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
-        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7), Value::Int(0)]).unwrap();
-        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7), Value::Int(0)]).unwrap();
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+            .unwrap();
+        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7), Value::Int(0)])
+            .unwrap();
+        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7), Value::Int(0)])
+            .unwrap();
         assert_eq!(
             net.inbox(a).len(),
             1,
@@ -332,13 +420,18 @@ fn replication_does_not_duplicate_triggering() {
 
 #[test]
 fn iterative_multisend_preserves_correctness() {
-    let mut cfg = EngineConfig::new(Algorithm::Sai).with_nodes(48).with_seed(5);
+    let mut cfg = EngineConfig::new(Algorithm::Sai)
+        .with_nodes(48)
+        .with_seed(5);
     cfg.recursive_multisend = false;
     let mut net = Network::new(cfg, catalog());
     let a = net.node_at(0);
-    net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
-    net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7), Value::Int(0)]).unwrap();
-    net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7), Value::Int(0)]).unwrap();
+    net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+        .unwrap();
+    net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7), Value::Int(0)])
+        .unwrap();
+    net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7), Value::Int(0)])
+        .unwrap();
     check_against_oracle(&net);
 }
 
@@ -346,19 +439,27 @@ fn iterative_multisend_preserves_correctness() {
 fn jfrt_off_changes_traffic_not_results() {
     let run = |jfrt: bool| {
         let mut net = Network::new(
-            EngineConfig::new(Algorithm::Sai).with_nodes(64).with_jfrt(jfrt).with_seed(11),
+            EngineConfig::new(Algorithm::Sai)
+                .with_nodes(64)
+                .with_jfrt(jfrt)
+                .with_seed(11),
             catalog(),
         );
         let a = net.node_at(0);
-        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+            .unwrap();
         // Many tuples with the same join value on both sides: whichever side
         // SAI indexed the query by, the reindex target repeats — which is
         // exactly what the JFRT exploits.
         for i in 0..20 {
             net.insert_tuple(a, "R", vec![Value::Int(i), Value::Int(7), Value::Int(0)])
                 .unwrap();
-            net.insert_tuple(a, "S", vec![Value::Int(100 + i), Value::Int(7), Value::Int(0)])
-                .unwrap();
+            net.insert_tuple(
+                a,
+                "S",
+                vec![Value::Int(100 + i), Value::Int(7), Value::Int(0)],
+            )
+            .unwrap();
         }
         let hops = net.metrics().traffic(TrafficKind::Reindex).hops;
         let delivered = net.delivered_set();
@@ -379,15 +480,21 @@ fn dai_t_reindexes_each_rewritten_query_once() {
     // distributed, repeated tuples with that value cause no reindex traffic.
     let mut net = network(Algorithm::DaiT);
     let a = net.node_at(0);
-    net.pose_query_sql(a, "SELECT S.D FROM R, S WHERE R.B = S.E").unwrap();
-    net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7), Value::Int(0)]).unwrap();
+    net.pose_query_sql(a, "SELECT S.D FROM R, S WHERE R.B = S.E")
+        .unwrap();
+    net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7), Value::Int(0)])
+        .unwrap();
     let first = net.metrics().traffic(TrafficKind::Reindex).messages;
     assert!(first >= 1);
     // Same select values (none on R side... select is S.D so R contributes
     // no select values) and same join value → identical rewritten key.
-    net.insert_tuple(a, "R", vec![Value::Int(2), Value::Int(7), Value::Int(0)]).unwrap();
+    net.insert_tuple(a, "R", vec![Value::Int(2), Value::Int(7), Value::Int(0)])
+        .unwrap();
     let second = net.metrics().traffic(TrafficKind::Reindex).messages;
-    assert_eq!(first, second, "duplicate rewritten query must not be resent");
+    assert_eq!(
+        first, second,
+        "duplicate rewritten query must not be resent"
+    );
 }
 
 #[test]
@@ -395,19 +502,30 @@ fn strategy_variants_all_correct() {
     use cq_engine::IndexStrategy;
     for strategy in IndexStrategy::ALL {
         let mut net = Network::new(
-            EngineConfig::new(Algorithm::Sai).with_nodes(48).with_strategy(strategy).with_seed(9),
+            EngineConfig::new(Algorithm::Sai)
+                .with_nodes(48)
+                .with_strategy(strategy)
+                .with_seed(9),
             catalog(),
         );
         let a = net.node_at(0);
         // Warm up arrival statistics so probing strategies have data.
         for i in 0..10 {
-            net.insert_tuple(a, "R", vec![Value::Int(i), Value::Int(i), Value::Int(0)]).unwrap();
-            net.insert_tuple(a, "S", vec![Value::Int(i), Value::Int(i % 2), Value::Int(0)])
+            net.insert_tuple(a, "R", vec![Value::Int(i), Value::Int(i), Value::Int(0)])
                 .unwrap();
+            net.insert_tuple(
+                a,
+                "S",
+                vec![Value::Int(i), Value::Int(i % 2), Value::Int(0)],
+            )
+            .unwrap();
         }
-        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
-        net.insert_tuple(a, "R", vec![Value::Int(50), Value::Int(3), Value::Int(0)]).unwrap();
-        net.insert_tuple(a, "S", vec![Value::Int(51), Value::Int(3), Value::Int(0)]).unwrap();
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+            .unwrap();
+        net.insert_tuple(a, "R", vec![Value::Int(50), Value::Int(3), Value::Int(0)])
+            .unwrap();
+        net.insert_tuple(a, "S", vec![Value::Int(51), Value::Int(3), Value::Int(0)])
+            .unwrap();
         check_against_oracle(&net);
         if strategy.probes_rewriters() {
             assert!(net.metrics().traffic(TrafficKind::Probe).messages >= 2);
@@ -429,10 +547,14 @@ fn string_joins_work() {
         .unwrap();
         let mut net = Network::new(EngineConfig::new(alg).with_nodes(32), c);
         let a = net.node_at(0);
-        net.pose_query_sql(a, "SELECT P.Name, Q.Zip FROM P, Q WHERE P.City = Q.Town").unwrap();
-        net.insert_tuple(a, "P", vec![Value::from("alice"), Value::from("chania")]).unwrap();
-        net.insert_tuple(a, "Q", vec![Value::from("chania"), Value::Int(73100)]).unwrap();
-        net.insert_tuple(a, "Q", vec![Value::from("athens"), Value::Int(10000)]).unwrap();
+        net.pose_query_sql(a, "SELECT P.Name, Q.Zip FROM P, Q WHERE P.City = Q.Town")
+            .unwrap();
+        net.insert_tuple(a, "P", vec![Value::from("alice"), Value::from("chania")])
+            .unwrap();
+        net.insert_tuple(a, "Q", vec![Value::from("chania"), Value::Int(73100)])
+            .unwrap();
+        net.insert_tuple(a, "Q", vec![Value::from("athens"), Value::Int(10000)])
+            .unwrap();
         let got = net.delivered_set();
         assert_eq!(got.len(), 1, "{alg}");
         assert_eq!(

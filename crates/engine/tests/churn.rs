@@ -22,10 +22,15 @@ fn check_oracle(net: &Network) {
 #[test]
 fn voluntary_leave_transfers_state_and_preserves_results() {
     for alg in Algorithm::ALL {
-        let mut net = Network::new(EngineConfig::new(alg).with_nodes(40).with_seed(1), catalog());
+        let mut net = Network::new(
+            EngineConfig::new(alg).with_nodes(40).with_seed(1),
+            catalog(),
+        );
         let a = net.node_at(0);
-        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
-        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7)]).unwrap();
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+            .unwrap();
+        net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7)])
+            .unwrap();
 
         // Every node except the subscriber leaves — whatever nodes hold the
         // query, the rewritten query or the stored tuple, their state must
@@ -41,7 +46,8 @@ fn voluntary_leave_transfers_state_and_preserves_results() {
         }
         net.stabilize(3);
 
-        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7)]).unwrap();
+        net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7)])
+            .unwrap();
         assert_eq!(net.inbox(a).len(), 1, "{alg}: join must survive departures");
         check_oracle(&net);
     }
@@ -54,29 +60,45 @@ fn offline_subscriber_receives_missed_notifications_on_rejoin() {
     // the subscriber "will receive all data related to Id(n) including the
     // missed notifications".
     for alg in Algorithm::ALL {
-        let mut net = Network::new(EngineConfig::new(alg).with_nodes(40).with_seed(2), catalog());
+        let mut net = Network::new(
+            EngineConfig::new(alg).with_nodes(40).with_seed(2),
+            catalog(),
+        );
         let a = net.node_at(0);
         let b = net.node_at(5);
-        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
-        net.insert_tuple(b, "R", vec![Value::Int(1), Value::Int(7)]).unwrap();
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+            .unwrap();
+        net.insert_tuple(b, "R", vec![Value::Int(1), Value::Int(7)])
+            .unwrap();
 
         // Subscriber goes offline (voluntarily, transferring its keys).
         net.node_leave(a).unwrap();
         net.stabilize(2);
 
         // The matching tuple arrives while the subscriber is away.
-        net.insert_tuple(b, "S", vec![Value::Int(2), Value::Int(7)]).unwrap();
-        assert!(net.inbox(a).is_empty(), "{alg}: offline node has no inbox yet");
+        net.insert_tuple(b, "S", vec![Value::Int(2), Value::Int(7)])
+            .unwrap();
+        assert!(
+            net.inbox(a).is_empty(),
+            "{alg}: offline node has no inbox yet"
+        );
         let stored: usize = net
             .ring()
             .alive_nodes()
             .map(|h| net.node_state(h).offline_store.len())
             .sum();
-        assert_eq!(stored, 1, "{alg}: notification must be stored for the offline node");
+        assert_eq!(
+            stored, 1,
+            "{alg}: notification must be stored for the offline node"
+        );
 
         // Reconnection delivers the missed notification.
         net.node_rejoin(a).unwrap();
-        assert_eq!(net.inbox(a).len(), 1, "{alg}: missed notification delivered on rejoin");
+        assert_eq!(
+            net.inbox(a).len(),
+            1,
+            "{alg}: missed notification delivered on rejoin"
+        );
     }
 }
 
@@ -84,17 +106,24 @@ fn offline_subscriber_receives_missed_notifications_on_rejoin() {
 fn failures_lose_at_most_the_failed_nodes_state() {
     // Best-effort semantics: a failure may lose notifications, but the
     // network must keep routing and never produce *wrong* notifications.
-    let mut net =
-        Network::new(EngineConfig::new(Algorithm::DaiT).with_nodes(40).with_seed(3), catalog());
+    let mut net = Network::new(
+        EngineConfig::new(Algorithm::DaiT)
+            .with_nodes(40)
+            .with_seed(3),
+        catalog(),
+    );
     let a = net.node_at(0);
-    net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
-    net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7)]).unwrap();
+    net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+        .unwrap();
+    net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7)])
+        .unwrap();
     let victim = net.node_at(20);
     if victim != a {
         net.node_fail(victim).unwrap();
         net.stabilize(3);
     }
-    net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7)]).unwrap();
+    net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7)])
+        .unwrap();
     // Delivered notifications are a subset of the oracle's expectation.
     let mut oracle = Oracle::new();
     oracle.ingest(net.posed_queries(), net.inserted_tuples());
@@ -106,21 +135,30 @@ fn failures_lose_at_most_the_failed_nodes_state() {
 
 #[test]
 fn join_after_start_takes_over_range() {
-    let mut net =
-        Network::new(EngineConfig::new(Algorithm::Sai).with_nodes(30).with_seed(4), catalog());
+    let mut net = Network::new(
+        EngineConfig::new(Algorithm::Sai)
+            .with_nodes(30)
+            .with_seed(4),
+        catalog(),
+    );
     let a = net.node_at(0);
-    net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
-    net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7)]).unwrap();
+    net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+        .unwrap();
+    net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7)])
+        .unwrap();
     // A node leaves, then rejoins (same identifier) — its former range moves
     // back to it, and the protocol keeps working end to end.
     let v = net.node_at(10);
     let v = if v == a { net.node_at(11) } else { v };
     net.node_leave(v).unwrap();
     net.stabilize(2);
-    net.insert_tuple(a, "R", vec![Value::Int(3), Value::Int(8)]).unwrap();
+    net.insert_tuple(a, "R", vec![Value::Int(3), Value::Int(8)])
+        .unwrap();
     net.node_rejoin(v).unwrap();
-    net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7)]).unwrap();
-    net.insert_tuple(a, "S", vec![Value::Int(4), Value::Int(8)]).unwrap();
+    net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7)])
+        .unwrap();
+    net.insert_tuple(a, "S", vec![Value::Int(4), Value::Int(8)])
+        .unwrap();
     assert_eq!(net.inbox(a).len(), 2);
     check_oracle(&net);
 }

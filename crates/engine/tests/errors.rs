@@ -31,7 +31,9 @@ fn malformed_sql_is_a_relational_error() {
 fn unknown_relation_in_query_is_reported() {
     let mut n = net();
     let a = n.node_at(0);
-    let err = n.pose_query_sql(a, "SELECT X.A FROM X, S WHERE X.A = S.C").unwrap_err();
+    let err = n
+        .pose_query_sql(a, "SELECT X.A FROM X, S WHERE X.A = S.C")
+        .unwrap_err();
     assert!(matches!(err, EngineError::Relational(_)));
 }
 
@@ -66,7 +68,8 @@ fn operations_from_departed_nodes_fail() {
         Err(EngineError::UnknownNode)
     ));
     // the rest of the network is unaffected
-    n.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(2)]).unwrap();
+    n.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(2)])
+        .unwrap();
 }
 
 #[test]
@@ -83,10 +86,20 @@ fn failed_queries_leave_no_partial_state() {
     let a = n.node_at(0);
     // A T2 query under SAI is rejected before any message is sent.
     let before = n.metrics().total_traffic();
-    let err = n.pose_query_sql(a, "SELECT R.A FROM R, S WHERE R.A + R.B = S.C").unwrap_err();
+    let err = n
+        .pose_query_sql(a, "SELECT R.A FROM R, S WHERE R.A + R.B = S.C")
+        .unwrap_err();
     assert!(matches!(err, EngineError::UnsupportedByAlgorithm { .. }));
-    assert_eq!(n.metrics().total_traffic(), before, "no traffic for rejected queries");
-    let stored: usize = n.ring().alive_nodes().map(|h| n.node_state(h).alqt.len()).sum();
+    assert_eq!(
+        n.metrics().total_traffic(),
+        before,
+        "no traffic for rejected queries"
+    );
+    let stored: usize = n
+        .ring()
+        .alive_nodes()
+        .map(|h| n.node_state(h).alqt.len())
+        .sum();
     assert_eq!(stored, 0, "nothing indexed");
 }
 

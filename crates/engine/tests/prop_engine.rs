@@ -34,12 +34,16 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 }
 
 fn run(alg: Algorithm, steps: &[Step], seed: u64) -> Network {
-    let mut net = Network::new(EngineConfig::new(alg).with_nodes(32).with_seed(seed), catalog());
+    let mut net = Network::new(
+        EngineConfig::new(alg).with_nodes(32).with_seed(seed),
+        catalog(),
+    );
     for (n, step) in steps.iter().enumerate() {
         let from = net.node_at(n % 32);
         match step {
             Step::PoseSimple => {
-                net.pose_query_sql(from, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").unwrap();
+                net.pose_query_sql(from, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+                    .unwrap();
             }
             Step::PoseWithFilter(v) => {
                 net.pose_query_sql(
@@ -49,10 +53,12 @@ fn run(alg: Algorithm, steps: &[Step], seed: u64) -> Network {
                 .unwrap();
             }
             Step::InsertR(a, b) => {
-                net.insert_tuple(from, "R", vec![Value::Int(*a), Value::Int(*b)]).unwrap();
+                net.insert_tuple(from, "R", vec![Value::Int(*a), Value::Int(*b)])
+                    .unwrap();
             }
             Step::InsertS(d, e) => {
-                net.insert_tuple(from, "S", vec![Value::Int(*d), Value::Int(*e)]).unwrap();
+                net.insert_tuple(from, "S", vec![Value::Int(*d), Value::Int(*e)])
+                    .unwrap();
             }
         }
     }

@@ -1,0 +1,154 @@
+//! Fx-style hashing for simulator-internal tables.
+//!
+//! The engine's two-level tables, subscriber maps and per-node stats are all
+//! keyed by short strings or small integers that the simulator itself
+//! produces — there is no untrusted input, so SipHash's DoS resistance (the
+//! default `std::collections::HashMap` hasher) buys nothing and costs a
+//! measurable fraction of every lookup. This crate provides the same
+//! multiply-and-rotate hash used by `rustc-hash`/`FxHashMap` (the rustc
+//! compiler's internal table hasher), hand-implemented because the build
+//! environment is offline.
+//!
+//! Use [`FxHashMap`]/[`FxHashSet`] as drop-in replacements:
+//!
+//! ```
+//! use cq_fasthash::FxHashMap;
+//! let mut m: FxHashMap<String, u64> = FxHashMap::default();
+//! m.insert("R.A".to_string(), 7);
+//! assert_eq!(m.get("R.A"), Some(&7));
+//! ```
+//!
+//! Determinism note: unlike `RandomState`, [`FxBuildHasher`] has no per-map
+//! seed, so iteration order of equal-content maps is stable within a build.
+//! The simulator must still not rely on map iteration order for its metric
+//! vectors (it sorts or indexes explicitly) — but stability here removes a
+//! whole class of accidental nondeterminism.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hasher: `state = (state rotl 5 ^ word) * K` per word, with
+/// Wang's golden-ratio constant `K`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.add_to_hash(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            self.add_to_hash(u64::from(u32::from_le_bytes(
+                bytes[..4].try_into().unwrap(),
+            )));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// Zero-sized `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&"R.AuthorId"), hash_of(&"R.AuthorId"));
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+    }
+
+    #[test]
+    fn distinguishes_close_keys() {
+        assert_ne!(hash_of(&"R.A"), hash_of(&"R.B"));
+        assert_ne!(hash_of(&("R", "A")), hash_of(&("RA", "")));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<(String, String), usize> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert((format!("R{}", i % 7), format!("A{i}")), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&("R0".to_string(), "A0".to_string())), Some(&0));
+
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000u64 {
+            s.insert(i.wrapping_mul(0x9e3779b97f4a7c15));
+        }
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn spread_is_reasonable() {
+        // 4096 sequential integers into 16 buckets by the top nibble of the
+        // hash: no bucket should be pathologically loaded.
+        let mut buckets = [0usize; 16];
+        for i in 0..4096u64 {
+            buckets[(hash_of(&i) >> 60) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 64 && b < 1024, "bucket count {b} far from uniform");
+        }
+    }
+}

@@ -38,7 +38,11 @@ pub enum OverlayError {
 impl fmt::Display for OverlayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OverlayError::IdCollision { id, existing_key, new_key } => write!(
+            OverlayError::IdCollision {
+                id,
+                existing_key,
+                new_key,
+            } => write!(
                 f,
                 "identifier collision at {id}: key {new_key:?} collides with {existing_key:?}"
             ),
@@ -46,7 +50,10 @@ impl fmt::Display for OverlayError {
             OverlayError::NodeAlreadyAlive => write!(f, "node is already part of the ring"),
             OverlayError::EmptyRing => write!(f, "the ring has no alive nodes"),
             OverlayError::RoutingFailed { target, hops } => {
-                write!(f, "routing toward {target} failed to converge after {hops} hops")
+                write!(
+                    f,
+                    "routing toward {target} failed to converge after {hops} hops"
+                )
             }
         }
     }

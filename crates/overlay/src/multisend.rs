@@ -32,11 +32,7 @@ impl Ring {
     /// sort `L` ascending clockwise from the sender, route toward the head,
     /// let each responsible node strip the identifiers it owns and forward
     /// the remainder.
-    pub fn multisend_recursive(
-        &self,
-        from: NodeHandle,
-        ids: &[Id],
-    ) -> Result<MultisendOutcome> {
+    pub fn multisend_recursive(&self, from: NodeHandle, ids: &[Id]) -> Result<MultisendOutcome> {
         let mut outcome = MultisendOutcome {
             deliveries: Vec::new(),
             total_hops: 0,
@@ -56,20 +52,17 @@ impl Ring {
         let mut pos = 0usize;
         while pos < remaining.len() {
             let head = remaining[pos];
-            let route = self.route(cur, head)?;
-            outcome.total_hops += route.hops();
-            let owner = route.owner;
+            let (owner, hops) = self.route_owner(cur, head)?;
+            outcome.total_hops += hops;
             let owner_id = self.id_of(owner);
             // "x deletes all elements of L that are smaller or equal to id(x),
             // starting from head(L), since node x is responsible for them."
             let mut owned = Vec::new();
             while pos < remaining.len() {
                 let id = remaining[pos];
-                let in_range = id == head
-                    || self
-                        .space()
-                        .in_open_closed(id, head, owner_id);
-                if in_range && self.space().distance(head, id) <= self.space().distance(head, owner_id)
+                let in_range = id == head || self.space().in_open_closed(id, head, owner_id);
+                if in_range
+                    && self.space().distance(head, id) <= self.space().distance(head, owner_id)
                 {
                     owned.push(id);
                     pos += 1;
@@ -88,11 +81,7 @@ impl Ring {
     /// Iterative multisend: "create k different send() messages … and locate
     /// the recipients in an iterative fashion". Implemented for comparison
     /// purposes, as in the paper.
-    pub fn multisend_iterative(
-        &self,
-        from: NodeHandle,
-        ids: &[Id],
-    ) -> Result<MultisendOutcome> {
+    pub fn multisend_iterative(&self, from: NodeHandle, ids: &[Id]) -> Result<MultisendOutcome> {
         let mut outcome = MultisendOutcome {
             deliveries: Vec::new(),
             total_hops: 0,
@@ -103,12 +92,12 @@ impl Ring {
         sorted.sort_by_key(|&i| self.space().distance(self.id_of(from), i));
         sorted.dedup();
         for id in sorted {
-            let route = self.route(from, id)?;
-            outcome.total_hops += route.hops();
-            outcome.makespan = outcome.makespan.max(route.hops());
-            match seen.iter_mut().find(|(h, _)| *h == route.owner) {
+            let (owner, hops) = self.route_owner(from, id)?;
+            outcome.total_hops += hops;
+            outcome.makespan = outcome.makespan.max(hops);
+            match seen.iter_mut().find(|(h, _)| *h == owner) {
                 Some((_, v)) => v.push(id),
-                None => seen.push((route.owner, vec![id])),
+                None => seen.push((owner, vec![id])),
             }
         }
         outcome.deliveries = seen;
@@ -145,7 +134,11 @@ mod tests {
         assert_eq!(delivered, expect);
         for (owner, owned) in &out.deliveries {
             for id in owned {
-                assert_eq!(r.owner_of(*id).unwrap(), *owner, "id {id} delivered to wrong node");
+                assert_eq!(
+                    r.owner_of(*id).unwrap(),
+                    *owner,
+                    "id {id} delivered to wrong node"
+                );
             }
         }
     }

@@ -36,7 +36,12 @@ impl Ring {
     /// Creates an empty ring with an explicit successor-list length `r`.
     pub fn with_successor_list(space: IdSpace, succ_len: usize) -> Self {
         assert!(succ_len >= 1, "successor list must hold at least one entry");
-        Ring { space, succ_len, slots: Vec::new(), by_id: BTreeMap::new() }
+        Ring {
+            space,
+            succ_len,
+            slots: Vec::new(),
+            by_id: BTreeMap::new(),
+        }
     }
 
     /// Builds a stable `n`-node network with keys `"{key_prefix}{i}"` and
@@ -152,7 +157,8 @@ impl Ring {
             });
         }
         let h = NodeHandle(self.slots.len() as u32);
-        self.slots.push(Node::new(key.to_string(), id, self.space.bits()));
+        self.slots
+            .push(Node::new(key.to_string(), id, self.space.bits()));
         self.by_id.insert(id.0, h);
         Ok(h)
     }
@@ -335,7 +341,9 @@ impl Ring {
                 }
             }
         }
-        let Some(succ) = self.first_alive_successor(h) else { return };
+        let Some(succ) = self.first_alive_successor(h) else {
+            return;
+        };
         let id = self.id_of(h);
         // Adopt a recently joined node sitting between us and our successor.
         let mut new_succ = succ;
@@ -463,42 +471,80 @@ impl Ring {
     /// Greedy Chord routing of the paper's `send(msg, I)`: walk finger tables
     /// from `from` until the node responsible for `target` is reached.
     /// Returns the full hop path so callers can account traffic.
+    ///
+    /// This is the path-materializing variant (used by tests and anything
+    /// that inspects intermediate hops). The simulator's message loop only
+    /// needs the destination and the hop count — use [`Ring::route_owner`]
+    /// there, which walks the identical greedy path without allocating.
     pub fn route(&self, from: NodeHandle, target: Id) -> Result<Route> {
+        let mut path = Vec::with_capacity(8);
+        let (owner, _hops) = self.route_core(from, target, |h| path.push(h))?;
+        Ok(Route { path, owner })
+    }
+
+    /// Allocation-free fast path of [`Ring::route`]: returns the node
+    /// responsible for `target` and the number of overlay hops the greedy
+    /// walk consumed, without materializing the path.
+    ///
+    /// Guaranteed to visit exactly the same nodes as `route` (both are thin
+    /// wrappers over one walk), so hop accounting is bit-identical whichever
+    /// variant a caller uses.
+    #[inline]
+    pub fn route_owner(&self, from: NodeHandle, target: Id) -> Result<(NodeHandle, usize)> {
+        self.route_core(from, target, |_| ())
+    }
+
+    /// The greedy walk shared by [`Ring::route`] and [`Ring::route_owner`].
+    /// `visit` observes every node on the path, starting with `from`;
+    /// returns the owner and the hop count (nodes visited minus one).
+    fn route_core<F: FnMut(NodeHandle)>(
+        &self,
+        from: NodeHandle,
+        target: Id,
+        mut visit: F,
+    ) -> Result<(NodeHandle, usize)> {
         if !self.node(from).alive {
             return Err(OverlayError::NodeNotAlive);
         }
-        let mut path = vec![from];
         let mut cur = from;
+        let mut hops = 0usize;
+        visit(from);
         // A node knows its own range: deliver locally when we own the target.
         if self.local_owner_check(cur, target) {
-            return Ok(Route { path, owner: cur });
+            return Ok((cur, hops));
         }
         let max_hops = 4 * self.space.bits() as usize + self.by_id.len() + 8;
         loop {
-            if path.len() > max_hops {
-                return Err(OverlayError::RoutingFailed { target, hops: path.len() });
+            if hops + 1 > max_hops {
+                return Err(OverlayError::RoutingFailed {
+                    target,
+                    hops: hops + 1,
+                });
             }
             let Some(succ) = self.first_alive_successor(cur) else {
-                return Err(OverlayError::RoutingFailed { target, hops: path.len() });
+                return Err(OverlayError::RoutingFailed {
+                    target,
+                    hops: hops + 1,
+                });
             };
             let cur_id = self.id_of(cur);
             if self.space.in_open_closed(target, cur_id, self.id_of(succ)) {
-                path.push(succ);
-                return Ok(Route { path, owner: succ });
+                visit(succ);
+                return Ok((succ, hops + 1));
             }
             let next = self.closest_preceding_alive(cur, target).unwrap_or(succ);
             if next == cur {
                 // no progress through fingers; fall back to the successor
-                path.push(succ);
                 cur = succ;
             } else {
-                path.push(next);
                 cur = next;
             }
+            visit(cur);
+            hops += 1;
             // The forwarding node may itself be responsible (paper: "if
             // id(x) >= I then x processes msg").
             if self.local_owner_check(cur, target) {
-                return Ok(Route { path, owner: cur });
+                return Ok((cur, hops));
             }
         }
     }
@@ -508,7 +554,8 @@ impl Ring {
     fn local_owner_check(&self, h: NodeHandle, target: Id) -> bool {
         match self.node(h).predecessor {
             Some(p) if self.node(p).alive => {
-                self.space.in_open_closed(target, self.id_of(p), self.id_of(h))
+                self.space
+                    .in_open_closed(target, self.id_of(p), self.id_of(h))
             }
             _ => self.by_id.len() == 1,
         }
@@ -606,7 +653,9 @@ mod tests {
     #[test]
     fn routing_reaches_true_owner_from_everywhere() {
         let ring = small_ring(64);
-        let targets: Vec<Id> = (0..50).map(|i| Id(i * 1301 % ring.space().size())).collect();
+        let targets: Vec<Id> = (0..50)
+            .map(|i| Id(i * 1301 % ring.space().size()))
+            .collect();
         for from in ring.alive_nodes().take(8) {
             for &t in &targets {
                 let route = ring.route(from, t).unwrap();
@@ -676,7 +725,10 @@ mod tests {
         ring.stabilize_all(3);
         // the new node's pointers now agree with ground truth
         let (pred, _) = ring.owned_range(h).unwrap();
-        assert_eq!(ring.node(h).predecessor(), Some(ring.owner_of(pred).unwrap()));
+        assert_eq!(
+            ring.node(h).predecessor(),
+            Some(ring.owner_of(pred).unwrap())
+        );
         let from = ring.alive_nodes().next().unwrap();
         let r = ring.route(from, ring.id_of(h)).unwrap();
         assert_eq!(r.owner, h);

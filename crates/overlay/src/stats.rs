@@ -67,10 +67,22 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = TrafficStats { messages: 2, hops: 7 };
-        let b = TrafficStats { messages: 3, hops: 4 };
+        let mut a = TrafficStats {
+            messages: 2,
+            hops: 7,
+        };
+        let b = TrafficStats {
+            messages: 3,
+            hops: 4,
+        };
         a.merge(&b);
-        assert_eq!(a, TrafficStats { messages: 5, hops: 11 });
+        assert_eq!(
+            a,
+            TrafficStats {
+                messages: 5,
+                hops: 11
+            }
+        );
     }
 
     #[test]

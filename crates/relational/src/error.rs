@@ -60,8 +60,14 @@ pub enum RelationalError {
 impl fmt::Display for RelationalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RelationalError::DuplicateAttribute { relation, attribute } => {
-                write!(f, "duplicate attribute {attribute:?} in relation {relation:?}")
+            RelationalError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "duplicate attribute {attribute:?} in relation {relation:?}"
+                )
             }
             RelationalError::DuplicateRelation { relation } => {
                 write!(f, "relation {relation:?} already registered")
@@ -69,7 +75,10 @@ impl fmt::Display for RelationalError {
             RelationalError::UnknownRelation { relation } => {
                 write!(f, "unknown relation {relation:?}")
             }
-            RelationalError::UnknownAttribute { relation, attribute } => {
+            RelationalError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
                 write!(f, "relation {relation:?} has no attribute {attribute:?}")
             }
             RelationalError::SchemaMismatch { relation, detail } => {

@@ -73,7 +73,11 @@ impl Expr {
 
     /// Builds `lhs op rhs`.
     pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// The set of attribute names the expression references, in sorted order.
@@ -157,7 +161,9 @@ fn apply(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
 }
 
 fn overflow(op: &str, a: &i64, b: &i64) -> RelationalError {
-    RelationalError::EvalError { detail: format!("integer overflow in {a} {op} {b}") }
+    RelationalError::EvalError {
+        detail: format!("integer overflow in {a} {op} {b}"),
+    }
 }
 
 impl fmt::Display for Expr {
@@ -203,7 +209,11 @@ mod tests {
 
     #[test]
     fn collects_attributes() {
-        let e = Expr::bin(BinOp::Add, Expr::attr("B"), Expr::bin(BinOp::Mul, Expr::attr("C"), Expr::int(2)));
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::attr("B"),
+            Expr::bin(BinOp::Mul, Expr::attr("C"), Expr::int(2)),
+        );
         let attrs: Vec<&str> = e.attributes().into_iter().collect();
         assert_eq!(attrs, vec!["B", "C"]);
     }
@@ -221,13 +231,19 @@ mod tests {
     #[test]
     fn type_errors_are_reported() {
         let e = Expr::bin(BinOp::Add, Expr::str("x"), Expr::int(1));
-        assert!(matches!(e.eval(&tuple(0, 0)), Err(RelationalError::EvalError { .. })));
+        assert!(matches!(
+            e.eval(&tuple(0, 0)),
+            Err(RelationalError::EvalError { .. })
+        ));
     }
 
     #[test]
     fn overflow_is_reported() {
         let e = Expr::bin(BinOp::Mul, Expr::int(i64::MAX), Expr::int(2));
-        assert!(matches!(e.eval(&tuple(0, 0)), Err(RelationalError::EvalError { .. })));
+        assert!(matches!(
+            e.eval(&tuple(0, 0)),
+            Err(RelationalError::EvalError { .. })
+        ));
     }
 
     #[test]

@@ -161,14 +161,23 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             }
             other => return Err(err(start, &format!("unexpected character {other:?}"))),
         };
-        tokens.push(Token { kind, offset: start });
+        tokens.push(Token {
+            kind,
+            offset: start,
+        });
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
     Ok(tokens)
 }
 
 fn err(offset: usize, detail: &str) -> RelationalError {
-    RelationalError::ParseError { offset, detail: detail.to_string() }
+    RelationalError::ParseError {
+        offset,
+        detail: detail.to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -240,16 +249,25 @@ mod tests {
 
     #[test]
     fn reports_unterminated_string() {
-        assert!(matches!(lex("'oops"), Err(RelationalError::ParseError { .. })));
+        assert!(matches!(
+            lex("'oops"),
+            Err(RelationalError::ParseError { .. })
+        ));
     }
 
     #[test]
     fn reports_stray_character() {
-        assert!(matches!(lex("R ; S"), Err(RelationalError::ParseError { .. })));
+        assert!(matches!(
+            lex("R ; S"),
+            Err(RelationalError::ParseError { .. })
+        ));
     }
 
     #[test]
     fn single_pipe_is_an_error() {
-        assert!(matches!(lex("a | b"), Err(RelationalError::ParseError { .. })));
+        assert!(matches!(
+            lex("a | b"),
+            Err(RelationalError::ParseError { .. })
+        ));
     }
 }

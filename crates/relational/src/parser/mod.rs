@@ -32,7 +32,11 @@ struct RawAttr {
 enum RawExpr {
     Attr(RawAttr),
     Const(Value),
-    Bin { op: BinOp, lhs: Box<RawExpr>, rhs: Box<RawExpr> },
+    Bin {
+        op: BinOp,
+        lhs: Box<RawExpr>,
+        rhs: Box<RawExpr>,
+    },
 }
 
 /// A parsed and resolved query, ready to be instantiated with a key,
@@ -121,7 +125,10 @@ impl Parser {
     }
 
     fn err_at(&self, offset: usize, detail: &str) -> RelationalError {
-        RelationalError::ParseError { offset, detail: detail.to_string() }
+        RelationalError::ParseError {
+            offset,
+            detail: detail.to_string(),
+        }
     }
 
     fn ident(&mut self, what: &str) -> Result<(String, usize)> {
@@ -166,9 +173,17 @@ impl Parser {
         if self.peek().kind == TokenKind::Dot {
             self.next();
             let (name, _) = self.ident("attribute name after '.'")?;
-            Ok(RawAttr { qualifier: Some(first), name, offset })
+            Ok(RawAttr {
+                qualifier: Some(first),
+                name,
+                offset,
+            })
         } else {
-            Ok(RawAttr { qualifier: None, name: first, offset })
+            Ok(RawAttr {
+                qualifier: None,
+                name: first,
+                offset,
+            })
         }
     }
 
@@ -206,7 +221,11 @@ impl Parser {
             };
             self.next();
             let rhs = self.parse_term()?;
-            lhs = RawExpr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = RawExpr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -217,7 +236,11 @@ impl Parser {
         while self.peek().kind == TokenKind::Star {
             self.next();
             let rhs = self.parse_factor()?;
-            lhs = RawExpr::Bin { op: BinOp::Mul, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = RawExpr::Bin {
+                op: BinOp::Mul,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -247,9 +270,17 @@ impl Parser {
                 if self.peek().kind == TokenKind::Dot {
                     self.next();
                     let (name, _) = self.ident("attribute name after '.'")?;
-                    Ok(RawExpr::Attr(RawAttr { qualifier: Some(first), name, offset: t.offset }))
+                    Ok(RawExpr::Attr(RawAttr {
+                        qualifier: Some(first),
+                        name,
+                        offset: t.offset,
+                    }))
                 } else {
-                    Ok(RawExpr::Attr(RawAttr { qualifier: None, name: first, offset: t.offset }))
+                    Ok(RawExpr::Attr(RawAttr {
+                        qualifier: None,
+                        name: first,
+                        offset: t.offset,
+                    }))
                 }
             }
             other => Err(self.err_at(t.offset, &format!("expected expression, found {other:?}"))),
@@ -379,14 +410,20 @@ impl<'a> Resolver<'a> {
                                 .to_string(),
                         });
                     }
-                    let (alpha, beta) =
-                        if a == Side::Left { (lhs, rhs) } else { (rhs, lhs) };
+                    let (alpha, beta) = if a == Side::Left {
+                        (lhs, rhs)
+                    } else {
+                        (rhs, lhs)
+                    };
                     join = Some((alpha, beta));
                 }
                 // filter: attr = const (either order)
                 (Some(side), None) | (None, Some(side)) => {
-                    let (attr_expr, const_expr) =
-                        if ls.is_some() { (&lhs, &rhs) } else { (&rhs, &lhs) };
+                    let (attr_expr, const_expr) = if ls.is_some() {
+                        (&lhs, &rhs)
+                    } else {
+                        (&rhs, &lhs)
+                    };
                     let attr = attr_expr.as_single_attr().ok_or_else(|| {
                         RelationalError::UnsupportedQuery {
                             detail: "filters must have the form attribute = constant".to_string(),
@@ -400,7 +437,11 @@ impl<'a> Resolver<'a> {
                             })
                         }
                     };
-                    filters.push(Filter { side, attr: attr.to_string(), value });
+                    filters.push(Filter {
+                        side,
+                        attr: attr.to_string(),
+                        value,
+                    });
                 }
                 (Some(_), Some(_)) => {
                     // same side on both ends: a single-relation predicate we
@@ -456,7 +497,11 @@ mod tests {
         c.register(
             RelationSchema::of(
                 "Authors",
-                &[("Id", DataType::Int), ("Name", DataType::Str), ("Surname", DataType::Str)],
+                &[
+                    ("Id", DataType::Int),
+                    ("Name", DataType::Str),
+                    ("Surname", DataType::Str),
+                ],
             )
             .unwrap(),
         )
@@ -464,7 +509,11 @@ mod tests {
         c.register(
             RelationSchema::of(
                 "R",
-                &[("A", DataType::Int), ("B", DataType::Int), ("C", DataType::Int)],
+                &[
+                    ("A", DataType::Int),
+                    ("B", DataType::Int),
+                    ("C", DataType::Int),
+                ],
             )
             .unwrap(),
         )
@@ -472,7 +521,11 @@ mod tests {
         c.register(
             RelationSchema::of(
                 "S",
-                &[("D", DataType::Int), ("E", DataType::Int), ("F", DataType::Int)],
+                &[
+                    ("D", DataType::Int),
+                    ("E", DataType::Int),
+                    ("F", DataType::Int),
+                ],
             )
             .unwrap(),
         )
@@ -549,9 +602,11 @@ mod tests {
     fn ambiguous_unqualified_attribute_is_rejected() {
         let c = catalog();
         // Id exists in both Document and Authors.
-        let err =
-            parse_query("SELECT Id FROM Document, Authors WHERE AuthorId = Authors.Id", &c)
-                .unwrap_err();
+        let err = parse_query(
+            "SELECT Id FROM Document, Authors WHERE AuthorId = Authors.Id",
+            &c,
+        )
+        .unwrap_err();
         assert!(matches!(err, RelationalError::ParseError { .. }), "{err}");
     }
 
@@ -615,8 +670,7 @@ mod tests {
     #[test]
     fn trailing_garbage_is_rejected() {
         let c = catalog();
-        let err = parse_query("SELECT R.A FROM R, S WHERE R.B = S.E GARBAGE MORE", &c)
-            .unwrap_err();
+        let err = parse_query("SELECT R.A FROM R, S WHERE R.B = S.E GARBAGE MORE", &c).unwrap_err();
         assert!(matches!(err, RelationalError::ParseError { .. }));
     }
 
@@ -626,7 +680,11 @@ mod tests {
         let p = parse_query("SELECT R.A FROM R, S WHERE R.B = S.E AND 7 = R.C", &c).unwrap();
         assert_eq!(
             p.filters,
-            vec![Filter { side: Side::Left, attr: "C".into(), value: Value::Int(7) }]
+            vec![Filter {
+                side: Side::Left,
+                attr: "C".into(),
+                value: Value::Int(7)
+            }]
         );
     }
 }

@@ -189,7 +189,15 @@ impl JoinQuery {
                 });
             }
         }
-        Ok(JoinQuery { key, subscriber: subscriber.into(), ins_time, relations, select, conditions, filters })
+        Ok(JoinQuery {
+            key,
+            subscriber: subscriber.into(),
+            ins_time,
+            relations,
+            select,
+            conditions,
+            filters,
+        })
     }
 
     /// The query's unique key `Key(q)`.
@@ -218,7 +226,9 @@ impl JoinQuery {
 
     /// The side a given relation plays in this query, if any.
     pub fn side_of(&self, relation: &str) -> Option<Side> {
-        Side::BOTH.into_iter().find(|s| self.relation(*s) == relation)
+        Side::BOTH
+            .into_iter()
+            .find(|s| self.relation(*s) == relation)
     }
 
     /// The join-condition expression of one side (`α` or `β`).
@@ -330,7 +340,13 @@ impl fmt::Display for JoinQuery {
             self.relations[0], self.relations[1], self.conditions[0], self.conditions[1]
         )?;
         for flt in &self.filters {
-            write!(f, " AND {}.{} = {}", self.relation(flt.side), flt.attr, flt.value)?;
+            write!(
+                f,
+                " AND {}.{} = {}",
+                self.relation(flt.side),
+                flt.attr,
+                flt.value
+            )?;
         }
         Ok(())
     }
@@ -350,7 +366,11 @@ mod tests {
         c.register(
             RelationSchema::of(
                 "R",
-                &[("A", DataType::Int), ("B", DataType::Int), ("C", DataType::Int)],
+                &[
+                    ("A", DataType::Int),
+                    ("B", DataType::Int),
+                    ("C", DataType::Int),
+                ],
             )
             .unwrap(),
         )
@@ -358,7 +378,11 @@ mod tests {
         c.register(
             RelationSchema::of(
                 "S",
-                &[("B", DataType::Str), ("E", DataType::Int), ("D", DataType::Int)],
+                &[
+                    ("B", DataType::Str),
+                    ("E", DataType::Int),
+                    ("D", DataType::Int),
+                ],
             )
             .unwrap(),
         )
@@ -374,8 +398,14 @@ mod tests {
             "R",
             "S",
             vec![
-                SelectItem { side: Side::Left, attr: "A".into() },
-                SelectItem { side: Side::Right, attr: "D".into() },
+                SelectItem {
+                    side: Side::Left,
+                    attr: "A".into(),
+                },
+                SelectItem {
+                    side: Side::Right,
+                    attr: "D".into(),
+                },
             ],
             Expr::attr("C"),
             Expr::attr("E"),
@@ -403,7 +433,10 @@ mod tests {
             Timestamp(0),
             "R",
             "S",
-            vec![SelectItem { side: Side::Left, attr: "A".into() }],
+            vec![SelectItem {
+                side: Side::Left,
+                attr: "A".into(),
+            }],
             Expr::bin(crate::expr::BinOp::Add, Expr::attr("B"), Expr::attr("C")),
             Expr::attr("E"),
             vec![],
@@ -423,7 +456,10 @@ mod tests {
             Timestamp(0),
             "R",
             "R",
-            vec![SelectItem { side: Side::Left, attr: "A".into() }],
+            vec![SelectItem {
+                side: Side::Left,
+                attr: "A".into(),
+            }],
             Expr::attr("B"),
             Expr::attr("C"),
             vec![],
@@ -442,7 +478,10 @@ mod tests {
             Timestamp(0),
             "R",
             "S",
-            vec![SelectItem { side: Side::Left, attr: "Zzz".into() }],
+            vec![SelectItem {
+                side: Side::Left,
+                attr: "Zzz".into(),
+            }],
             Expr::attr("C"),
             Expr::attr("E"),
             vec![],
@@ -461,10 +500,17 @@ mod tests {
             Timestamp(0),
             "R",
             "S",
-            vec![SelectItem { side: Side::Left, attr: "A".into() }],
+            vec![SelectItem {
+                side: Side::Left,
+                attr: "A".into(),
+            }],
             Expr::attr("C"),
             Expr::attr("E"),
-            vec![Filter { side: Side::Left, attr: "A".into(), value: Value::Str("x".into()) }],
+            vec![Filter {
+                side: Side::Left,
+                attr: "A".into(),
+                value: Value::Str("x".into()),
+            }],
             &c,
         )
         .unwrap_err();
@@ -480,10 +526,17 @@ mod tests {
             Timestamp(10),
             "R",
             "S",
-            vec![SelectItem { side: Side::Left, attr: "A".into() }],
+            vec![SelectItem {
+                side: Side::Left,
+                attr: "A".into(),
+            }],
             Expr::attr("C"),
             Expr::attr("E"),
-            vec![Filter { side: Side::Left, attr: "B".into(), value: Value::Int(7) }],
+            vec![Filter {
+                side: Side::Left,
+                attr: "B".into(),
+                value: Value::Int(7),
+            }],
             &c,
         )
         .unwrap();
@@ -499,7 +552,10 @@ mod tests {
         };
         assert!(q.triggered_by(Side::Left, &mk(7, 10)).unwrap());
         assert!(!q.triggered_by(Side::Left, &mk(7, 9)).unwrap(), "too old");
-        assert!(!q.triggered_by(Side::Left, &mk(8, 10)).unwrap(), "filter fails");
+        assert!(
+            !q.triggered_by(Side::Left, &mk(8, 10)).unwrap(),
+            "filter fails"
+        );
     }
 
     #[test]
@@ -512,7 +568,10 @@ mod tests {
             Timestamp(99),
             "R",
             "S",
-            vec![SelectItem { side: Side::Right, attr: "B".into() }],
+            vec![SelectItem {
+                side: Side::Right,
+                attr: "B".into(),
+            }],
             Expr::attr("C"),
             Expr::attr("E"),
             vec![],
@@ -532,7 +591,10 @@ mod tests {
             Timestamp(0),
             "R",
             "S",
-            vec![SelectItem { side: Side::Left, attr: "A".into() }],
+            vec![SelectItem {
+                side: Side::Left,
+                attr: "A".into(),
+            }],
             Expr::attr("B"),
             Expr::attr("E"),
             vec![],

@@ -82,7 +82,10 @@ impl RewrittenQuery {
             query: Arc::clone(query),
             bound_side: index_side,
             bound_values,
-            target: MatchTarget::Attribute { attr: dis_attr.to_string(), value: val_da },
+            target: MatchTarget::Attribute {
+                attr: dis_attr.to_string(),
+                value: val_da,
+            },
             trigger_time: t.pub_time(),
         }))
     }
@@ -172,9 +175,7 @@ impl RewrittenQuery {
         }
         Ok(match &self.target {
             MatchTarget::Attribute { attr, value } => t.get(attr)? == value,
-            MatchTarget::ConditionValue { value } => {
-                &self.query.condition(free).eval(t)? == value
-            }
+            MatchTarget::ConditionValue { value } => &self.query.condition(free).eval(t)? == value,
         })
     }
 
@@ -298,14 +299,10 @@ mod tests {
 
     fn setup() -> (Catalog, QueryRef) {
         let mut c = Catalog::new();
-        c.register(
-            RelationSchema::of("R", &[("A", DataType::Int), ("C", DataType::Int)]).unwrap(),
-        )
-        .unwrap();
-        c.register(
-            RelationSchema::of("S", &[("B", DataType::Int), ("C", DataType::Int)]).unwrap(),
-        )
-        .unwrap();
+        c.register(RelationSchema::of("R", &[("A", DataType::Int), ("C", DataType::Int)]).unwrap())
+            .unwrap();
+        c.register(RelationSchema::of("S", &[("B", DataType::Int), ("C", DataType::Int)]).unwrap())
+            .unwrap();
         // The paper's Section 4.3.2 example:
         //   SELECT R.A, S.B FROM R, S WHERE R.C = S.C
         let q = Arc::new(
@@ -316,8 +313,14 @@ mod tests {
                 "R",
                 "S",
                 vec![
-                    SelectItem { side: Side::Left, attr: "A".into() },
-                    SelectItem { side: Side::Right, attr: "B".into() },
+                    SelectItem {
+                        side: Side::Left,
+                        attr: "A".into(),
+                    },
+                    SelectItem {
+                        side: Side::Right,
+                        attr: "B".into(),
+                    },
                 ],
                 Expr::attr("C"),
                 Expr::attr("C"),
@@ -362,7 +365,10 @@ mod tests {
         assert_eq!(rq.free_relation(), "R");
         assert_eq!(
             rq.target(),
-            &MatchTarget::Attribute { attr: "C".into(), value: Value::Int(7) }
+            &MatchTarget::Attribute {
+                attr: "C".into(),
+                value: Value::Int(7)
+            }
         );
         assert_eq!(rq.bound_values(), &[Value::Int(4)]);
 
@@ -386,7 +392,10 @@ mod tests {
                 Timestamp(100),
                 "R",
                 "S",
-                vec![SelectItem { side: Side::Left, attr: "A".into() }],
+                vec![SelectItem {
+                    side: Side::Left,
+                    attr: "A".into(),
+                }],
                 Expr::attr("C"),
                 Expr::attr("C"),
                 vec![],
@@ -395,9 +404,11 @@ mod tests {
             .unwrap(),
         );
         let old = s_tuple(&c, 1, 2, 50);
-        assert!(RewrittenQuery::rewrite_attribute(&q, Side::Right, "C", "C", &old)
-            .unwrap()
-            .is_none());
+        assert!(
+            RewrittenQuery::rewrite_attribute(&q, Side::Right, "C", "C", &old)
+                .unwrap()
+                .is_none()
+        );
         // And a stored old tuple cannot complete a match either.
         let fresh = s_tuple(&c, 1, 2, 150);
         let rq = RewrittenQuery::rewrite_attribute(&q, Side::Right, "C", "C", &fresh)
@@ -446,20 +457,38 @@ mod tests {
             .unwrap();
         assert_eq!(left.bound_values(), right.bound_values());
         assert_eq!(left.target().value(), right.target().value());
-        assert_ne!(left.key(), right.key(), "bound side must be part of the key");
+        assert_ne!(
+            left.key(),
+            right.key(),
+            "bound side must be part of the key"
+        );
     }
 
     #[test]
     fn dai_v_rewrite_uses_condition_value() {
         let mut c = Catalog::new();
         c.register(
-            RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int), ("C", DataType::Int)])
-                .unwrap(),
+            RelationSchema::of(
+                "R",
+                &[
+                    ("A", DataType::Int),
+                    ("B", DataType::Int),
+                    ("C", DataType::Int),
+                ],
+            )
+            .unwrap(),
         )
         .unwrap();
         c.register(
-            RelationSchema::of("S", &[("D", DataType::Int), ("E", DataType::Int), ("F", DataType::Int)])
-                .unwrap(),
+            RelationSchema::of(
+                "S",
+                &[
+                    ("D", DataType::Int),
+                    ("E", DataType::Int),
+                    ("F", DataType::Int),
+                ],
+            )
+            .unwrap(),
         )
         .unwrap();
         // The paper's T2 example: 4*R.B + R.C + 8 = 5*S.E + S.D - S.F
@@ -489,8 +518,14 @@ mod tests {
                 "R",
                 "S",
                 vec![
-                    SelectItem { side: Side::Left, attr: "A".into() },
-                    SelectItem { side: Side::Right, attr: "D".into() },
+                    SelectItem {
+                        side: Side::Left,
+                        attr: "A".into(),
+                    },
+                    SelectItem {
+                        side: Side::Right,
+                        attr: "D".into(),
+                    },
                 ],
                 left,
                 right,
@@ -507,7 +542,9 @@ mod tests {
             0,
         )
         .unwrap();
-        let rq = RewrittenQuery::rewrite_value(&q, Side::Left, &r).unwrap().unwrap();
+        let rq = RewrittenQuery::rewrite_value(&q, Side::Left, &r)
+            .unwrap()
+            .unwrap();
         assert_eq!(rq.target().value(), &Value::Int(33));
 
         // S tuple with 5*E + D - F = 33 completes the join: E=6, D=5, F=2.
@@ -542,10 +579,17 @@ mod tests {
                 Timestamp(0),
                 "R",
                 "S",
-                vec![SelectItem { side: Side::Right, attr: "B".into() }],
+                vec![SelectItem {
+                    side: Side::Right,
+                    attr: "B".into(),
+                }],
                 Expr::attr("C"),
                 Expr::attr("C"),
-                vec![Filter { side: Side::Left, attr: "A".into(), value: Value::Int(9) }],
+                vec![Filter {
+                    side: Side::Left,
+                    attr: "A".into(),
+                    value: Value::Int(9),
+                }],
                 &c,
             )
             .unwrap(),

@@ -40,7 +40,11 @@ impl RelationSchema {
                 });
             }
         }
-        Ok(RelationSchema { name, attributes, by_name })
+        Ok(RelationSchema {
+            name,
+            attributes,
+            by_name,
+        })
     }
 
     /// Convenience constructor from `(name, type)` pairs.
@@ -49,7 +53,10 @@ impl RelationSchema {
             name,
             attrs
                 .iter()
-                .map(|(n, t)| Attribute { name: (*n).to_string(), ty: *t })
+                .map(|(n, t)| Attribute {
+                    name: (*n).to_string(),
+                    ty: *t,
+                })
                 .collect(),
         )
     }
@@ -74,10 +81,13 @@ impl RelationSchema {
 
     /// Index of an attribute by name.
     pub fn index_of(&self, attr: &str) -> Result<usize> {
-        self.by_name.get(attr).copied().ok_or_else(|| RelationalError::UnknownAttribute {
-            relation: self.name.clone(),
-            attribute: attr.to_string(),
-        })
+        self.by_name
+            .get(attr)
+            .copied()
+            .ok_or_else(|| RelationalError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: attr.to_string(),
+            })
     }
 
     /// Whether the relation has an attribute with this name.
@@ -129,9 +139,11 @@ impl Catalog {
 
     /// Looks up a relation schema by name.
     pub fn get(&self, relation: &str) -> Result<&Arc<RelationSchema>> {
-        self.relations.get(relation).ok_or_else(|| RelationalError::UnknownRelation {
-            relation: relation.to_string(),
-        })
+        self.relations
+            .get(relation)
+            .ok_or_else(|| RelationalError::UnknownRelation {
+                relation: relation.to_string(),
+            })
     }
 
     /// Iterates over all registered schemas.
@@ -180,8 +192,8 @@ mod tests {
 
     #[test]
     fn duplicate_attribute_rejected() {
-        let err = RelationSchema::of("R", &[("A", DataType::Int), ("A", DataType::Str)])
-            .unwrap_err();
+        let err =
+            RelationSchema::of("R", &[("A", DataType::Int), ("A", DataType::Str)]).unwrap_err();
         assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
     }
 

@@ -11,15 +11,32 @@ use crate::schema::RelationSchema;
 use crate::value::{Timestamp, Value};
 
 /// A relational tuple bound to its schema.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Tuple {
     schema: Arc<RelationSchema>,
     values: Vec<Value>,
+    /// Canonical string form of each value (`Value::canonical`), computed
+    /// once at construction. Indexing and table lookups consult these forms
+    /// for every attribute of every tuple they touch; caching them here
+    /// removes a `format!` allocation from each of those touches.
+    canonical: Vec<Box<str>>,
     pub_time: Timestamp,
     /// A network-unique sequence number assigned at insertion, used only to
     /// tell apart equal-content tuples in tests and the oracle.
     seq: u64,
 }
+
+// `canonical` is a pure function of `values`, so equality ignores it.
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.values == other.values
+            && self.pub_time == other.pub_time
+            && self.seq == other.seq
+    }
+}
+
+impl Eq for Tuple {}
 
 impl Tuple {
     /// Creates a tuple, validating arity and types against the schema.
@@ -48,7 +65,17 @@ impl Tuple {
                 });
             }
         }
-        Ok(Tuple { schema, values, pub_time, seq })
+        let canonical = values
+            .iter()
+            .map(|v| v.canonical().into_boxed_str())
+            .collect();
+        Ok(Tuple {
+            schema,
+            values,
+            canonical,
+            pub_time,
+            seq,
+        })
     }
 
     /// The relation this tuple belongs to.
@@ -87,6 +114,19 @@ impl Tuple {
         Ok(&self.values[i])
     }
 
+    /// Cached canonical form (`Value::canonical`) of the value at schema
+    /// position `i`.
+    #[inline]
+    pub fn canonical_at(&self, i: usize) -> &str {
+        &self.canonical[i]
+    }
+
+    /// Cached canonical form of an attribute's value, by name.
+    pub fn canonical_of(&self, attr: &str) -> Result<&str> {
+        let i = self.schema.index_of(attr)?;
+        Ok(&self.canonical[i])
+    }
+
     /// Projects the tuple onto a list of attribute names, in the given order.
     pub fn project(&self, attrs: &[String]) -> Result<Vec<Value>> {
         attrs.iter().map(|a| self.get(a).cloned()).collect()
@@ -113,9 +153,7 @@ mod tests {
     use crate::value::DataType;
 
     fn schema() -> Arc<RelationSchema> {
-        Arc::new(
-            RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Str)]).unwrap(),
-        )
+        Arc::new(RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Str)]).unwrap())
     }
 
     #[test]

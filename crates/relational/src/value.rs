@@ -47,9 +47,25 @@ impl Value {
     /// (`Hash(R + A + v)` — "when the value of an attribute is numeric,
     /// this value is also treated as a string").
     pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        self.canonical_into(&mut out);
+        out
+    }
+
+    /// Appends the canonical form to `out` without allocating an
+    /// intermediate string. Hot paths that already hold a buffer (or a
+    /// [`crate::Tuple`], which caches its canonical forms) should prefer
+    /// this over [`Value::canonical`].
+    pub fn canonical_into(&self, out: &mut String) {
+        use std::fmt::Write;
         match self {
-            Value::Int(i) => format!("i:{i}"),
-            Value::Str(s) => format!("s:{s}"),
+            Value::Int(i) => {
+                let _ = write!(out, "i:{i}");
+            }
+            Value::Str(s) => {
+                out.push_str("s:");
+                out.push_str(s);
+            }
         }
     }
 
@@ -114,7 +130,10 @@ mod tests {
 
     #[test]
     fn canonical_disambiguates_types() {
-        assert_ne!(Value::Int(42).canonical(), Value::Str("42".into()).canonical());
+        assert_ne!(
+            Value::Int(42).canonical(),
+            Value::Str("42".into()).canonical()
+        );
     }
 
     #[test]

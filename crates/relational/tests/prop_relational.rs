@@ -15,7 +15,11 @@ fn catalog() -> Catalog {
     c.register(
         RelationSchema::of(
             "R",
-            &[("A", DataType::Int), ("B", DataType::Int), ("C", DataType::Int)],
+            &[
+                ("A", DataType::Int),
+                ("B", DataType::Int),
+                ("C", DataType::Int),
+            ],
         )
         .unwrap(),
     )
@@ -23,7 +27,11 @@ fn catalog() -> Catalog {
     c.register(
         RelationSchema::of(
             "S",
-            &[("D", DataType::Int), ("E", DataType::Int), ("F", DataType::Int)],
+            &[
+                ("D", DataType::Int),
+                ("E", DataType::Int),
+                ("F", DataType::Int),
+            ],
         )
         .unwrap(),
     )
@@ -40,8 +48,14 @@ fn t1_query(c: &Catalog, ins: u64) -> QueryRef {
             "R",
             "S",
             vec![
-                SelectItem { side: Side::Left, attr: "A".into() },
-                SelectItem { side: Side::Right, attr: "D".into() },
+                SelectItem {
+                    side: Side::Left,
+                    attr: "A".into(),
+                },
+                SelectItem {
+                    side: Side::Right,
+                    attr: "D".into(),
+                },
             ],
             Expr::attr("B"),
             Expr::attr("E"),

@@ -4,14 +4,28 @@ use cq_workload::WorkloadConfig;
 use std::time::Instant;
 
 fn main() {
-    for (n, q, t) in [(1024, 5000, 1000), (2000, 10_000, 1000), (2000, 20_000, 2000)] {
+    for (n, q, t) in [
+        (1024, 5000, 1000),
+        (2000, 10_000, 1000),
+        (2000, 20_000, 2000),
+    ] {
         let start = Instant::now();
         let cfg = RunConfig {
-            nodes: n, queries: q, tuples: t,
-            workload: WorkloadConfig { domain: 400, ..WorkloadConfig::default() },
+            nodes: n,
+            queries: q,
+            tuples: t,
+            workload: WorkloadConfig {
+                domain: 400,
+                ..WorkloadConfig::default()
+            },
             ..RunConfig::new(Algorithm::Sai)
         };
         let r = run(&cfg);
-        println!("N={n} Q={q} T={t}: {:?} (TF={}, hops/t={:.1})", start.elapsed(), r.total_filtering(), r.hops_per_tuple());
+        println!(
+            "N={n} Q={q} T={t}: {:?} (TF={}, hops/t={:.1})",
+            start.elapsed(),
+            r.total_filtering(),
+            r.hops_per_tuple()
+        );
     }
 }

@@ -1,11 +1,13 @@
 //! Regenerates the paper's evaluation figures and Table 4.1.
 //!
 //! ```text
-//! experiments [--full] [--csv] [ids...]
+//! experiments [--full] [--csv] [--jobs N] [ids...]
 //!
 //!   --full     paper-approaching scale (default: quick)
 //!   --csv      also print CSV blocks after each table
-//!   ids        e01..e16, t01 (default: all)
+//!   --jobs N   fan independent simulation runs over N worker threads
+//!              (default: 1 = sequential; results are identical either way)
+//!   ids        e01..e16, t01, a01 (default: all)
 //! ```
 
 use std::time::Instant;
@@ -14,9 +16,40 @@ use cq_sim::experiments::{all, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let csv = args.iter().any(|a| a == "--csv");
-    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut full = false;
+    let mut csv = false;
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--csv" => csv = true,
+            "--jobs" => {
+                let n = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs expects a positive integer");
+                        std::process::exit(2);
+                    });
+                cq_sim::set_jobs(n);
+            }
+            other if other.starts_with("--jobs=") => {
+                let n = other["--jobs=".len()..]
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--jobs expects a positive integer");
+                        std::process::exit(2);
+                    });
+                cq_sim::set_jobs(n);
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
     let scale = if full { Scale::Full } else { Scale::Quick };
 
     let registry = all();
@@ -25,7 +58,7 @@ fn main() {
     } else {
         registry
             .into_iter()
-            .filter(|(id, _)| ids.iter().any(|want| want.as_str() == *id))
+            .filter(|(id, _)| ids.iter().any(|want| want == *id))
             .collect()
     };
     if selected.is_empty() {

@@ -11,9 +11,9 @@
 use cq_engine::{Algorithm, EngineConfig, Network, TrafficKind};
 use cq_workload::{Workload, WorkloadConfig};
 
+use super::Scale;
 use crate::report::{fnum, Report};
 use crate::stats;
-use super::Scale;
 
 fn run_variant(scale: Scale, keyed: bool, queries: usize) -> (f64, f64) {
     let nodes = scale.pick(128, 1024);
@@ -45,8 +45,12 @@ fn run_variant(scale: Scale, keyed: bool, queries: usize) -> (f64, f64) {
         net.insert_tuple(from, &rel, vals).unwrap();
     }
     let reindex = net.metrics().traffic(TrafficKind::Reindex).messages as f64;
-    let loads: Vec<f64> =
-        net.metrics().loads().iter().map(|l| l.evaluator_filtering as f64).collect();
+    let loads: Vec<f64> = net
+        .metrics()
+        .loads()
+        .iter()
+        .map(|l| l.evaluator_filtering as f64)
+        .collect();
     (reindex, stats::gini(&loads))
 }
 
@@ -56,7 +60,14 @@ pub fn run(scale: Scale) -> Report {
     let mut report = Report::new(
         "A1",
         "ablation: DAI-V vs keyed DAI-V (Hash(Key(q)+valJC))",
-        &["queries", "reindex msgs", "keyed reindex", "traffic ×", "gini", "keyed gini"],
+        &[
+            "queries",
+            "reindex msgs",
+            "keyed reindex",
+            "traffic ×",
+            "gini",
+            "keyed gini",
+        ],
     );
     for &q in &sweep {
         let (base_msgs, base_gini) = run_variant(scale, false, q);
@@ -90,10 +101,15 @@ mod tests {
             .skip(1)
             .map(|c| c.parse().unwrap())
             .collect();
-        let (base, keyed, factor, gini, keyed_gini) =
-            (last[0], last[1], last[2], last[3], last[4]);
+        let (base, keyed, factor, gini, keyed_gini) = (last[0], last[1], last[2], last[3], last[4]);
         assert!(keyed > base, "keyed {keyed} must exceed grouped {base}");
-        assert!(factor > 10.0, "traffic blow-up must be dramatic, got ×{factor}");
-        assert!(keyed_gini < gini, "keyed variant must distribute load better");
+        assert!(
+            factor > 10.0,
+            "traffic blow-up must be dramatic, got ×{factor}"
+        );
+        assert!(
+            keyed_gini < gini,
+            "keyed variant must distribute load better"
+        );
     }
 }

@@ -9,8 +9,8 @@
 
 use cq_overlay::{Id, IdSpace, Ring};
 
-use crate::report::{fnum, Report};
 use super::Scale;
+use crate::report::{fnum, Report};
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -22,7 +22,14 @@ pub fn run(scale: Scale) -> Report {
     let mut report = Report::new(
         "E1",
         &format!("multisend: recursive vs iterative total hops (N = {n})"),
-        &["k", "recursive", "iterative", "iter/rec", "recursive makespan", "iterative makespan"],
+        &[
+            "k",
+            "recursive",
+            "iterative",
+            "iter/rec",
+            "recursive makespan",
+            "iterative makespan",
+        ],
     );
     let mut rng_state = 0x2545F4914F6CDD1Du64;
     let mut next = move || {
@@ -34,7 +41,10 @@ pub fn run(scale: Scale) -> Report {
     for &k in &ks {
         let (mut rec, mut ite, mut rec_ms, mut ite_ms) = (0usize, 0usize, 0usize, 0usize);
         for _ in 0..trials {
-            let from = ring.alive_nodes().nth((next() % n as u64) as usize).unwrap();
+            let from = ring
+                .alive_nodes()
+                .nth((next() % n as u64) as usize)
+                .unwrap();
             let ids: Vec<Id> = (0..k).map(|_| ring.space().id(next())).collect();
             let r = ring.multisend_recursive(from, &ids).expect("stable ring");
             let i = ring.multisend_iterative(from, &ids).expect("stable ring");
@@ -70,7 +80,10 @@ mod tests {
             let cells: Vec<&str> = line.split(',').collect();
             let rec: f64 = cells[1].parse().unwrap();
             let ite: f64 = cells[2].parse().unwrap();
-            assert!(rec <= ite, "recursive {rec} should not exceed iterative {ite}");
+            assert!(
+                rec <= ite,
+                "recursive {rec} should not exceed iterative {ite}"
+            );
         }
     }
 }

@@ -11,9 +11,10 @@
 use cq_engine::{Algorithm, TrafficKind};
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
-use crate::report::{fnum, Report};
 use super::Scale;
+use crate::harness::RunConfig;
+use crate::parallel::run_many;
+use crate::report::{fnum, Report};
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -32,12 +33,10 @@ pub fn run(scale: Scale) -> Report {
             "total hops/t",
         ],
     );
+    let mut cfgs = Vec::new();
     for alg in Algorithm::ALL {
-        let mut reindex = [0.0f64; 2];
-        let mut reindex_msgs = 0u64;
-        let mut total = 0.0f64;
-        for (i, jfrt) in [false, true].into_iter().enumerate() {
-            let cfg = RunConfig {
+        for jfrt in [false, true] {
+            cfgs.push(RunConfig {
                 algorithm: alg,
                 nodes,
                 queries,
@@ -48,14 +47,19 @@ pub fn run(scale: Scale) -> Report {
                     ..WorkloadConfig::default()
                 },
                 ..RunConfig::new(alg)
-            };
-            let r = run_once(&cfg);
-            reindex[i] = r.traffic_of(TrafficKind::Reindex).hops as f64 / tuples as f64;
-            if jfrt {
-                reindex_msgs = r.traffic_of(TrafficKind::Reindex).messages;
-                total = r.hops_per_tuple();
-            }
+            });
         }
+    }
+    let mut results = run_many(&cfgs).into_iter();
+    for alg in Algorithm::ALL {
+        let off = results.next().expect("one result per config");
+        let on = results.next().expect("one result per config");
+        let reindex = [
+            off.traffic_of(TrafficKind::Reindex).hops as f64 / tuples as f64,
+            on.traffic_of(TrafficKind::Reindex).hops as f64 / tuples as f64,
+        ];
+        let reindex_msgs = on.traffic_of(TrafficKind::Reindex).messages;
+        let total = on.hops_per_tuple();
         let saving = if reindex[0] > 0.0 {
             100.0 * (reindex[0] - reindex[1]) / reindex[0]
         } else {
@@ -89,7 +93,10 @@ mod tests {
             let on: f64 = cells[2].parse().unwrap();
             assert!(on < off, "{line}: JFRT must cut reindex hops");
             let saving: f64 = cells[3].parse().unwrap();
-            assert!(saving > 20.0, "{line}: saving should be substantial, got {saving}%");
+            assert!(
+                saving > 20.0,
+                "{line}: saving should be substantial, got {saving}%"
+            );
         }
     }
 }

@@ -11,9 +11,10 @@
 use cq_engine::Algorithm;
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
-use crate::report::{fnum, Report};
 use super::Scale;
+use crate::harness::RunConfig;
+use crate::parallel::run_many;
+use crate::report::{fnum, Report};
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -25,18 +26,32 @@ pub fn run(scale: Scale) -> Report {
         &format!("hops per tuple vs installed queries (N={nodes}, T={tuples})"),
         &["queries", "SAI", "DAI-Q", "DAI-T", "DAI-V"],
     );
+    let mut cfgs = Vec::new();
     for &q in &sweep {
-        let mut row = vec![q.to_string()];
         for alg in Algorithm::ALL {
-            let cfg = RunConfig {
+            cfgs.push(RunConfig {
                 algorithm: alg,
                 nodes,
                 queries: q,
                 tuples,
-                workload: WorkloadConfig { domain: scale.pick(40, 400), ..WorkloadConfig::default() },
+                workload: WorkloadConfig {
+                    domain: scale.pick(40, 400),
+                    ..WorkloadConfig::default()
+                },
                 ..RunConfig::new(alg)
-            };
-            row.push(fnum(run_once(&cfg).hops_per_tuple()));
+            });
+        }
+    }
+    let mut results = run_many(&cfgs).into_iter();
+    for &q in &sweep {
+        let mut row = vec![q.to_string()];
+        for _ in Algorithm::ALL {
+            row.push(fnum(
+                results
+                    .next()
+                    .expect("one result per config")
+                    .hops_per_tuple(),
+            ));
         }
         report.row(row);
     }

@@ -10,10 +10,11 @@
 use cq_engine::{Algorithm, IndexStrategy};
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
+use super::Scale;
+use crate::harness::RunConfig;
+use crate::parallel::run_many;
 use crate::report::{fnum, Report};
 use crate::stats;
-use super::Scale;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -26,8 +27,9 @@ pub fn run(scale: Scale) -> Report {
         &format!("SAI index-attribute strategies (N={nodes}, Q={queries}, bos=0.8)"),
         &["strategy", "hops/tuple", "probe msgs", "evaluator gini"],
     );
-    for strategy in IndexStrategy::ALL {
-        let cfg = RunConfig {
+    let cfgs: Vec<RunConfig> = IndexStrategy::ALL
+        .into_iter()
+        .map(|strategy| RunConfig {
             algorithm: Algorithm::Sai,
             nodes,
             queries,
@@ -41,12 +43,15 @@ pub fn run(scale: Scale) -> Report {
                 ..WorkloadConfig::default()
             },
             ..RunConfig::new(Algorithm::Sai)
-        };
-        let r = run_once(&cfg);
+        })
+        .collect();
+    for (strategy, r) in IndexStrategy::ALL.into_iter().zip(run_many(&cfgs)) {
         report.row(vec![
             strategy.name().to_string(),
             fnum(r.hops_per_tuple()),
-            r.install_traffic_of(cq_engine::TrafficKind::Probe).messages.to_string(),
+            r.install_traffic_of(cq_engine::TrafficKind::Probe)
+                .messages
+                .to_string(),
             fnum(stats::gini(&r.evaluator_filtering)),
         ]);
     }

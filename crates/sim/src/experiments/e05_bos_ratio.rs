@@ -11,9 +11,10 @@
 use cq_engine::{Algorithm, IndexStrategy};
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
-use crate::report::{fnum, Report};
 use super::Scale;
+use crate::harness::RunConfig;
+use crate::parallel::run_many;
+use crate::report::{fnum, Report};
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -27,13 +28,10 @@ pub fn run(scale: Scale) -> Report {
         &format!("SAI hops per tuple vs bos ratio (N={nodes}, Q={queries})"),
         &["bos", "random", "lowest-rate", "gap %"],
     );
+    let mut cfgs = Vec::new();
     for &bos in &ratios {
-        let mut hops = [0.0f64; 2];
-        for (i, strategy) in [IndexStrategy::Random, IndexStrategy::LowestRate]
-            .into_iter()
-            .enumerate()
-        {
-            let cfg = RunConfig {
+        for strategy in [IndexStrategy::Random, IndexStrategy::LowestRate] {
+            cfgs.push(RunConfig {
                 algorithm: Algorithm::Sai,
                 nodes,
                 queries,
@@ -46,11 +44,32 @@ pub fn run(scale: Scale) -> Report {
                     ..WorkloadConfig::default()
                 },
                 ..RunConfig::new(Algorithm::Sai)
-            };
-            hops[i] = run_once(&cfg).hops_per_tuple();
+            });
         }
-        let gap = if hops[0] > 0.0 { 100.0 * (hops[0] - hops[1]) / hops[0] } else { 0.0 };
-        report.row(vec![format!("{bos:.1}"), fnum(hops[0]), fnum(hops[1]), fnum(gap)]);
+    }
+    let mut results = run_many(&cfgs).into_iter();
+    for &bos in &ratios {
+        let hops = [
+            results
+                .next()
+                .expect("one result per config")
+                .hops_per_tuple(),
+            results
+                .next()
+                .expect("one result per config")
+                .hops_per_tuple(),
+        ];
+        let gap = if hops[0] > 0.0 {
+            100.0 * (hops[0] - hops[1]) / hops[0]
+        } else {
+            0.0
+        };
+        report.row(vec![
+            format!("{bos:.1}"),
+            fnum(hops[0]),
+            fnum(hops[1]),
+            fnum(gap),
+        ]);
     }
     report.note("paper: index by the lower-rate attribute; wins at every ratio here");
     report

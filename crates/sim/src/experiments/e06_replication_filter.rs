@@ -9,10 +9,11 @@
 use cq_engine::Algorithm;
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
+use super::Scale;
+use crate::harness::RunConfig;
+use crate::parallel::run_many;
 use crate::report::{fnum, Report};
 use crate::stats;
-use super::Scale;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -24,17 +25,23 @@ pub fn run(scale: Scale) -> Report {
         &format!("rewriter filtering-load distribution vs replication k (SAI, N={nodes})"),
         &["k", "max load", "top-1% share", "gini", "loaded nodes"],
     );
-    for k in [1usize, 2, 4, 8] {
-        let cfg = RunConfig {
+    let ks = [1usize, 2, 4, 8];
+    let cfgs: Vec<RunConfig> = ks
+        .into_iter()
+        .map(|k| RunConfig {
             algorithm: Algorithm::Sai,
             nodes,
             queries,
             tuples,
             replication: k,
-            workload: WorkloadConfig { domain: scale.pick(40, 400), ..WorkloadConfig::default() },
+            workload: WorkloadConfig {
+                domain: scale.pick(40, 400),
+                ..WorkloadConfig::default()
+            },
             ..RunConfig::new(Algorithm::Sai)
-        };
-        let r = run_once(&cfg);
+        })
+        .collect();
+    for (k, r) in ks.into_iter().zip(run_many(&cfgs)) {
         let loads = &r.rewriter_filtering;
         report.row(vec![
             k.to_string(),
@@ -69,6 +76,9 @@ mod tests {
         );
         let loaded_k1: usize = rows[0][4].parse().unwrap();
         let loaded_k8: usize = rows[3][4].parse().unwrap();
-        assert!(loaded_k8 > loaded_k1, "replication spreads the role over more nodes");
+        assert!(
+            loaded_k8 > loaded_k1,
+            "replication spreads the role over more nodes"
+        );
     }
 }

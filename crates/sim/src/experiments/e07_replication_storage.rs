@@ -9,10 +9,11 @@
 use cq_engine::Algorithm;
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
+use super::Scale;
+use crate::harness::RunConfig;
+use crate::parallel::run_many;
 use crate::report::{fnum, Report};
 use crate::stats;
-use super::Scale;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -24,17 +25,23 @@ pub fn run(scale: Scale) -> Report {
         &format!("storage-load distribution vs replication k (SAI, N={nodes}, Q={queries})"),
         &["k", "total storage", "max node", "gini", "nodes storing"],
     );
-    for k in [1usize, 2, 4, 8] {
-        let cfg = RunConfig {
+    let ks = [1usize, 2, 4, 8];
+    let cfgs: Vec<RunConfig> = ks
+        .into_iter()
+        .map(|k| RunConfig {
             algorithm: Algorithm::Sai,
             nodes,
             queries,
             tuples,
             replication: k,
-            workload: WorkloadConfig { domain: scale.pick(40, 400), ..WorkloadConfig::default() },
+            workload: WorkloadConfig {
+                domain: scale.pick(40, 400),
+                ..WorkloadConfig::default()
+            },
             ..RunConfig::new(Algorithm::Sai)
-        };
-        let r = run_once(&cfg);
+        })
+        .collect();
+    for (k, r) in ks.into_iter().zip(run_many(&cfgs)) {
         report.row(vec![
             k.to_string(),
             fnum(r.total_storage()),
@@ -60,6 +67,11 @@ mod tests {
             .skip(1)
             .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
             .collect();
-        assert!(totals[3] > totals[0], "k=8 total {} !> k=1 total {}", totals[3], totals[0]);
+        assert!(
+            totals[3] > totals[0],
+            "k=8 total {} !> k=1 total {}",
+            totals[3],
+            totals[0]
+        );
     }
 }

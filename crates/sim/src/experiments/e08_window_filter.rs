@@ -10,9 +10,10 @@
 use cq_engine::Algorithm;
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
-use crate::report::{fnum, Report};
 use super::Scale;
+use crate::harness::RunConfig;
+use crate::parallel::run_many;
+use crate::report::{fnum, Report};
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -31,11 +32,11 @@ pub fn run(scale: Scale) -> Report {
         &format!("total evaluator filtering load vs window size (N={nodes})"),
         &headers_ref,
     );
+    let mut cfgs = Vec::new();
     for &w in &windows {
-        let mut row = vec![w.to_string()];
         for &q in &query_pops {
             for alg in Algorithm::ALL {
-                let cfg = RunConfig {
+                cfgs.push(RunConfig {
                     algorithm: alg,
                     nodes,
                     queries: q,
@@ -45,9 +46,16 @@ pub fn run(scale: Scale) -> Report {
                         ..WorkloadConfig::default()
                     },
                     ..RunConfig::new(alg)
-                };
-                row.push(fnum(run_once(&cfg).total_evaluator_filtering()));
+                });
             }
+        }
+    }
+    let mut results = run_many(&cfgs).into_iter();
+    for &w in &windows {
+        let mut row = vec![w.to_string()];
+        for _ in 0..query_pops.len() * Algorithm::ALL.len() {
+            let r = results.next().expect("one result per config");
+            row.push(fnum(r.total_evaluator_filtering()));
         }
         report.row(row);
     }

@@ -12,9 +12,10 @@
 use cq_engine::Algorithm;
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
-use crate::report::{fnum, Report};
 use super::Scale;
+use crate::harness::RunConfig;
+use crate::parallel::run_many;
+use crate::report::{fnum, Report};
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -33,11 +34,11 @@ pub fn run(scale: Scale) -> Report {
         &format!("total evaluator storage load vs window size (N={nodes})"),
         &headers_ref,
     );
+    let mut cfgs = Vec::new();
     for &w in &windows {
-        let mut row = vec![w.to_string()];
         for &q in &query_pops {
             for alg in Algorithm::ALL {
-                let cfg = RunConfig {
+                cfgs.push(RunConfig {
                     algorithm: alg,
                     nodes,
                     queries: q,
@@ -47,9 +48,16 @@ pub fn run(scale: Scale) -> Report {
                         ..WorkloadConfig::default()
                     },
                     ..RunConfig::new(alg)
-                };
-                row.push(fnum(run_once(&cfg).total_evaluator_storage()));
+                });
             }
+        }
+    }
+    let mut results = run_many(&cfgs).into_iter();
+    for &w in &windows {
+        let mut row = vec![w.to_string()];
+        for _ in 0..query_pops.len() * Algorithm::ALL.len() {
+            let r = results.next().expect("one result per config");
+            row.push(fnum(r.total_evaluator_storage()));
         }
         report.row(row);
     }
@@ -74,11 +82,17 @@ mod tests {
             .map(|c| c.parse().unwrap())
             .collect();
         // Columns per Q block: SAI, DAI-Q, DAI-T, DAI-V.
-        assert!(last[0] > last[1], "SAI (tuples + rewrites) must exceed DAI-Q (tuples only)");
+        assert!(
+            last[0] > last[1],
+            "SAI (tuples + rewrites) must exceed DAI-Q (tuples only)"
+        );
         assert!(last[2] > 0.0, "DAI-T must store rewritten queries");
         // DAI-T stores rewrites from two rewriters; SAI's rewrites come from
         // one. DAI-T's query-driven storage must exceed SAI's minus the
         // shared tuple storage (= DAI-Q's column).
-        assert!(last[2] > last[0] - last[1], "DAI-T rewrites ≈ 2× SAI rewrites");
+        assert!(
+            last[2] > last[0] - last[1],
+            "DAI-T rewrites ≈ 2× SAI rewrites"
+        );
     }
 }

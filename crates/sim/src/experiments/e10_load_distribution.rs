@@ -10,10 +10,11 @@
 use cq_engine::Algorithm;
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
+use super::Scale;
+use crate::harness::RunConfig;
+use crate::parallel::run_many;
 use crate::report::{fnum, Report};
 use crate::stats::DistributionSummary;
-use super::Scale;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -34,16 +35,21 @@ pub fn run(scale: Scale) -> Report {
             "TS loaded",
         ],
     );
-    for alg in Algorithm::ALL {
-        let cfg = RunConfig {
+    let cfgs: Vec<RunConfig> = Algorithm::ALL
+        .into_iter()
+        .map(|alg| RunConfig {
             algorithm: alg,
             nodes,
             queries,
             tuples,
-            workload: WorkloadConfig { domain: scale.pick(40, 400), ..WorkloadConfig::default() },
+            workload: WorkloadConfig {
+                domain: scale.pick(40, 400),
+                ..WorkloadConfig::default()
+            },
             ..RunConfig::new(alg)
-        };
-        let r = run_once(&cfg);
+        })
+        .collect();
+    for (alg, r) in Algorithm::ALL.into_iter().zip(run_many(&cfgs)) {
         let tf = DistributionSummary::of(&r.filtering);
         let ts = DistributionSummary::of(&r.storage);
         report.row(vec![
@@ -77,10 +83,18 @@ mod tests {
             .map(|l| l.split(',').map(str::to_string).collect())
             .collect();
         let col = |name: &str, i: usize| -> f64 {
-            rows.iter().find(|r| r[0] == name).unwrap()[i].parse().unwrap()
+            rows.iter().find(|r| r[0] == name).unwrap()[i]
+                .parse()
+                .unwrap()
         };
         assert!(col("DAI-V", 4) < col("SAI", 4), "DAI-V loads fewer nodes");
-        assert!(col("DAI-V", 1) > col("SAI", 1), "DAI-V filtering gini highest vs SAI");
-        assert!(col("DAI-V", 1) > col("DAI-T", 1), "DAI-V filtering gini highest vs DAI-T");
+        assert!(
+            col("DAI-V", 1) > col("SAI", 1),
+            "DAI-V filtering gini highest vs SAI"
+        );
+        assert!(
+            col("DAI-V", 1) > col("DAI-T", 1),
+            "DAI-V filtering gini highest vs DAI-T"
+        );
     }
 }

@@ -12,9 +12,10 @@
 use cq_engine::Algorithm;
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
-use crate::report::{fnum, Report};
 use super::Scale;
+use crate::harness::RunConfig;
+use crate::parallel::run_many;
+use crate::report::{fnum, Report};
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -24,18 +25,31 @@ pub fn run(scale: Scale) -> Report {
     let mut report = Report::new(
         "E11",
         &format!("TF and TS totals, two-level algorithms (N={nodes}, Q={queries}, T={tuples})"),
-        &["algorithm", "TF", "TF rewriter", "TF evaluator", "TS", "notifications"],
+        &[
+            "algorithm",
+            "TF",
+            "TF rewriter",
+            "TF evaluator",
+            "TS",
+            "notifications",
+        ],
     );
-    for alg in [Algorithm::Sai, Algorithm::DaiQ, Algorithm::DaiT] {
-        let cfg = RunConfig {
+    let algs = [Algorithm::Sai, Algorithm::DaiQ, Algorithm::DaiT];
+    let cfgs: Vec<RunConfig> = algs
+        .into_iter()
+        .map(|alg| RunConfig {
             algorithm: alg,
             nodes,
             queries,
             tuples,
-            workload: WorkloadConfig { domain: scale.pick(40, 400), ..WorkloadConfig::default() },
+            workload: WorkloadConfig {
+                domain: scale.pick(40, 400),
+                ..WorkloadConfig::default()
+            },
             ..RunConfig::new(alg)
-        };
-        let r = run_once(&cfg);
+        })
+        .collect();
+    for (alg, r) in algs.into_iter().zip(run_many(&cfgs)) {
         report.row(vec![
             alg.name().to_string(),
             fnum(r.total_filtering()),
@@ -45,7 +59,9 @@ pub fn run(scale: Scale) -> Report {
             r.notifications.to_string(),
         ]);
     }
-    report.note("one rewriter (SAI) vs two (DAI): rewriter TF doubles; DAI-Q re-evaluates duplicates");
+    report.note(
+        "one rewriter (SAI) vs two (DAI): rewriter TF doubles; DAI-Q re-evaluates duplicates",
+    );
     report
 }
 
@@ -65,7 +81,10 @@ mod tests {
             .skip(1)
             .map(|l| l.split(',').next_back().unwrap().parse().unwrap())
             .collect();
-        assert!(counts.iter().all(|&c| c > 0), "counts {counts:?} must be positive");
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "counts {counts:?} must be positive"
+        );
     }
 
     #[test]
@@ -80,7 +99,10 @@ mod tests {
         }
         // Two rewriters per query: DAI rewriter filtering ≈ 2× SAI's.
         assert!(rewriter["DAI-T"] > 1.5 * rewriter["SAI"]);
-        assert!((rewriter["DAI-T"] - rewriter["DAI-Q"]).abs() < 1e-9, "same rewriter work");
+        assert!(
+            (rewriter["DAI-T"] - rewriter["DAI-Q"]).abs() < 1e-9,
+            "same rewriter work"
+        );
         // DAI-Q re-evaluates duplicate rewrites: highest evaluator load.
         assert!(evaluator["DAI-Q"] >= evaluator["SAI"]);
         assert!(evaluator["DAI-Q"] >= evaluator["DAI-T"]);

@@ -9,10 +9,11 @@
 use cq_engine::Algorithm;
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
+use super::Scale;
+use crate::harness::RunConfig;
+use crate::parallel::run_many;
 use crate::report::{fnum, Report};
 use crate::stats;
-use super::Scale;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -22,20 +23,38 @@ pub fn run(scale: Scale) -> Report {
     let mut report = Report::new(
         "E12",
         &format!("filtering distribution vs tuple rate (N={nodes}, Q={queries})"),
-        &["tuples", "SAI gini", "SAI max", "DAI-T gini", "DAI-T max", "DAI-V gini", "DAI-V max"],
+        &[
+            "tuples",
+            "SAI gini",
+            "SAI max",
+            "DAI-T gini",
+            "DAI-T max",
+            "DAI-V gini",
+            "DAI-V max",
+        ],
     );
+    let algs = [Algorithm::Sai, Algorithm::DaiT, Algorithm::DaiV];
+    let mut cfgs = Vec::new();
     for &t in &rates {
-        let mut row = vec![t.to_string()];
-        for alg in [Algorithm::Sai, Algorithm::DaiT, Algorithm::DaiV] {
-            let cfg = RunConfig {
+        for alg in algs {
+            cfgs.push(RunConfig {
                 algorithm: alg,
                 nodes,
                 queries,
                 tuples: t,
-                workload: WorkloadConfig { domain: scale.pick(40, 400), ..WorkloadConfig::default() },
+                workload: WorkloadConfig {
+                    domain: scale.pick(40, 400),
+                    ..WorkloadConfig::default()
+                },
                 ..RunConfig::new(alg)
-            };
-            let r = run_once(&cfg);
+            });
+        }
+    }
+    let mut results = run_many(&cfgs).into_iter();
+    for &t in &rates {
+        let mut row = vec![t.to_string()];
+        for _ in algs {
+            let r = results.next().expect("one result per config");
             row.push(fnum(stats::gini(&r.filtering)));
             row.push(fnum(stats::max(&r.filtering)));
         }

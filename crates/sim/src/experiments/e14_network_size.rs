@@ -9,10 +9,11 @@
 use cq_engine::Algorithm;
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
+use super::Scale;
+use crate::harness::RunConfig;
+use crate::parallel::run_many;
 use crate::report::{fnum, Report};
 use crate::stats;
-use super::Scale;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -22,20 +23,38 @@ pub fn run(scale: Scale) -> Report {
     let mut report = Report::new(
         "E14",
         &format!("filtering distribution vs network size (Q={queries}, T={tuples})"),
-        &["N", "SAI mean", "SAI loaded", "DAI-T mean", "DAI-T loaded", "DAI-V mean", "DAI-V loaded"],
+        &[
+            "N",
+            "SAI mean",
+            "SAI loaded",
+            "DAI-T mean",
+            "DAI-T loaded",
+            "DAI-V mean",
+            "DAI-V loaded",
+        ],
     );
+    let algs = [Algorithm::Sai, Algorithm::DaiT, Algorithm::DaiV];
+    let mut cfgs = Vec::new();
     for &n in &sizes {
-        let mut row = vec![n.to_string()];
-        for alg in [Algorithm::Sai, Algorithm::DaiT, Algorithm::DaiV] {
-            let cfg = RunConfig {
+        for alg in algs {
+            cfgs.push(RunConfig {
                 algorithm: alg,
                 nodes: n,
                 queries,
                 tuples,
-                workload: WorkloadConfig { domain: scale.pick(40, 400), ..WorkloadConfig::default() },
+                workload: WorkloadConfig {
+                    domain: scale.pick(40, 400),
+                    ..WorkloadConfig::default()
+                },
                 ..RunConfig::new(alg)
-            };
-            let r = run_once(&cfg);
+            });
+        }
+    }
+    let mut results = run_many(&cfgs).into_iter();
+    for &n in &sizes {
+        let mut row = vec![n.to_string()];
+        for _ in algs {
+            let r = results.next().expect("one result per config");
             // Mean over nodes that exist; "loaded" = nodes doing any work.
             row.push(fnum(stats::mean(&r.filtering)));
             row.push(r.filtering.iter().filter(|&&l| l > 0.0).count().to_string());

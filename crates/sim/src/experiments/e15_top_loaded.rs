@@ -10,10 +10,11 @@
 use cq_engine::Algorithm;
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
+use super::Scale;
+use crate::harness::RunConfig;
+use crate::parallel::run_many;
 use crate::report::{fnum, Report};
 use crate::stats;
-use super::Scale;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -23,20 +24,38 @@ pub fn run(scale: Scale) -> Report {
     let mut report = Report::new(
         "E15",
         &format!("most-loaded nodes vs network size (Q={queries}, T={tuples})"),
-        &["N", "SAI max", "SAI p99", "DAI-T max", "DAI-T p99", "DAI-V max", "DAI-V p99"],
+        &[
+            "N",
+            "SAI max",
+            "SAI p99",
+            "DAI-T max",
+            "DAI-T p99",
+            "DAI-V max",
+            "DAI-V p99",
+        ],
     );
+    let algs = [Algorithm::Sai, Algorithm::DaiT, Algorithm::DaiV];
+    let mut cfgs = Vec::new();
     for &n in &sizes {
-        let mut row = vec![n.to_string()];
-        for alg in [Algorithm::Sai, Algorithm::DaiT, Algorithm::DaiV] {
-            let cfg = RunConfig {
+        for alg in algs {
+            cfgs.push(RunConfig {
                 algorithm: alg,
                 nodes: n,
                 queries,
                 tuples,
-                workload: WorkloadConfig { domain: scale.pick(40, 400), ..WorkloadConfig::default() },
+                workload: WorkloadConfig {
+                    domain: scale.pick(40, 400),
+                    ..WorkloadConfig::default()
+                },
                 ..RunConfig::new(alg)
-            };
-            let r = run_once(&cfg);
+            });
+        }
+    }
+    let mut results = run_many(&cfgs).into_iter();
+    for &n in &sizes {
+        let mut row = vec![n.to_string()];
+        for _ in algs {
+            let r = results.next().expect("one result per config");
             row.push(fnum(stats::max(&r.filtering)));
             row.push(fnum(stats::percentile(&r.filtering, 99.0)));
         }

@@ -9,23 +9,33 @@
 use cq_engine::Algorithm;
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
+use super::Scale;
+use crate::harness::{RunConfig, RunResult};
+use crate::parallel::run_many;
 use crate::report::{fnum, Report};
 use crate::stats;
-use super::Scale;
 
-fn one(nodes: usize, queries: usize, tuples: usize, domain: i64) -> (f64, f64, f64) {
-    let cfg = RunConfig {
+fn cfg_for(nodes: usize, queries: usize, tuples: usize, domain: i64) -> RunConfig {
+    RunConfig {
         algorithm: Algorithm::DaiV,
         nodes,
         queries,
         tuples,
         t2_queries: true,
-        workload: WorkloadConfig { domain, ..WorkloadConfig::default() },
+        workload: WorkloadConfig {
+            domain,
+            ..WorkloadConfig::default()
+        },
         ..RunConfig::new(Algorithm::DaiV)
-    };
-    let r = run_once(&cfg);
-    (stats::mean(&r.filtering), stats::max(&r.filtering), stats::gini(&r.filtering))
+    }
+}
+
+fn summarize(r: &RunResult) -> (f64, f64, f64) {
+    (
+        stats::mean(&r.filtering),
+        stats::max(&r.filtering),
+        stats::gini(&r.filtering),
+    )
 }
 
 /// Runs the experiment.
@@ -39,17 +49,44 @@ pub fn run(scale: Scale) -> Report {
         "DAI-V (T2 queries): filtering distribution sweeps",
         &["sweep", "value", "mean", "max", "gini"],
     );
-    for n in scale.pick(vec![64, 128, 256], vec![1000, 2500, 5000]) {
-        let (mean, max, gini) = one(n, base_q, base_t, domain);
-        report.row(vec!["N".into(), n.to_string(), fnum(mean), fnum(max), fnum(gini)]);
+    let n_sweep = scale.pick(vec![64, 128, 256], vec![1000, 2500, 5000]);
+    let q_sweep = scale.pick(vec![20, 40, 80], vec![1000, 4000, 8000]);
+    let t_sweep = scale.pick(vec![100, 200, 400], vec![500, 1000, 2000]);
+    let mut cfgs = Vec::new();
+    cfgs.extend(n_sweep.iter().map(|&n| cfg_for(n, base_q, base_t, domain)));
+    cfgs.extend(q_sweep.iter().map(|&q| cfg_for(base_n, q, base_t, domain)));
+    cfgs.extend(t_sweep.iter().map(|&t| cfg_for(base_n, base_q, t, domain)));
+    let results = run_many(&cfgs);
+    let mut it = results.iter();
+    for &n in &n_sweep {
+        let (mean, max, gini) = summarize(it.next().expect("one result per config"));
+        report.row(vec![
+            "N".into(),
+            n.to_string(),
+            fnum(mean),
+            fnum(max),
+            fnum(gini),
+        ]);
     }
-    for q in scale.pick(vec![20, 40, 80], vec![1000, 4000, 8000]) {
-        let (mean, max, gini) = one(base_n, q, base_t, domain);
-        report.row(vec!["queries".into(), q.to_string(), fnum(mean), fnum(max), fnum(gini)]);
+    for &q in &q_sweep {
+        let (mean, max, gini) = summarize(it.next().expect("one result per config"));
+        report.row(vec![
+            "queries".into(),
+            q.to_string(),
+            fnum(mean),
+            fnum(max),
+            fnum(gini),
+        ]);
     }
-    for t in scale.pick(vec![100, 200, 400], vec![500, 1000, 2000]) {
-        let (mean, max, gini) = one(base_n, base_q, t, domain);
-        report.row(vec!["tuples".into(), t.to_string(), fnum(mean), fnum(max), fnum(gini)]);
+    for &t in &t_sweep {
+        let (mean, max, gini) = summarize(it.next().expect("one result per config"));
+        report.row(vec![
+            "tuples".into(),
+            t.to_string(),
+            fnum(mean),
+            fnum(max),
+            fnum(gini),
+        ]);
     }
     report.note("paper: DAI-V scales with N/queries/tuples but concentrates on hot values");
     report

@@ -9,9 +9,10 @@
 use cq_engine::{Algorithm, TrafficKind};
 use cq_workload::WorkloadConfig;
 
-use crate::harness::{run as run_once, RunConfig};
-use crate::report::{fnum, Report};
 use super::Scale;
+use crate::harness::RunConfig;
+use crate::parallel::run_many;
+use crate::report::{fnum, Report};
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -31,17 +32,22 @@ pub fn run(scale: Scale) -> Report {
             "notifications",
         ],
     );
-    for alg in Algorithm::ALL {
-        let cfg = RunConfig {
+    let cfgs: Vec<RunConfig> = Algorithm::ALL
+        .into_iter()
+        .map(|alg| RunConfig {
             algorithm: alg,
             nodes,
             queries,
             tuples,
             measure_stream_only: false,
-            workload: WorkloadConfig { domain: scale.pick(40, 400), ..WorkloadConfig::default() },
+            workload: WorkloadConfig {
+                domain: scale.pick(40, 400),
+                ..WorkloadConfig::default()
+            },
             ..RunConfig::new(alg)
-        };
-        let r = run_once(&cfg);
+        })
+        .collect();
+    for (alg, r) in Algorithm::ALL.into_iter().zip(run_many(&cfgs)) {
         let qi = r.traffic_of(TrafficKind::QueryIndex).messages as f64 / queries as f64;
         let ti = r.traffic_of(TrafficKind::TupleIndex).messages as f64 / tuples as f64;
         let ri = r.traffic_of(TrafficKind::Reindex).messages as f64 / tuples as f64;
@@ -74,9 +80,15 @@ mod tests {
             let c: Vec<&str> = line.split(',').collect();
             per_alg.insert(c[0].to_string(), c[1].parse::<f64>().unwrap());
         }
-        assert!((per_alg["SAI"] - 1.0).abs() < 1e-9, "SAI: one rewriter per query");
+        assert!(
+            (per_alg["SAI"] - 1.0).abs() < 1e-9,
+            "SAI: one rewriter per query"
+        );
         for alg in ["DAI-Q", "DAI-T", "DAI-V"] {
-            assert!((per_alg[alg] - 2.0).abs() < 1e-9, "{alg}: two rewriters per query");
+            assert!(
+                (per_alg[alg] - 2.0).abs() < 1e-9,
+                "{alg}: two rewriters per query"
+            );
         }
     }
 

@@ -168,7 +168,8 @@ pub fn run(cfg: &RunConfig) -> RunResult {
         } else {
             workload.query_between(0, 1)
         };
-        net.pose_query_sql(poser, &sql).expect("generated queries are valid");
+        net.pose_query_sql(poser, &sql)
+            .expect("generated queries are valid");
     }
 
     let install_traffic: Vec<(TrafficKind, TrafficStats)> = TrafficKind::ALL
@@ -193,14 +194,14 @@ fn stream_one(net: &mut Network, workload: &mut Workload) {
     let rel = workload.next_stream_relation();
     let values = workload.random_tuple_values();
     let from = net.random_node();
-    net.insert_tuple(from, &rel, values).expect("generated tuples are valid");
+    net.insert_tuple(from, &rel, values)
+        .expect("generated tuples are valid");
 }
 
 fn collect(net: &Network, streamed: usize) -> RunResult {
     let loads = net.metrics().loads();
     let filtering: Vec<f64> = loads.iter().map(|l| l.filtering() as f64).collect();
-    let rewriter_filtering: Vec<f64> =
-        loads.iter().map(|l| l.rewriter_filtering as f64).collect();
+    let rewriter_filtering: Vec<f64> = loads.iter().map(|l| l.rewriter_filtering as f64).collect();
     let evaluator_filtering: Vec<f64> =
         loads.iter().map(|l| l.evaluator_filtering as f64).collect();
     let storage: Vec<f64> = net.storage_loads().iter().map(|&s| s as f64).collect();
@@ -240,7 +241,12 @@ mod tests {
 
     #[test]
     fn run_produces_consistent_vectors() {
-        let cfg = RunConfig { nodes: 32, queries: 5, tuples: 40, ..RunConfig::new(Algorithm::Sai) };
+        let cfg = RunConfig {
+            nodes: 32,
+            queries: 5,
+            tuples: 40,
+            ..RunConfig::new(Algorithm::Sai)
+        };
         let r = run(&cfg);
         assert_eq!(r.filtering.len(), 32);
         assert_eq!(r.storage.len(), 32);
@@ -258,7 +264,12 @@ mod tests {
     #[test]
     fn all_algorithms_run() {
         for alg in Algorithm::ALL {
-            let cfg = RunConfig { nodes: 32, queries: 4, tuples: 30, ..RunConfig::new(alg) };
+            let cfg = RunConfig {
+                nodes: 32,
+                queries: 4,
+                tuples: 30,
+                ..RunConfig::new(alg)
+            };
             let r = run(&cfg);
             assert!(r.total_traffic.messages > 0, "{alg}");
         }

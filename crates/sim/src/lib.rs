@@ -17,8 +17,10 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod parallel;
 pub mod report;
 pub mod stats;
 
 pub use harness::{run, RunConfig, RunResult};
+pub use parallel::{run_many, set_jobs};
 pub use report::Report;

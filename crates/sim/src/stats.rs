@@ -19,7 +19,11 @@ pub fn gini(values: &[f64]) -> f64 {
         return 0.0;
     }
     // G = (2 * sum_i i*x_i) / (n * total) - (n + 1) / n, with 1-based i
-    let weighted: f64 = sorted.iter().enumerate().map(|(i, x)| (i + 1) as f64 * x).sum();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i + 1) as f64 * x)
+        .sum();
     (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
 }
 

@@ -1,0 +1,91 @@
+//! Regression test for run determinism: a fixed seed must produce
+//! byte-identical metric vectors on every execution, whether runs go
+//! through the sequential harness or fan out over worker threads.
+//!
+//! This pins the property the parallel harness and the hash-map changes
+//! (SipHash → Fx) rely on: metric aggregation is order-independent, and
+//! each `RunConfig` owns an independent seeded `Network`, so scheduling
+//! cannot leak into results.
+
+use cq_engine::Algorithm;
+use cq_sim::{run, run_many, set_jobs, RunConfig, RunResult};
+use cq_workload::WorkloadConfig;
+
+fn cfgs() -> Vec<RunConfig> {
+    [
+        Algorithm::Sai,
+        Algorithm::DaiQ,
+        Algorithm::DaiT,
+        Algorithm::DaiV,
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, alg)| RunConfig {
+        algorithm: alg,
+        nodes: 48,
+        queries: 12,
+        tuples: 80,
+        warmup_tuples: 10,
+        workload: WorkloadConfig {
+            seed: 1000 + i as u64,
+            ..WorkloadConfig::default()
+        },
+        ..RunConfig::new(alg)
+    })
+    .collect()
+}
+
+/// Exact equality over every metric a figure could read.
+fn assert_identical(a: &RunResult, b: &RunResult, label: &str) {
+    assert_eq!(a.filtering, b.filtering, "{label}: filtering");
+    assert_eq!(
+        a.rewriter_filtering, b.rewriter_filtering,
+        "{label}: rewriter filtering"
+    );
+    assert_eq!(
+        a.evaluator_filtering, b.evaluator_filtering,
+        "{label}: evaluator filtering"
+    );
+    assert_eq!(a.storage, b.storage, "{label}: storage");
+    assert_eq!(
+        a.evaluator_storage, b.evaluator_storage,
+        "{label}: evaluator storage"
+    );
+    assert_eq!(
+        a.stored_rewritten, b.stored_rewritten,
+        "{label}: stored rewritten"
+    );
+    assert_eq!(a.stored_tuples, b.stored_tuples, "{label}: stored tuples");
+    assert_eq!(a.traffic, b.traffic, "{label}: traffic");
+    assert_eq!(a.total_traffic, b.total_traffic, "{label}: total traffic");
+    assert_eq!(
+        a.install_traffic, b.install_traffic,
+        "{label}: install traffic"
+    );
+    assert_eq!(a.notifications, b.notifications, "{label}: notifications");
+    assert_eq!(a.streamed, b.streamed, "{label}: streamed");
+}
+
+#[test]
+fn same_seed_is_bit_identical_across_sequential_runs() {
+    for cfg in cfgs() {
+        let first = run(&cfg);
+        let second = run(&cfg);
+        assert_identical(&first, &second, cfg.algorithm.name());
+    }
+}
+
+#[test]
+fn parallel_runs_match_sequential_bit_for_bit() {
+    let cfgs = cfgs();
+    let sequential: Vec<RunResult> = cfgs.iter().map(run).collect();
+
+    set_jobs(4);
+    let parallel = run_many(&cfgs);
+    set_jobs(1);
+
+    assert_eq!(parallel.len(), sequential.len());
+    for ((cfg, seq), par) in cfgs.iter().zip(&sequential).zip(&parallel) {
+        assert_identical(seq, par, cfg.algorithm.name());
+    }
+}

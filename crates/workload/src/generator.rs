@@ -83,7 +83,12 @@ impl Workload {
         }
         let zipf = Zipf::new(cfg.domain as usize, cfg.zipf_theta);
         let rng = StdRng::seed_from_u64(cfg.seed);
-        Workload { cfg, catalog, zipf, rng }
+        Workload {
+            cfg,
+            catalog,
+            zipf,
+            rng,
+        }
     }
 
     /// The configuration used.
@@ -108,7 +113,9 @@ impl Workload {
 
     /// A full tuple for relation `rel` (values drawn independently).
     pub fn random_tuple_values(&mut self) -> Vec<Value> {
-        (0..self.cfg.attrs_per_relation).map(|_| self.random_value()).collect()
+        (0..self.cfg.attrs_per_relation)
+            .map(|_| self.random_value())
+            .collect()
     }
 
     /// Which relation the next streamed tuple belongs to, honouring the
@@ -175,14 +182,21 @@ mod tests {
 
     #[test]
     fn catalog_has_requested_shape() {
-        let w = Workload::new(WorkloadConfig { relations: 3, attrs_per_relation: 5, ..Default::default() });
+        let w = Workload::new(WorkloadConfig {
+            relations: 3,
+            attrs_per_relation: 5,
+            ..Default::default()
+        });
         assert_eq!(w.catalog().len(), 3);
         assert_eq!(w.catalog().get("R2").unwrap().arity(), 5);
     }
 
     #[test]
     fn generated_queries_parse() {
-        let mut w = Workload::new(WorkloadConfig { relations: 4, ..Default::default() });
+        let mut w = Workload::new(WorkloadConfig {
+            relations: 4,
+            ..Default::default()
+        });
         for _ in 0..100 {
             let sql = w.random_query_sql();
             parse_query(&sql, w.catalog()).unwrap_or_else(|e| panic!("{sql}: {e}"));
@@ -209,14 +223,20 @@ mod tests {
 
     #[test]
     fn filters_appear_with_probability_one() {
-        let mut w = Workload::new(WorkloadConfig { filter_probability: 1.0, ..Default::default() });
+        let mut w = Workload::new(WorkloadConfig {
+            filter_probability: 1.0,
+            ..Default::default()
+        });
         let sql = w.random_query_sql();
         assert!(sql.contains(" AND "), "{sql}");
     }
 
     #[test]
     fn bos_ratio_biases_the_stream() {
-        let mut w = Workload::new(WorkloadConfig { bos_ratio: 0.9, ..Default::default() });
+        let mut w = Workload::new(WorkloadConfig {
+            bos_ratio: 0.9,
+            ..Default::default()
+        });
         let mut r0 = 0;
         for _ in 0..2000 {
             if w.next_stream_relation() == "R0" {
@@ -228,7 +248,10 @@ mod tests {
 
     #[test]
     fn values_respect_domain() {
-        let mut w = Workload::new(WorkloadConfig { domain: 10, ..Default::default() });
+        let mut w = Workload::new(WorkloadConfig {
+            domain: 10,
+            ..Default::default()
+        });
         for _ in 0..500 {
             match w.random_value() {
                 Value::Int(v) => assert!((0..10).contains(&v)),
@@ -240,7 +263,10 @@ mod tests {
     #[test]
     fn same_seed_same_workload() {
         let mk = || {
-            let mut w = Workload::new(WorkloadConfig { seed: 77, ..Default::default() });
+            let mut w = Workload::new(WorkloadConfig {
+                seed: 77,
+                ..Default::default()
+            });
             (0..10).map(|_| w.random_query_sql()).collect::<Vec<_>>()
         };
         assert_eq!(mk(), mk());

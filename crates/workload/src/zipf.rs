@@ -23,7 +23,10 @@ impl Zipf {
     /// Panics if `n == 0` or `theta` is negative/non-finite.
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "Zipf domain must be non-empty");
-        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite and >= 0");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for r in 0..n {
@@ -48,7 +51,10 @@ impl Zipf {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
         // first index with cdf[i] >= u
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

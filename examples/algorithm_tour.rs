@@ -20,7 +20,10 @@ fn main() {
             nodes: 128,
             queries: 40,
             tuples: 400,
-            workload: WorkloadConfig { domain: 60, ..WorkloadConfig::default() },
+            workload: WorkloadConfig {
+                domain: 60,
+                ..WorkloadConfig::default()
+            },
             ..RunConfig::new(alg)
         };
         let r = run(&cfg);
@@ -46,7 +49,10 @@ fn main() {
             .register(
                 cq_relational::RelationSchema::of(
                     "R",
-                    &[("A", cq_relational::DataType::Int), ("B", cq_relational::DataType::Int)],
+                    &[
+                        ("A", cq_relational::DataType::Int),
+                        ("B", cq_relational::DataType::Int),
+                    ],
                 )
                 .unwrap(),
             )
@@ -55,28 +61,36 @@ fn main() {
             .register(
                 cq_relational::RelationSchema::of(
                     "S",
-                    &[("C", cq_relational::DataType::Int), ("D", cq_relational::DataType::Int)],
+                    &[
+                        ("C", cq_relational::DataType::Int),
+                        ("D", cq_relational::DataType::Int),
+                    ],
                 )
                 .unwrap(),
             )
             .unwrap();
-        let mut net = cq_engine::Network::new(
-            cq_engine::EngineConfig::new(alg).with_nodes(32),
-            catalog,
-        );
+        let mut net =
+            cq_engine::Network::new(cq_engine::EngineConfig::new(alg).with_nodes(32), catalog);
         let a = net.node_at(0);
-        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.C").unwrap();
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.C")
+            .unwrap();
         for i in 0..10 {
             net.insert_tuple(
                 a,
                 "R",
-                vec![cq_relational::Value::Int(i), cq_relational::Value::Int(i % 3)],
+                vec![
+                    cq_relational::Value::Int(i),
+                    cq_relational::Value::Int(i % 3),
+                ],
             )
             .unwrap();
             net.insert_tuple(
                 a,
                 "S",
-                vec![cq_relational::Value::Int(i % 3), cq_relational::Value::Int(100 + i)],
+                vec![
+                    cq_relational::Value::Int(i % 3),
+                    cq_relational::Value::Int(100 + i),
+                ],
             )
             .unwrap();
         }
@@ -86,5 +100,8 @@ fn main() {
         sets.push(net.delivered_set());
     }
     assert!(sets.windows(2).all(|w| w[0] == w[1]));
-    println!("\nall four algorithms delivered the identical notification set ({} items)", sets[0].len());
+    println!(
+        "\nall four algorithms delivered the identical notification set ({} items)",
+        sets[0].len()
+    );
 }

@@ -29,7 +29,11 @@ fn catalog() -> Catalog {
     c.register(
         RelationSchema::of(
             "Authors",
-            &[("Id", DataType::Int), ("Name", DataType::Str), ("Surname", DataType::Str)],
+            &[
+                ("Id", DataType::Int),
+                ("Name", DataType::Str),
+                ("Surname", DataType::Str),
+            ],
         )
         .unwrap(),
     )
@@ -52,22 +56,40 @@ fn main() {
 
     // Author registry entries arrive from some digital-library node.
     let library = net.node_at(41);
-    net.insert_tuple(library, "Authors", vec![Value::Int(17), "John".into(), "Smith".into()])
-        .unwrap();
-    net.insert_tuple(library, "Authors", vec![Value::Int(18), "Ada".into(), "Jones".into()])
-        .unwrap();
+    net.insert_tuple(
+        library,
+        "Authors",
+        vec![Value::Int(17), "John".into(), "Smith".into()],
+    )
+    .unwrap();
+    net.insert_tuple(
+        library,
+        "Authors",
+        vec![Value::Int(18), "Ada".into(), "Jones".into()],
+    )
+    .unwrap();
 
     // Papers are published as they appear.
     net.insert_tuple(
         library,
         "Document",
-        vec![Value::Int(1), "P2P Joins".into(), "ICDE".into(), Value::Int(17)],
+        vec![
+            Value::Int(1),
+            "P2P Joins".into(),
+            "ICDE".into(),
+            Value::Int(17),
+        ],
     )
     .unwrap();
     net.insert_tuple(
         library,
         "Document",
-        vec![Value::Int(2), "Unrelated".into(), "VLDB".into(), Value::Int(18)],
+        vec![
+            Value::Int(2),
+            "Unrelated".into(),
+            "VLDB".into(),
+            Value::Int(18),
+        ],
     )
     .unwrap();
 
@@ -83,11 +105,19 @@ fn main() {
     net.insert_tuple(
         library,
         "Document",
-        vec![Value::Int(3), "Continuous Queries".into(), "ICDE".into(), Value::Int(17)],
+        vec![
+            Value::Int(3),
+            "Continuous Queries".into(),
+            "ICDE".into(),
+            Value::Int(17),
+        ],
     )
     .unwrap();
-    let held: usize =
-        net.ring().alive_nodes().map(|h| net.node_state(h).offline_store.len()).sum();
+    let held: usize = net
+        .ring()
+        .alive_nodes()
+        .map(|h| net.node_state(h).offline_store.len())
+        .sum();
     println!("alice offline — {held} notification(s) stored at her key's successor");
 
     // On reconnection she receives everything related to Id(alice).
@@ -96,5 +126,9 @@ fn main() {
     for n in net.inbox(alice) {
         println!("  {n}");
     }
-    assert_eq!(net.inbox(alice).len(), 2, "the missed alert was delivered on rejoin");
+    assert_eq!(
+        net.inbox(alice).len(),
+        2,
+        "the missed alert was delivered on rejoin"
+    );
 }

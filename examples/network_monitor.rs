@@ -16,7 +16,11 @@ fn main() {
         .register(
             RelationSchema::of(
                 "Flows",
-                &[("Src", DataType::Int), ("Packets", DataType::Int), ("Bytes", DataType::Int)],
+                &[
+                    ("Src", DataType::Int),
+                    ("Packets", DataType::Int),
+                    ("Bytes", DataType::Int),
+                ],
             )
             .unwrap(),
         )
@@ -25,7 +29,11 @@ fn main() {
         .register(
             RelationSchema::of(
                 "Alarms",
-                &[("Sensor", DataType::Int), ("Level", DataType::Int), ("Code", DataType::Int)],
+                &[
+                    ("Sensor", DataType::Int),
+                    ("Level", DataType::Int),
+                    ("Code", DataType::Int),
+                ],
             )
             .unwrap(),
         )
@@ -55,21 +63,37 @@ fn main() {
         } else {
             (i % 7, i)
         };
-        net.insert_tuple(flow_probe, "Flows", vec![Value::Int(i), Value::Int(p), Value::Int(b)])
-            .unwrap();
-    }
-    net.insert_tuple(alarm_probe, "Alarms", vec![Value::Int(3), Value::Int(2), Value::Int(911)])
+        net.insert_tuple(
+            flow_probe,
+            "Flows",
+            vec![Value::Int(i), Value::Int(p), Value::Int(b)],
+        )
         .unwrap();
+    }
+    net.insert_tuple(
+        alarm_probe,
+        "Alarms",
+        vec![Value::Int(3), Value::Int(2), Value::Int(911)],
+    )
+    .unwrap();
 
     println!("correlated alerts: {}", net.inbox(ops_console).len());
     assert_eq!(net.inbox(ops_console).len(), matches_expected);
 
     // Where did the work land? DAI-V concentrates evaluation on the nodes
     // owning popular join-condition values.
-    let loads: Vec<u64> = net.metrics().loads().iter().map(|l| l.filtering()).collect();
+    let loads: Vec<u64> = net
+        .metrics()
+        .loads()
+        .iter()
+        .map(|l| l.filtering())
+        .collect();
     let busy = loads.iter().filter(|&&l| l > 0).count();
     let max = loads.iter().max().copied().unwrap_or(0);
-    println!("{busy} of {} nodes did filtering work (max per-node load: {max})", net.ring().len());
+    println!(
+        "{busy} of {} nodes did filtering work (max per-node load: {max})",
+        net.ring().len()
+    );
 
     for kind in TrafficKind::ALL {
         let t = net.metrics().traffic(kind);

@@ -15,7 +15,11 @@ fn main() {
         .register(
             RelationSchema::of(
                 "Orders",
-                &[("OrderId", DataType::Int), ("Symbol", DataType::Str), ("Qty", DataType::Int)],
+                &[
+                    ("OrderId", DataType::Int),
+                    ("Symbol", DataType::Str),
+                    ("Qty", DataType::Int),
+                ],
             )
             .unwrap(),
         )
@@ -24,7 +28,11 @@ fn main() {
         .register(
             RelationSchema::of(
                 "Trades",
-                &[("TradeId", DataType::Int), ("Ticker", DataType::Str), ("Price", DataType::Int)],
+                &[
+                    ("TradeId", DataType::Int),
+                    ("Ticker", DataType::Str),
+                    ("Price", DataType::Int),
+                ],
             )
             .unwrap(),
         )
@@ -55,7 +63,10 @@ fn main() {
         vec![Value::Int(1), Value::from("ACME"), Value::Int(100)],
     )
     .unwrap();
-    println!("published Orders(1, 'ACME', 100) — no match yet, inbox: {}", net.inbox(subscriber).len());
+    println!(
+        "published Orders(1, 'ACME', 100) — no match yet, inbox: {}",
+        net.inbox(subscriber).len()
+    );
 
     net.insert_tuple(
         publisher,

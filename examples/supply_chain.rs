@@ -77,10 +77,18 @@ fn main() {
     let freight = net.node_at(50);
     let customs = net.node_at(80);
 
-    net.insert_tuple(erp, "Orders", vec![Value::Int(5001), Value::Int(77)]).unwrap();
-    net.insert_tuple(customs, "Clearances", vec![Value::Int(31), "Piraeus".into()]).unwrap();
-    net.insert_tuple(freight, "Shipments", vec![Value::Int(77), Value::Int(31)]).unwrap();
-    net.insert_tuple(erp, "Orders", vec![Value::Int(5002), Value::Int(88)]).unwrap();
+    net.insert_tuple(erp, "Orders", vec![Value::Int(5001), Value::Int(77)])
+        .unwrap();
+    net.insert_tuple(
+        customs,
+        "Clearances",
+        vec![Value::Int(31), "Piraeus".into()],
+    )
+    .unwrap();
+    net.insert_tuple(freight, "Shipments", vec![Value::Int(77), Value::Int(31)])
+        .unwrap();
+    net.insert_tuple(erp, "Orders", vec![Value::Int(5002), Value::Int(88)])
+        .unwrap();
     pipeline.pump(&mut net).unwrap();
 
     // Order 5001 → container 31 → Piraeus. Order 5002's SKU never shipped.
@@ -92,11 +100,21 @@ fn main() {
     // A later clearance completes nothing new for 5001 (content dedup), but
     // a new shipment for SKU 88 completes order 5002 through the existing
     // clearance pipeline only when its container also clears.
-    net.insert_tuple(freight, "Shipments", vec![Value::Int(88), Value::Int(32)]).unwrap();
+    net.insert_tuple(freight, "Shipments", vec![Value::Int(88), Value::Int(32)])
+        .unwrap();
     pipeline.pump(&mut net).unwrap();
-    assert_eq!(pipeline.results(&net).len(), 1, "container 32 not cleared yet");
+    assert_eq!(
+        pipeline.results(&net).len(),
+        1,
+        "container 32 not cleared yet"
+    );
 
-    net.insert_tuple(customs, "Clearances", vec![Value::Int(32), "Rotterdam".into()]).unwrap();
+    net.insert_tuple(
+        customs,
+        "Clearances",
+        vec![Value::Int(32), "Rotterdam".into()],
+    )
+    .unwrap();
     pipeline.pump(&mut net).unwrap();
     for n in pipeline.results(&net) {
         println!("final: {n}");

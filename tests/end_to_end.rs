@@ -52,9 +52,18 @@ fn generated_workloads_match_oracle_for_all_algorithms() {
 
 #[test]
 fn t2_workloads_match_oracle_under_dai_v() {
-    let mut w = Workload::new(WorkloadConfig { domain: 6, zipf_theta: 0.5, seed: 4, ..WorkloadConfig::default() });
-    let mut net =
-        Network::new(EngineConfig::new(Algorithm::DaiV).with_nodes(48).with_seed(4), w.catalog().clone());
+    let mut w = Workload::new(WorkloadConfig {
+        domain: 6,
+        zipf_theta: 0.5,
+        seed: 4,
+        ..WorkloadConfig::default()
+    });
+    let mut net = Network::new(
+        EngineConfig::new(Algorithm::DaiV)
+            .with_nodes(48)
+            .with_seed(4),
+        w.catalog().clone(),
+    );
     for _ in 0..6 {
         let poser = net.random_node();
         let sql = w.random_t2_query_sql();
@@ -74,7 +83,11 @@ fn voluntary_churn_mid_stream_preserves_exactness() {
     // Voluntary departures transfer keys, so even with churn between
     // insertions the delivered set must be exact for every algorithm.
     for alg in Algorithm::ALL {
-        let mut w = Workload::new(WorkloadConfig { domain: 8, seed: 9, ..WorkloadConfig::default() });
+        let mut w = Workload::new(WorkloadConfig {
+            domain: 8,
+            seed: 9,
+            ..WorkloadConfig::default()
+        });
         let mut net = Network::new(
             EngineConfig::new(alg).with_nodes(40).with_seed(9),
             w.catalog().clone(),
@@ -110,7 +123,11 @@ fn voluntary_churn_mid_stream_preserves_exactness() {
 
 #[test]
 fn replication_and_jfrt_compose_with_real_workloads() {
-    let mut w = Workload::new(WorkloadConfig { domain: 10, seed: 13, ..WorkloadConfig::default() });
+    let mut w = Workload::new(WorkloadConfig {
+        domain: 10,
+        seed: 13,
+        ..WorkloadConfig::default()
+    });
     let mut net = Network::new(
         EngineConfig::new(Algorithm::DaiT)
             .with_nodes(64)

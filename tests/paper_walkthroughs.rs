@@ -40,7 +40,8 @@ fn figure_2_1_identifier_circle() {
 fn figure_4_1_tuple_insertion() {
     let mut net = Network::new(EngineConfig::new(Algorithm::Sai).with_nodes(32), catalog());
     let a = net.node_at(0);
-    net.insert_tuple(a, "R", vec![Value::Int(5), Value::Int(9)]).unwrap();
+    net.insert_tuple(a, "R", vec![Value::Int(5), Value::Int(9)])
+        .unwrap();
     let t = net.metrics().traffic(TrafficKind::TupleIndex);
     assert_eq!(t.messages, 4, "2 attributes × (al-index + vl-index)");
 
@@ -49,9 +50,15 @@ fn figure_4_1_tuple_insertion() {
     let ids = indexing::tuple_index_ids(space, &net.inserted_tuples()[0], true, 1);
     assert_eq!(ids.len(), 2);
     assert_eq!(ids[0].1, indexing::aindex(space, "R", "A"));
-    assert_eq!(ids[0].2, Some(indexing::vindex_attr(space, "R", "A", &Value::Int(5))));
+    assert_eq!(
+        ids[0].2,
+        Some(indexing::vindex_attr(space, "R", "A", &Value::Int(5)))
+    );
     assert_eq!(ids[1].1, indexing::aindex(space, "R", "C"));
-    assert_eq!(ids[1].2, Some(indexing::vindex_attr(space, "R", "C", &Value::Int(9))));
+    assert_eq!(
+        ids[1].2,
+        Some(indexing::vindex_attr(space, "R", "C", &Value::Int(9)))
+    );
 }
 
 /// Figure 4.2: the SAI walkthrough — a query is indexed, a tuple rewrites
@@ -62,20 +69,29 @@ fn figure_4_1_tuple_insertion() {
 fn figure_4_2_sai_walkthrough() {
     let mut net = Network::new(EngineConfig::new(Algorithm::Sai).with_nodes(32), catalog());
     let poser = net.node_at(0);
-    net.pose_query_sql(poser, "SELECT R.A, S.B FROM R, S WHERE R.C = S.C").unwrap();
+    net.pose_query_sql(poser, "SELECT R.A, S.B FROM R, S WHERE R.C = S.C")
+        .unwrap();
 
     // Step: tuple of the index relation triggers the rewriter; the rewritten
     // query travels to the evaluator and waits.
-    net.insert_tuple(poser, "R", vec![Value::Int(1), Value::Int(7)]).unwrap();
-    net.insert_tuple(poser, "S", vec![Value::Int(4), Value::Int(7)]).unwrap();
+    net.insert_tuple(poser, "R", vec![Value::Int(1), Value::Int(7)])
+        .unwrap();
+    net.insert_tuple(poser, "S", vec![Value::Int(4), Value::Int(7)])
+        .unwrap();
     // ... a later tuple meets the stored rewritten query (or stored tuple,
     // depending on which side SAI indexed) — either way one notification.
     assert_eq!(net.inbox(poser).len(), 1);
 
     // Step 5 direction: value arrives before the rewriting exists.
-    net.insert_tuple(poser, "S", vec![Value::Int(5), Value::Int(8)]).unwrap();
-    net.insert_tuple(poser, "R", vec![Value::Int(2), Value::Int(8)]).unwrap();
-    assert_eq!(net.inbox(poser).len(), 2, "both directions complete the join");
+    net.insert_tuple(poser, "S", vec![Value::Int(5), Value::Int(8)])
+        .unwrap();
+    net.insert_tuple(poser, "R", vec![Value::Int(2), Value::Int(8)])
+        .unwrap();
+    assert_eq!(
+        net.inbox(poser).len(),
+        2,
+        "both directions complete the join"
+    );
 }
 
 /// Figure 4.3: the duplicate-notification hazard — with two rewriters per
@@ -86,9 +102,12 @@ fn figure_4_3_no_duplicate_notifications() {
     for alg in [Algorithm::DaiQ, Algorithm::DaiT, Algorithm::DaiV] {
         let mut net = Network::new(EngineConfig::new(alg).with_nodes(32), catalog());
         let poser = net.node_at(0);
-        net.pose_query_sql(poser, "SELECT R.A, S.B FROM R, S WHERE R.C = S.C").unwrap();
-        net.insert_tuple(poser, "R", vec![Value::Int(1), Value::Int(7)]).unwrap();
-        net.insert_tuple(poser, "S", vec![Value::Int(4), Value::Int(7)]).unwrap();
+        net.pose_query_sql(poser, "SELECT R.A, S.B FROM R, S WHERE R.C = S.C")
+            .unwrap();
+        net.insert_tuple(poser, "R", vec![Value::Int(1), Value::Int(7)])
+            .unwrap();
+        net.insert_tuple(poser, "S", vec![Value::Int(4), Value::Int(7)])
+            .unwrap();
         assert_eq!(
             net.inbox(poser).len(),
             1,
@@ -104,19 +123,27 @@ fn figure_4_3_no_duplicate_notifications() {
 fn figure_4_4_dai_t_walkthrough() {
     let mut net = Network::new(EngineConfig::new(Algorithm::DaiT).with_nodes(32), catalog());
     let poser = net.node_at(0);
-    net.pose_query_sql(poser, "SELECT S.B FROM R, S WHERE R.C = S.C").unwrap();
-    net.insert_tuple(poser, "R", vec![Value::Int(1), Value::Int(7)]).unwrap();
-    net.insert_tuple(poser, "S", vec![Value::Int(4), Value::Int(7)]).unwrap();
+    net.pose_query_sql(poser, "SELECT S.B FROM R, S WHERE R.C = S.C")
+        .unwrap();
+    net.insert_tuple(poser, "R", vec![Value::Int(1), Value::Int(7)])
+        .unwrap();
+    net.insert_tuple(poser, "S", vec![Value::Int(4), Value::Int(7)])
+        .unwrap();
     let reindex_before = net.metrics().traffic(TrafficKind::Reindex).messages;
 
     // "When similar tuples are inserted, notifications are created without
     // extra messages except the ones used to index a tuple."
     // (Select list is S.B, so repeated R tuples produce identical rewritten
     // keys; repeated S tuples with the same B do too.)
-    net.insert_tuple(poser, "R", vec![Value::Int(2), Value::Int(7)]).unwrap();
-    net.insert_tuple(poser, "S", vec![Value::Int(4), Value::Int(7)]).unwrap();
+    net.insert_tuple(poser, "R", vec![Value::Int(2), Value::Int(7)])
+        .unwrap();
+    net.insert_tuple(poser, "S", vec![Value::Int(4), Value::Int(7)])
+        .unwrap();
     let reindex_after = net.metrics().traffic(TrafficKind::Reindex).messages;
-    assert_eq!(reindex_before, reindex_after, "no further reindexing for the same value");
+    assert_eq!(
+        reindex_before, reindex_after,
+        "no further reindexing for the same value"
+    );
     // The notifications still flow: S(4,7) joins R tuples (content-deduped).
     assert!(!net.inbox(poser).is_empty());
 }

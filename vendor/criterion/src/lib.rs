@@ -1,0 +1,389 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no package registry, so this crate implements
+//! the subset of the criterion 0.5 API used by the workspace's benches:
+//! [`Criterion`], benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple: after a warm-up window, each
+//! benchmark takes `sample_size` wall-clock samples and reports the
+//! `[min mean max]` per-iteration time in criterion's familiar one-line
+//! format. There are no plots, no saved baselines, and no outlier analysis —
+//! trends and relative comparisons are what the repository's benches are
+//! for. A command-line substring filter (`cargo bench -- route`) is
+//! supported.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Skip argv[0]; remaining args act as substring filters, matching
+        // criterion's CLI behaviour closely enough for interactive use.
+        // Flag-like args (e.g. `--bench` passed by cargo) are ignored.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+            sample_size: 100,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up window run before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement window split across samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let (warm_up, measurement, sample_size) =
+            (self.warm_up, self.measurement, self.sample_size);
+        self.run_one(name.to_string(), warm_up, measurement, sample_size, f);
+        self
+    }
+
+    fn matches_filter(&self, full_name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_name.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        full_name: String,
+        warm_up: Duration,
+        measurement: Duration,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        if !self.matches_filter(&full_name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            warm_up,
+            measurement,
+            sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full_name);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and (optionally) an
+/// overridden sample count.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let (w, m) = (self.criterion.warm_up, self.criterion.measurement);
+        let s = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, w, m, s, f);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: either a bare parameter or `name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/<name>/<parameter>`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// `group/<parameter>`.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Anything usable as a benchmark name within a group.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Controls how `iter_batched` amortises setup cost. The distinction only
+/// affects upstream's memory strategy; here each batch is one routine call
+/// either way.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up, simultaneously calibrating how many iterations fit in
+        // roughly one millisecond so each sample timing is meaningful.
+        let warm_end = Instant::now() + self.warm_up;
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt < Duration::from_millis(1) && iters_per_sample < u64::MAX / 2 {
+                iters_per_sample *= 2;
+            }
+            if Instant::now() >= warm_end {
+                break;
+            }
+        }
+        // Cap total sampled work at the measurement window.
+        let per_iter = Duration::from_millis(1).as_nanos() as f64 / iters_per_sample as f64;
+        let budget_iters = (self.measurement.as_nanos() as f64 / per_iter.max(1.0)) as u64;
+        let max_per_sample = (budget_iters / self.sample_size as u64).max(1);
+        iters_per_sample = iters_per_sample.min(max_per_sample).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.samples_ns
+                .push(dt.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine(setup()));
+        }
+        self.samples_ns.clear();
+        let measure_end = Instant::now() + self.measurement;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64);
+            if Instant::now() >= measure_end {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let min = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = self.samples_ns.iter().cloned().fold(0.0f64, f64::max);
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        println!(
+            "{name:<40} time:   [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions and the shared [`Criterion`]
+/// configuration they run under.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the `main` entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(10),
+            sample_size: 5,
+            filters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn iter_produces_samples() {
+        let mut c = tiny();
+        let mut group = c.benchmark_group("t");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = !b.samples_ns.is_empty();
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = tiny();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![0u8; 16],
+                |v| black_box(v.len()),
+                BatchSize::LargeInput,
+            );
+            assert!(!b.samples_ns.is_empty());
+        });
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let mut c = tiny();
+        c.filters = vec!["only-this".to_string()];
+        let mut ran = false;
+        c.bench_function("something-else", |b| {
+            b.iter(|| 1);
+            ran = true;
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", 3).into_benchmark_id(), "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").into_benchmark_id(), "x");
+    }
+}
