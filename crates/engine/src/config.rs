@@ -2,6 +2,8 @@
 
 use cq_overlay::IdSpace;
 
+use crate::faults::FaultConfig;
+
 /// The four distributed evaluation algorithms of Chapter 4.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
@@ -130,6 +132,10 @@ pub struct EngineConfig {
     pub dai_v_keyed: bool,
     /// RNG seed for all randomized decisions (deterministic runs).
     pub seed: u64,
+    /// Fault-injection and recovery knobs (message loss/duplication/delay,
+    /// abrupt failures, reliable delivery, k-successor state replication).
+    /// The default is fully inert — no faults, no retries, no replicas.
+    pub fault: FaultConfig,
 }
 
 impl EngineConfig {
@@ -146,6 +152,7 @@ impl EngineConfig {
             retain_notifications: true,
             dai_v_keyed: false,
             seed: 42,
+            fault: FaultConfig::default(),
         }
     }
 
@@ -193,6 +200,12 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the fault-injection configuration (see [`FaultConfig`]).
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
     /// The identifier space implied by `space_bits`.
     pub fn space(&self) -> IdSpace {
         IdSpace::new(self.space_bits)
@@ -219,11 +232,19 @@ mod tests {
             .with_nodes(10)
             .with_jfrt(false)
             .with_replication(4)
-            .with_seed(7);
+            .with_seed(7)
+            .with_fault(FaultConfig::lossy(0.1, 3));
         assert_eq!(c.nodes, 10);
         assert!(!c.use_jfrt);
         assert_eq!(c.replication, 4);
         assert_eq!(c.seed, 7);
+        assert_eq!(c.fault.loss_rate, 0.1);
+    }
+
+    #[test]
+    fn default_fault_config_is_inert() {
+        let c = EngineConfig::new(Algorithm::Sai);
+        assert!(!c.fault.is_active());
     }
 
     #[test]

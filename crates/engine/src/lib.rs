@@ -44,6 +44,7 @@
 
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod indexing;
 pub mod jfrt;
 pub mod messages;
@@ -52,14 +53,17 @@ pub mod network;
 pub mod node;
 pub mod oracle;
 pub mod pipeline;
+pub mod replication;
 pub mod tables;
 
 pub use config::{Algorithm, EngineConfig, IndexStrategy};
 pub use error::{EngineError, Result};
+pub use faults::{DedupWindow, FaultConfig};
 pub use jfrt::{Jfrt, JfrtLookup};
 pub use messages::Message;
-pub use metrics::{Metrics, NodeLoad, TrafficKind};
+pub use metrics::{FaultCounters, Metrics, NodeLoad, TrafficKind};
 pub use network::Network;
 pub use node::NodeState;
 pub use oracle::Oracle;
 pub use pipeline::Pipeline;
+pub use replication::{PromotedState, ReplicaItem, ReplicaStore};

@@ -5,6 +5,8 @@ use std::sync::Arc;
 use cq_overlay::Id;
 use cq_relational::{Notification, QueryRef, RewrittenQuery, Side, Tuple};
 
+use crate::replication::ReplicaItem;
+
 /// A protocol message, addressed to the node responsible for an identifier.
 #[derive(Clone, Debug)]
 pub enum Message {
@@ -77,6 +79,20 @@ pub enum Message {
         /// The notifications to hold until the subscriber reconnects.
         notifications: Vec<Notification>,
     },
+    /// Direct notification delivery to an *online* subscriber (one hop to a
+    /// known IP, Section 4.6). Modeled as a message so the fault layer can
+    /// lose, duplicate or retransmit deliveries like any other traffic.
+    Notify {
+        /// The notifications for the subscriber.
+        notifications: Vec<Notification>,
+    },
+    /// Mirror one primary state item onto a successor (the k-successor
+    /// replication scheme of the robustness layer). Node-addressed: sent
+    /// directly to a known successor, never routed by identifier.
+    Replicate {
+        /// The item to mirror into the receiver's replica store.
+        item: Box<ReplicaItem>,
+    },
 }
 
 impl Message {
@@ -89,6 +105,8 @@ impl Message {
             Message::Join { .. } => "join",
             Message::JoinV { .. } => "join-v",
             Message::StoreNotifications { .. } => "store-notify",
+            Message::Notify { .. } => "notify",
+            Message::Replicate { .. } => "replicate",
         }
     }
 }

@@ -75,6 +75,31 @@ impl NodeLoad {
     }
 }
 
+/// Fault-injection and recovery counters (all zero when the robustness
+/// layer is inactive). Kept separate from [`TrafficKind`] so enabling the
+/// layer never changes the shape of existing traffic reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Message transmissions dropped by fault injection (or addressed to a
+    /// node that died before delivery).
+    pub messages_lost: u64,
+    /// Extra message copies created by duplication faults.
+    pub messages_duplicated: u64,
+    /// Retransmissions issued by the reliable-delivery layer.
+    pub retransmissions: u64,
+    /// Overlay hops consumed by retransmissions (re-routing included).
+    pub retransmission_hops: u64,
+    /// Arrivals suppressed by receive-side dedup windows (duplicates and
+    /// redundant retransmissions).
+    pub dedup_suppressed: u64,
+    /// Abrupt node failures injected by the fault layer.
+    pub nodes_failed: u64,
+    /// Replica entries promoted to primaries after a failure.
+    pub replicas_promoted: u64,
+    /// Replication messages sent (mirroring primaries onto successors).
+    pub replica_messages: u64,
+}
+
 /// Global metric registry for one simulation run.
 #[derive(Clone, Debug)]
 pub struct Metrics {
@@ -82,6 +107,12 @@ pub struct Metrics {
     traffic: [TrafficStats; TrafficKind::ALL.len()],
     /// Number of notifications delivered to subscribers (with multiplicity).
     pub notifications_delivered: u64,
+    /// Number of notifications routed to an offline subscriber's successor
+    /// store (a subset of deliveries counted separately so recall analyses
+    /// can split online and offline arrivals).
+    pub notifications_stored_offline: u64,
+    /// Fault-injection and recovery counters.
+    pub faults: FaultCounters,
 }
 
 fn kind_slot(kind: TrafficKind) -> usize {
@@ -101,6 +132,8 @@ impl Metrics {
             loads: vec![NodeLoad::default(); n],
             traffic: [TrafficStats::new(); TrafficKind::ALL.len()],
             notifications_delivered: 0,
+            notifications_stored_offline: 0,
+            faults: FaultCounters::default(),
         }
     }
 
@@ -168,6 +201,8 @@ impl Metrics {
         }
         self.traffic = [TrafficStats::new(); TrafficKind::ALL.len()];
         self.notifications_delivered = 0;
+        self.notifications_stored_offline = 0;
+        self.faults = FaultCounters::default();
     }
 }
 
@@ -202,10 +237,14 @@ mod tests {
         m.add_rewriter_filtering(0, 1);
         m.record_traffic(TrafficKind::Notify, 1);
         m.notifications_delivered = 9;
+        m.notifications_stored_offline = 2;
+        m.faults.messages_lost = 4;
         m.reset();
         assert_eq!(m.total_filtering(), 0);
         assert_eq!(m.total_traffic().messages, 0);
         assert_eq!(m.notifications_delivered, 0);
+        assert_eq!(m.notifications_stored_offline, 0);
+        assert_eq!(m.faults, FaultCounters::default());
     }
 
     #[test]

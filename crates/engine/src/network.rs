@@ -20,12 +20,32 @@ use cq_relational::{
 
 use crate::config::{Algorithm, EngineConfig, IndexStrategy};
 use crate::error::{EngineError, Result};
+use crate::faults::{Delivery, FaultPipe, MsgId};
 use crate::indexing;
 use crate::jfrt::JfrtLookup;
 use crate::messages::Message;
 use crate::metrics::{Metrics, TrafficKind};
 use crate::node::NodeState;
+use crate::replication::ReplicaItem;
 use crate::tables::{StoredQuery, StoredRewritten, StoredTuple, StoredValueTuple};
+
+/// One enqueued protocol message: the payload plus the transport envelope
+/// the reliable-delivery layer needs (sender, resolved receiver, target
+/// identifier, and whether retransmissions re-route by identifier).
+struct Pending {
+    /// Sending node (retransmissions originate here).
+    from: NodeHandle,
+    /// Resolved receiver.
+    to: NodeHandle,
+    /// The identifier the message was addressed to.
+    target: Id,
+    /// `true` for identifier-routed messages (retransmissions re-resolve the
+    /// owner), `false` for node-addressed ones (direct notifications,
+    /// replicas) which die with their receiver.
+    reroute: bool,
+    /// The payload.
+    msg: Message,
+}
 
 /// The whole simulated network.
 pub struct Network {
@@ -37,7 +57,11 @@ pub struct Network {
     clock: Timestamp,
     seq: u64,
     rng: StdRng,
-    pending: VecDeque<(NodeHandle, Message)>,
+    pending: VecDeque<Pending>,
+    /// The fault-injection + reliable-delivery pipe; `None` when message
+    /// delivery is perfect (the default), in which case [`Network::pending`]
+    /// is drained FIFO exactly as the original engine did.
+    pipe: Option<Box<FaultPipe>>,
     /// `Key(n) → handle` for notification delivery.
     subscribers: FxHashMap<String, NodeHandle>,
     /// Log of every posed query (for oracles and tests).
@@ -52,6 +76,10 @@ impl Network {
         let ring = Ring::build(config.space(), config.nodes, "node-");
         let slots = ring.slot_count();
         let seed = config.seed;
+        let pipe = config
+            .fault
+            .perturbs_delivery()
+            .then(|| Box::new(FaultPipe::new(config.fault.clone(), slots)));
         Network {
             config,
             catalog,
@@ -62,6 +90,7 @@ impl Network {
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
             pending: VecDeque::new(),
+            pipe,
             subscribers: FxHashMap::default(),
             posed_queries: Vec::new(),
             inserted_tuples: Vec::new(),
@@ -110,6 +139,11 @@ impl Network {
         for n in &mut self.nodes {
             n.roll_statistics_window();
         }
+    }
+
+    /// Number of currently alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.ring.len()
     }
 
     /// Handle of the `i`-th alive node (panics when out of range).
@@ -394,7 +428,13 @@ impl Network {
         for (owner, ids) in outcome.deliveries {
             for id in ids {
                 for msg in by_id.remove(&id).into_iter().flatten() {
-                    self.pending.push_back((owner, msg));
+                    self.pending.push_back(Pending {
+                        from: node,
+                        to: owner,
+                        target: id,
+                        reroute: true,
+                        msg,
+                    });
                 }
             }
         }
@@ -436,15 +476,234 @@ impl Network {
             self.metrics.record_traffic(TrafficKind::Reindex, hops);
             owner
         };
-        self.pending.push_back((owner, msg));
+        self.pending.push_back(Pending {
+            from,
+            to: owner,
+            target: id,
+            reroute: true,
+            msg,
+        });
         Ok(())
     }
 
-    /// Processes queued protocol messages until quiescence.
+    /// Enqueues a node-addressed message (direct notification or replica):
+    /// the receiver is known by handle, and retransmissions never re-route.
+    fn push_direct(&mut self, from: NodeHandle, to: NodeHandle, msg: Message) {
+        self.pending.push_back(Pending {
+            from,
+            to,
+            target: self.ring.id_of(to),
+            reroute: false,
+            msg,
+        });
+    }
+
+    /// Processes queued protocol messages until quiescence — through the
+    /// perfect FIFO queue by default, or through the fault-injection pipe
+    /// when one is configured.
     fn process_all(&mut self) -> Result<()> {
-        while let Some((at, msg)) = self.pending.pop_front() {
-            self.handle(at, msg)?;
+        if self.pipe.is_some() {
+            let mut pipe = self.pipe.take().expect("checked above");
+            let result = self.pump_faulty(&mut pipe);
+            self.pipe = Some(pipe);
+            result
+        } else {
+            while let Some(p) = self.pending.pop_front() {
+                self.handle(p.to, p.msg)?;
+            }
+            Ok(())
         }
+    }
+
+    /// The tick-based message pump used when faults are injected: sends pass
+    /// through loss/duplication/delay draws, receivers dedup on `(sender,
+    /// seq)`, unacknowledged messages retransmit with exponential backoff,
+    /// and abrupt node failures strike between ticks.
+    fn pump_faulty(&mut self, pipe: &mut FaultPipe) -> Result<()> {
+        loop {
+            // Fold freshly produced sends into the pipe (handlers and
+            // promotions push onto `pending`).
+            while let Some(p) = self.pending.pop_front() {
+                self.transmit(pipe, p);
+            }
+            if !pipe.busy() {
+                return Ok(());
+            }
+            pipe.tick += 1;
+            self.inject_failures(pipe)?;
+            let now = pipe.tick;
+            for delivery in pipe.in_flight.remove(&now).unwrap_or_default() {
+                match delivery {
+                    Delivery::Data { id, to, msg } => {
+                        if !self.ring.node(to).is_alive() {
+                            self.metrics.faults.messages_lost += 1;
+                            continue;
+                        }
+                        if pipe.record_arrival(id, to) {
+                            self.metrics.faults.dedup_suppressed += 1;
+                        } else {
+                            self.handle(to, msg)?;
+                        }
+                        // Ack every arrival (a duplicate usually means the
+                        // previous ack was lost). Acks are subject to loss
+                        // like any transmission.
+                        if pipe.cfg.retries_enabled() {
+                            if let Some(o) = pipe.outstanding.get(&id) {
+                                let sender = o.from;
+                                if pipe.cfg.loss_rate > 0.0
+                                    && pipe.rng.gen::<f64>() < pipe.cfg.loss_rate
+                                {
+                                    self.metrics.faults.messages_lost += 1;
+                                } else {
+                                    pipe.schedule(now + 1, Delivery::Ack { id, to: sender });
+                                }
+                            }
+                        }
+                    }
+                    Delivery::Ack { id, to } => {
+                        // An ack addressed to a node that died in flight
+                        // never closes the window; `maybe_retransmit` drops
+                        // the dead sender's window on its next firing.
+                        if self.ring.node(to).is_alive() {
+                            pipe.outstanding.remove(&id);
+                        }
+                    }
+                }
+            }
+            for id in pipe.retry_at.remove(&now).unwrap_or_default() {
+                self.maybe_retransmit(pipe, id, now);
+            }
+        }
+    }
+
+    /// Registers one fresh send with the pipe: assigns a `(sender, seq)`
+    /// identifier, opens the ack window when retries are enabled, and
+    /// schedules the transmission copies through the fault draws.
+    fn transmit(&mut self, pipe: &mut FaultPipe, p: Pending) {
+        let id = pipe.alloc_seq(p.from);
+        if pipe.cfg.retries_enabled() {
+            pipe.open_window(id, &p.from, p.target, p.reroute, &p.to, &p.msg);
+            pipe.schedule_retry(pipe.tick + pipe.cfg.ack_timeout, id);
+        }
+        self.schedule_copies(pipe, id, p.to, p.msg);
+    }
+
+    /// Draws duplication, loss and delay for one logical transmission and
+    /// schedules the surviving copies.
+    fn schedule_copies(&mut self, pipe: &mut FaultPipe, id: MsgId, to: NodeHandle, msg: Message) {
+        let mut copies = 1u32;
+        if pipe.cfg.duplicate_rate > 0.0 && pipe.rng.gen::<f64>() < pipe.cfg.duplicate_rate {
+            copies = 2;
+            self.metrics.faults.messages_duplicated += 1;
+        }
+        for _ in 0..copies {
+            if pipe.cfg.loss_rate > 0.0 && pipe.rng.gen::<f64>() < pipe.cfg.loss_rate {
+                self.metrics.faults.messages_lost += 1;
+                continue;
+            }
+            let mut at = pipe.tick + 1;
+            if pipe.cfg.delay_rate > 0.0
+                && pipe.cfg.max_delay > 0
+                && pipe.rng.gen::<f64>() < pipe.cfg.delay_rate
+            {
+                at += pipe.rng.gen_range(1..=pipe.cfg.max_delay);
+            }
+            pipe.schedule(
+                at,
+                Delivery::Data {
+                    id,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+
+    /// A retry check fired for `id`: if the message is still unacknowledged,
+    /// retransmit it (re-resolving the owner for identifier-routed messages)
+    /// and schedule the next check with exponential backoff.
+    fn maybe_retransmit(&mut self, pipe: &mut FaultPipe, id: MsgId, now: u64) {
+        let Some(mut o) = pipe.take_outstanding(id) else {
+            return; // acknowledged in the meantime
+        };
+        if !self.ring.node(o.from).is_alive() || o.attempt >= pipe.cfg.max_retries {
+            return; // sender died, or we give up
+        }
+        o.attempt += 1;
+        let next = now + pipe.backoff(o.attempt);
+        if o.reroute {
+            match self.ring.route_owner(o.from, o.target) {
+                Ok((owner, hops)) => {
+                    o.to = owner;
+                    self.metrics.faults.retransmission_hops += hops as u64;
+                }
+                Err(_) => {
+                    // The overlay is mid-repair; keep the window open and
+                    // try again after the backoff.
+                    pipe.reopen_window(id, o);
+                    pipe.schedule_retry(next, id);
+                    return;
+                }
+            }
+        } else {
+            if !self.ring.node(o.to).is_alive() {
+                return; // node-addressed and the receiver is gone
+            }
+            self.metrics.faults.retransmission_hops += 1;
+        }
+        self.metrics.faults.retransmissions += 1;
+        self.schedule_copies(pipe, id, o.to, o.msg.clone());
+        pipe.reopen_window(id, o);
+        pipe.schedule_retry(next, id);
+    }
+
+    /// Injects scheduled and rate-driven abrupt node failures for the
+    /// current tick, then repairs pointers and promotes replicas.
+    fn inject_failures(&mut self, pipe: &mut FaultPipe) -> Result<()> {
+        let mut failed = false;
+        while pipe.sched_idx < pipe.cfg.scheduled_failures.len()
+            && pipe.cfg.scheduled_failures[pipe.sched_idx] <= pipe.tick
+        {
+            pipe.sched_idx += 1;
+            failed |= self.fail_random_alive(pipe);
+        }
+        if pipe.cfg.failure_rate > 0.0
+            && pipe.failures_injected < pipe.cfg.max_failures
+            && pipe.rng.gen::<f64>() < pipe.cfg.failure_rate
+            && self.fail_random_alive(pipe)
+        {
+            pipe.failures_injected += 1;
+            failed = true;
+        }
+        if failed {
+            self.ring.stabilize_all(1);
+            self.promote_replicas()?;
+        }
+        Ok(())
+    }
+
+    /// Abruptly fails one pseudo-random alive node (never the last one).
+    /// Returns whether a node was failed.
+    fn fail_random_alive(&mut self, pipe: &mut FaultPipe) -> bool {
+        if self.ring.len() <= 1 {
+            return false;
+        }
+        let i = pipe.rng.gen_range(0..self.ring.len());
+        let victim = self.ring.alive_nodes().nth(i).expect("index in range");
+        self.fail_node_state(victim).is_ok()
+    }
+
+    /// Ring-level failure plus primary/replica state loss at the victim.
+    fn fail_node_state(&mut self, h: NodeHandle) -> Result<()> {
+        self.ring.fail(h)?;
+        let st = &mut self.nodes[h.index()];
+        st.alqt.drain_all();
+        st.vlqt.drain_all();
+        st.vltt.drain_all();
+        st.vstore.drain_all();
+        st.offline_store.clear();
+        st.replicas.clear();
+        self.metrics.faults.nodes_failed += 1;
         Ok(())
     }
 
@@ -460,12 +719,19 @@ impl Network {
                 index_attr,
                 index_id,
             } => {
-                self.nodes[at.index()].alqt.insert(StoredQuery {
+                let entry = StoredQuery {
                     index_id,
                     query,
                     index_side,
                     index_attr,
-                });
+                };
+                if self.repl_k() > 0 {
+                    if self.nodes[at.index()].alqt.insert(entry.clone()) {
+                        self.replicate(at, ReplicaItem::Query(entry));
+                    }
+                } else {
+                    self.nodes[at.index()].alqt.insert(entry);
+                }
                 Ok(())
             }
             Message::AlIndexTuple {
@@ -491,10 +757,60 @@ impl Network {
                 subscriber_id,
                 notifications,
             } => {
+                // Counted here — at actual offline-store arrival — not at
+                // send time, so a lost message is never counted delivered.
+                self.metrics.notifications_delivered += notifications.len() as u64;
+                self.metrics.notifications_stored_offline += notifications.len() as u64;
+                if self.repl_k() > 0 {
+                    for n in &notifications {
+                        self.replicate(
+                            at,
+                            ReplicaItem::Offline {
+                                id: subscriber_id,
+                                notification: n.clone(),
+                            },
+                        );
+                    }
+                }
                 let store = &mut self.nodes[at.index()].offline_store;
                 store.extend(notifications.into_iter().map(|n| (subscriber_id, n)));
                 Ok(())
             }
+            Message::Notify { notifications } => {
+                // Counted here — at actual inbox arrival.
+                self.metrics.notifications_delivered += notifications.len() as u64;
+                self.nodes[at.index()].inbox.extend(notifications);
+                Ok(())
+            }
+            Message::Replicate { item } => {
+                self.nodes[at.index()].replicas.insert(*item);
+                Ok(())
+            }
+        }
+    }
+
+    /// The configured k-successor replication factor.
+    #[inline]
+    fn repl_k(&self) -> usize {
+        self.config.fault.replication
+    }
+
+    /// Mirrors one freshly inserted primary item onto `at`'s `k` first alive
+    /// successors (no-op when replication is off).
+    fn replicate(&mut self, at: NodeHandle, item: ReplicaItem) {
+        let k = self.repl_k();
+        if k == 0 {
+            return;
+        }
+        for succ in self.ring.successors_of(at, k) {
+            self.metrics.faults.replica_messages += 1;
+            self.push_direct(
+                at,
+                succ,
+                Message::Replicate {
+                    item: Box::new(item.clone()),
+                },
+            );
         }
     }
 
@@ -689,11 +1005,17 @@ impl Network {
 
         // SAI and DAI-Q: store the tuple for future rewritten queries.
         if matches!(algorithm, Algorithm::Sai | Algorithm::DaiQ) {
-            self.nodes[at.index()].vltt.insert(StoredTuple {
+            let entry = StoredTuple {
                 index_id,
                 attr,
                 tuple,
-            });
+            };
+            if self.repl_k() > 0 {
+                self.nodes[at.index()].vltt.insert(entry.clone());
+                self.replicate(at, ReplicaItem::Tuple(entry));
+            } else {
+                self.nodes[at.index()].vltt.insert(entry);
+            }
         }
         Ok(())
     }
@@ -719,6 +1041,15 @@ impl Network {
                         rq: rq.clone(),
                     });
                     if fresh {
+                        if self.repl_k() > 0 {
+                            self.replicate(
+                                at,
+                                ReplicaItem::Rewritten(StoredRewritten {
+                                    index_id,
+                                    rq: rq.clone(),
+                                }),
+                            );
+                        }
                         self.match_against_vltt(at, &rq, &mut matches)?;
                     }
                 }
@@ -728,9 +1059,14 @@ impl Network {
                 }
                 Algorithm::DaiT => {
                     // Store, never evaluate (tuples will come to us).
-                    self.nodes[at.index()]
-                        .vlqt
-                        .insert(StoredRewritten { index_id, rq });
+                    let entry = StoredRewritten { index_id, rq };
+                    if self.repl_k() > 0 {
+                        if self.nodes[at.index()].vlqt.insert(entry.clone()) {
+                            self.replicate(at, ReplicaItem::Rewritten(entry));
+                        }
+                    } else {
+                        self.nodes[at.index()].vlqt.insert(entry);
+                    }
                 }
                 Algorithm::DaiV => unreachable!("DAI-V uses JoinV messages"),
             }
@@ -795,15 +1131,28 @@ impl Network {
                 }
             }
         }
-        self.nodes[at.index()].vstore.insert(
-            &group,
-            &value_key,
-            StoredValueTuple {
-                index_id,
-                side,
-                tuple,
-            },
-        );
+        let entry = StoredValueTuple {
+            index_id,
+            side,
+            tuple,
+        };
+        if self.repl_k() > 0 {
+            self.nodes[at.index()]
+                .vstore
+                .insert(&group, &value_key, entry.clone());
+            self.replicate(
+                at,
+                ReplicaItem::ValueTuple {
+                    group,
+                    value_key,
+                    entry,
+                },
+            );
+        } else {
+            self.nodes[at.index()]
+                .vstore
+                .insert(&group, &value_key, entry);
+        }
         self.deliver_matches(at, matches)?;
         Ok(())
     }
@@ -838,6 +1187,7 @@ impl Network {
                             self.metrics.record_traffic(TrafficKind::Notify, 1);
                         }
                         _ => {
+                            self.metrics.notifications_stored_offline += count;
                             let id = indexing::subscriber_id(self.ring.space(), &subscriber);
                             let (_, hops) = self.ring.route_owner(from, id)?;
                             self.metrics.record_traffic(TrafficKind::Notify, hops);
@@ -849,6 +1199,13 @@ impl Network {
         }
     }
 
+    /// Full-retention delivery: every batch becomes a real protocol message
+    /// ([`Message::Notify`] for online subscribers, routed
+    /// [`Message::StoreNotifications`] otherwise), so the fault layer can
+    /// lose, duplicate and retransmit deliveries like any other traffic.
+    /// `notifications_delivered` is counted by the receiving handlers — at
+    /// actual inbox/offline-store arrival — fixing the old skew where sends
+    /// were counted before (or without) storage happening.
     fn deliver_notifications(
         &mut self,
         from: NodeHandle,
@@ -865,31 +1222,34 @@ impl Network {
                 .or_default()
                 .push(n);
         }
-        let retain = self.config.retain_notifications;
         for (subscriber, batch) in by_subscriber {
-            self.metrics.notifications_delivered += batch.len() as u64;
             match self.subscribers.get(&subscriber) {
                 Some(&h) if self.ring.node(h).is_alive() => {
                     // Online at a known IP: one direct hop.
                     self.metrics.record_traffic(TrafficKind::Notify, 1);
-                    if retain {
-                        self.nodes[h.index()].inbox.extend(batch);
-                    }
+                    self.push_direct(
+                        from,
+                        h,
+                        Message::Notify {
+                            notifications: batch,
+                        },
+                    );
                 }
                 _ => {
                     // Offline: route toward Successor(Id(n)) and store there.
                     let id = indexing::subscriber_id(self.ring.space(), &subscriber);
                     let (owner, hops) = self.ring.route_owner(from, id)?;
                     self.metrics.record_traffic(TrafficKind::Notify, hops);
-                    if retain {
-                        self.pending.push_back((
-                            owner,
-                            Message::StoreNotifications {
-                                subscriber_id: id,
-                                notifications: batch,
-                            },
-                        ));
-                    }
+                    self.pending.push_back(Pending {
+                        from,
+                        to: owner,
+                        target: id,
+                        reroute: true,
+                        msg: Message::StoreNotifications {
+                            subscriber_id: id,
+                            notifications: batch,
+                        },
+                    });
                 }
             }
         }
@@ -901,7 +1261,9 @@ impl Network {
     // ==================================================================
 
     /// Voluntary departure: the node transfers every key it holds to its
-    /// successor, then leaves the ring.
+    /// successor, then leaves the ring. Replicas the node held for others
+    /// are dropped — their primaries are still alive and re-mirror on the
+    /// next promotion cycle.
     pub fn node_leave(&mut self, h: NodeHandle) -> Result<()> {
         let succ = self
             .ring
@@ -911,26 +1273,87 @@ impl Network {
         if succ != h {
             self.transfer_all(h, succ);
         }
+        self.nodes[h.index()].replicas.clear();
         Ok(())
     }
 
-    /// Abrupt failure: the node's keys are lost (best-effort semantics,
-    /// Section 3.2 — "we leave all the handling of failures … to the
-    /// underlying DHT").
+    /// Abrupt failure: the node's primary keys and replica holdings are
+    /// lost (best-effort semantics, Section 3.2 — "we leave all the handling
+    /// of failures … to the underlying DHT"). With k-successor replication
+    /// enabled, the lost range is recovered from the successors' replica
+    /// stores during the next [`Network::stabilize`].
     pub fn node_fail(&mut self, h: NodeHandle) -> Result<()> {
-        self.ring.fail(h)?;
-        let st = &mut self.nodes[h.index()];
-        st.alqt.drain_all();
-        st.vlqt.drain_all();
-        st.vltt.drain_all();
-        st.vstore.drain_all();
-        st.offline_store.clear();
-        Ok(())
+        self.fail_node_state(h)
     }
 
-    /// Runs stabilization rounds over the whole ring.
-    pub fn stabilize(&mut self, rounds: usize) {
+    /// Runs stabilization rounds over the whole ring, then promotes any
+    /// replicas whose primary owner has disappeared (when k-successor
+    /// replication is on) and processes the resulting re-mirroring traffic.
+    pub fn stabilize(&mut self, rounds: usize) -> Result<()> {
         self.ring.stabilize_all(rounds);
+        if self.repl_k() > 0 {
+            self.promote_replicas()?;
+        }
+        self.process_all()
+    }
+
+    /// Every alive node extracts the replica entries whose identifier it now
+    /// owns (its predecessor failed) and promotes them into its primary
+    /// tables, then re-mirrors them onto its own successors to restore
+    /// k-fold redundancy.
+    fn promote_replicas(&mut self) -> Result<()> {
+        let k = self.repl_k();
+        if k == 0 {
+            return Ok(());
+        }
+        let handles: Vec<NodeHandle> = self.ring.alive_nodes().collect();
+        for h in handles {
+            let promoted = {
+                let ring = &self.ring;
+                self.nodes[h.index()]
+                    .replicas
+                    .take_owned(|id| ring.owns(h, id))
+            };
+            if promoted.is_empty() {
+                continue;
+            }
+            self.metrics.faults.replicas_promoted += promoted.len() as u64;
+            let mut items: Vec<ReplicaItem> = Vec::with_capacity(promoted.len());
+            {
+                let st = &mut self.nodes[h.index()];
+                for e in promoted.queries {
+                    st.alqt.insert(e.clone());
+                    items.push(ReplicaItem::Query(e));
+                }
+                for e in promoted.rewritten {
+                    st.vlqt.insert(e.clone());
+                    items.push(ReplicaItem::Rewritten(e));
+                }
+                for e in promoted.tuples {
+                    st.vltt.insert(e.clone());
+                    items.push(ReplicaItem::Tuple(e));
+                }
+                for (group, value_key, e) in promoted.value_tuples {
+                    st.vstore.insert(&group, &value_key, e.clone());
+                    items.push(ReplicaItem::ValueTuple {
+                        group,
+                        value_key,
+                        entry: e,
+                    });
+                }
+                for (id, n) in promoted.offline {
+                    st.offline_store.push((id, n.clone()));
+                    items.push(ReplicaItem::Offline {
+                        id,
+                        notification: n,
+                    });
+                }
+            }
+            for item in items {
+                self.replicate(h, item);
+            }
+        }
+        Ok(())
     }
 
     /// A departed node rejoins with its old key: it takes back the key range

@@ -6,6 +6,7 @@ use cq_overlay::Id;
 use cq_relational::Notification;
 
 use crate::jfrt::Jfrt;
+use crate::replication::ReplicaStore;
 use crate::tables::keys::{bucket_mut, lookup_key, StrPair};
 use crate::tables::{Alqt, VStore, Vlqt, Vltt};
 
@@ -66,6 +67,10 @@ pub struct NodeState {
     pub arrivals: FxHashMap<StrPair, ArrivalStats>,
     /// Counter for deriving this node's query keys.
     pub query_counter: u64,
+    /// Mirrored copies of predecessors' primary state (k-successor
+    /// replication); dormant until promoted after a failure. Excluded from
+    /// [`NodeState::storage_load`] — replicas are redundancy, not load.
+    pub replicas: ReplicaStore,
 }
 
 impl NodeState {
@@ -116,6 +121,13 @@ impl NodeState {
     /// the E8/E9 experiments.
     pub fn evaluator_storage(&self) -> usize {
         self.vlqt.len() + self.vltt.len() + self.vstore.len()
+    }
+
+    /// Number of mirrored replica items held for other nodes (the
+    /// robustness layer's redundancy overhead; not part of
+    /// [`NodeState::storage_load`]).
+    pub fn replica_load(&self) -> usize {
+        self.replicas.len()
     }
 }
 

@@ -1,0 +1,326 @@
+//! k-successor state replication (the recovery half of the robustness
+//! layer, see [`crate::faults`]).
+//!
+//! Every index-table entry and offline-store notification a node holds as a
+//! *primary* is mirrored — at insert time — onto the node's `k` first alive
+//! successors, the same nodes that take over its range when it disappears
+//! (Chord's successor-list invariant). Replicas are held in a separate
+//! [`ReplicaStore`]: they never answer queries, never count toward storage
+//! load, and never appear in [`crate::Network::delivered_set`]. When a node
+//! fails abruptly, its successor finds itself the new owner of the failed
+//! range during stabilization and *promotes* the matching replicas into its
+//! primary tables — the same `extract_where`/insert mechanics the existing
+//! `transfer_matching` churn machinery uses — then re-mirrors the promoted
+//! entries onto its own successors to restore redundancy.
+
+use cq_fasthash::FxHashSet;
+use cq_overlay::Id;
+use cq_relational::Notification;
+
+use crate::tables::{
+    Alqt, StoredQuery, StoredRewritten, StoredTuple, StoredValueTuple, VStore, Vlqt, Vltt,
+};
+
+/// One primary state item mirrored onto a successor via
+/// [`crate::Message::Replicate`].
+#[derive(Clone, Debug)]
+pub enum ReplicaItem {
+    /// An ALQT entry (rewriter role).
+    Query(StoredQuery),
+    /// A VLQT entry (evaluator role, SAI/DAI-T).
+    Rewritten(StoredRewritten),
+    /// A VLTT entry (evaluator role, SAI/DAI-Q).
+    Tuple(StoredTuple),
+    /// A DAI-V evaluator-store entry with its `(group, value)` key.
+    ValueTuple {
+        /// The query-group key.
+        group: String,
+        /// Canonical join-condition value.
+        value_key: String,
+        /// The stored tuple.
+        entry: StoredValueTuple,
+    },
+    /// One offline-store notification with the subscriber identifier it is
+    /// held under.
+    Offline {
+        /// Identifier of the subscriber's key (`Hash(Key(n))`).
+        id: Id,
+        /// The held notification.
+        notification: Notification,
+    },
+}
+
+impl ReplicaItem {
+    /// The identifier that decides which node's range the item belongs to —
+    /// promotion extracts items whose identifier the holder now owns.
+    pub fn index_id(&self) -> Id {
+        match self {
+            ReplicaItem::Query(e) => e.index_id,
+            ReplicaItem::Rewritten(e) => e.index_id,
+            ReplicaItem::Tuple(e) => e.index_id,
+            ReplicaItem::ValueTuple { entry, .. } => entry.index_id,
+            ReplicaItem::Offline { id, .. } => *id,
+        }
+    }
+}
+
+/// Primary state promoted out of a replica store after a failure, ready to
+/// be inserted into the new owner's tables.
+#[derive(Debug, Default)]
+pub struct PromotedState {
+    /// ALQT entries.
+    pub queries: Vec<StoredQuery>,
+    /// VLQT entries.
+    pub rewritten: Vec<StoredRewritten>,
+    /// VLTT entries.
+    pub tuples: Vec<StoredTuple>,
+    /// DAI-V store entries with their `(group, value)` keys.
+    pub value_tuples: Vec<(String, String, StoredValueTuple)>,
+    /// Offline-store notifications.
+    pub offline: Vec<(Id, Notification)>,
+}
+
+impl PromotedState {
+    /// Total number of promoted items.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+            + self.rewritten.len()
+            + self.tuples.len()
+            + self.value_tuples.len()
+            + self.offline.len()
+    }
+
+    /// Whether nothing was promoted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Mirrored copies of other nodes' primary state, held by a successor.
+///
+/// Inserts are idempotent: the ALQT/VLQT tables dedup by their own keys, and
+/// the VLTT/VStore/offline parts keep explicit seen-sets (keyed by the
+/// globally unique tuple sequence number or the notification itself), so
+/// delayed duplicates and post-promotion re-mirroring never inflate the
+/// store.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaStore {
+    alqt: Alqt,
+    vlqt: Vlqt,
+    vltt: Vltt,
+    vstore: VStore,
+    offline: Vec<(Id, Notification)>,
+    vltt_seen: FxHashSet<(u64, Box<str>)>,
+    vstore_seen: FxHashSet<(u64, Box<str>)>,
+    offline_seen: FxHashSet<(Id, Notification)>,
+}
+
+impl ReplicaStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ReplicaStore::default()
+    }
+
+    /// Mirrors one item; duplicates are ignored.
+    pub fn insert(&mut self, item: ReplicaItem) {
+        match item {
+            ReplicaItem::Query(e) => {
+                self.alqt.insert(e);
+            }
+            ReplicaItem::Rewritten(e) => {
+                self.vlqt.insert(e);
+            }
+            ReplicaItem::Tuple(e) => {
+                if self
+                    .vltt_seen
+                    .insert((e.tuple.seq(), e.attr.as_str().into()))
+                {
+                    self.vltt.insert(e);
+                }
+            }
+            ReplicaItem::ValueTuple {
+                group,
+                value_key,
+                entry,
+            } => {
+                if self
+                    .vstore_seen
+                    .insert((entry.tuple.seq(), group.as_str().into()))
+                {
+                    self.vstore.insert(&group, &value_key, entry);
+                }
+            }
+            ReplicaItem::Offline { id, notification } => {
+                if self.offline_seen.insert((id, notification.clone())) {
+                    self.offline.push((id, notification));
+                }
+            }
+        }
+    }
+
+    /// Total mirrored items currently held.
+    pub fn len(&self) -> usize {
+        self.alqt.len() + self.vlqt.len() + self.vltt.len() + self.vstore.len() + self.offline.len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every mirrored item (the holder itself failed).
+    pub fn clear(&mut self) {
+        *self = ReplicaStore::default();
+    }
+
+    /// Extracts every item whose index identifier satisfies `pred` — called
+    /// by the new owner of a failed range during stabilization, with
+    /// `pred = |id| ring.owns(self, id)`.
+    pub fn take_owned(&mut self, pred: impl Fn(Id) -> bool) -> PromotedState {
+        let queries = self.alqt.extract_where(&pred);
+        let rewritten = self.vlqt.extract_where(&pred);
+        let tuples = self.vltt.extract_where(&pred);
+        let value_tuples = self.vstore.extract_where(&pred);
+        for e in &tuples {
+            self.vltt_seen
+                .remove(&(e.tuple.seq(), e.attr.as_str().into()));
+        }
+        for (group, _, e) in &value_tuples {
+            self.vstore_seen
+                .remove(&(e.tuple.seq(), group.as_str().into()));
+        }
+        let mut offline = Vec::new();
+        let mut kept = Vec::new();
+        for (id, n) in std::mem::take(&mut self.offline) {
+            if pred(id) {
+                self.offline_seen.remove(&(id, n.clone()));
+                offline.push((id, n));
+            } else {
+                kept.push((id, n));
+            }
+        }
+        self.offline = kept;
+        PromotedState {
+            queries,
+            rewritten,
+            tuples,
+            value_tuples,
+            offline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_relational::{DataType, QueryKey, RelationSchema, Timestamp, Tuple, Value};
+    use std::sync::Arc;
+
+    fn tuple(seq: u64) -> Arc<Tuple> {
+        let schema = Arc::new(
+            RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int)]).unwrap(),
+        );
+        Arc::new(
+            Tuple::new(
+                schema,
+                vec![Value::Int(1), Value::Int(7)],
+                Timestamp(0),
+                seq,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn notification(v: i64) -> Notification {
+        Notification {
+            query_key: QueryKey::derive("n", 0),
+            subscriber: "n".into(),
+            values: vec![Value::Int(v)],
+        }
+    }
+
+    #[test]
+    fn duplicate_tuple_replicas_are_ignored() {
+        let mut s = ReplicaStore::new();
+        let mk = || {
+            ReplicaItem::Tuple(StoredTuple {
+                index_id: Id(5),
+                attr: "A".into(),
+                tuple: tuple(3),
+            })
+        };
+        s.insert(mk());
+        s.insert(mk());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_offline_replicas_are_ignored() {
+        let mut s = ReplicaStore::new();
+        s.insert(ReplicaItem::Offline {
+            id: Id(9),
+            notification: notification(1),
+        });
+        s.insert(ReplicaItem::Offline {
+            id: Id(9),
+            notification: notification(1),
+        });
+        s.insert(ReplicaItem::Offline {
+            id: Id(9),
+            notification: notification(2),
+        });
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn take_owned_partitions_by_identifier() {
+        let mut s = ReplicaStore::new();
+        s.insert(ReplicaItem::Tuple(StoredTuple {
+            index_id: Id(10),
+            attr: "A".into(),
+            tuple: tuple(1),
+        }));
+        s.insert(ReplicaItem::Tuple(StoredTuple {
+            index_id: Id(20),
+            attr: "A".into(),
+            tuple: tuple(2),
+        }));
+        s.insert(ReplicaItem::Offline {
+            id: Id(10),
+            notification: notification(1),
+        });
+        let promoted = s.take_owned(|id| id == Id(10));
+        assert_eq!(promoted.len(), 2);
+        assert_eq!(promoted.tuples.len(), 1);
+        assert_eq!(promoted.offline.len(), 1);
+        assert_eq!(s.len(), 1, "unowned replica stays dormant");
+        // a promoted item can be mirrored back in later
+        s.insert(ReplicaItem::Tuple(StoredTuple {
+            index_id: Id(10),
+            attr: "A".into(),
+            tuple: tuple(1),
+        }));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn value_tuple_replicas_dedup_by_seq_and_group() {
+        let mut s = ReplicaStore::new();
+        let mk = |seq| ReplicaItem::ValueTuple {
+            group: "g".into(),
+            value_key: "v".into(),
+            entry: StoredValueTuple {
+                index_id: Id(3),
+                side: cq_relational::Side::Left,
+                tuple: tuple(seq),
+            },
+        };
+        s.insert(mk(1));
+        s.insert(mk(1));
+        s.insert(mk(2));
+        assert_eq!(s.len(), 2);
+        let promoted = s.take_owned(|_| true);
+        assert_eq!(promoted.value_tuples.len(), 2);
+        assert!(s.is_empty());
+    }
+}

@@ -1,7 +1,7 @@
 //! Dynamicity: voluntary leaves with key transfer, failures, rejoins, and
 //! the Section 4.6 offline-notification scenario.
 
-use cq_engine::{Algorithm, EngineConfig, Network, Oracle};
+use cq_engine::{Algorithm, EngineConfig, FaultConfig, Network, Oracle};
 use cq_relational::{Catalog, DataType, RelationSchema, Value};
 
 fn catalog() -> Catalog {
@@ -44,7 +44,7 @@ fn voluntary_leave_transfers_state_and_preserves_results() {
         for v in victims {
             net.node_leave(v).unwrap();
         }
-        net.stabilize(3);
+        net.stabilize(3).unwrap();
 
         net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7)])
             .unwrap();
@@ -73,7 +73,7 @@ fn offline_subscriber_receives_missed_notifications_on_rejoin() {
 
         // Subscriber goes offline (voluntarily, transferring its keys).
         net.node_leave(a).unwrap();
-        net.stabilize(2);
+        net.stabilize(2).unwrap();
 
         // The matching tuple arrives while the subscriber is away.
         net.insert_tuple(b, "S", vec![Value::Int(2), Value::Int(7)])
@@ -120,7 +120,7 @@ fn failures_lose_at_most_the_failed_nodes_state() {
     let victim = net.node_at(20);
     if victim != a {
         net.node_fail(victim).unwrap();
-        net.stabilize(3);
+        net.stabilize(3).unwrap();
     }
     net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7)])
         .unwrap();
@@ -130,6 +130,65 @@ fn failures_lose_at_most_the_failed_nodes_state() {
     let expected = oracle.expected().unwrap();
     for n in net.delivered_set() {
         assert!(expected.contains(&n), "spurious notification {n}");
+    }
+}
+
+#[test]
+fn replication_turns_lossy_failures_into_lossless_ones() {
+    // The same failure scenario twice: without replication the network may
+    // only *miss* notifications (never fabricate them); with k=1 the
+    // successor's promoted replicas make the failure invisible.
+    for alg in Algorithm::ALL {
+        let build = |k: usize| {
+            let fault = FaultConfig {
+                replication: k,
+                ..FaultConfig::default()
+            };
+            let mut net = Network::new(
+                EngineConfig::new(alg)
+                    .with_nodes(40)
+                    .with_seed(7)
+                    .with_fault(fault),
+                catalog(),
+            );
+            let a = net.node_at(0);
+            net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+                .unwrap();
+            for i in 0..8i64 {
+                net.insert_tuple(a, "R", vec![Value::Int(i), Value::Int(i % 3)])
+                    .unwrap();
+            }
+            for idx in [8usize, 16, 24, 32] {
+                let victim = net.node_at(idx);
+                if victim == a {
+                    continue;
+                }
+                net.node_fail(victim).unwrap();
+                net.stabilize(2).unwrap();
+            }
+            for i in 0..8i64 {
+                net.insert_tuple(a, "S", vec![Value::Int(i), Value::Int(i % 3)])
+                    .unwrap();
+            }
+            net
+        };
+
+        let unreplicated = build(0);
+        let mut oracle = Oracle::new();
+        oracle.ingest(unreplicated.posed_queries(), unreplicated.inserted_tuples());
+        let expected = oracle.expected().unwrap();
+        let delivered = unreplicated.delivered_set();
+        assert!(
+            delivered.is_subset(&expected),
+            "{alg}: failures must never fabricate notifications"
+        );
+
+        let replicated = build(1);
+        assert_eq!(
+            replicated.delivered_set(),
+            expected,
+            "{alg}: k=1 replication must lose nothing in the same scenario"
+        );
     }
 }
 
@@ -151,7 +210,7 @@ fn join_after_start_takes_over_range() {
     let v = net.node_at(10);
     let v = if v == a { net.node_at(11) } else { v };
     net.node_leave(v).unwrap();
-    net.stabilize(2);
+    net.stabilize(2).unwrap();
     net.insert_tuple(a, "R", vec![Value::Int(3), Value::Int(8)])
         .unwrap();
     net.node_rejoin(v).unwrap();

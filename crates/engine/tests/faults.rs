@@ -1,0 +1,316 @@
+//! The robustness layer end to end: message loss, duplication and
+//! reordering under reliable delivery, and k-successor replication across
+//! abrupt failures.
+
+use cq_engine::{Algorithm, EngineConfig, FaultConfig, Network, Oracle};
+use cq_relational::{Catalog, DataType, RelationSchema, Value};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int)]).unwrap())
+        .unwrap();
+    c.register(RelationSchema::of("S", &[("D", DataType::Int), ("E", DataType::Int)]).unwrap())
+        .unwrap();
+    c
+}
+
+fn check_oracle(net: &Network, context: &str) {
+    let mut oracle = Oracle::new();
+    oracle.ingest(net.posed_queries(), net.inserted_tuples());
+    assert_eq!(
+        net.delivered_set(),
+        oracle.expected().unwrap(),
+        "{context}: delivered set must equal the oracle"
+    );
+}
+
+/// A small scripted workload: two queries and a batch of tuples with
+/// several join matches.
+fn stream(net: &mut Network) {
+    let a = net.node_at(0);
+    let b = net.node_at(7);
+    net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+        .unwrap();
+    net.pose_query_sql(b, "SELECT R.A FROM R, S WHERE R.B = S.E AND S.D = 2")
+        .unwrap();
+    for i in 0..12i64 {
+        net.insert_tuple(
+            net.node_at((i % 20) as usize),
+            "R",
+            vec![Value::Int(i), Value::Int(i % 4)],
+        )
+        .unwrap();
+        net.insert_tuple(
+            net.node_at(((i + 3) % 20) as usize),
+            "S",
+            vec![Value::Int(2 + i % 2), Value::Int(i % 3)],
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn reliable_pump_with_zero_rates_matches_oracle() {
+    // Forcing every message through the tick-based pump without any fault
+    // draw must change nothing observable.
+    for alg in Algorithm::ALL {
+        let fault = FaultConfig {
+            reliable: true,
+            ack_timeout: 2,
+            max_retries: 8,
+            ..FaultConfig::default()
+        };
+        let mut net = Network::new(
+            EngineConfig::new(alg)
+                .with_nodes(24)
+                .with_seed(11)
+                .with_fault(fault),
+            catalog(),
+        );
+        stream(&mut net);
+        assert_eq!(net.metrics().faults.messages_lost, 0);
+        assert_eq!(net.metrics().faults.retransmissions, 0);
+        check_oracle(&net, &format!("{alg} reliable"));
+    }
+}
+
+#[test]
+fn delivery_survives_message_loss() {
+    // 20% loss (plus the profile's mild duplication and delay): acks and
+    // retransmissions must still get every notification through.
+    for alg in Algorithm::ALL {
+        let mut net = Network::new(
+            EngineConfig::new(alg)
+                .with_nodes(24)
+                .with_seed(12)
+                .with_fault(FaultConfig::lossy(0.2, 21)),
+            catalog(),
+        );
+        stream(&mut net);
+        let f = net.metrics().faults;
+        assert!(f.messages_lost > 0, "{alg}: losses must have been drawn");
+        assert!(f.retransmissions > 0, "{alg}: losses force retransmissions");
+        check_oracle(&net, &format!("{alg} lossy"));
+    }
+}
+
+#[test]
+fn duplicates_are_suppressed_exactly_once() {
+    for alg in Algorithm::ALL {
+        let fault = FaultConfig {
+            duplicate_rate: 0.5,
+            ack_timeout: 2,
+            max_retries: 8,
+            seed: 31,
+            ..FaultConfig::default()
+        };
+        let mut net = Network::new(
+            EngineConfig::new(alg)
+                .with_nodes(24)
+                .with_seed(13)
+                .with_fault(fault),
+            catalog(),
+        );
+        stream(&mut net);
+        let f = net.metrics().faults;
+        assert!(f.messages_duplicated > 0, "{alg}: duplicates must be drawn");
+        assert!(
+            f.dedup_suppressed > 0,
+            "{alg}: receiver windows must drop the copies"
+        );
+        check_oracle(&net, &format!("{alg} duplicated"));
+    }
+}
+
+#[test]
+fn reordering_preserves_results() {
+    // Pure delay-induced reordering, retries off: the protocol state
+    // machines must be commutative over in-flight message order.
+    for alg in Algorithm::ALL {
+        let fault = FaultConfig {
+            delay_rate: 0.6,
+            max_delay: 5,
+            seed: 41,
+            ..FaultConfig::default()
+        };
+        let mut net = Network::new(
+            EngineConfig::new(alg)
+                .with_nodes(24)
+                .with_seed(14)
+                .with_fault(fault),
+            catalog(),
+        );
+        stream(&mut net);
+        assert_eq!(net.metrics().faults.messages_lost, 0);
+        check_oracle(&net, &format!("{alg} reordered"));
+    }
+}
+
+#[test]
+fn single_failure_with_replication_preserves_index_state() {
+    // With k=2 replication, any single abrupt failure followed by
+    // stabilization must lose no index entries: later tuples still join
+    // against state the victim held, and the delivered set stays exactly
+    // the oracle's.
+    for alg in Algorithm::ALL {
+        for victim_idx in [5usize, 13, 21, 29] {
+            let fault = FaultConfig {
+                replication: 2,
+                ..FaultConfig::default()
+            };
+            let mut net = Network::new(
+                EngineConfig::new(alg)
+                    .with_nodes(40)
+                    .with_seed(15)
+                    .with_fault(fault),
+                catalog(),
+            );
+            let a = net.node_at(0);
+            net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+                .unwrap();
+            net.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7)])
+                .unwrap();
+            let victim = net.node_at(victim_idx);
+            if victim == a {
+                continue;
+            }
+            net.node_fail(victim).unwrap();
+            net.stabilize(2).unwrap();
+            net.insert_tuple(a, "S", vec![Value::Int(2), Value::Int(7)])
+                .unwrap();
+            assert_eq!(
+                net.inbox(a).len(),
+                1,
+                "{alg}: join must survive the failure of node {victim_idx}"
+            );
+            check_oracle(&net, &format!("{alg} victim {victim_idx}"));
+        }
+    }
+}
+
+#[test]
+fn failure_with_replication_preserves_offline_notifications() {
+    // The Section 4.6 offline store is itself replicated: crash the node
+    // holding a disconnected subscriber's notification, and the rejoining
+    // subscriber must still receive it.
+    for alg in Algorithm::ALL {
+        let fault = FaultConfig {
+            replication: 2,
+            ..FaultConfig::default()
+        };
+        let mut net = Network::new(
+            EngineConfig::new(alg)
+                .with_nodes(40)
+                .with_seed(16)
+                .with_fault(fault),
+            catalog(),
+        );
+        let a = net.node_at(0);
+        let b = net.node_at(5);
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+            .unwrap();
+        net.insert_tuple(b, "R", vec![Value::Int(1), Value::Int(7)])
+            .unwrap();
+        net.node_leave(a).unwrap();
+        net.stabilize(2).unwrap();
+        net.insert_tuple(b, "S", vec![Value::Int(2), Value::Int(7)])
+            .unwrap();
+
+        // Crash whichever node holds the stored notification.
+        let owner = net
+            .ring()
+            .alive_nodes()
+            .find(|&h| !net.node_state(h).offline_store.is_empty())
+            .expect("one node stores the offline notification");
+        net.node_fail(owner).unwrap();
+        net.stabilize(2).unwrap();
+        assert!(
+            net.metrics().faults.replicas_promoted > 0,
+            "{alg}: the successor must promote the replicated notification"
+        );
+
+        net.node_rejoin(a).unwrap();
+        assert_eq!(
+            net.inbox(a).len(),
+            1,
+            "{alg}: missed notification must survive the store owner's crash"
+        );
+    }
+}
+
+#[test]
+fn offline_storage_metrics_count_arrivals_once() {
+    // `notifications_delivered` counts actual arrivals (inbox or offline
+    // store), and `notifications_stored_offline` counts only the latter.
+    let mut net = Network::new(
+        EngineConfig::new(Algorithm::Sai)
+            .with_nodes(40)
+            .with_seed(17),
+        catalog(),
+    );
+    let a = net.node_at(0);
+    let b = net.node_at(5);
+    net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+        .unwrap();
+    net.insert_tuple(b, "R", vec![Value::Int(1), Value::Int(7)])
+        .unwrap();
+    net.insert_tuple(b, "S", vec![Value::Int(2), Value::Int(7)])
+        .unwrap();
+    assert_eq!(net.metrics().notifications_delivered, 1);
+    assert_eq!(
+        net.metrics().notifications_stored_offline,
+        0,
+        "online delivery is not offline storage"
+    );
+
+    net.node_leave(a).unwrap();
+    net.stabilize(2).unwrap();
+    net.insert_tuple(b, "S", vec![Value::Int(3), Value::Int(7)])
+        .unwrap();
+    assert_eq!(
+        net.metrics().notifications_delivered,
+        2,
+        "the stored notification counts as delivered exactly once"
+    );
+    assert_eq!(net.metrics().notifications_stored_offline, 1);
+}
+
+#[test]
+fn replica_load_is_not_storage_load() {
+    let fault = FaultConfig {
+        replication: 2,
+        ..FaultConfig::default()
+    };
+    let mut net = Network::new(
+        EngineConfig::new(Algorithm::DaiT)
+            .with_nodes(40)
+            .with_seed(18)
+            .with_fault(fault.clone()),
+        catalog(),
+    );
+    let mut baseline = Network::new(
+        EngineConfig::new(Algorithm::DaiT)
+            .with_nodes(40)
+            .with_seed(18),
+        catalog(),
+    );
+    for n in [&mut net, &mut baseline] {
+        let a = n.node_at(0);
+        n.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+            .unwrap();
+        n.insert_tuple(a, "R", vec![Value::Int(1), Value::Int(7)])
+            .unwrap();
+    }
+    assert_eq!(
+        net.storage_loads(),
+        baseline.storage_loads(),
+        "replicas never count toward storage load"
+    );
+    let replicas: usize = net
+        .ring()
+        .alive_nodes()
+        .map(|h| net.node_state(h).replica_load())
+        .sum();
+    assert!(replicas > 0, "replication must actually mirror state");
+    assert!(net.metrics().faults.replica_messages > 0);
+}

@@ -1,0 +1,96 @@
+//! Property-based check of the reliable-delivery layer: for random
+//! workloads under random message loss (up to 30%), duplication and
+//! reordering, acks + retransmissions + receiver dedup windows must keep
+//! the observable notification set exactly equal to the oracle's —
+//! exactly-once semantics over a faulty channel.
+
+use cq_engine::{Algorithm, EngineConfig, FaultConfig, Network, Oracle};
+use cq_relational::{Catalog, DataType, RelationSchema, Value};
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int)]).unwrap())
+        .unwrap();
+    c.register(RelationSchema::of("S", &[("D", DataType::Int), ("E", DataType::Int)]).unwrap())
+        .unwrap();
+    c
+}
+
+/// One step of a random workload.
+#[derive(Clone, Debug)]
+enum Step {
+    PoseSimple,
+    PoseWithFilter(i64),
+    InsertR(i64, i64),
+    InsertS(i64, i64),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        1 => Just(Step::PoseSimple),
+        1 => (-2i64..2).prop_map(Step::PoseWithFilter),
+        4 => ((-20i64..20), (-3i64..3)).prop_map(|(a, b)| Step::InsertR(a, b)),
+        4 => ((-20i64..20), (-3i64..3)).prop_map(|(d, e)| Step::InsertS(d, e)),
+    ]
+}
+
+fn run(alg: Algorithm, steps: &[Step], seed: u64, fault: FaultConfig) -> Network {
+    let mut net = Network::new(
+        EngineConfig::new(alg)
+            .with_nodes(32)
+            .with_seed(seed)
+            .with_fault(fault),
+        catalog(),
+    );
+    for (n, step) in steps.iter().enumerate() {
+        let from = net.node_at(n % 32);
+        match step {
+            Step::PoseSimple => {
+                net.pose_query_sql(from, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+                    .unwrap();
+            }
+            Step::PoseWithFilter(v) => {
+                net.pose_query_sql(
+                    from,
+                    &format!("SELECT R.A FROM R, S WHERE R.B = S.E AND S.D = {v}"),
+                )
+                .unwrap();
+            }
+            Step::InsertR(a, b) => {
+                net.insert_tuple(from, "R", vec![Value::Int(*a), Value::Int(*b)])
+                    .unwrap();
+            }
+            Step::InsertS(d, e) => {
+                net.insert_tuple(from, "S", vec![Value::Int(*d), Value::Int(*e)])
+                    .unwrap();
+            }
+        }
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn exactly_once_delivery_over_a_faulty_channel(
+        steps in prop::collection::vec(step_strategy(), 1..40),
+        seed in 0u64..1000,
+        loss_pct in 0u32..31,
+        fault_seed in 0u64..1000,
+    ) {
+        let loss = f64::from(loss_pct) / 100.0;
+        for alg in Algorithm::ALL {
+            let net = run(alg, &steps, seed, FaultConfig::lossy(loss, fault_seed));
+            let mut oracle = Oracle::new();
+            oracle.ingest(net.posed_queries(), net.inserted_tuples());
+            let expected = oracle.expected().unwrap();
+            prop_assert_eq!(
+                net.delivered_set(),
+                expected,
+                "{} diverged from oracle under loss {}", alg, loss
+            );
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //!   --csv      also print CSV blocks after each table
 //!   --jobs N   fan independent simulation runs over N worker threads
 //!              (default: 1 = sequential; results are identical either way)
-//!   ids        e01..e16, t01, a01 (default: all)
+//!   ids        e01..e16, t01, a01, ef01 (default: all)
 //! ```
 
 use std::time::Instant;
@@ -62,7 +62,7 @@ fn main() {
             .collect()
     };
     if selected.is_empty() {
-        eprintln!("no experiment matches; known ids: e01..e16, t01, a01");
+        eprintln!("no experiment matches; known ids: e01..e16, t01, a01, ef01");
         std::process::exit(2);
     }
 

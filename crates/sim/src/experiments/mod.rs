@@ -22,6 +22,7 @@ pub mod e13_query_count;
 pub mod e14_network_size;
 pub mod e15_top_loaded;
 pub mod e16_dai_v;
+pub mod ef01_faults;
 pub mod t01_comparison;
 
 use crate::report::Report;
@@ -69,6 +70,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("e16", e16_dai_v::run),
         ("t01", t01_comparison::run),
         ("a01", a01_dai_v_keyed::run),
+        ("ef01", ef01_faults::run),
     ]
 }
 
@@ -78,8 +80,9 @@ mod tests {
 
     #[test]
     fn registry_covers_every_figure_and_table() {
-        // 16 experiment figures + Table 4.1 + the keyed-DAI-V ablation.
-        assert_eq!(all().len(), 18);
+        // 16 experiment figures + Table 4.1 + the keyed-DAI-V ablation +
+        // the fault-tolerance extension.
+        assert_eq!(all().len(), 19);
     }
 
     #[test]

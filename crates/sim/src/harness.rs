@@ -2,7 +2,10 @@
 //! installs queries, streams tuples and collects the metric vectors the
 //! figures are built from.
 
-use cq_engine::{Algorithm, EngineConfig, IndexStrategy, Network, TrafficKind};
+use cq_engine::{
+    Algorithm, EngineConfig, FaultConfig, FaultCounters, IndexStrategy, Network, Oracle,
+    TrafficKind,
+};
 use cq_overlay::TrafficStats;
 use cq_workload::{Workload, WorkloadConfig};
 
@@ -34,6 +37,16 @@ pub struct RunConfig {
     pub measure_stream_only: bool,
     /// Workload shape (domain, skew, bos ratio, ...).
     pub workload: WorkloadConfig,
+    /// Fault model for the run (message loss/duplication/delay, reliable
+    /// delivery, k-successor replication). Inert by default.
+    pub fault: FaultConfig,
+    /// Abrupt node failures injected at evenly spaced points across the
+    /// measured tuple window, each followed by two stabilization rounds.
+    pub failures: usize,
+    /// Retain notification bodies so recall against the oracle can be
+    /// computed (needed by the fault experiment; off by default because
+    /// bodies dominate memory at full scale).
+    pub retain_notifications: bool,
 }
 
 impl RunConfig {
@@ -51,6 +64,9 @@ impl RunConfig {
             t2_queries: false,
             measure_stream_only: true,
             workload: WorkloadConfig::default(),
+            fault: FaultConfig::default(),
+            failures: 0,
+            retain_notifications: false,
         }
     }
 }
@@ -83,6 +99,18 @@ pub struct RunResult {
     /// Traffic of the installation phase (warm-up + query indexing),
     /// captured before any reset — e.g. the strategy probes of E4.
     pub install_traffic: Vec<(TrafficKind, TrafficStats)>,
+    /// Fault-layer counters (loss, duplication, retransmissions, dedup
+    /// suppressions, failures, promotions).
+    pub faults: FaultCounters,
+    /// Distinct notification contents the oracle expects (only computed
+    /// when `retain_notifications` is set; zero otherwise).
+    pub expected_notifications: u64,
+    /// Of those, how many were actually delivered to an inbox or offline
+    /// store (set semantics).
+    pub delivered_notifications: u64,
+    /// `delivered / expected` (1.0 when nothing was expected or recall was
+    /// not computed).
+    pub recall: f64,
 }
 
 impl RunResult {
@@ -147,10 +175,12 @@ pub fn run(cfg: &RunConfig) -> RunResult {
         replication: cfg.replication,
         recursive_multisend: true,
         // Delivery traffic and counts are measured; retaining millions of
-        // notification bodies would dominate simulator memory at full scale.
-        retain_notifications: false,
+        // notification bodies would dominate simulator memory at full
+        // scale, so bodies are kept only when a run needs recall.
+        retain_notifications: cfg.retain_notifications,
         dai_v_keyed: false,
         seed: cfg.workload.seed,
+        fault: cfg.fault.clone(),
     };
     let mut net = Network::new(engine_cfg, workload.catalog().clone());
 
@@ -180,14 +210,36 @@ pub fn run(cfg: &RunConfig) -> RunResult {
         net.reset_metrics();
     }
 
-    // The measured tuple window.
-    for _ in 0..cfg.tuples {
+    // The measured tuple window, with any requested abrupt failures spread
+    // evenly across it (each immediately followed by stabilization, which
+    // repairs the ring and promotes replicas).
+    let mut failed = 0usize;
+    for i in 0..cfg.tuples {
+        while failed < cfg.failures && i * (cfg.failures + 1) >= (failed + 1) * cfg.tuples {
+            fail_one(&mut net);
+            failed += 1;
+        }
         stream_one(&mut net, &mut workload);
     }
+    while failed < cfg.failures {
+        fail_one(&mut net);
+        failed += 1;
+    }
 
-    let mut result = collect(&net, cfg.tuples);
+    let mut result = collect(&net, cfg.tuples, cfg.retain_notifications);
     result.install_traffic = install_traffic;
     result
+}
+
+/// Abruptly fails one pseudo-random alive node and stabilizes (never kills
+/// the last node).
+fn fail_one(net: &mut Network) {
+    if net.alive_count() <= 1 {
+        return;
+    }
+    let victim = net.random_node();
+    net.node_fail(victim).expect("victim is alive");
+    net.stabilize(2).expect("stabilization after failure");
 }
 
 fn stream_one(net: &mut Network, workload: &mut Workload) {
@@ -198,7 +250,7 @@ fn stream_one(net: &mut Network, workload: &mut Workload) {
         .expect("generated tuples are valid");
 }
 
-fn collect(net: &Network, streamed: usize) -> RunResult {
+fn collect(net: &Network, streamed: usize, with_recall: bool) -> RunResult {
     let loads = net.metrics().loads();
     let filtering: Vec<f64> = loads.iter().map(|l| l.filtering() as f64).collect();
     let rewriter_filtering: Vec<f64> = loads.iter().map(|l| l.rewriter_filtering as f64).collect();
@@ -219,6 +271,22 @@ fn collect(net: &Network, streamed: usize) -> RunResult {
         .iter()
         .map(|&k| (k, net.metrics().traffic(k)))
         .collect();
+    let (expected_notifications, delivered_notifications, recall) = if with_recall {
+        let mut oracle = Oracle::new();
+        oracle.ingest(net.posed_queries(), net.inserted_tuples());
+        let expected = oracle.expected().expect("oracle evaluation");
+        let delivered = net.delivered_set();
+        let hit = expected.iter().filter(|n| delivered.contains(*n)).count() as u64;
+        let total = expected.len() as u64;
+        let recall = if total == 0 {
+            1.0
+        } else {
+            hit as f64 / total as f64
+        };
+        (total, hit, recall)
+    } else {
+        (0, 0, 1.0)
+    };
     RunResult {
         filtering,
         rewriter_filtering,
@@ -232,6 +300,10 @@ fn collect(net: &Network, streamed: usize) -> RunResult {
         install_traffic: Vec::new(),
         stored_rewritten,
         stored_tuples,
+        faults: net.metrics().faults,
+        expected_notifications,
+        delivered_notifications,
+        recall,
     }
 }
 

@@ -2,8 +2,9 @@
 //!
 //! Drives `cq-engine` networks over `cq-workload` streams and regenerates
 //! every figure and table of the paper's evaluation (Chapter 5). Each
-//! experiment lives in [`experiments`] under its DESIGN.md id (E1..E16, T1)
-//! and renders a text [`report::Report`].
+//! experiment lives in [`experiments`] under its DESIGN.md id (E1..E16, T1,
+//! plus the EF1 fault-tolerance extension) and renders a text
+//! [`report::Report`].
 //!
 //! ```
 //! use cq_sim::experiments::{self, Scale};
@@ -21,6 +22,7 @@ pub mod parallel;
 pub mod report;
 pub mod stats;
 
+pub use cq_engine::{FaultConfig, FaultCounters};
 pub use harness::{run, RunConfig, RunResult};
 pub use parallel::{run_many, set_jobs};
 pub use report::Report;

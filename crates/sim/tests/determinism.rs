@@ -8,7 +8,7 @@
 //! cannot leak into results.
 
 use cq_engine::Algorithm;
-use cq_sim::{run, run_many, set_jobs, RunConfig, RunResult};
+use cq_sim::{run, run_many, set_jobs, FaultConfig, RunConfig, RunResult};
 use cq_workload::WorkloadConfig;
 
 fn cfgs() -> Vec<RunConfig> {
@@ -33,6 +33,22 @@ fn cfgs() -> Vec<RunConfig> {
         ..RunConfig::new(alg)
     })
     .collect()
+}
+
+/// The same runs under a nonzero fault model: seeded loss, duplication,
+/// delay, retransmissions, abrupt failures and replication all active.
+fn faulty_cfgs() -> Vec<RunConfig> {
+    cfgs()
+        .into_iter()
+        .map(|mut cfg| {
+            let mut fault = FaultConfig::lossy(0.15, 77);
+            fault.replication = 2;
+            cfg.fault = fault;
+            cfg.failures = 1;
+            cfg.retain_notifications = true;
+            cfg
+        })
+        .collect()
 }
 
 /// Exact equality over every metric a figure could read.
@@ -64,6 +80,16 @@ fn assert_identical(a: &RunResult, b: &RunResult, label: &str) {
     );
     assert_eq!(a.notifications, b.notifications, "{label}: notifications");
     assert_eq!(a.streamed, b.streamed, "{label}: streamed");
+    assert_eq!(a.faults, b.faults, "{label}: fault counters");
+    assert_eq!(
+        a.expected_notifications, b.expected_notifications,
+        "{label}: expected notifications"
+    );
+    assert_eq!(
+        a.delivered_notifications, b.delivered_notifications,
+        "{label}: delivered notifications"
+    );
+    assert_eq!(a.recall, b.recall, "{label}: recall");
 }
 
 #[test]
@@ -85,6 +111,31 @@ fn parallel_runs_match_sequential_bit_for_bit() {
     set_jobs(1);
 
     assert_eq!(parallel.len(), sequential.len());
+    for ((cfg, seq), par) in cfgs.iter().zip(&sequential).zip(&parallel) {
+        assert_identical(seq, par, cfg.algorithm.name());
+    }
+}
+
+#[test]
+fn faulty_runs_are_bit_identical_too() {
+    // The fault pipe draws from its own seeded generator, so an active
+    // fault model must stay exactly as deterministic as a clean run —
+    // sequentially and across worker threads.
+    let cfgs = faulty_cfgs();
+    let sequential: Vec<RunResult> = cfgs.iter().map(run).collect();
+    for (cfg, first) in cfgs.iter().zip(&sequential) {
+        let second = run(cfg);
+        assert_identical(first, &second, cfg.algorithm.name());
+        assert!(
+            first.faults.messages_lost > 0,
+            "{}: the fault model must actually fire",
+            cfg.algorithm.name()
+        );
+    }
+
+    set_jobs(4);
+    let parallel = run_many(&cfgs);
+    set_jobs(1);
     for ((cfg, seq), par) in cfgs.iter().zip(&sequential).zip(&parallel) {
         assert_identical(seq, par, cfg.algorithm.name());
     }

@@ -101,7 +101,7 @@ fn main() {
 
     // Alice disconnects; a new Smith paper appears meanwhile.
     net.node_leave(alice).unwrap();
-    net.stabilize(2);
+    net.stabilize(2).unwrap();
     net.insert_tuple(
         library,
         "Document",

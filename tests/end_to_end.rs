@@ -109,7 +109,7 @@ fn voluntary_churn_mid_stream_preserves_exactness() {
         for v in victims {
             net.node_leave(v).unwrap();
         }
-        net.stabilize(2);
+        net.stabilize(2).unwrap();
         // Stream continues after the churn.
         for _ in 0..40 {
             let rel = w.next_stream_relation();
