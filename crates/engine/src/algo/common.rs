@@ -1,0 +1,305 @@
+//! Handler building blocks shared by the four protocol implementations.
+//!
+//! Everything here is a pure function of a [`NodeCtx`]: state reads/writes
+//! go through `ctx.state()`, randomness through `ctx.rng()`, and sends are
+//! pushed as [`Effect`]s. The helpers reproduce the paper's shared
+//! machinery — query indexing (Section 4.3.1), the two-level tuple indexing
+//! of Section 4.2, rewriting T1 queries on tuple arrival (Sections
+//! 4.3.2/4.4) and matching rewritten queries against stored tuples
+//! (Section 4.3.3) — while the per-algorithm differences stay in the
+//! [`Protocol`] impls.
+
+use std::sync::Arc;
+
+use cq_overlay::Id;
+use cq_relational::{JoinQuery, MatchTarget, QueryRef, RewrittenQuery, Side, Tuple};
+use rand::Rng;
+
+use crate::error::Result;
+use crate::indexing;
+use crate::messages::Message;
+use crate::metrics::TrafficKind;
+use crate::protocol::{Effect, Matches, NodeCtx, Protocol};
+use crate::tables::{StoredQuery, StoredTuple};
+
+/// Indexes `[T; 2]` probe results by side.
+pub(crate) fn side_slot(side: Side) -> usize {
+    match side {
+        Side::Left => 0,
+        Side::Right => 1,
+    }
+}
+
+/// `IndexA(q)` for `side`: the join attribute for T1 queries, a
+/// pseudo-random attribute of the side's condition for T2 (Section 4.5).
+pub(crate) fn default_index_attr(ctx: &mut NodeCtx<'_>, query: &JoinQuery, side: Side) -> String {
+    if let Some(attr) = query.join_attr(side) {
+        return attr.to_string();
+    }
+    // T2: no single join attribute; pick pseudo-randomly among the side's
+    // condition attributes (validated non-empty at construction).
+    let attrs: Vec<&str> = query.condition(side).attributes().into_iter().collect();
+    let i = ctx.rng().gen_range(0..attrs.len());
+    attrs[i].to_string()
+}
+
+/// Emits the attribute-level `IndexQuery` batch for `sides`, one message
+/// per configured replica identifier (Section 4.7).
+pub(crate) fn pose_at_sides(
+    proto: &dyn Protocol,
+    ctx: &mut NodeCtx<'_>,
+    query: &QueryRef,
+    sides: &[Side],
+) -> Result<()> {
+    let space = ctx.space();
+    let k = ctx.config().replication;
+    let mut targets: Vec<(Id, Message)> = Vec::new();
+    for &side in sides {
+        let attr = proto.index_attr(ctx, query, side);
+        for id in indexing::aindex_replicas(space, query.relation(side), &attr, k) {
+            targets.push((
+                id,
+                Message::IndexQuery {
+                    query: Arc::clone(query),
+                    index_side: side,
+                    index_attr: attr.clone(),
+                    index_id: id,
+                },
+            ));
+        }
+    }
+    ctx.push(Effect::Batch {
+        kind: TrafficKind::QueryIndex,
+        targets,
+    });
+    Ok(())
+}
+
+/// Emits the tuple-indexing batch: one attribute-level message per
+/// attribute, plus a value-level message when the algorithm stores tuples
+/// at the value level (Section 4.2).
+pub(crate) fn publish_tuple(ctx: &mut NodeCtx<'_>, tuple: &Arc<Tuple>, value_level: bool) {
+    let space = ctx.space();
+    let ids = indexing::tuple_index_ids(space, tuple, value_level, ctx.config().replication);
+    let mut targets: Vec<(Id, Message)> = Vec::with_capacity(ids.len() * 2);
+    for (attr, ai, vi) in ids {
+        targets.push((
+            ai,
+            Message::AlIndexTuple {
+                tuple: Arc::clone(tuple),
+                attr: attr.clone(),
+                index_id: ai,
+            },
+        ));
+        if let Some(vi) = vi {
+            targets.push((
+                vi,
+                Message::VlIndexTuple {
+                    tuple: Arc::clone(tuple),
+                    attr,
+                    index_id: vi,
+                },
+            ));
+        }
+    }
+    ctx.push(Effect::Batch {
+        kind: TrafficKind::TupleIndex,
+        targets,
+    });
+}
+
+/// Probes both candidate rewriters of `query` for their arrival statistics
+/// (Section 4.3.6), returning `(left, right)` `(count, distinct)` pairs.
+pub(crate) fn probe_rewriters(
+    proto: &dyn Protocol,
+    ctx: &mut NodeCtx<'_>,
+    query: &JoinQuery,
+) -> Result<((u64, usize), (u64, usize))> {
+    let space = ctx.space();
+    let k = ctx.config().replication;
+    let mut out = [(0u64, 0usize); 2];
+    for side in Side::BOTH {
+        let rel = query.relation(side);
+        let attr = proto.index_attr(ctx, query, side);
+        // Probe the base identifier (replica 0) — the canonical rewriter.
+        let id = indexing::aindex_replica(space, rel, &attr, 0, k);
+        out[side_slot(side)] = ctx.probe_arrival_stats(rel, &attr, id)?;
+    }
+    Ok((out[0], out[1]))
+}
+
+/// Rewriter prelude on tuple arrival: records arrival statistics, snapshots
+/// the query groups scoped to the addressed replica identifier, and
+/// accounts the rewriter's filtering work. Returns the triggered groups
+/// (empty when nothing is stored under `(relation, attr)` for this
+/// replica).
+pub(crate) fn triggered_groups(
+    ctx: &mut NodeCtx<'_>,
+    tuple: &Tuple,
+    attr: &str,
+    index_id: Id,
+) -> Result<Vec<(String, Vec<StoredQuery>)>> {
+    let rel = tuple.relation();
+    let value_key = tuple.canonical_of(attr)?;
+    let node = ctx.node().index();
+    let st = ctx.state();
+    st.record_arrival(rel, attr, value_key);
+    let mut checks = 0u64;
+    // Clone the scoped groups out so rewriting below can borrow freely.
+    let groups: Vec<(String, Vec<StoredQuery>)> = st
+        .alqt
+        .groups(rel, attr)
+        .map(|(g, qs)| {
+            let scoped: Vec<StoredQuery> = qs
+                .iter()
+                .filter(|sq| sq.index_id == index_id)
+                .cloned()
+                .collect();
+            checks += scoped.len() as u64;
+            (g.to_string(), scoped)
+        })
+        .filter(|(_, qs)| !qs.is_empty())
+        .collect();
+    if checks == 0 {
+        return Ok(Vec::new());
+    }
+    ctx.metrics().add_rewriter_filtering(node, checks);
+    Ok(groups)
+}
+
+/// T1 tuple arrival at a rewriter (Sections 4.3.2 / 4.4.2 / 4.4.3): rewrite
+/// every triggered query, reindex each group's rewritten queries at the
+/// value level with one `Join` message per group. `dedup_reindex` enables
+/// DAI-T's rewriter memory ("a rewriter does not need to reindex the same
+/// rewritten query more than once", Section 4.4.3).
+pub(crate) fn t1_tuple_arrival(
+    ctx: &mut NodeCtx<'_>,
+    tuple: &Arc<Tuple>,
+    attr: &str,
+    index_id: Id,
+    dedup_reindex: bool,
+) -> Result<()> {
+    let groups = triggered_groups(ctx, tuple, attr, index_id)?;
+    let space = ctx.space();
+    for (_group, stored) in groups {
+        let mut items: Vec<RewrittenQuery> = Vec::new();
+        let mut target: Option<Id> = None;
+        for sq in &stored {
+            if sq.index_attr != attr {
+                continue;
+            }
+            let dis_side = sq.index_side.other();
+            let dis_attr = sq
+                .query
+                .join_attr(dis_side)
+                .expect("T1 validated at pose time")
+                .to_string();
+            let Some(rq) = RewrittenQuery::rewrite_attribute(
+                &sq.query,
+                sq.index_side,
+                &sq.index_attr,
+                &dis_attr,
+                tuple,
+            )?
+            else {
+                continue;
+            };
+            if dedup_reindex && !ctx.state().reindexed.insert(rq.key().to_string()) {
+                continue;
+            }
+            let id = indexing::vindex_attr(
+                space,
+                sq.query.relation(dis_side),
+                &dis_attr,
+                rq.target().value(),
+            );
+            debug_assert!(target.is_none_or(|t| t == id), "group shares one evaluator");
+            target = Some(id);
+            items.push(rq);
+        }
+        if let (Some(id), false) = (target, items.is_empty()) {
+            ctx.push(Effect::Send {
+                id,
+                msg: Message::Join {
+                    items,
+                    index_id: id,
+                },
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Matches one rewritten query against the local VLTT (Section 4.3.3),
+/// accumulating notifications. Returns a typed protocol violation when the
+/// rewritten query carries a value target (those never travel in plain
+/// `Join` messages).
+pub(crate) fn match_against_vltt(
+    ctx: &mut NodeCtx<'_>,
+    rq: &RewrittenQuery,
+    matches: &mut Matches,
+) -> Result<()> {
+    let MatchTarget::Attribute { attr, value } = rq.target() else {
+        return Err(ctx.violation(format!(
+            "rewritten query {} carries a value target; T1 evaluators match attribute targets only",
+            rq.key()
+        )));
+    };
+    let mut value_key = String::with_capacity(24);
+    value.canonical_into(&mut value_key);
+    let node = ctx.node().index();
+    let candidates: Vec<Arc<Tuple>> = ctx
+        .state()
+        .vltt
+        .candidates(rq.free_relation(), attr, &value_key)
+        .map(|e| Arc::clone(&e.tuple))
+        .collect();
+    ctx.metrics()
+        .add_evaluator_filtering(node, candidates.len() as u64);
+    for t in &candidates {
+        if rq.matches(t)? {
+            matches.add(rq, t)?;
+        }
+    }
+    Ok(())
+}
+
+/// Matches an arriving value-level tuple against the local VLQT
+/// (Section 4.3.4), returning the accumulated matches.
+pub(crate) fn match_vlqt_candidates(
+    ctx: &mut NodeCtx<'_>,
+    tuple: &Arc<Tuple>,
+    attr: &str,
+) -> Result<Matches> {
+    let rel = tuple.relation();
+    let value_key = tuple.canonical_of(attr)?;
+    let node = ctx.node().index();
+    let candidates: Vec<RewrittenQuery> = ctx
+        .state()
+        .vlqt
+        .candidates(rel, attr, value_key)
+        .map(|e| e.rq.clone())
+        .collect();
+    ctx.metrics()
+        .add_evaluator_filtering(node, candidates.len() as u64);
+    let mut matches = ctx.new_matches();
+    for rq in &candidates {
+        if rq.matches(tuple)? {
+            matches.add(rq, tuple)?;
+        }
+    }
+    Ok(matches)
+}
+
+/// Stores a value-level tuple in the VLTT, mirroring it onto successors
+/// when k-successor replication is on.
+pub(crate) fn store_value_tuple(ctx: &mut NodeCtx<'_>, entry: StoredTuple) {
+    if ctx.repl_k() > 0 {
+        ctx.state().vltt.insert(entry.clone());
+        ctx.push(Effect::Replicate {
+            item: crate::replication::ReplicaItem::Tuple(entry),
+        });
+    } else {
+        ctx.state().vltt.insert(entry);
+    }
+}

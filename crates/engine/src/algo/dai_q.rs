@@ -1,0 +1,94 @@
+//! DAI-Q — double-attribute indexing, query side (Section 4.4.2).
+//!
+//! Queries are indexed on *both* sides; evaluators store tuples only.
+//! Rewritten queries are evaluated on arrival and discarded, so every
+//! match is produced by the tuple that was already stored.
+
+use std::sync::Arc;
+
+use cq_overlay::Id;
+use cq_relational::{JoinQuery, QueryRef, QueryType, RewrittenQuery, Side, Tuple};
+
+use super::common;
+use crate::config::Algorithm;
+use crate::error::{EngineError, Result};
+use crate::protocol::{Effect, NodeCtx, Protocol};
+use crate::tables::StoredTuple;
+
+/// The DAI-Q protocol (Section 4.4.2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DaiQProtocol;
+
+impl Protocol for DaiQProtocol {
+    fn name(&self) -> &'static str {
+        "DAI-Q"
+    }
+
+    fn validate_query(&self, query: &JoinQuery) -> Result<()> {
+        if query.query_type() == QueryType::T2 {
+            return Err(EngineError::UnsupportedByAlgorithm {
+                algorithm: Algorithm::DaiQ,
+                detail: "type-T2 queries require DAI-V (Section 4.5)".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn index_attr(&self, ctx: &mut NodeCtx<'_>, query: &JoinQuery, side: Side) -> String {
+        common::default_index_attr(ctx, query, side)
+    }
+
+    fn on_pose_query(&self, ctx: &mut NodeCtx<'_>, query: &QueryRef) -> Result<()> {
+        common::pose_at_sides(self, ctx, query, &Side::BOTH)
+    }
+
+    fn on_publish_tuple(&self, ctx: &mut NodeCtx<'_>, tuple: &Arc<Tuple>) -> Result<()> {
+        common::publish_tuple(ctx, tuple, true);
+        Ok(())
+    }
+
+    fn on_tuple_arrival(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        tuple: Arc<Tuple>,
+        attr: String,
+        index_id: Id,
+    ) -> Result<()> {
+        common::t1_tuple_arrival(ctx, &tuple, &attr, index_id, false)
+    }
+
+    fn on_value_tuple(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        tuple: Arc<Tuple>,
+        attr: String,
+        index_id: Id,
+    ) -> Result<()> {
+        // Store only — matching happens when rewritten queries arrive.
+        let _ = tuple.canonical_of(&attr)?;
+        common::store_value_tuple(
+            ctx,
+            StoredTuple {
+                index_id,
+                attr,
+                tuple,
+            },
+        );
+        Ok(())
+    }
+
+    fn on_rewritten_query(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        items: Vec<RewrittenQuery>,
+        index_id: Id,
+    ) -> Result<()> {
+        let _ = index_id; // evaluate, never store
+        let mut matches = ctx.new_matches();
+        for rq in items {
+            common::match_against_vltt(ctx, &rq, &mut matches)?;
+        }
+        ctx.push(Effect::Deliver { matches });
+        Ok(())
+    }
+}

@@ -1,0 +1,99 @@
+//! DAI-T — double-attribute indexing, tuple side (Section 4.4.3).
+//!
+//! Queries are indexed on *both* sides; evaluators store rewritten queries
+//! only. Matching happens when value-level tuples arrive, and a rewriter
+//! remembers which rewritten queries it has already reindexed so each is
+//! sent at most once.
+
+use std::sync::Arc;
+
+use cq_overlay::Id;
+use cq_relational::{JoinQuery, QueryRef, QueryType, RewrittenQuery, Side, Tuple};
+
+use super::common;
+use crate::config::Algorithm;
+use crate::error::{EngineError, Result};
+use crate::protocol::{Effect, NodeCtx, Protocol};
+use crate::replication::ReplicaItem;
+use crate::tables::StoredRewritten;
+
+/// The DAI-T protocol (Section 4.4.3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DaiTProtocol;
+
+impl Protocol for DaiTProtocol {
+    fn name(&self) -> &'static str {
+        "DAI-T"
+    }
+
+    fn validate_query(&self, query: &JoinQuery) -> Result<()> {
+        if query.query_type() == QueryType::T2 {
+            return Err(EngineError::UnsupportedByAlgorithm {
+                algorithm: Algorithm::DaiT,
+                detail: "type-T2 queries require DAI-V (Section 4.5)".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn index_attr(&self, ctx: &mut NodeCtx<'_>, query: &JoinQuery, side: Side) -> String {
+        common::default_index_attr(ctx, query, side)
+    }
+
+    fn on_pose_query(&self, ctx: &mut NodeCtx<'_>, query: &QueryRef) -> Result<()> {
+        common::pose_at_sides(self, ctx, query, &Side::BOTH)
+    }
+
+    fn on_publish_tuple(&self, ctx: &mut NodeCtx<'_>, tuple: &Arc<Tuple>) -> Result<()> {
+        common::publish_tuple(ctx, tuple, true);
+        Ok(())
+    }
+
+    fn on_tuple_arrival(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        tuple: Arc<Tuple>,
+        attr: String,
+        index_id: Id,
+    ) -> Result<()> {
+        // DAI-T's rewriter memory: reindex each rewritten query at most once.
+        common::t1_tuple_arrival(ctx, &tuple, &attr, index_id, true)
+    }
+
+    fn on_value_tuple(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        tuple: Arc<Tuple>,
+        attr: String,
+        index_id: Id,
+    ) -> Result<()> {
+        let _ = index_id; // match only — tuples are never stored
+        let matches = common::match_vlqt_candidates(ctx, &tuple, &attr)?;
+        ctx.push(Effect::Deliver { matches });
+        Ok(())
+    }
+
+    fn on_rewritten_query(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        items: Vec<RewrittenQuery>,
+        index_id: Id,
+    ) -> Result<()> {
+        // Store, never evaluate (tuples will come to us).
+        let matches = ctx.new_matches();
+        for rq in items {
+            let entry = StoredRewritten { index_id, rq };
+            if ctx.repl_k() > 0 {
+                if ctx.state().vlqt.insert(entry.clone()) {
+                    ctx.push(Effect::Replicate {
+                        item: ReplicaItem::Rewritten(entry),
+                    });
+                }
+            } else {
+                ctx.state().vlqt.insert(entry);
+            }
+        }
+        ctx.push(Effect::Deliver { matches });
+        Ok(())
+    }
+}

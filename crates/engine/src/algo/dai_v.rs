@@ -1,0 +1,172 @@
+//! DAI-V — double-attribute indexing at the value of the join condition
+//! (Section 4.5). The only algorithm that evaluates type-T2 queries.
+//!
+//! Tuples are indexed at the attribute level only; on arrival at a
+//! rewriter, each triggered query is rewritten to a *value* target and
+//! shipped — together with the triggering tuple — in a combined `JoinV`
+//! message to `Hash(valJC)`, where the evaluator matches against stored
+//! tuples of the other side and then stores the tuple.
+
+use std::sync::Arc;
+
+use cq_overlay::Id;
+use cq_relational::{JoinQuery, QueryRef, RewrittenQuery, Side, Tuple};
+
+use super::common;
+use crate::error::Result;
+use crate::indexing;
+use crate::messages::{Message, ValueJoin};
+use crate::protocol::{Effect, NodeCtx, Protocol};
+use crate::replication::ReplicaItem;
+use crate::tables::StoredValueTuple;
+
+/// The DAI-V protocol (Section 4.5).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DaiVProtocol;
+
+impl Protocol for DaiVProtocol {
+    fn name(&self) -> &'static str {
+        "DAI-V"
+    }
+
+    fn validate_query(&self, _query: &JoinQuery) -> Result<()> {
+        // DAI-V evaluates both T1 and T2 queries.
+        Ok(())
+    }
+
+    fn index_attr(&self, ctx: &mut NodeCtx<'_>, query: &JoinQuery, side: Side) -> String {
+        common::default_index_attr(ctx, query, side)
+    }
+
+    fn on_pose_query(&self, ctx: &mut NodeCtx<'_>, query: &QueryRef) -> Result<()> {
+        common::pose_at_sides(self, ctx, query, &Side::BOTH)
+    }
+
+    fn on_publish_tuple(&self, ctx: &mut NodeCtx<'_>, tuple: &Arc<Tuple>) -> Result<()> {
+        // Attribute level only — the value-level identifier of a tuple is
+        // not knowable without the query's join condition.
+        common::publish_tuple(ctx, tuple, false);
+        Ok(())
+    }
+
+    fn on_tuple_arrival(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        tuple: Arc<Tuple>,
+        attr: String,
+        index_id: Id,
+    ) -> Result<()> {
+        let groups = common::triggered_groups(ctx, &tuple, &attr, index_id)?;
+        let space = ctx.space();
+        let keyed = ctx.config().dai_v_keyed;
+        for (group, stored) in groups {
+            if keyed {
+                // Section 4.5's keyed extension: one evaluator — and one
+                // message — per (query, valJC); no grouping possible.
+                for sq in &stored {
+                    if sq.index_attr != attr {
+                        continue;
+                    }
+                    let Some(rq) = RewrittenQuery::rewrite_value(&sq.query, sq.index_side, &tuple)?
+                    else {
+                        continue;
+                    };
+                    let val = rq.target().value().clone();
+                    let qkey = sq.query.key().0.clone();
+                    let id = indexing::vindex_value_keyed(space, &qkey, &val);
+                    let msg = Message::JoinV(ValueJoin {
+                        // matching is scoped per query under this variant
+                        group: format!("K|{qkey}"),
+                        items: vec![rq],
+                        tuple: Arc::clone(&tuple),
+                        side: sq.index_side,
+                        value_key: val.canonical(),
+                        index_id: id,
+                    });
+                    ctx.push(Effect::Send { id, msg });
+                }
+            } else {
+                // One message per (group, valJC): rewritten queries + tuple.
+                let mut items: Vec<RewrittenQuery> = Vec::new();
+                let mut side = None;
+                let mut val = None;
+                for sq in &stored {
+                    if sq.index_attr != attr {
+                        continue; // stored under a different attribute bucket
+                    }
+                    if let Some(rq) =
+                        RewrittenQuery::rewrite_value(&sq.query, sq.index_side, &tuple)?
+                    {
+                        side = Some(sq.index_side);
+                        val = Some(rq.target().value().clone());
+                        items.push(rq);
+                    }
+                }
+                if let (Some(side), Some(val)) = (side, val) {
+                    let id = indexing::vindex_value(space, &val);
+                    let msg = Message::JoinV(ValueJoin {
+                        group,
+                        items,
+                        tuple: Arc::clone(&tuple),
+                        side,
+                        value_key: val.canonical(),
+                        index_id: id,
+                    });
+                    ctx.push(Effect::Send { id, msg });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_join_message(&self, ctx: &mut NodeCtx<'_>, join: ValueJoin) -> Result<()> {
+        let ValueJoin {
+            group,
+            items,
+            tuple,
+            side,
+            value_key,
+            index_id,
+        } = join;
+        // Match the rewritten queries against stored tuples of the other
+        // side, then store the triggering tuple. Rewritten queries are not
+        // stored.
+        let other = side.other();
+        let node = ctx.node().index();
+        let mut matches = ctx.new_matches();
+        for rq in &items {
+            let candidates: Vec<Arc<Tuple>> = ctx
+                .state()
+                .vstore
+                .candidates(&group, &value_key, other)
+                .map(|e| Arc::clone(&e.tuple))
+                .collect();
+            ctx.metrics()
+                .add_evaluator_filtering(node, candidates.len() as u64);
+            for t in &candidates {
+                if rq.matches(t)? {
+                    matches.add(rq, t)?;
+                }
+            }
+        }
+        let entry = StoredValueTuple {
+            index_id,
+            side,
+            tuple,
+        };
+        if ctx.repl_k() > 0 {
+            ctx.state().vstore.insert(&group, &value_key, entry.clone());
+            ctx.push(Effect::Replicate {
+                item: ReplicaItem::ValueTuple {
+                    group,
+                    value_key,
+                    entry,
+                },
+            });
+        } else {
+            ctx.state().vstore.insert(&group, &value_key, entry);
+        }
+        ctx.push(Effect::Deliver { matches });
+        Ok(())
+    }
+}

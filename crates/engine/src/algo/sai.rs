@@ -1,0 +1,158 @@
+//! SAI — the single-attribute-index algorithm (Section 4.3).
+//!
+//! A query is indexed on *one* side (chosen by the configured
+//! [`IndexStrategy`]); evaluators store both rewritten queries and tuples,
+//! so either arrival order produces the match.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use cq_overlay::Id;
+use cq_relational::{JoinQuery, QueryRef, QueryType, RewrittenQuery, Side, Tuple};
+use rand::Rng;
+
+use super::common;
+use crate::config::{Algorithm, IndexStrategy};
+use crate::error::{EngineError, Result};
+use crate::protocol::{Effect, NodeCtx, Protocol};
+use crate::replication::ReplicaItem;
+use crate::tables::{StoredRewritten, StoredTuple};
+
+/// The SAI protocol (Section 4.3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SaiProtocol;
+
+impl SaiProtocol {
+    /// Picks the side to index the query by (Section 4.3.6): random, or by
+    /// probing the two candidate rewriters' arrival statistics.
+    fn choose_index_side(&self, ctx: &mut NodeCtx<'_>, query: &JoinQuery) -> Result<Side> {
+        match ctx.config().strategy {
+            IndexStrategy::Random => Ok(if ctx.rng().gen::<bool>() {
+                Side::Left
+            } else {
+                Side::Right
+            }),
+            IndexStrategy::LowestRate => {
+                let (l, r) = common::probe_rewriters(self, ctx, query)?;
+                Ok(match l.0.cmp(&r.0) {
+                    Ordering::Less => Side::Left,
+                    Ordering::Greater => Side::Right,
+                    Ordering::Equal => {
+                        if ctx.rng().gen::<bool>() {
+                            Side::Left
+                        } else {
+                            Side::Right
+                        }
+                    }
+                })
+            }
+            IndexStrategy::MostDistinctValues => {
+                let (l, r) = common::probe_rewriters(self, ctx, query)?;
+                Ok(match l.1.cmp(&r.1) {
+                    Ordering::Greater => Side::Left,
+                    Ordering::Less => Side::Right,
+                    Ordering::Equal => {
+                        if ctx.rng().gen::<bool>() {
+                            Side::Left
+                        } else {
+                            Side::Right
+                        }
+                    }
+                })
+            }
+        }
+    }
+}
+
+impl Protocol for SaiProtocol {
+    fn name(&self) -> &'static str {
+        "SAI"
+    }
+
+    fn validate_query(&self, query: &JoinQuery) -> Result<()> {
+        if query.query_type() == QueryType::T2 {
+            return Err(EngineError::UnsupportedByAlgorithm {
+                algorithm: Algorithm::Sai,
+                detail: "type-T2 queries require DAI-V (Section 4.5)".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn index_attr(&self, ctx: &mut NodeCtx<'_>, query: &JoinQuery, side: Side) -> String {
+        common::default_index_attr(ctx, query, side)
+    }
+
+    fn on_pose_query(&self, ctx: &mut NodeCtx<'_>, query: &QueryRef) -> Result<()> {
+        let side = self.choose_index_side(ctx, query)?;
+        common::pose_at_sides(self, ctx, query, &[side])
+    }
+
+    fn on_publish_tuple(&self, ctx: &mut NodeCtx<'_>, tuple: &Arc<Tuple>) -> Result<()> {
+        common::publish_tuple(ctx, tuple, true);
+        Ok(())
+    }
+
+    fn on_tuple_arrival(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        tuple: Arc<Tuple>,
+        attr: String,
+        index_id: Id,
+    ) -> Result<()> {
+        common::t1_tuple_arrival(ctx, &tuple, &attr, index_id, false)
+    }
+
+    fn on_value_tuple(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        tuple: Arc<Tuple>,
+        attr: String,
+        index_id: Id,
+    ) -> Result<()> {
+        // Match stored rewritten queries against the tuple (4.3.4) ...
+        let matches = common::match_vlqt_candidates(ctx, &tuple, &attr)?;
+        ctx.push(Effect::Deliver { matches });
+        // ... then store it for rewritten queries still to come.
+        common::store_value_tuple(
+            ctx,
+            StoredTuple {
+                index_id,
+                attr,
+                tuple,
+            },
+        );
+        Ok(())
+    }
+
+    fn on_rewritten_query(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        items: Vec<RewrittenQuery>,
+        index_id: Id,
+    ) -> Result<()> {
+        let mut matches = ctx.new_matches();
+        for rq in items {
+            // Store first (dedup by key); only a *new* rewritten query is
+            // evaluated against stored tuples — a duplicate "need only
+            // store the information related to tuple t".
+            let fresh = ctx.state().vlqt.insert(StoredRewritten {
+                index_id,
+                rq: rq.clone(),
+            });
+            if fresh {
+                if ctx.repl_k() > 0 {
+                    ctx.push(Effect::Replicate {
+                        item: ReplicaItem::Rewritten(StoredRewritten {
+                            index_id,
+                            rq: rq.clone(),
+                        }),
+                    });
+                }
+                common::match_against_vltt(ctx, &rq, &mut matches)?;
+            }
+        }
+        ctx.push(Effect::Deliver { matches });
+        Ok(())
+    }
+}

@@ -1,0 +1,204 @@
+//! Churn: voluntary leaves, abrupt failures, rejoins with key transfer, and
+//! replica promotion during stabilization (Sections 2.2, 4.6).
+//!
+//! These are state-layer operations on [`Network`]: they move table entries
+//! between nodes when ring ownership changes, independent of which
+//! evaluation algorithm produced the entries.
+
+use cq_overlay::{Id, NodeHandle};
+
+use crate::error::{EngineError, Result};
+use crate::network::Network;
+use crate::replication::ReplicaItem;
+
+impl Network {
+    /// Voluntary departure: the node transfers every key it holds to its
+    /// successor, then leaves the ring. Replicas the node held for others
+    /// are dropped — their primaries are still alive and re-mirror on the
+    /// next promotion cycle.
+    pub fn node_leave(&mut self, h: NodeHandle) -> Result<()> {
+        let succ = self
+            .ring
+            .first_alive_successor(h)
+            .ok_or(EngineError::UnknownNode)?;
+        self.ring.leave(h)?;
+        if succ != h {
+            self.transfer_all(h, succ);
+        }
+        self.nodes[h.index()].replicas.clear();
+        Ok(())
+    }
+
+    /// Abrupt failure: the node's primary keys and replica holdings are
+    /// lost (best-effort semantics, Section 3.2 — "we leave all the handling
+    /// of failures … to the underlying DHT"). With k-successor replication
+    /// enabled, the lost range is recovered from the successors' replica
+    /// stores during the next [`Network::stabilize`].
+    pub fn node_fail(&mut self, h: NodeHandle) -> Result<()> {
+        self.fail_node_state(h)
+    }
+
+    /// Ring-level failure plus primary/replica state loss at the victim.
+    pub(crate) fn fail_node_state(&mut self, h: NodeHandle) -> Result<()> {
+        self.ring.fail(h)?;
+        let st = &mut self.nodes[h.index()];
+        st.alqt.drain_all();
+        st.vlqt.drain_all();
+        st.vltt.drain_all();
+        st.vstore.drain_all();
+        st.offline_store.clear();
+        st.replicas.clear();
+        self.metrics.faults.nodes_failed += 1;
+        Ok(())
+    }
+
+    /// Runs stabilization rounds over the whole ring, then promotes any
+    /// replicas whose primary owner has disappeared (when k-successor
+    /// replication is on) and processes the resulting re-mirroring traffic.
+    pub fn stabilize(&mut self, rounds: usize) -> Result<()> {
+        self.ring.stabilize_all(rounds);
+        if self.repl_k() > 0 {
+            self.promote_replicas()?;
+        }
+        self.process_all()
+    }
+
+    /// Every alive node extracts the replica entries whose identifier it now
+    /// owns (its predecessor failed) and promotes them into its primary
+    /// tables, then re-mirrors them onto its own successors to restore
+    /// k-fold redundancy.
+    pub(crate) fn promote_replicas(&mut self) -> Result<()> {
+        let k = self.repl_k();
+        if k == 0 {
+            return Ok(());
+        }
+        let handles: Vec<NodeHandle> = self.ring.alive_nodes().collect();
+        for h in handles {
+            let promoted = {
+                let ring = &self.ring;
+                self.nodes[h.index()]
+                    .replicas
+                    .take_owned(|id| ring.owns(h, id))
+            };
+            if promoted.is_empty() {
+                continue;
+            }
+            self.metrics.faults.replicas_promoted += promoted.len() as u64;
+            let mut items: Vec<ReplicaItem> = Vec::with_capacity(promoted.len());
+            {
+                let st = &mut self.nodes[h.index()];
+                for e in promoted.queries {
+                    st.alqt.insert(e.clone());
+                    items.push(ReplicaItem::Query(e));
+                }
+                for e in promoted.rewritten {
+                    st.vlqt.insert(e.clone());
+                    items.push(ReplicaItem::Rewritten(e));
+                }
+                for e in promoted.tuples {
+                    st.vltt.insert(e.clone());
+                    items.push(ReplicaItem::Tuple(e));
+                }
+                for (group, value_key, e) in promoted.value_tuples {
+                    st.vstore.insert(&group, &value_key, e.clone());
+                    items.push(ReplicaItem::ValueTuple {
+                        group,
+                        value_key,
+                        entry: e,
+                    });
+                }
+                for (id, n) in promoted.offline {
+                    st.offline_store.push((id, n.clone()));
+                    items.push(ReplicaItem::Offline {
+                        id,
+                        notification: n,
+                    });
+                }
+            }
+            for item in items {
+                self.replicate(h, item);
+            }
+        }
+        Ok(())
+    }
+
+    /// A departed node rejoins with its old key: it takes back the key range
+    /// `(pred, id]` from its successor — including any notifications stored
+    /// for it while it was offline (Section 4.6).
+    pub fn node_rejoin(&mut self, h: NodeHandle) -> Result<()> {
+        let via = self
+            .ring
+            .alive_nodes()
+            .next()
+            .ok_or(EngineError::UnknownNode)?;
+        self.ring.rejoin(h, via)?;
+        self.ring.stabilize_all(2);
+        let (pred, id) = self.ring.owned_range(h)?;
+        let succ = self
+            .ring
+            .first_alive_successor(h)
+            .ok_or(EngineError::UnknownNode)?;
+        if succ != h {
+            let space = self.ring.space();
+            let in_range = move |x: Id| space.in_open_closed(x, pred, id);
+            self.transfer_matching(succ, h, in_range);
+        }
+        // Missed notifications addressed to us move into the inbox.
+        let me = self.ring.node(h).key().to_string();
+        let st = &mut self.nodes[h.index()];
+        let mut kept = Vec::new();
+        for (nid, n) in std::mem::take(&mut st.offline_store) {
+            if n.subscriber == me {
+                st.inbox.push(n);
+            } else {
+                kept.push((nid, n));
+            }
+        }
+        st.offline_store = kept;
+        self.subscribers.insert(me, h);
+        Ok(())
+    }
+
+    fn transfer_all(&mut self, from: NodeHandle, to: NodeHandle) {
+        self.transfer_matching(from, to, |_| true);
+    }
+
+    fn transfer_matching(
+        &mut self,
+        from: NodeHandle,
+        to: NodeHandle,
+        pred: impl Fn(Id) -> bool + Copy,
+    ) {
+        debug_assert_ne!(from, to);
+        let (a, b) = (from.index(), to.index());
+        // Split the borrow: `from` and `to` are distinct slots.
+        let (src, dst) = if a < b {
+            let (l, r) = self.nodes.split_at_mut(b);
+            (&mut l[a], &mut r[0])
+        } else {
+            let (l, r) = self.nodes.split_at_mut(a);
+            (&mut r[0], &mut l[b])
+        };
+        for e in src.alqt.extract_where(&pred) {
+            dst.alqt.insert(e);
+        }
+        for e in src.vlqt.extract_where(&pred) {
+            dst.vlqt.insert(e);
+        }
+        for e in src.vltt.extract_where(&pred) {
+            dst.vltt.insert(e);
+        }
+        for (group, value, e) in src.vstore.extract_where(&pred) {
+            dst.vstore.insert(&group, &value, e);
+        }
+        let mut kept = Vec::new();
+        for (id, n) in std::mem::take(&mut src.offline_store) {
+            if pred(id) {
+                dst.offline_store.push((id, n));
+            } else {
+                kept.push((id, n));
+            }
+        }
+        src.offline_store = kept;
+    }
+}

@@ -23,6 +23,15 @@ pub enum EngineError {
         /// Human-readable detail.
         detail: String,
     },
+    /// A protocol invariant was violated: a handler received a message its
+    /// algorithm never produces (e.g. a plain `Join` under DAI-V), or a
+    /// message payload was malformed for the handler that got it. Indicates
+    /// a mis-wired [`crate::protocol::Protocol`] or a corrupted message, and
+    /// fails the run with context instead of aborting the process.
+    Protocol {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
     /// The referenced node is not part of the network.
     UnknownNode,
 }
@@ -34,6 +43,9 @@ impl fmt::Display for EngineError {
             EngineError::Relational(e) => write!(f, "relational error: {e}"),
             EngineError::UnsupportedByAlgorithm { algorithm, detail } => {
                 write!(f, "query not supported by {algorithm}: {detail}")
+            }
+            EngineError::Protocol { detail } => {
+                write!(f, "protocol violation: {detail}")
             }
             EngineError::UnknownNode => write!(f, "node is not part of the network"),
         }

@@ -42,6 +42,8 @@
 
 #![warn(missing_docs)]
 
+pub mod algo;
+mod churn;
 pub mod config;
 pub mod error;
 pub mod faults;
@@ -53,17 +55,21 @@ pub mod network;
 pub mod node;
 pub mod oracle;
 pub mod pipeline;
+pub mod protocol;
 pub mod replication;
 pub mod tables;
+mod transport;
 
+pub use algo::protocol_for;
 pub use config::{Algorithm, EngineConfig, IndexStrategy};
 pub use error::{EngineError, Result};
 pub use faults::{DedupWindow, FaultConfig};
 pub use jfrt::{Jfrt, JfrtLookup};
-pub use messages::Message;
+pub use messages::{Message, ValueJoin};
 pub use metrics::{FaultCounters, Metrics, NodeLoad, TrafficKind};
 pub use network::Network;
 pub use node::NodeState;
 pub use oracle::Oracle;
 pub use pipeline::Pipeline;
+pub use protocol::{Effect, Matches, NodeCtx, Protocol};
 pub use replication::{PromotedState, ReplicaItem, ReplicaStore};

@@ -55,21 +55,8 @@ pub enum Message {
     },
     /// `join(q', t')` — DAI-V's combined message (Section 4.5): rewritten
     /// queries of one group plus the triggering tuple, which the evaluator
-    /// stores after matching.
-    JoinV {
-        /// Group key of the queries (matching is group-scoped).
-        group: String,
-        /// The rewritten queries.
-        items: Vec<RewrittenQuery>,
-        /// The triggering tuple, to be stored at the evaluator.
-        tuple: Arc<Tuple>,
-        /// Which side of the group the tuple belongs to.
-        side: Side,
-        /// Canonical form of `valJC` (the store key).
-        value_key: String,
-        /// The value-level identifier targeted (`Hash(valJC)`).
-        index_id: Id,
-    },
+    /// stores after matching. The payload lives in [`ValueJoin`].
+    JoinV(ValueJoin),
     /// Notification delivery toward `Successor(Id(n))` for an offline
     /// subscriber (Section 4.6). Online subscribers are contacted directly
     /// by IP and never see this message.
@@ -95,6 +82,24 @@ pub enum Message {
     },
 }
 
+/// Payload of [`Message::JoinV`]: one group's rewritten queries plus the
+/// triggering tuple and the store key it is filed under.
+#[derive(Clone, Debug)]
+pub struct ValueJoin {
+    /// Group key of the queries (matching is group-scoped).
+    pub group: String,
+    /// The rewritten queries.
+    pub items: Vec<RewrittenQuery>,
+    /// The triggering tuple, to be stored at the evaluator.
+    pub tuple: Arc<Tuple>,
+    /// Which side of the group the tuple belongs to.
+    pub side: Side,
+    /// Canonical form of `valJC` (the store key).
+    pub value_key: String,
+    /// The value-level identifier targeted (`Hash(valJC)`).
+    pub index_id: Id,
+}
+
 impl Message {
     /// A short label for debugging/tracing.
     pub fn kind(&self) -> &'static str {
@@ -103,7 +108,7 @@ impl Message {
             Message::AlIndexTuple { .. } => "al-index",
             Message::VlIndexTuple { .. } => "vl-index",
             Message::Join { .. } => "join",
-            Message::JoinV { .. } => "join-v",
+            Message::JoinV(_) => "join-v",
             Message::StoreNotifications { .. } => "store-notify",
             Message::Notify { .. } => "notify",
             Message::Replicate { .. } => "replicate",

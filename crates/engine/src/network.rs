@@ -1,69 +1,62 @@
-//! The simulated continuous-query network: Chord ring + per-node protocol
-//! state + the four evaluation algorithms of Chapter 4.
+//! The orchestration layer: the simulated continuous-query network.
 //!
-//! External events (posing a query, inserting a tuple) enqueue protocol
-//! messages that are processed FIFO until the network is quiescent; routing
-//! walks the real finger tables so hop counts are faithful.
+//! [`Network`] ties the other two layers together (see `DESIGN.md` and
+//! [`crate::protocol`]): external events (posing a query, inserting a
+//! tuple) and dequeued protocol messages are handed to the configured
+//! [`Protocol`]'s handlers, whose deferred [`Effect`]s are flushed back
+//! into the transport layer (`engine::transport`) after each handler
+//! returns. Messages are processed FIFO until the network is quiescent;
+//! routing walks the real finger tables so hop counts are faithful.
+//!
+//! This module contains no algorithm-specific logic: the only messages it
+//! handles inline are storage-level ones (query indexing, notification
+//! storage, replica mirroring) that behave identically under every
+//! algorithm.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use cq_fasthash::FxHashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use cq_overlay::{Id, NodeHandle, Ring};
+use cq_overlay::{NodeHandle, Ring};
 use cq_relational::{
-    parse_query, Catalog, JoinQuery, Notification, QueryKey, QueryRef, QueryType, RewrittenQuery,
-    Side, Timestamp, Tuple, Value,
+    parse_query, Catalog, Notification, QueryKey, QueryRef, Timestamp, Tuple, Value,
 };
 
-use crate::config::{Algorithm, EngineConfig, IndexStrategy};
+use crate::algo;
+use crate::config::EngineConfig;
 use crate::error::{EngineError, Result};
-use crate::faults::{Delivery, FaultPipe, MsgId};
-use crate::indexing;
-use crate::jfrt::JfrtLookup;
+use crate::faults::FaultPipe;
 use crate::messages::Message;
-use crate::metrics::{Metrics, TrafficKind};
+use crate::metrics::Metrics;
 use crate::node::NodeState;
+use crate::protocol::{Effect, NodeCtx, Protocol};
 use crate::replication::ReplicaItem;
-use crate::tables::{StoredQuery, StoredRewritten, StoredTuple, StoredValueTuple};
-
-/// One enqueued protocol message: the payload plus the transport envelope
-/// the reliable-delivery layer needs (sender, resolved receiver, target
-/// identifier, and whether retransmissions re-route by identifier).
-struct Pending {
-    /// Sending node (retransmissions originate here).
-    from: NodeHandle,
-    /// Resolved receiver.
-    to: NodeHandle,
-    /// The identifier the message was addressed to.
-    target: Id,
-    /// `true` for identifier-routed messages (retransmissions re-resolve the
-    /// owner), `false` for node-addressed ones (direct notifications,
-    /// replicas) which die with their receiver.
-    reroute: bool,
-    /// The payload.
-    msg: Message,
-}
+use crate::tables::StoredQuery;
+use crate::transport::Transport;
 
 /// The whole simulated network.
 pub struct Network {
-    config: EngineConfig,
+    pub(crate) config: EngineConfig,
     catalog: Catalog,
-    ring: Ring,
-    nodes: Vec<NodeState>,
-    metrics: Metrics,
+    pub(crate) ring: Ring,
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) metrics: Metrics,
     clock: Timestamp,
     seq: u64,
     rng: StdRng,
-    pending: VecDeque<Pending>,
-    /// The fault-injection + reliable-delivery pipe; `None` when message
-    /// delivery is perfect (the default), in which case [`Network::pending`]
-    /// is drained FIFO exactly as the original engine did.
-    pipe: Option<Box<FaultPipe>>,
+    /// The evaluation algorithm, behind the [`Protocol`] trait. Shared so a
+    /// handler invocation can borrow the network mutably alongside it.
+    protocol: Arc<dyn Protocol>,
+    /// Reusable effect buffer handlers push into (drained after each
+    /// handler, kept allocated across invocations).
+    outbox: Vec<Effect>,
+    /// Transport state: the in-flight queue and the optional fault pipe.
+    pub(crate) transport: Transport,
     /// `Key(n) → handle` for notification delivery.
-    subscribers: FxHashMap<String, NodeHandle>,
+    pub(crate) subscribers: FxHashMap<String, NodeHandle>,
     /// Log of every posed query (for oracles and tests).
     posed_queries: Vec<QueryRef>,
     /// Log of every inserted tuple (for oracles and tests).
@@ -71,8 +64,21 @@ pub struct Network {
 }
 
 impl Network {
-    /// Builds a stable network of `config.nodes` nodes.
+    /// Builds a stable network of `config.nodes` nodes running the
+    /// algorithm named by `config.algorithm`.
     pub fn new(config: EngineConfig, catalog: Catalog) -> Self {
+        let protocol = algo::protocol_for(config.algorithm);
+        Network::with_protocol(config, catalog, protocol)
+    }
+
+    /// Builds a network running an explicit [`Protocol`] implementation
+    /// (the algorithm named in `config` is ignored for dispatch, though it
+    /// still labels metrics and reports).
+    pub fn with_protocol(
+        config: EngineConfig,
+        catalog: Catalog,
+        protocol: Arc<dyn Protocol>,
+    ) -> Self {
         let ring = Ring::build(config.space(), config.nodes, "node-");
         let slots = ring.slot_count();
         let seed = config.seed;
@@ -89,8 +95,9 @@ impl Network {
             clock: Timestamp(0),
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
-            pending: VecDeque::new(),
-            pipe,
+            protocol,
+            outbox: Vec::new(),
+            transport: Transport::new(pipe),
             subscribers: FxHashMap::default(),
             posed_queries: Vec::new(),
             inserted_tuples: Vec::new(),
@@ -110,6 +117,11 @@ impl Network {
     /// The underlying Chord ring.
     pub fn ring(&self) -> &Ring {
         &self.ring
+    }
+
+    /// The protocol (evaluation algorithm) this network runs.
+    pub fn protocol(&self) -> &dyn Protocol {
+        &*self.protocol
     }
 
     /// Collected metrics.
@@ -227,41 +239,11 @@ impl Network {
         if !self.ring.node(node).is_alive() {
             return Err(EngineError::UnknownNode);
         }
-        if query.query_type() == QueryType::T2 && self.config.algorithm != Algorithm::DaiV {
-            return Err(EngineError::UnsupportedByAlgorithm {
-                algorithm: self.config.algorithm,
-                detail: "type-T2 queries require DAI-V (Section 4.5)".to_string(),
-            });
-        }
+        self.protocol.validate_query(&query)?;
         self.subscribers
             .insert(query.subscriber().to_string(), node);
         self.posed_queries.push(Arc::clone(&query));
-
-        // Which side(s) the query is indexed by, and under which attribute.
-        let sides: Vec<Side> = if self.config.algorithm.is_double() {
-            vec![Side::Left, Side::Right]
-        } else {
-            vec![self.choose_index_side(node, &query)?]
-        };
-
-        let space = self.ring.space();
-        let k = self.config.replication;
-        let mut targets: Vec<(Id, Message)> = Vec::new();
-        for side in sides {
-            let attr = self.pick_index_attr(&query, side);
-            for id in indexing::aindex_replicas(space, query.relation(side), &attr, k) {
-                targets.push((
-                    id,
-                    Message::IndexQuery {
-                        query: Arc::clone(&query),
-                        index_side: side,
-                        index_attr: attr.clone(),
-                        index_id: id,
-                    },
-                ));
-            }
-        }
-        self.dispatch_from(node, targets, TrafficKind::QueryIndex)?;
+        self.run_protocol(node, |p, ctx| p.on_pose_query(ctx, &query))?;
         self.process_all()?;
         Ok(())
     }
@@ -283,32 +265,7 @@ impl Network {
         self.seq += 1;
         let tuple = Arc::new(Tuple::new(schema, values, self.clock, seq)?);
         self.inserted_tuples.push(Arc::clone(&tuple));
-
-        let space = self.ring.space();
-        let value_level = self.config.algorithm.indexes_tuples_at_value_level();
-        let ids = indexing::tuple_index_ids(space, &tuple, value_level, self.config.replication);
-        let mut targets: Vec<(Id, Message)> = Vec::with_capacity(ids.len() * 2);
-        for (attr, ai, vi) in ids {
-            targets.push((
-                ai,
-                Message::AlIndexTuple {
-                    tuple: Arc::clone(&tuple),
-                    attr: attr.clone(),
-                    index_id: ai,
-                },
-            ));
-            if let Some(vi) = vi {
-                targets.push((
-                    vi,
-                    Message::VlIndexTuple {
-                        tuple: Arc::clone(&tuple),
-                        attr,
-                        index_id: vi,
-                    },
-                ));
-            }
-        }
-        self.dispatch_from(node, targets, TrafficKind::TupleIndex)?;
+        self.run_protocol(node, |p, ctx| p.on_publish_tuple(ctx, &tuple))?;
         self.process_all()?;
         Ok(seq)
     }
@@ -320,398 +277,62 @@ impl Network {
     }
 
     // ==================================================================
-    // Index-attribute choice (SAI, Section 4.3.6)
+    // Protocol dispatch
     // ==================================================================
 
-    fn choose_index_side(&mut self, node: NodeHandle, query: &JoinQuery) -> Result<Side> {
-        match self.config.strategy {
-            IndexStrategy::Random => Ok(if self.rng.gen::<bool>() {
-                Side::Left
-            } else {
-                Side::Right
-            }),
-            IndexStrategy::LowestRate => {
-                let (l, r) = self.probe_rewriters(node, query)?;
-                Ok(match l.0.cmp(&r.0) {
-                    std::cmp::Ordering::Less => Side::Left,
-                    std::cmp::Ordering::Greater => Side::Right,
-                    std::cmp::Ordering::Equal => {
-                        if self.rng.gen::<bool>() {
-                            Side::Left
-                        } else {
-                            Side::Right
-                        }
-                    }
-                })
-            }
-            IndexStrategy::MostDistinctValues => {
-                let (l, r) = self.probe_rewriters(node, query)?;
-                Ok(match l.1.cmp(&r.1) {
-                    std::cmp::Ordering::Greater => Side::Left,
-                    std::cmp::Ordering::Less => Side::Right,
-                    std::cmp::Ordering::Equal => {
-                        if self.rng.gen::<bool>() {
-                            Side::Left
-                        } else {
-                            Side::Right
-                        }
-                    }
-                })
-            }
-        }
+    /// The configured k-successor replication factor.
+    #[inline]
+    pub(crate) fn repl_k(&self) -> usize {
+        self.config.fault.replication
     }
 
-    /// Asks the two candidate rewriters for their `(count, distinct)`
-    /// arrival statistics, paying the probe traffic (Section 4.3.6: "any
-    /// node can simply ask the two possible rewriter nodes before indexing
-    /// a query").
-    fn probe_rewriters(
-        &mut self,
-        node: NodeHandle,
-        query: &JoinQuery,
-    ) -> Result<((u64, usize), (u64, usize))> {
-        let space = self.ring.space();
-        let mut out = [(0u64, 0usize); 2];
-        for side in Side::BOTH {
-            let rel = query.relation(side);
-            let attr = self.pick_index_attr(query, side);
-            let id = indexing::aindex_replica(space, rel, &attr, 0, self.config.replication);
-            let (owner, hops) = self.ring.route_owner(node, id)?;
-            // request hops + one direct response hop
-            self.metrics.record_traffic(TrafficKind::Probe, hops + 1);
-            out[side.idx_pub()] = self.nodes[owner.index()].arrival_stats(rel, &attr);
-        }
-        Ok((out[0], out[1]))
-    }
-
-    /// The attribute a query is indexed by on a given side: the join
-    /// attribute for T1 queries, a pseudo-random attribute of the condition
-    /// expression for T2 (Section 4.5).
-    fn pick_index_attr(&mut self, query: &JoinQuery, side: Side) -> String {
-        if let Some(a) = query.join_attr(side) {
-            return a.to_string();
-        }
-        let attrs: Vec<&str> = query.condition(side).attributes().into_iter().collect();
-        debug_assert!(!attrs.is_empty(), "validated at construction");
-        let i = self.rng.gen_range(0..attrs.len());
-        attrs[i].to_string()
-    }
-
-    // ==================================================================
-    // Message transport
-    // ==================================================================
-
-    /// Sends a batch of messages from `node` using the configured multisend
-    /// design, accounting traffic, and enqueues them at their owners.
-    fn dispatch_from(
-        &mut self,
-        node: NodeHandle,
-        targets: Vec<(Id, Message)>,
-        kind: TrafficKind,
-    ) -> Result<()> {
-        if targets.is_empty() {
-            return Ok(());
-        }
-        let ids: Vec<Id> = targets.iter().map(|(id, _)| *id).collect();
-        let outcome = if self.config.recursive_multisend {
-            self.ring.multisend_recursive(node, &ids)?
-        } else {
-            self.ring.multisend_iterative(node, &ids)?
-        };
-        self.metrics
-            .record_traffic_batch(kind, targets.len() as u64, outcome.total_hops);
-        let mut by_id: FxHashMap<Id, Vec<Message>> =
-            FxHashMap::with_capacity_and_hasher(targets.len(), Default::default());
-        for (id, msg) in targets {
-            by_id.entry(id).or_default().push(msg);
-        }
-        for (owner, ids) in outcome.deliveries {
-            for id in ids {
-                for msg in by_id.remove(&id).into_iter().flatten() {
-                    self.pending.push_back(Pending {
-                        from: node,
-                        to: owner,
-                        target: id,
-                        reroute: true,
-                        msg,
-                    });
-                }
-            }
-        }
-        debug_assert!(by_id.is_empty(), "every target id must be delivered");
-        Ok(())
-    }
-
-    /// Sends one message from a rewriter toward a value-level identifier,
-    /// consulting the JFRT when enabled (Section 4.7).
-    fn send_via_jfrt(&mut self, from: NodeHandle, id: Id, msg: Message) -> Result<()> {
-        let owner = if self.config.use_jfrt {
-            let lookup = {
-                let ring = &self.ring;
-                self.nodes[from.index()]
-                    .jfrt
-                    .lookup(id, |h, id| ring.node(h).is_alive() && ring.owns(h, id))
-            };
-            match lookup {
-                JfrtLookup::Hit(owner) => {
-                    self.metrics.record_traffic(TrafficKind::Reindex, 1);
-                    owner
-                }
-                JfrtLookup::Miss => {
-                    let (owner, hops) = self.ring.route_owner(from, id)?;
-                    self.metrics.record_traffic(TrafficKind::Reindex, hops);
-                    self.nodes[from.index()].jfrt.record(id, owner);
-                    owner
-                }
-                JfrtLookup::Stale(_) => {
-                    // one wasted hop to the stale node, then ordinary routing
-                    let (owner, hops) = self.ring.route_owner(from, id)?;
-                    self.metrics.record_traffic(TrafficKind::Reindex, hops + 1);
-                    self.nodes[from.index()].jfrt.record(id, owner);
-                    owner
-                }
-            }
-        } else {
-            let (owner, hops) = self.ring.route_owner(from, id)?;
-            self.metrics.record_traffic(TrafficKind::Reindex, hops);
-            owner
-        };
-        self.pending.push_back(Pending {
-            from,
-            to: owner,
-            target: id,
-            reroute: true,
-            msg,
-        });
-        Ok(())
-    }
-
-    /// Enqueues a node-addressed message (direct notification or replica):
-    /// the receiver is known by handle, and retransmissions never re-route.
-    fn push_direct(&mut self, from: NodeHandle, to: NodeHandle, msg: Message) {
-        self.pending.push_back(Pending {
-            from,
-            to,
-            target: self.ring.id_of(to),
-            reroute: false,
-            msg,
-        });
-    }
-
-    /// Processes queued protocol messages until quiescence — through the
-    /// perfect FIFO queue by default, or through the fault-injection pipe
-    /// when one is configured.
-    fn process_all(&mut self) -> Result<()> {
-        if self.pipe.is_some() {
-            let mut pipe = self.pipe.take().expect("checked above");
-            let result = self.pump_faulty(&mut pipe);
-            self.pipe = Some(pipe);
-            result
-        } else {
-            while let Some(p) = self.pending.pop_front() {
-                self.handle(p.to, p.msg)?;
-            }
-            Ok(())
-        }
-    }
-
-    /// The tick-based message pump used when faults are injected: sends pass
-    /// through loss/duplication/delay draws, receivers dedup on `(sender,
-    /// seq)`, unacknowledged messages retransmit with exponential backoff,
-    /// and abrupt node failures strike between ticks.
-    fn pump_faulty(&mut self, pipe: &mut FaultPipe) -> Result<()> {
-        loop {
-            // Fold freshly produced sends into the pipe (handlers and
-            // promotions push onto `pending`).
-            while let Some(p) = self.pending.pop_front() {
-                self.transmit(pipe, p);
-            }
-            if !pipe.busy() {
-                return Ok(());
-            }
-            pipe.tick += 1;
-            self.inject_failures(pipe)?;
-            let now = pipe.tick;
-            for delivery in pipe.in_flight.remove(&now).unwrap_or_default() {
-                match delivery {
-                    Delivery::Data { id, to, msg } => {
-                        if !self.ring.node(to).is_alive() {
-                            self.metrics.faults.messages_lost += 1;
-                            continue;
-                        }
-                        if pipe.record_arrival(id, to) {
-                            self.metrics.faults.dedup_suppressed += 1;
-                        } else {
-                            self.handle(to, msg)?;
-                        }
-                        // Ack every arrival (a duplicate usually means the
-                        // previous ack was lost). Acks are subject to loss
-                        // like any transmission.
-                        if pipe.cfg.retries_enabled() {
-                            if let Some(o) = pipe.outstanding.get(&id) {
-                                let sender = o.from;
-                                if pipe.cfg.loss_rate > 0.0
-                                    && pipe.rng.gen::<f64>() < pipe.cfg.loss_rate
-                                {
-                                    self.metrics.faults.messages_lost += 1;
-                                } else {
-                                    pipe.schedule(now + 1, Delivery::Ack { id, to: sender });
-                                }
-                            }
-                        }
-                    }
-                    Delivery::Ack { id, to } => {
-                        // An ack addressed to a node that died in flight
-                        // never closes the window; `maybe_retransmit` drops
-                        // the dead sender's window on its next firing.
-                        if self.ring.node(to).is_alive() {
-                            pipe.outstanding.remove(&id);
-                        }
-                    }
-                }
-            }
-            for id in pipe.retry_at.remove(&now).unwrap_or_default() {
-                self.maybe_retransmit(pipe, id, now);
-            }
-        }
-    }
-
-    /// Registers one fresh send with the pipe: assigns a `(sender, seq)`
-    /// identifier, opens the ack window when retries are enabled, and
-    /// schedules the transmission copies through the fault draws.
-    fn transmit(&mut self, pipe: &mut FaultPipe, p: Pending) {
-        let id = pipe.alloc_seq(p.from);
-        if pipe.cfg.retries_enabled() {
-            pipe.open_window(id, &p.from, p.target, p.reroute, &p.to, &p.msg);
-            pipe.schedule_retry(pipe.tick + pipe.cfg.ack_timeout, id);
-        }
-        self.schedule_copies(pipe, id, p.to, p.msg);
-    }
-
-    /// Draws duplication, loss and delay for one logical transmission and
-    /// schedules the surviving copies.
-    fn schedule_copies(&mut self, pipe: &mut FaultPipe, id: MsgId, to: NodeHandle, msg: Message) {
-        let mut copies = 1u32;
-        if pipe.cfg.duplicate_rate > 0.0 && pipe.rng.gen::<f64>() < pipe.cfg.duplicate_rate {
-            copies = 2;
-            self.metrics.faults.messages_duplicated += 1;
-        }
-        for _ in 0..copies {
-            if pipe.cfg.loss_rate > 0.0 && pipe.rng.gen::<f64>() < pipe.cfg.loss_rate {
-                self.metrics.faults.messages_lost += 1;
-                continue;
-            }
-            let mut at = pipe.tick + 1;
-            if pipe.cfg.delay_rate > 0.0
-                && pipe.cfg.max_delay > 0
-                && pipe.rng.gen::<f64>() < pipe.cfg.delay_rate
-            {
-                at += pipe.rng.gen_range(1..=pipe.cfg.max_delay);
-            }
-            pipe.schedule(
+    /// Runs one protocol handler at `at`, then flushes the effects it
+    /// pushed into the transport (in push order). Effects produced before a
+    /// handler error are still flushed — mirroring inline sends, which
+    /// would already have left the node when the error surfaced.
+    fn run_protocol<F>(&mut self, at: NodeHandle, f: F) -> Result<()>
+    where
+        F: FnOnce(&dyn Protocol, &mut NodeCtx<'_>) -> Result<()>,
+    {
+        let protocol = Arc::clone(&self.protocol);
+        let mut outbox = std::mem::take(&mut self.outbox);
+        debug_assert!(outbox.is_empty(), "outbox drained after every handler");
+        let result = {
+            let mut ctx = NodeCtx::new(
                 at,
-                Delivery::Data {
-                    id,
-                    to,
-                    msg: msg.clone(),
-                },
+                &self.config,
+                &self.ring,
+                &mut self.nodes,
+                &mut self.metrics,
+                &mut self.rng,
+                &mut outbox,
             );
-        }
-    }
-
-    /// A retry check fired for `id`: if the message is still unacknowledged,
-    /// retransmit it (re-resolving the owner for identifier-routed messages)
-    /// and schedule the next check with exponential backoff.
-    fn maybe_retransmit(&mut self, pipe: &mut FaultPipe, id: MsgId, now: u64) {
-        let Some(mut o) = pipe.take_outstanding(id) else {
-            return; // acknowledged in the meantime
+            f(&*protocol, &mut ctx)
         };
-        if !self.ring.node(o.from).is_alive() || o.attempt >= pipe.cfg.max_retries {
-            return; // sender died, or we give up
-        }
-        o.attempt += 1;
-        let next = now + pipe.backoff(o.attempt);
-        if o.reroute {
-            match self.ring.route_owner(o.from, o.target) {
-                Ok((owner, hops)) => {
-                    o.to = owner;
-                    self.metrics.faults.retransmission_hops += hops as u64;
-                }
-                Err(_) => {
-                    // The overlay is mid-repair; keep the window open and
-                    // try again after the backoff.
-                    pipe.reopen_window(id, o);
-                    pipe.schedule_retry(next, id);
-                    return;
-                }
-            }
-        } else {
-            if !self.ring.node(o.to).is_alive() {
-                return; // node-addressed and the receiver is gone
-            }
-            self.metrics.faults.retransmission_hops += 1;
-        }
-        self.metrics.faults.retransmissions += 1;
-        self.schedule_copies(pipe, id, o.to, o.msg.clone());
-        pipe.reopen_window(id, o);
-        pipe.schedule_retry(next, id);
+        let flushed = self.flush_effects(at, &mut outbox);
+        outbox.clear();
+        self.outbox = outbox;
+        result.and(flushed)
     }
 
-    /// Injects scheduled and rate-driven abrupt node failures for the
-    /// current tick, then repairs pointers and promotes replicas.
-    fn inject_failures(&mut self, pipe: &mut FaultPipe) -> Result<()> {
-        let mut failed = false;
-        while pipe.sched_idx < pipe.cfg.scheduled_failures.len()
-            && pipe.cfg.scheduled_failures[pipe.sched_idx] <= pipe.tick
-        {
-            pipe.sched_idx += 1;
-            failed |= self.fail_random_alive(pipe);
-        }
-        if pipe.cfg.failure_rate > 0.0
-            && pipe.failures_injected < pipe.cfg.max_failures
-            && pipe.rng.gen::<f64>() < pipe.cfg.failure_rate
-            && self.fail_random_alive(pipe)
-        {
-            pipe.failures_injected += 1;
-            failed = true;
-        }
-        if failed {
-            self.ring.stabilize_all(1);
-            self.promote_replicas()?;
+    /// Maps each deferred [`Effect`] onto its transport primitive, in push
+    /// order. A transport error aborts the flush, exactly as an inline send
+    /// error aborted the rest of the old handler.
+    fn flush_effects(&mut self, from: NodeHandle, outbox: &mut Vec<Effect>) -> Result<()> {
+        for effect in outbox.drain(..) {
+            match effect {
+                Effect::Batch { kind, targets } => self.dispatch_from(from, targets, kind)?,
+                Effect::Send { id, msg } => self.send_via_jfrt(from, id, msg)?,
+                Effect::Replicate { item } => self.replicate(from, item),
+                Effect::Deliver { matches } => self.deliver_matches(from, matches)?,
+            }
         }
         Ok(())
     }
 
-    /// Abruptly fails one pseudo-random alive node (never the last one).
-    /// Returns whether a node was failed.
-    fn fail_random_alive(&mut self, pipe: &mut FaultPipe) -> bool {
-        if self.ring.len() <= 1 {
-            return false;
-        }
-        let i = pipe.rng.gen_range(0..self.ring.len());
-        let victim = self.ring.alive_nodes().nth(i).expect("index in range");
-        self.fail_node_state(victim).is_ok()
-    }
-
-    /// Ring-level failure plus primary/replica state loss at the victim.
-    fn fail_node_state(&mut self, h: NodeHandle) -> Result<()> {
-        self.ring.fail(h)?;
-        let st = &mut self.nodes[h.index()];
-        st.alqt.drain_all();
-        st.vlqt.drain_all();
-        st.vltt.drain_all();
-        st.vstore.drain_all();
-        st.offline_store.clear();
-        st.replicas.clear();
-        self.metrics.faults.nodes_failed += 1;
-        Ok(())
-    }
-
-    // ==================================================================
-    // Message handlers
-    // ==================================================================
-
-    fn handle(&mut self, at: NodeHandle, msg: Message) -> Result<()> {
+    /// Handles one dequeued message at `at`: storage-level messages
+    /// inline, algorithm-specific ones through the [`Protocol`] trait.
+    pub(crate) fn dispatch(&mut self, at: NodeHandle, msg: Message) -> Result<()> {
         match msg {
             Message::IndexQuery {
                 query,
@@ -738,21 +359,16 @@ impl Network {
                 tuple,
                 attr,
                 index_id,
-            } => self.handle_al_tuple(at, tuple, attr, index_id),
+            } => self.run_protocol(at, |p, ctx| p.on_tuple_arrival(ctx, tuple, attr, index_id)),
             Message::VlIndexTuple {
                 tuple,
                 attr,
                 index_id,
-            } => self.handle_vl_tuple(at, tuple, attr, index_id),
-            Message::Join { items, index_id } => self.handle_join(at, items, index_id),
-            Message::JoinV {
-                group,
-                items,
-                tuple,
-                side,
-                value_key,
-                index_id,
-            } => self.handle_join_v(at, group, items, tuple, side, value_key, index_id),
+            } => self.run_protocol(at, |p, ctx| p.on_value_tuple(ctx, tuple, attr, index_id)),
+            Message::Join { items, index_id } => {
+                self.run_protocol(at, |p, ctx| p.on_rewritten_query(ctx, items, index_id))
+            }
+            Message::JoinV(join) => self.run_protocol(at, |p, ctx| p.on_join_message(ctx, join)),
             Message::StoreNotifications {
                 subscriber_id,
                 notifications,
@@ -786,693 +402,6 @@ impl Network {
                 self.nodes[at.index()].replicas.insert(*item);
                 Ok(())
             }
-        }
-    }
-
-    /// The configured k-successor replication factor.
-    #[inline]
-    fn repl_k(&self) -> usize {
-        self.config.fault.replication
-    }
-
-    /// Mirrors one freshly inserted primary item onto `at`'s `k` first alive
-    /// successors (no-op when replication is off).
-    fn replicate(&mut self, at: NodeHandle, item: ReplicaItem) {
-        let k = self.repl_k();
-        if k == 0 {
-            return;
-        }
-        for succ in self.ring.successors_of(at, k) {
-            self.metrics.faults.replica_messages += 1;
-            self.push_direct(
-                at,
-                succ,
-                Message::Replicate {
-                    item: Box::new(item.clone()),
-                },
-            );
-        }
-    }
-
-    /// A tuple arrives at the attribute level: trigger, rewrite and reindex
-    /// the stored queries (Sections 4.3.2, 4.4, 4.5).
-    ///
-    /// `index_id` is the (possibly replica) identifier the message was
-    /// addressed to: with the Section 4.7 replication scheme, a node may
-    /// host several replicas of the same rewriter role, and a tuple only
-    /// triggers the queries of the replica it was routed to.
-    fn handle_al_tuple(
-        &mut self,
-        at: NodeHandle,
-        tuple: Arc<Tuple>,
-        attr: String,
-        index_id: Id,
-    ) -> Result<()> {
-        let rel = tuple.relation();
-        let value_key = tuple.canonical_of(&attr)?;
-        self.nodes[at.index()].record_arrival(rel, &attr, value_key);
-
-        // Clone out the groups to decouple the borrow from the sends below,
-        // keeping only the addressed replica's entries.
-        let mut checks = 0u64;
-        let groups: Vec<(String, Vec<StoredQuery>)> = self.nodes[at.index()]
-            .alqt
-            .groups(rel, &attr)
-            .map(|(g, qs)| {
-                let scoped: Vec<StoredQuery> = qs
-                    .iter()
-                    .filter(|sq| sq.index_id == index_id)
-                    .cloned()
-                    .collect();
-                checks += scoped.len() as u64;
-                (g.to_string(), scoped)
-            })
-            .filter(|(_, qs)| !qs.is_empty())
-            .collect();
-        if checks == 0 {
-            return Ok(());
-        }
-        self.metrics.add_rewriter_filtering(at.index(), checks);
-
-        let space = self.ring.space();
-        let algorithm = self.config.algorithm;
-        for (group, stored) in groups {
-            if algorithm == Algorithm::DaiV {
-                if self.config.dai_v_keyed {
-                    // Section 4.5's keyed extension: one evaluator — and one
-                    // message — per (query, valJC); no grouping possible.
-                    for sq in &stored {
-                        if sq.index_attr != attr {
-                            continue;
-                        }
-                        let Some(rq) =
-                            RewrittenQuery::rewrite_value(&sq.query, sq.index_side, &tuple)?
-                        else {
-                            continue;
-                        };
-                        let val = rq.target().value().clone();
-                        let qkey = sq.query.key().0.clone();
-                        let id = indexing::vindex_value_keyed(space, &qkey, &val);
-                        let msg = Message::JoinV {
-                            // matching is scoped per query under this variant
-                            group: format!("K|{qkey}"),
-                            items: vec![rq],
-                            tuple: Arc::clone(&tuple),
-                            side: sq.index_side,
-                            value_key: val.canonical(),
-                            index_id: id,
-                        };
-                        self.send_via_jfrt(at, id, msg)?;
-                    }
-                } else {
-                    // One message per (group, valJC): rewritten queries + tuple.
-                    let mut items: Vec<RewrittenQuery> = Vec::new();
-                    let mut side = None;
-                    let mut val = None;
-                    for sq in &stored {
-                        if sq.index_attr != attr {
-                            continue; // stored under a different attribute bucket
-                        }
-                        if let Some(rq) =
-                            RewrittenQuery::rewrite_value(&sq.query, sq.index_side, &tuple)?
-                        {
-                            side = Some(sq.index_side);
-                            val = Some(rq.target().value().clone());
-                            items.push(rq);
-                        }
-                    }
-                    if let (Some(side), Some(val)) = (side, val) {
-                        let id = indexing::vindex_value(space, &val);
-                        let msg = Message::JoinV {
-                            group: group.clone(),
-                            items,
-                            tuple: Arc::clone(&tuple),
-                            side,
-                            value_key: val.canonical(),
-                            index_id: id,
-                        };
-                        self.send_via_jfrt(at, id, msg)?;
-                    }
-                }
-            } else {
-                // T1 algorithms: one join message per group, targeting
-                // Hash(DisR + DisA + valDA) — identical for the whole group.
-                let mut items: Vec<RewrittenQuery> = Vec::new();
-                let mut target: Option<Id> = None;
-                for sq in &stored {
-                    if sq.index_attr != attr {
-                        continue;
-                    }
-                    let dis_side = sq.index_side.other();
-                    let dis_attr = sq
-                        .query
-                        .join_attr(dis_side)
-                        .expect("T1 validated at pose time")
-                        .to_string();
-                    let Some(rq) = RewrittenQuery::rewrite_attribute(
-                        &sq.query,
-                        sq.index_side,
-                        &sq.index_attr,
-                        &dis_attr,
-                        &tuple,
-                    )?
-                    else {
-                        continue;
-                    };
-                    if algorithm == Algorithm::DaiT {
-                        // Reindex each rewritten query at most once.
-                        if !self.nodes[at.index()]
-                            .reindexed
-                            .insert(rq.key().to_string())
-                        {
-                            continue;
-                        }
-                    }
-                    let id = indexing::vindex_attr(
-                        space,
-                        sq.query.relation(dis_side),
-                        &dis_attr,
-                        rq.target().value(),
-                    );
-                    debug_assert!(target.is_none_or(|t| t == id), "group shares one evaluator");
-                    target = Some(id);
-                    items.push(rq);
-                }
-                if let (Some(id), false) = (target, items.is_empty()) {
-                    self.send_via_jfrt(
-                        at,
-                        id,
-                        Message::Join {
-                            items,
-                            index_id: id,
-                        },
-                    )?;
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// A tuple arrives at the value level (SAI/DAI-Q/DAI-T, Section 4.3.4).
-    fn handle_vl_tuple(
-        &mut self,
-        at: NodeHandle,
-        tuple: Arc<Tuple>,
-        attr: String,
-        index_id: Id,
-    ) -> Result<()> {
-        let rel = tuple.relation();
-        let value_key = tuple.canonical_of(&attr)?;
-        let algorithm = self.config.algorithm;
-
-        // SAI and DAI-T: match stored rewritten queries against the tuple.
-        if matches!(algorithm, Algorithm::Sai | Algorithm::DaiT) {
-            let candidates: Vec<RewrittenQuery> = self.nodes[at.index()]
-                .vlqt
-                .candidates(rel, &attr, value_key)
-                .map(|e| e.rq.clone())
-                .collect();
-            self.metrics
-                .add_evaluator_filtering(at.index(), candidates.len() as u64);
-            let mut matches = self.new_matches();
-            for rq in &candidates {
-                if rq.matches(&tuple)? {
-                    matches.add(rq, &tuple)?;
-                }
-            }
-            self.deliver_matches(at, matches)?;
-        }
-
-        // SAI and DAI-Q: store the tuple for future rewritten queries.
-        if matches!(algorithm, Algorithm::Sai | Algorithm::DaiQ) {
-            let entry = StoredTuple {
-                index_id,
-                attr,
-                tuple,
-            };
-            if self.repl_k() > 0 {
-                self.nodes[at.index()].vltt.insert(entry.clone());
-                self.replicate(at, ReplicaItem::Tuple(entry));
-            } else {
-                self.nodes[at.index()].vltt.insert(entry);
-            }
-        }
-        Ok(())
-    }
-
-    /// A batch of rewritten queries arrives at an evaluator
-    /// (SAI: Section 4.3.3; DAI-Q: 4.4.2; DAI-T: 4.4.3).
-    fn handle_join(
-        &mut self,
-        at: NodeHandle,
-        items: Vec<RewrittenQuery>,
-        index_id: Id,
-    ) -> Result<()> {
-        let algorithm = self.config.algorithm;
-        let mut matches = self.new_matches();
-        for rq in items {
-            match algorithm {
-                Algorithm::Sai => {
-                    // Store first (dedup by key); only a *new* rewritten
-                    // query is evaluated against stored tuples — a duplicate
-                    // "need only store the information related to tuple t".
-                    let fresh = self.nodes[at.index()].vlqt.insert(StoredRewritten {
-                        index_id,
-                        rq: rq.clone(),
-                    });
-                    if fresh {
-                        if self.repl_k() > 0 {
-                            self.replicate(
-                                at,
-                                ReplicaItem::Rewritten(StoredRewritten {
-                                    index_id,
-                                    rq: rq.clone(),
-                                }),
-                            );
-                        }
-                        self.match_against_vltt(at, &rq, &mut matches)?;
-                    }
-                }
-                Algorithm::DaiQ => {
-                    // Evaluate, never store.
-                    self.match_against_vltt(at, &rq, &mut matches)?;
-                }
-                Algorithm::DaiT => {
-                    // Store, never evaluate (tuples will come to us).
-                    let entry = StoredRewritten { index_id, rq };
-                    if self.repl_k() > 0 {
-                        if self.nodes[at.index()].vlqt.insert(entry.clone()) {
-                            self.replicate(at, ReplicaItem::Rewritten(entry));
-                        }
-                    } else {
-                        self.nodes[at.index()].vlqt.insert(entry);
-                    }
-                }
-                Algorithm::DaiV => unreachable!("DAI-V uses JoinV messages"),
-            }
-        }
-        self.deliver_matches(at, matches)?;
-        Ok(())
-    }
-
-    fn match_against_vltt(
-        &mut self,
-        at: NodeHandle,
-        rq: &RewrittenQuery,
-        matches: &mut Matches,
-    ) -> Result<()> {
-        let cq_relational::MatchTarget::Attribute { attr, value } = rq.target() else {
-            unreachable!("T1 rewritten queries carry attribute targets");
-        };
-        let mut value_key = String::with_capacity(24);
-        value.canonical_into(&mut value_key);
-        let candidates: Vec<Arc<Tuple>> = self.nodes[at.index()]
-            .vltt
-            .candidates(rq.free_relation(), attr, &value_key)
-            .map(|e| Arc::clone(&e.tuple))
-            .collect();
-        self.metrics
-            .add_evaluator_filtering(at.index(), candidates.len() as u64);
-        for t in &candidates {
-            if rq.matches(t)? {
-                matches.add(rq, t)?;
-            }
-        }
-        Ok(())
-    }
-
-    /// DAI-V's combined join message (Section 4.5): match the rewritten
-    /// queries against stored tuples of the other side, then store the
-    /// triggering tuple. Rewritten queries are not stored.
-    #[allow(clippy::too_many_arguments)]
-    fn handle_join_v(
-        &mut self,
-        at: NodeHandle,
-        group: String,
-        items: Vec<RewrittenQuery>,
-        tuple: Arc<Tuple>,
-        side: Side,
-        value_key: String,
-        index_id: Id,
-    ) -> Result<()> {
-        let other = side.other();
-        let mut matches = self.new_matches();
-        for rq in &items {
-            let candidates: Vec<Arc<Tuple>> = self.nodes[at.index()]
-                .vstore
-                .candidates(&group, &value_key, other)
-                .map(|e| Arc::clone(&e.tuple))
-                .collect();
-            self.metrics
-                .add_evaluator_filtering(at.index(), candidates.len() as u64);
-            for t in &candidates {
-                if rq.matches(t)? {
-                    matches.add(rq, t)?;
-                }
-            }
-        }
-        let entry = StoredValueTuple {
-            index_id,
-            side,
-            tuple,
-        };
-        if self.repl_k() > 0 {
-            self.nodes[at.index()]
-                .vstore
-                .insert(&group, &value_key, entry.clone());
-            self.replicate(
-                at,
-                ReplicaItem::ValueTuple {
-                    group,
-                    value_key,
-                    entry,
-                },
-            );
-        } else {
-            self.nodes[at.index()]
-                .vstore
-                .insert(&group, &value_key, entry);
-        }
-        self.deliver_matches(at, matches)?;
-        Ok(())
-    }
-
-    // ==================================================================
-    // Notification delivery (Section 4.6)
-    // ==================================================================
-
-    /// Collects join matches at an evaluator. With retention on, full
-    /// notification bodies are built; with retention off only per-subscriber
-    /// counts are kept (delivery traffic and counters stay identical, the
-    /// bodies are never materialized).
-    fn new_matches(&self) -> Matches {
-        if self.config.retain_notifications {
-            Matches::Full(Vec::new())
-        } else {
-            Matches::Counts(FxHashMap::default())
-        }
-    }
-
-    fn deliver_matches(&mut self, from: NodeHandle, matches: Matches) -> Result<()> {
-        match matches {
-            Matches::Full(notifications) => self.deliver_notifications(from, notifications),
-            Matches::Counts(counts) => {
-                for (subscriber, count) in counts {
-                    if count == 0 {
-                        continue;
-                    }
-                    self.metrics.notifications_delivered += count;
-                    match self.subscribers.get(&subscriber) {
-                        Some(&h) if self.ring.node(h).is_alive() => {
-                            self.metrics.record_traffic(TrafficKind::Notify, 1);
-                        }
-                        _ => {
-                            self.metrics.notifications_stored_offline += count;
-                            let id = indexing::subscriber_id(self.ring.space(), &subscriber);
-                            let (_, hops) = self.ring.route_owner(from, id)?;
-                            self.metrics.record_traffic(TrafficKind::Notify, hops);
-                        }
-                    }
-                }
-                Ok(())
-            }
-        }
-    }
-
-    /// Full-retention delivery: every batch becomes a real protocol message
-    /// ([`Message::Notify`] for online subscribers, routed
-    /// [`Message::StoreNotifications`] otherwise), so the fault layer can
-    /// lose, duplicate and retransmit deliveries like any other traffic.
-    /// `notifications_delivered` is counted by the receiving handlers — at
-    /// actual inbox/offline-store arrival — fixing the old skew where sends
-    /// were counted before (or without) storage happening.
-    fn deliver_notifications(
-        &mut self,
-        from: NodeHandle,
-        notifications: Vec<Notification>,
-    ) -> Result<()> {
-        if notifications.is_empty() {
-            return Ok(());
-        }
-        // Group notifications per receiver into one message.
-        let mut by_subscriber: FxHashMap<String, Vec<Notification>> = FxHashMap::default();
-        for n in notifications {
-            by_subscriber
-                .entry(n.subscriber.clone())
-                .or_default()
-                .push(n);
-        }
-        for (subscriber, batch) in by_subscriber {
-            match self.subscribers.get(&subscriber) {
-                Some(&h) if self.ring.node(h).is_alive() => {
-                    // Online at a known IP: one direct hop.
-                    self.metrics.record_traffic(TrafficKind::Notify, 1);
-                    self.push_direct(
-                        from,
-                        h,
-                        Message::Notify {
-                            notifications: batch,
-                        },
-                    );
-                }
-                _ => {
-                    // Offline: route toward Successor(Id(n)) and store there.
-                    let id = indexing::subscriber_id(self.ring.space(), &subscriber);
-                    let (owner, hops) = self.ring.route_owner(from, id)?;
-                    self.metrics.record_traffic(TrafficKind::Notify, hops);
-                    self.pending.push_back(Pending {
-                        from,
-                        to: owner,
-                        target: id,
-                        reroute: true,
-                        msg: Message::StoreNotifications {
-                            subscriber_id: id,
-                            notifications: batch,
-                        },
-                    });
-                }
-            }
-        }
-        Ok(())
-    }
-
-    // ==================================================================
-    // Churn: leaves, failures, rejoins with key transfer (Sections 2.2, 4.6)
-    // ==================================================================
-
-    /// Voluntary departure: the node transfers every key it holds to its
-    /// successor, then leaves the ring. Replicas the node held for others
-    /// are dropped — their primaries are still alive and re-mirror on the
-    /// next promotion cycle.
-    pub fn node_leave(&mut self, h: NodeHandle) -> Result<()> {
-        let succ = self
-            .ring
-            .first_alive_successor(h)
-            .ok_or(EngineError::UnknownNode)?;
-        self.ring.leave(h)?;
-        if succ != h {
-            self.transfer_all(h, succ);
-        }
-        self.nodes[h.index()].replicas.clear();
-        Ok(())
-    }
-
-    /// Abrupt failure: the node's primary keys and replica holdings are
-    /// lost (best-effort semantics, Section 3.2 — "we leave all the handling
-    /// of failures … to the underlying DHT"). With k-successor replication
-    /// enabled, the lost range is recovered from the successors' replica
-    /// stores during the next [`Network::stabilize`].
-    pub fn node_fail(&mut self, h: NodeHandle) -> Result<()> {
-        self.fail_node_state(h)
-    }
-
-    /// Runs stabilization rounds over the whole ring, then promotes any
-    /// replicas whose primary owner has disappeared (when k-successor
-    /// replication is on) and processes the resulting re-mirroring traffic.
-    pub fn stabilize(&mut self, rounds: usize) -> Result<()> {
-        self.ring.stabilize_all(rounds);
-        if self.repl_k() > 0 {
-            self.promote_replicas()?;
-        }
-        self.process_all()
-    }
-
-    /// Every alive node extracts the replica entries whose identifier it now
-    /// owns (its predecessor failed) and promotes them into its primary
-    /// tables, then re-mirrors them onto its own successors to restore
-    /// k-fold redundancy.
-    fn promote_replicas(&mut self) -> Result<()> {
-        let k = self.repl_k();
-        if k == 0 {
-            return Ok(());
-        }
-        let handles: Vec<NodeHandle> = self.ring.alive_nodes().collect();
-        for h in handles {
-            let promoted = {
-                let ring = &self.ring;
-                self.nodes[h.index()]
-                    .replicas
-                    .take_owned(|id| ring.owns(h, id))
-            };
-            if promoted.is_empty() {
-                continue;
-            }
-            self.metrics.faults.replicas_promoted += promoted.len() as u64;
-            let mut items: Vec<ReplicaItem> = Vec::with_capacity(promoted.len());
-            {
-                let st = &mut self.nodes[h.index()];
-                for e in promoted.queries {
-                    st.alqt.insert(e.clone());
-                    items.push(ReplicaItem::Query(e));
-                }
-                for e in promoted.rewritten {
-                    st.vlqt.insert(e.clone());
-                    items.push(ReplicaItem::Rewritten(e));
-                }
-                for e in promoted.tuples {
-                    st.vltt.insert(e.clone());
-                    items.push(ReplicaItem::Tuple(e));
-                }
-                for (group, value_key, e) in promoted.value_tuples {
-                    st.vstore.insert(&group, &value_key, e.clone());
-                    items.push(ReplicaItem::ValueTuple {
-                        group,
-                        value_key,
-                        entry: e,
-                    });
-                }
-                for (id, n) in promoted.offline {
-                    st.offline_store.push((id, n.clone()));
-                    items.push(ReplicaItem::Offline {
-                        id,
-                        notification: n,
-                    });
-                }
-            }
-            for item in items {
-                self.replicate(h, item);
-            }
-        }
-        Ok(())
-    }
-
-    /// A departed node rejoins with its old key: it takes back the key range
-    /// `(pred, id]` from its successor — including any notifications stored
-    /// for it while it was offline (Section 4.6).
-    pub fn node_rejoin(&mut self, h: NodeHandle) -> Result<()> {
-        let via = self
-            .ring
-            .alive_nodes()
-            .next()
-            .ok_or(EngineError::UnknownNode)?;
-        self.ring.rejoin(h, via)?;
-        self.ring.stabilize_all(2);
-        let (pred, id) = self.ring.owned_range(h)?;
-        let succ = self
-            .ring
-            .first_alive_successor(h)
-            .ok_or(EngineError::UnknownNode)?;
-        if succ != h {
-            let space = self.ring.space();
-            let in_range = move |x: Id| space.in_open_closed(x, pred, id);
-            self.transfer_matching(succ, h, in_range);
-        }
-        // Missed notifications addressed to us move into the inbox.
-        let me = self.ring.node(h).key().to_string();
-        let st = &mut self.nodes[h.index()];
-        let mut kept = Vec::new();
-        for (nid, n) in std::mem::take(&mut st.offline_store) {
-            if n.subscriber == me {
-                st.inbox.push(n);
-            } else {
-                kept.push((nid, n));
-            }
-        }
-        st.offline_store = kept;
-        self.subscribers.insert(me, h);
-        Ok(())
-    }
-
-    fn transfer_all(&mut self, from: NodeHandle, to: NodeHandle) {
-        self.transfer_matching(from, to, |_| true);
-    }
-
-    fn transfer_matching(
-        &mut self,
-        from: NodeHandle,
-        to: NodeHandle,
-        pred: impl Fn(Id) -> bool + Copy,
-    ) {
-        debug_assert_ne!(from, to);
-        let (a, b) = (from.index(), to.index());
-        // Split the borrow: `from` and `to` are distinct slots.
-        let (src, dst) = if a < b {
-            let (l, r) = self.nodes.split_at_mut(b);
-            (&mut l[a], &mut r[0])
-        } else {
-            let (l, r) = self.nodes.split_at_mut(a);
-            (&mut r[0], &mut l[b])
-        };
-        for e in src.alqt.extract_where(&pred) {
-            dst.alqt.insert(e);
-        }
-        for e in src.vlqt.extract_where(&pred) {
-            dst.vlqt.insert(e);
-        }
-        for e in src.vltt.extract_where(&pred) {
-            dst.vltt.insert(e);
-        }
-        for (group, value, e) in src.vstore.extract_where(&pred) {
-            dst.vstore.insert(&group, &value, e);
-        }
-        let mut kept = Vec::new();
-        for (id, n) in std::mem::take(&mut src.offline_store) {
-            if pred(id) {
-                dst.offline_store.push((id, n));
-            } else {
-                kept.push((id, n));
-            }
-        }
-        src.offline_store = kept;
-    }
-}
-
-/// Accumulated join matches at an evaluator (see [`Network::new_matches`]).
-enum Matches {
-    /// Full notification bodies (retention on).
-    Full(Vec<Notification>),
-    /// Per-subscriber match counts (retention off).
-    Counts(FxHashMap<String, u64>),
-}
-
-impl Matches {
-    /// Records that `rq` matched tuple `t`.
-    fn add(&mut self, rq: &RewrittenQuery, t: &Tuple) -> cq_relational::Result<()> {
-        match self {
-            Matches::Full(v) => v.push(rq.notification_with(t)?),
-            Matches::Counts(c) => {
-                // avoid one String allocation per match on the hot path
-                if let Some(v) = c.get_mut(rq.query().subscriber()) {
-                    *v += 1;
-                } else {
-                    c.insert(rq.query().subscriber().to_string(), 1);
-                }
-            }
-        }
-        Ok(())
-    }
-}
-
-/// Extension trait used internally to index `[T; 2]` arrays by side.
-trait SideIdx {
-    fn idx_pub(self) -> usize;
-}
-
-impl SideIdx for Side {
-    fn idx_pub(self) -> usize {
-        match self {
-            Side::Left => 0,
-            Side::Right => 1,
         }
     }
 }

@@ -70,7 +70,8 @@ impl Oracle {
 mod tests {
     use super::*;
     use cq_relational::{
-        Catalog, DataType, Expr, JoinQuery, QueryKey, RelationSchema, SelectItem, Timestamp, Value,
+        Catalog, DataType, Expr, JoinQuery, QueryKey, QuerySpec, RelationSchema, SelectItem,
+        Timestamp, Value,
     };
 
     fn setup() -> (Catalog, QueryRef) {
@@ -81,24 +82,24 @@ mod tests {
             .unwrap();
         let q = Arc::new(
             JoinQuery::new(
-                QueryKey::derive("n", 0),
-                "n",
-                Timestamp(5),
-                "R",
-                "S",
-                vec![
-                    SelectItem {
-                        side: Side::Left,
-                        attr: "A".into(),
-                    },
-                    SelectItem {
-                        side: Side::Right,
-                        attr: "D".into(),
-                    },
-                ],
-                Expr::attr("B"),
-                Expr::attr("C"),
-                vec![],
+                QuerySpec {
+                    key: QueryKey::derive("n", 0),
+                    subscriber: "n".into(),
+                    ins_time: Timestamp(5),
+                    relations: ["R".into(), "S".into()],
+                    select: vec![
+                        SelectItem {
+                            side: Side::Left,
+                            attr: "A".into(),
+                        },
+                        SelectItem {
+                            side: Side::Right,
+                            attr: "D".into(),
+                        },
+                    ],
+                    conditions: [Expr::attr("B"), Expr::attr("C")],
+                    filters: vec![],
+                },
                 &c,
             )
             .unwrap(),

@@ -1,0 +1,312 @@
+//! The protocol layer: the [`Protocol`] trait algorithm implementations
+//! plug into, the [`NodeCtx`] handlers run against, and the deferred
+//! [`Effect`]s they emit.
+//!
+//! The engine is split into three layers (see `DESIGN.md`):
+//!
+//! 1. **Transport** (`engine::transport`) — owns sends, routing and hop
+//!    accounting, the fault-injection pump, reliable delivery, and replica
+//!    mirroring. Knows nothing about algorithms.
+//! 2. **Protocol** (this module + [`crate::algo`]) — the four evaluation
+//!    algorithms of Chapter 4, each an implementation of [`Protocol`].
+//!    Handlers never touch the network directly: they receive a [`NodeCtx`]
+//!    scoped to the node the message arrived at and *describe* their sends
+//!    as [`Effect`]s pushed onto an outbox.
+//! 3. **Orchestration** ([`crate::network`]) — dequeues messages, invokes
+//!    the configured protocol's handlers, and flushes their effects back
+//!    into the transport.
+//!
+//! Effects are flushed in push order immediately after each handler
+//! returns, before the next message is dequeued — so the message order on
+//! the wire is exactly what it would be if handlers sent inline.
+
+use std::sync::Arc;
+
+use cq_fasthash::FxHashMap;
+use cq_overlay::{Id, NodeHandle, Ring};
+use cq_relational::{JoinQuery, Notification, QueryRef, RewrittenQuery, Side, Tuple};
+use rand::rngs::StdRng;
+
+use crate::config::EngineConfig;
+use crate::error::{EngineError, Result};
+use crate::messages::{Message, ValueJoin};
+use crate::metrics::{Metrics, TrafficKind};
+use crate::node::NodeState;
+use crate::replication::ReplicaItem;
+
+/// A deferred transport action emitted by a protocol handler.
+///
+/// Handlers push effects onto their [`NodeCtx`] outbox in the order the
+/// sends should happen; the orchestrator flushes them into the transport
+/// in that same order once the handler returns.
+#[derive(Debug)]
+pub enum Effect {
+    /// Send a batch of identifier-routed messages with the configured
+    /// multisend design, accounting `kind` traffic.
+    Batch {
+        /// Traffic class to account the batch under.
+        kind: TrafficKind,
+        /// `(target identifier, message)` pairs.
+        targets: Vec<(Id, Message)>,
+    },
+    /// Send one message toward an identifier, consulting the sender's JFRT
+    /// when the optimization is enabled (Section 4.7).
+    Send {
+        /// The target identifier.
+        id: Id,
+        /// The message.
+        msg: Message,
+    },
+    /// Mirror a freshly inserted primary item onto the node's `k` first
+    /// alive successors (no-op when k-successor replication is off).
+    Replicate {
+        /// The item to mirror.
+        item: ReplicaItem,
+    },
+    /// Deliver accumulated join matches to their subscribers (Section 4.6).
+    Deliver {
+        /// The matches.
+        matches: Matches,
+    },
+}
+
+/// Accumulated join matches at an evaluator (see [`NodeCtx::new_matches`]).
+///
+/// With notification retention on, full bodies are built; with retention
+/// off only per-subscriber counts are kept (delivery traffic and counters
+/// stay identical, the bodies are never materialized).
+#[derive(Debug)]
+pub enum Matches {
+    /// Full notification bodies (retention on).
+    Full(Vec<Notification>),
+    /// Per-subscriber match counts (retention off).
+    Counts(FxHashMap<String, u64>),
+}
+
+impl Matches {
+    /// An empty accumulator; `retain` selects full bodies vs counts.
+    pub fn new(retain: bool) -> Matches {
+        if retain {
+            Matches::Full(Vec::new())
+        } else {
+            Matches::Counts(FxHashMap::default())
+        }
+    }
+
+    /// Records that `rq` matched tuple `t`.
+    pub fn add(&mut self, rq: &RewrittenQuery, t: &Tuple) -> cq_relational::Result<()> {
+        match self {
+            Matches::Full(v) => v.push(rq.notification_with(t)?),
+            Matches::Counts(c) => {
+                // avoid one String allocation per match on the hot path
+                if let Some(v) = c.get_mut(rq.query().subscriber()) {
+                    *v += 1;
+                } else {
+                    c.insert(rq.query().subscriber().to_string(), 1);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything a protocol handler may touch while processing one message at
+/// one node: the node's own state, read access to the ring, the metrics
+/// sink, the engine RNG, and the effect outbox.
+///
+/// The full node-state slice is carried (rather than just the local state)
+/// because the index-attribute strategies probe *other* nodes' arrival
+/// statistics ([`NodeCtx::probe_arrival_stats`]); handlers otherwise only
+/// use [`NodeCtx::state`].
+pub struct NodeCtx<'a> {
+    node: NodeHandle,
+    config: &'a EngineConfig,
+    ring: &'a Ring,
+    nodes: &'a mut [NodeState],
+    metrics: &'a mut Metrics,
+    rng: &'a mut StdRng,
+    outbox: &'a mut Vec<Effect>,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// Assembles a context for a handler running at `node`.
+    pub fn new(
+        node: NodeHandle,
+        config: &'a EngineConfig,
+        ring: &'a Ring,
+        nodes: &'a mut [NodeState],
+        metrics: &'a mut Metrics,
+        rng: &'a mut StdRng,
+        outbox: &'a mut Vec<Effect>,
+    ) -> Self {
+        NodeCtx {
+            node,
+            config,
+            ring,
+            nodes,
+            metrics,
+            rng,
+            outbox,
+        }
+    }
+
+    /// The node the current message arrived at.
+    pub fn node(&self) -> NodeHandle {
+        self.node
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        self.config
+    }
+
+    /// The identifier space of the ring.
+    pub fn space(&self) -> cq_overlay::IdSpace {
+        self.ring.space()
+    }
+
+    /// Mutable access to the local node's protocol state.
+    pub fn state(&mut self) -> &mut NodeState {
+        &mut self.nodes[self.node.index()]
+    }
+
+    /// The engine RNG (the single source of all protocol-level randomness,
+    /// so runs stay deterministic per seed).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// The metrics sink.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+
+    /// Queues a deferred transport action.
+    pub fn push(&mut self, effect: Effect) {
+        self.outbox.push(effect);
+    }
+
+    /// The configured k-successor replication factor (`0` = replication
+    /// off; handlers skip cloning entries for [`Effect::Replicate`] then).
+    pub fn repl_k(&self) -> usize {
+        self.config.fault.replication
+    }
+
+    /// An empty match accumulator honoring the retention setting.
+    pub fn new_matches(&self) -> Matches {
+        Matches::new(self.config.retain_notifications)
+    }
+
+    /// Asks the rewriter responsible for `id` for its `(count, distinct)`
+    /// arrival statistics of `(relation, attr)`, paying the probe traffic
+    /// (Section 4.3.6: "any node can simply ask the two possible rewriter
+    /// nodes before indexing a query").
+    pub fn probe_arrival_stats(
+        &mut self,
+        relation: &str,
+        attr: &str,
+        id: Id,
+    ) -> Result<(u64, usize)> {
+        let (owner, hops) = self.ring.route_owner(self.node, id)?;
+        // request hops + one direct response hop
+        self.metrics.record_traffic(TrafficKind::Probe, hops + 1);
+        Ok(self.nodes[owner.index()].arrival_stats(relation, attr))
+    }
+
+    /// A typed protocol-violation error (a handler received a message its
+    /// algorithm never produces).
+    pub fn violation(&self, detail: impl Into<String>) -> EngineError {
+        EngineError::Protocol {
+            detail: detail.into(),
+        }
+    }
+}
+
+/// One of the paper's evaluation algorithms, expressed as a set of message
+/// handlers over [`NodeCtx`].
+///
+/// The orchestrator ([`crate::network::Network`]) owns the message loop and
+/// the storage-level messages (query indexing, notification storage,
+/// replica mirroring); everything algorithm-specific goes through this
+/// trait:
+///
+/// | event | handler | paper |
+/// |---|---|---|
+/// | query posed            | [`Protocol::on_pose_query`]      | 4.3.1 / 4.4.1 |
+/// | tuple published        | [`Protocol::on_publish_tuple`]   | 4.2 |
+/// | tuple at attr level    | [`Protocol::on_tuple_arrival`]   | 4.3.2 / 4.4 / 4.5 |
+/// | tuple at value level   | [`Protocol::on_value_tuple`]     | 4.3.4 |
+/// | rewritten queries      | [`Protocol::on_rewritten_query`] | 4.3.3 / 4.4.2 / 4.4.3 |
+/// | combined DAI-V message | [`Protocol::on_join_message`]    | 4.5 |
+///
+/// Handlers receiving a message their algorithm never produces return a
+/// typed [`EngineError::Protocol`] (the defaults below) instead of
+/// panicking.
+pub trait Protocol: Send + Sync {
+    /// Short display name (e.g. `"SAI"`).
+    fn name(&self) -> &'static str;
+
+    /// Rejects query classes the algorithm cannot evaluate (e.g. type-T2
+    /// queries outside DAI-V, Section 4.5). Checked at pose time, before
+    /// any state changes.
+    fn validate_query(&self, query: &JoinQuery) -> Result<()>;
+
+    /// The attribute a query is indexed by on `side`: the join attribute
+    /// for T1 queries, a pseudo-random attribute of the condition
+    /// expression for T2 (Section 4.5).
+    fn index_attr(&self, ctx: &mut NodeCtx<'_>, query: &JoinQuery, side: Side) -> String;
+
+    /// A query is posed at `ctx.node()`: choose the index side(s) and emit
+    /// the attribute-level `IndexQuery` batch.
+    fn on_pose_query(&self, ctx: &mut NodeCtx<'_>, query: &QueryRef) -> Result<()>;
+
+    /// A tuple is published at `ctx.node()`: emit the attribute-level (and,
+    /// per algorithm, value-level) tuple-indexing batch.
+    fn on_publish_tuple(&self, ctx: &mut NodeCtx<'_>, tuple: &Arc<Tuple>) -> Result<()>;
+
+    /// A tuple arrives at a rewriter (attribute level): trigger, rewrite
+    /// and reindex the stored queries of the addressed replica.
+    fn on_tuple_arrival(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        tuple: Arc<Tuple>,
+        attr: String,
+        index_id: Id,
+    ) -> Result<()>;
+
+    /// A tuple arrives at an evaluator (value level). Only algorithms that
+    /// index tuples at the value level see this message.
+    fn on_value_tuple(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        tuple: Arc<Tuple>,
+        attr: String,
+        index_id: Id,
+    ) -> Result<()> {
+        let _ = (tuple, attr, index_id);
+        Err(ctx.violation(format!(
+            "{} does not index tuples at the value level",
+            self.name()
+        )))
+    }
+
+    /// A batch of rewritten queries arrives at an evaluator.
+    fn on_rewritten_query(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        items: Vec<RewrittenQuery>,
+        index_id: Id,
+    ) -> Result<()> {
+        let _ = (items, index_id);
+        Err(ctx.violation(format!("{} does not use plain join messages", self.name())))
+    }
+
+    /// DAI-V's combined join message arrives at an evaluator.
+    fn on_join_message(&self, ctx: &mut NodeCtx<'_>, join: ValueJoin) -> Result<()> {
+        let _ = join;
+        Err(ctx.violation(format!(
+            "{} does not use combined join-v messages",
+            self.name()
+        )))
+    }
+}

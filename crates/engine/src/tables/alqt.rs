@@ -135,7 +135,8 @@ impl Alqt {
 mod tests {
     use super::*;
     use cq_relational::{
-        Catalog, DataType, Expr, JoinQuery, QueryKey, RelationSchema, SelectItem, Timestamp,
+        Catalog, DataType, Expr, JoinQuery, QueryKey, QuerySpec, RelationSchema, SelectItem,
+        Timestamp,
     };
     use std::sync::Arc;
 
@@ -151,18 +152,18 @@ mod tests {
     fn query(c: &Catalog, n: u64) -> QueryRef {
         Arc::new(
             JoinQuery::new(
-                QueryKey::derive("node", n),
-                "node",
-                Timestamp(0),
-                "R",
-                "S",
-                vec![SelectItem {
-                    side: Side::Left,
-                    attr: "A".into(),
-                }],
-                Expr::attr("B"),
-                Expr::attr("C"),
-                vec![],
+                QuerySpec {
+                    key: QueryKey::derive("node", n),
+                    subscriber: "node".into(),
+                    ins_time: Timestamp(0),
+                    relations: ["R".into(), "S".into()],
+                    select: vec![SelectItem {
+                        side: Side::Left,
+                        attr: "A".into(),
+                    }],
+                    conditions: [Expr::attr("B"), Expr::attr("C")],
+                    filters: vec![],
+                },
                 c,
             )
             .unwrap(),

@@ -128,8 +128,8 @@ impl Vlqt {
 mod tests {
     use super::*;
     use cq_relational::{
-        Catalog, DataType, Expr, JoinQuery, QueryKey, RelationSchema, SelectItem, Side, Timestamp,
-        Tuple, Value,
+        Catalog, DataType, Expr, JoinQuery, QueryKey, QuerySpec, RelationSchema, SelectItem, Side,
+        Timestamp, Tuple, Value,
     };
     use std::sync::Arc;
 
@@ -141,18 +141,18 @@ mod tests {
             .unwrap();
         let q = Arc::new(
             JoinQuery::new(
-                QueryKey::derive("node", 0),
-                "node",
-                Timestamp(0),
-                "R",
-                "S",
-                vec![SelectItem {
-                    side: Side::Left,
-                    attr: "A".into(),
-                }],
-                Expr::attr("B"),
-                Expr::attr("C"),
-                vec![],
+                QuerySpec {
+                    key: QueryKey::derive("node", 0),
+                    subscriber: "node".into(),
+                    ins_time: Timestamp(0),
+                    relations: ["R".into(), "S".into()],
+                    select: vec![SelectItem {
+                        side: Side::Left,
+                        attr: "A".into(),
+                    }],
+                    conditions: [Expr::attr("B"), Expr::attr("C")],
+                    filters: vec![],
+                },
                 &c,
             )
             .unwrap(),

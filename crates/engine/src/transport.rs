@@ -1,0 +1,465 @@
+//! The transport layer: message queues, multisend routing, JFRT-assisted
+//! sends, the fault-injection pump with reliable delivery, and k-successor
+//! replica mirroring.
+//!
+//! This layer moves [`Message`]s between nodes and accounts the traffic; it
+//! never inspects algorithm-specific payloads. Algorithm logic lives behind
+//! [`crate::protocol::Protocol`], and the message loop that ties the two
+//! together is in [`crate::network::Network`].
+
+use std::collections::VecDeque;
+
+use cq_fasthash::FxHashMap;
+use cq_overlay::{Id, NodeHandle};
+use cq_relational::Notification;
+use rand::Rng;
+
+use crate::error::Result;
+use crate::faults::{Delivery, FaultPipe, MsgId};
+use crate::indexing;
+use crate::jfrt::JfrtLookup;
+use crate::messages::Message;
+use crate::metrics::TrafficKind;
+use crate::network::Network;
+use crate::protocol::Matches;
+use crate::replication::ReplicaItem;
+
+/// One enqueued protocol message: the payload plus the transport envelope
+/// the reliable-delivery layer needs (sender, resolved receiver, target
+/// identifier, and whether retransmissions re-route by identifier).
+pub(crate) struct Pending {
+    /// Sending node (retransmissions originate here).
+    pub(crate) from: NodeHandle,
+    /// Resolved receiver.
+    pub(crate) to: NodeHandle,
+    /// The identifier the message was addressed to.
+    pub(crate) target: Id,
+    /// `true` for identifier-routed messages (retransmissions re-resolve the
+    /// owner), `false` for node-addressed ones (direct notifications,
+    /// replicas) which die with their receiver.
+    pub(crate) reroute: bool,
+    /// The payload.
+    pub(crate) msg: Message,
+}
+
+/// Transport state owned by the network: the in-flight message queue and
+/// the optional fault-injection pipe.
+pub(crate) struct Transport {
+    /// FIFO queue of sent-but-not-yet-handled messages.
+    pub(crate) pending: VecDeque<Pending>,
+    /// The fault-injection + reliable-delivery pipe; `None` when message
+    /// delivery is perfect (the default), in which case `pending` is
+    /// drained FIFO exactly as the original engine did.
+    pub(crate) pipe: Option<Box<FaultPipe>>,
+}
+
+impl Transport {
+    /// Perfect-delivery transport (`pipe` installed separately when faults
+    /// are configured).
+    pub(crate) fn new(pipe: Option<Box<FaultPipe>>) -> Self {
+        Transport {
+            pending: VecDeque::new(),
+            pipe,
+        }
+    }
+}
+
+// The sending half: how messages leave a node. These are inherent methods
+// of `Network` operating on the transport state; they touch routing, hop
+// accounting and queues only — never algorithm logic.
+impl Network {
+    /// Sends a batch of messages from `node` using the configured multisend
+    /// design, accounting traffic, and enqueues them at their owners.
+    pub(crate) fn dispatch_from(
+        &mut self,
+        node: NodeHandle,
+        targets: Vec<(Id, Message)>,
+        kind: TrafficKind,
+    ) -> Result<()> {
+        if targets.is_empty() {
+            return Ok(());
+        }
+        let ids: Vec<Id> = targets.iter().map(|(id, _)| *id).collect();
+        let outcome = if self.config.recursive_multisend {
+            self.ring.multisend_recursive(node, &ids)?
+        } else {
+            self.ring.multisend_iterative(node, &ids)?
+        };
+        self.metrics
+            .record_traffic_batch(kind, targets.len() as u64, outcome.total_hops);
+        let mut by_id: FxHashMap<Id, Vec<Message>> =
+            FxHashMap::with_capacity_and_hasher(targets.len(), Default::default());
+        for (id, msg) in targets {
+            by_id.entry(id).or_default().push(msg);
+        }
+        for (owner, ids) in outcome.deliveries {
+            for id in ids {
+                for msg in by_id.remove(&id).into_iter().flatten() {
+                    self.transport.pending.push_back(Pending {
+                        from: node,
+                        to: owner,
+                        target: id,
+                        reroute: true,
+                        msg,
+                    });
+                }
+            }
+        }
+        debug_assert!(by_id.is_empty(), "every target id must be delivered");
+        Ok(())
+    }
+
+    /// Sends one message from a rewriter toward a value-level identifier,
+    /// consulting the JFRT when enabled (Section 4.7).
+    pub(crate) fn send_via_jfrt(&mut self, from: NodeHandle, id: Id, msg: Message) -> Result<()> {
+        let owner = if self.config.use_jfrt {
+            let lookup = {
+                let ring = &self.ring;
+                self.nodes[from.index()]
+                    .jfrt
+                    .lookup(id, |h, id| ring.node(h).is_alive() && ring.owns(h, id))
+            };
+            match lookup {
+                JfrtLookup::Hit(owner) => {
+                    self.metrics.record_traffic(TrafficKind::Reindex, 1);
+                    owner
+                }
+                JfrtLookup::Miss => {
+                    let (owner, hops) = self.ring.route_owner(from, id)?;
+                    self.metrics.record_traffic(TrafficKind::Reindex, hops);
+                    self.nodes[from.index()].jfrt.record(id, owner);
+                    owner
+                }
+                JfrtLookup::Stale(_) => {
+                    // one wasted hop to the stale node, then ordinary routing
+                    let (owner, hops) = self.ring.route_owner(from, id)?;
+                    self.metrics.record_traffic(TrafficKind::Reindex, hops + 1);
+                    self.nodes[from.index()].jfrt.record(id, owner);
+                    owner
+                }
+            }
+        } else {
+            let (owner, hops) = self.ring.route_owner(from, id)?;
+            self.metrics.record_traffic(TrafficKind::Reindex, hops);
+            owner
+        };
+        self.transport.pending.push_back(Pending {
+            from,
+            to: owner,
+            target: id,
+            reroute: true,
+            msg,
+        });
+        Ok(())
+    }
+
+    /// Enqueues a node-addressed message (direct notification or replica):
+    /// the receiver is known by handle, and retransmissions never re-route.
+    pub(crate) fn push_direct(&mut self, from: NodeHandle, to: NodeHandle, msg: Message) {
+        self.transport.pending.push_back(Pending {
+            from,
+            to,
+            target: self.ring.id_of(to),
+            reroute: false,
+            msg,
+        });
+    }
+
+    /// Mirrors one freshly inserted primary item onto `at`'s `k` first alive
+    /// successors (no-op when replication is off).
+    pub(crate) fn replicate(&mut self, at: NodeHandle, item: ReplicaItem) {
+        let k = self.repl_k();
+        if k == 0 {
+            return;
+        }
+        for succ in self.ring.successors_of(at, k) {
+            self.metrics.faults.replica_messages += 1;
+            self.push_direct(
+                at,
+                succ,
+                Message::Replicate {
+                    item: Box::new(item.clone()),
+                },
+            );
+        }
+    }
+
+    /// Processes queued protocol messages until quiescence — through the
+    /// perfect FIFO queue by default, or through the fault-injection pipe
+    /// when one is configured.
+    pub(crate) fn process_all(&mut self) -> Result<()> {
+        if self.transport.pipe.is_some() {
+            let mut pipe = self.transport.pipe.take().expect("checked above");
+            let result = self.pump_faulty(&mut pipe);
+            self.transport.pipe = Some(pipe);
+            result
+        } else {
+            while let Some(p) = self.transport.pending.pop_front() {
+                self.dispatch(p.to, p.msg)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// The tick-based message pump used when faults are injected: sends pass
+    /// through loss/duplication/delay draws, receivers dedup on `(sender,
+    /// seq)`, unacknowledged messages retransmit with exponential backoff,
+    /// and abrupt node failures strike between ticks.
+    fn pump_faulty(&mut self, pipe: &mut FaultPipe) -> Result<()> {
+        loop {
+            // Fold freshly produced sends into the pipe (handlers and
+            // promotions push onto `pending`).
+            while let Some(p) = self.transport.pending.pop_front() {
+                self.transmit(pipe, p);
+            }
+            if !pipe.busy() {
+                return Ok(());
+            }
+            pipe.tick += 1;
+            self.inject_failures(pipe)?;
+            let now = pipe.tick;
+            for delivery in pipe.in_flight.remove(&now).unwrap_or_default() {
+                match delivery {
+                    Delivery::Data { id, to, msg } => {
+                        if !self.ring.node(to).is_alive() {
+                            self.metrics.faults.messages_lost += 1;
+                            continue;
+                        }
+                        if pipe.record_arrival(id, to) {
+                            self.metrics.faults.dedup_suppressed += 1;
+                        } else {
+                            self.dispatch(to, msg)?;
+                        }
+                        // Ack every arrival (a duplicate usually means the
+                        // previous ack was lost). Acks are subject to loss
+                        // like any transmission.
+                        if pipe.cfg.retries_enabled() {
+                            if let Some(o) = pipe.outstanding.get(&id) {
+                                let sender = o.from;
+                                if pipe.cfg.loss_rate > 0.0
+                                    && pipe.rng.gen::<f64>() < pipe.cfg.loss_rate
+                                {
+                                    self.metrics.faults.messages_lost += 1;
+                                } else {
+                                    pipe.schedule(now + 1, Delivery::Ack { id, to: sender });
+                                }
+                            }
+                        }
+                    }
+                    Delivery::Ack { id, to } => {
+                        // An ack addressed to a node that died in flight
+                        // never closes the window; `maybe_retransmit` drops
+                        // the dead sender's window on its next firing.
+                        if self.ring.node(to).is_alive() {
+                            pipe.outstanding.remove(&id);
+                        }
+                    }
+                }
+            }
+            for id in pipe.retry_at.remove(&now).unwrap_or_default() {
+                self.maybe_retransmit(pipe, id, now);
+            }
+        }
+    }
+
+    /// Registers one fresh send with the pipe: assigns a `(sender, seq)`
+    /// identifier, opens the ack window when retries are enabled, and
+    /// schedules the transmission copies through the fault draws.
+    fn transmit(&mut self, pipe: &mut FaultPipe, p: Pending) {
+        let id = pipe.alloc_seq(p.from);
+        if pipe.cfg.retries_enabled() {
+            pipe.open_window(id, &p.from, p.target, p.reroute, &p.to, &p.msg);
+            pipe.schedule_retry(pipe.tick + pipe.cfg.ack_timeout, id);
+        }
+        self.schedule_copies(pipe, id, p.to, p.msg);
+    }
+
+    /// Draws duplication, loss and delay for one logical transmission and
+    /// schedules the surviving copies.
+    fn schedule_copies(&mut self, pipe: &mut FaultPipe, id: MsgId, to: NodeHandle, msg: Message) {
+        let mut copies = 1u32;
+        if pipe.cfg.duplicate_rate > 0.0 && pipe.rng.gen::<f64>() < pipe.cfg.duplicate_rate {
+            copies = 2;
+            self.metrics.faults.messages_duplicated += 1;
+        }
+        for _ in 0..copies {
+            if pipe.cfg.loss_rate > 0.0 && pipe.rng.gen::<f64>() < pipe.cfg.loss_rate {
+                self.metrics.faults.messages_lost += 1;
+                continue;
+            }
+            let mut at = pipe.tick + 1;
+            if pipe.cfg.delay_rate > 0.0
+                && pipe.cfg.max_delay > 0
+                && pipe.rng.gen::<f64>() < pipe.cfg.delay_rate
+            {
+                at += pipe.rng.gen_range(1..=pipe.cfg.max_delay);
+            }
+            pipe.schedule(
+                at,
+                Delivery::Data {
+                    id,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+
+    /// A retry check fired for `id`: if the message is still unacknowledged,
+    /// retransmit it (re-resolving the owner for identifier-routed messages)
+    /// and schedule the next check with exponential backoff.
+    fn maybe_retransmit(&mut self, pipe: &mut FaultPipe, id: MsgId, now: u64) {
+        let Some(mut o) = pipe.take_outstanding(id) else {
+            return; // acknowledged in the meantime
+        };
+        if !self.ring.node(o.from).is_alive() || o.attempt >= pipe.cfg.max_retries {
+            return; // sender died, or we give up
+        }
+        o.attempt += 1;
+        let next = now + pipe.backoff(o.attempt);
+        if o.reroute {
+            match self.ring.route_owner(o.from, o.target) {
+                Ok((owner, hops)) => {
+                    o.to = owner;
+                    self.metrics.faults.retransmission_hops += hops as u64;
+                }
+                Err(_) => {
+                    // The overlay is mid-repair; keep the window open and
+                    // try again after the backoff.
+                    pipe.reopen_window(id, o);
+                    pipe.schedule_retry(next, id);
+                    return;
+                }
+            }
+        } else {
+            if !self.ring.node(o.to).is_alive() {
+                return; // node-addressed and the receiver is gone
+            }
+            self.metrics.faults.retransmission_hops += 1;
+        }
+        self.metrics.faults.retransmissions += 1;
+        self.schedule_copies(pipe, id, o.to, o.msg.clone());
+        pipe.reopen_window(id, o);
+        pipe.schedule_retry(next, id);
+    }
+
+    /// Injects scheduled and rate-driven abrupt node failures for the
+    /// current tick, then repairs pointers and promotes replicas.
+    fn inject_failures(&mut self, pipe: &mut FaultPipe) -> Result<()> {
+        let mut failed = false;
+        while pipe.sched_idx < pipe.cfg.scheduled_failures.len()
+            && pipe.cfg.scheduled_failures[pipe.sched_idx] <= pipe.tick
+        {
+            pipe.sched_idx += 1;
+            failed |= self.fail_random_alive(pipe);
+        }
+        if pipe.cfg.failure_rate > 0.0
+            && pipe.failures_injected < pipe.cfg.max_failures
+            && pipe.rng.gen::<f64>() < pipe.cfg.failure_rate
+            && self.fail_random_alive(pipe)
+        {
+            pipe.failures_injected += 1;
+            failed = true;
+        }
+        if failed {
+            self.ring.stabilize_all(1);
+            self.promote_replicas()?;
+        }
+        Ok(())
+    }
+
+    /// Abruptly fails one pseudo-random alive node (never the last one).
+    /// Returns whether a node was failed.
+    fn fail_random_alive(&mut self, pipe: &mut FaultPipe) -> bool {
+        if self.ring.len() <= 1 {
+            return false;
+        }
+        let i = pipe.rng.gen_range(0..self.ring.len());
+        let victim = self.ring.alive_nodes().nth(i).expect("index in range");
+        self.fail_node_state(victim).is_ok()
+    }
+
+    /// Delivers accumulated join matches to their subscribers (Section 4.6).
+    pub(crate) fn deliver_matches(&mut self, from: NodeHandle, matches: Matches) -> Result<()> {
+        match matches {
+            Matches::Full(notifications) => self.deliver_notifications(from, notifications),
+            Matches::Counts(counts) => {
+                for (subscriber, count) in counts {
+                    if count == 0 {
+                        continue;
+                    }
+                    self.metrics.notifications_delivered += count;
+                    match self.subscribers.get(&subscriber) {
+                        Some(&h) if self.ring.node(h).is_alive() => {
+                            self.metrics.record_traffic(TrafficKind::Notify, 1);
+                        }
+                        _ => {
+                            self.metrics.notifications_stored_offline += count;
+                            let id = indexing::subscriber_id(self.ring.space(), &subscriber);
+                            let (_, hops) = self.ring.route_owner(from, id)?;
+                            self.metrics.record_traffic(TrafficKind::Notify, hops);
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Full-retention delivery: every batch becomes a real protocol message
+    /// ([`Message::Notify`] for online subscribers, routed
+    /// [`Message::StoreNotifications`] otherwise), so the fault layer can
+    /// lose, duplicate and retransmit deliveries like any other traffic.
+    /// `notifications_delivered` is counted by the receiving handlers — at
+    /// actual inbox/offline-store arrival — fixing the old skew where sends
+    /// were counted before (or without) storage happening.
+    fn deliver_notifications(
+        &mut self,
+        from: NodeHandle,
+        notifications: Vec<Notification>,
+    ) -> Result<()> {
+        if notifications.is_empty() {
+            return Ok(());
+        }
+        // Group notifications per receiver into one message.
+        let mut by_subscriber: FxHashMap<String, Vec<Notification>> = FxHashMap::default();
+        for n in notifications {
+            by_subscriber
+                .entry(n.subscriber.clone())
+                .or_default()
+                .push(n);
+        }
+        for (subscriber, batch) in by_subscriber {
+            match self.subscribers.get(&subscriber) {
+                Some(&h) if self.ring.node(h).is_alive() => {
+                    // Online at a known IP: one direct hop.
+                    self.metrics.record_traffic(TrafficKind::Notify, 1);
+                    self.push_direct(
+                        from,
+                        h,
+                        Message::Notify {
+                            notifications: batch,
+                        },
+                    );
+                }
+                _ => {
+                    // Offline: route toward Successor(Id(n)) and store there.
+                    let id = indexing::subscriber_id(self.ring.space(), &subscriber);
+                    let (owner, hops) = self.ring.route_owner(from, id)?;
+                    self.metrics.record_traffic(TrafficKind::Notify, hops);
+                    self.transport.pending.push_back(Pending {
+                        from,
+                        to: owner,
+                        target: id,
+                        reroute: true,
+                        msg: Message::StoreNotifications {
+                            subscriber_id: id,
+                            notifications: batch,
+                        },
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -7,8 +7,8 @@ use std::sync::Arc;
 use cq_engine::tables::{Alqt, StoredQuery, StoredTuple, Vltt};
 use cq_overlay::Id;
 use cq_relational::{
-    Catalog, DataType, Expr, JoinQuery, QueryKey, RelationSchema, SelectItem, Side, Timestamp,
-    Tuple, Value,
+    Catalog, DataType, Expr, JoinQuery, QueryKey, QuerySpec, RelationSchema, SelectItem, Side,
+    Timestamp, Tuple, Value,
 };
 use proptest::prelude::*;
 
@@ -34,15 +34,15 @@ proptest! {
         for (i, &id) in ids.iter().enumerate() {
             let q = Arc::new(
                 JoinQuery::new(
-                    QueryKey::derive("n", i as u64),
-                    "n",
-                    Timestamp(0),
-                    "R",
-                    "S",
-                    vec![SelectItem { side: Side::Left, attr: "A".into() }],
-                    Expr::attr("B"),
-                    Expr::attr("C"),
-                    vec![],
+                    QuerySpec {
+                        key: QueryKey::derive("n", i as u64),
+                        subscriber: "n".into(),
+                        ins_time: Timestamp(0),
+                        relations: ["R".into(), "S".into()],
+                        select: vec![SelectItem { side: Side::Left, attr: "A".into() }],
+                        conditions: [Expr::attr("B"), Expr::attr("C")],
+                        filters: vec![],
+                    },
                     &c,
                 )
                 .unwrap(),

@@ -48,7 +48,7 @@ pub mod value;
 pub use error::{RelationalError, Result};
 pub use expr::{BinOp, Expr};
 pub use parser::{parse_query, ParsedQuery};
-pub use query::{Filter, JoinQuery, QueryKey, QueryRef, QueryType, SelectItem, Side};
+pub use query::{Filter, JoinQuery, QueryKey, QueryRef, QuerySpec, QueryType, SelectItem, Side};
 pub use rewrite::{MatchTarget, Notification, RewrittenQuery};
 pub use schema::{Attribute, Catalog, RelationSchema};
 pub use tuple::Tuple;

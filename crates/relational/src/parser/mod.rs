@@ -15,7 +15,7 @@ pub use lexer::{lex, Token, TokenKind};
 
 use crate::error::{RelationalError, Result};
 use crate::expr::{BinOp, Expr};
-use crate::query::{Filter, JoinQuery, QueryKey, SelectItem, Side};
+use crate::query::{Filter, JoinQuery, QueryKey, QuerySpec, SelectItem, Side};
 use crate::schema::Catalog;
 use crate::value::{Timestamp, Value};
 
@@ -67,15 +67,15 @@ impl ParsedQuery {
         catalog: &Catalog,
     ) -> Result<JoinQuery> {
         JoinQuery::new(
-            key,
-            subscriber,
-            ins_time,
-            self.left_relation,
-            self.right_relation,
-            self.select,
-            self.cond_left,
-            self.cond_right,
-            self.filters,
+            QuerySpec {
+                key,
+                subscriber: subscriber.into(),
+                ins_time,
+                relations: [self.left_relation, self.right_relation],
+                select: self.select,
+                conditions: [self.cond_left, self.cond_right],
+                filters: self.filters,
+            },
             catalog,
         )
     }

@@ -110,6 +110,29 @@ pub enum QueryType {
     T2,
 }
 
+/// The unvalidated components of a [`JoinQuery`], in clause order.
+///
+/// Passed to [`JoinQuery::new`], which validates them against the catalog.
+/// `relations` and `conditions` are `[left, right]` arrays, mirroring the
+/// query's internal per-[`Side`] representation.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// The query's unique key `Key(q)`.
+    pub key: QueryKey,
+    /// Key of the posing node (notification destination).
+    pub subscriber: String,
+    /// Insertion time `insT(q)`.
+    pub ins_time: Timestamp,
+    /// The two `FROM` relations, left first.
+    pub relations: [String; 2],
+    /// The `SELECT` list.
+    pub select: Vec<SelectItem>,
+    /// The two join-condition sides (`α`, `β`), left first.
+    pub conditions: [Expr; 2],
+    /// Extra `attr = const` conjuncts.
+    pub filters: Vec<Filter>,
+}
+
 /// A validated continuous two-way equi-join query.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JoinQuery {
@@ -129,20 +152,16 @@ impl JoinQuery {
     /// every referenced attribute exists, each condition side references at
     /// least one attribute of its own relation, and the select list is
     /// non-empty.
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        key: QueryKey,
-        subscriber: impl Into<String>,
-        ins_time: Timestamp,
-        left_relation: impl Into<String>,
-        right_relation: impl Into<String>,
-        select: Vec<SelectItem>,
-        cond_left: Expr,
-        cond_right: Expr,
-        filters: Vec<Filter>,
-        catalog: &Catalog,
-    ) -> Result<Self> {
-        let relations = [left_relation.into(), right_relation.into()];
+    pub fn new(spec: QuerySpec, catalog: &Catalog) -> Result<Self> {
+        let QuerySpec {
+            key,
+            subscriber,
+            ins_time,
+            relations,
+            select,
+            conditions,
+            filters,
+        } = spec;
         if relations[0] == relations[1] {
             return Err(RelationalError::UnsupportedQuery {
                 detail: format!(
@@ -161,7 +180,6 @@ impl JoinQuery {
             let schema = schemas[item.side.idx()];
             schema.index_of(&item.attr)?;
         }
-        let conditions = [cond_left, cond_right];
         for side in Side::BOTH {
             let expr = &conditions[side.idx()];
             let attrs = expr.attributes();
@@ -191,7 +209,7 @@ impl JoinQuery {
         }
         Ok(JoinQuery {
             key,
-            subscriber: subscriber.into(),
+            subscriber,
             ins_time,
             relations,
             select,
@@ -390,26 +408,37 @@ mod tests {
         c
     }
 
+    fn spec(counter: u64, node: &str) -> QuerySpec {
+        QuerySpec {
+            key: QueryKey::derive(node, counter),
+            subscriber: node.into(),
+            ins_time: Timestamp(0),
+            relations: ["R".into(), "S".into()],
+            select: vec![SelectItem {
+                side: Side::Left,
+                attr: "A".into(),
+            }],
+            conditions: [Expr::attr("C"), Expr::attr("E")],
+            filters: vec![],
+        }
+    }
+
     fn t1_query(c: &Catalog) -> JoinQuery {
         JoinQuery::new(
-            QueryKey::derive("n1", 0),
-            "n1",
-            Timestamp(10),
-            "R",
-            "S",
-            vec![
-                SelectItem {
-                    side: Side::Left,
-                    attr: "A".into(),
-                },
-                SelectItem {
-                    side: Side::Right,
-                    attr: "D".into(),
-                },
-            ],
-            Expr::attr("C"),
-            Expr::attr("E"),
-            vec![],
+            QuerySpec {
+                ins_time: Timestamp(10),
+                select: vec![
+                    SelectItem {
+                        side: Side::Left,
+                        attr: "A".into(),
+                    },
+                    SelectItem {
+                        side: Side::Right,
+                        attr: "D".into(),
+                    },
+                ],
+                ..spec(0, "n1")
+            },
             c,
         )
         .unwrap()
@@ -428,18 +457,13 @@ mod tests {
     fn t2_classification() {
         let c = catalog();
         let q = JoinQuery::new(
-            QueryKey::derive("n1", 1),
-            "n1",
-            Timestamp(0),
-            "R",
-            "S",
-            vec![SelectItem {
-                side: Side::Left,
-                attr: "A".into(),
-            }],
-            Expr::bin(crate::expr::BinOp::Add, Expr::attr("B"), Expr::attr("C")),
-            Expr::attr("E"),
-            vec![],
+            QuerySpec {
+                conditions: [
+                    Expr::bin(crate::expr::BinOp::Add, Expr::attr("B"), Expr::attr("C")),
+                    Expr::attr("E"),
+                ],
+                ..spec(1, "n1")
+            },
             &c,
         )
         .unwrap();
@@ -451,18 +475,11 @@ mod tests {
     fn self_join_rejected() {
         let c = catalog();
         let err = JoinQuery::new(
-            QueryKey::derive("n1", 2),
-            "n1",
-            Timestamp(0),
-            "R",
-            "R",
-            vec![SelectItem {
-                side: Side::Left,
-                attr: "A".into(),
-            }],
-            Expr::attr("B"),
-            Expr::attr("C"),
-            vec![],
+            QuerySpec {
+                relations: ["R".into(), "R".into()],
+                conditions: [Expr::attr("B"), Expr::attr("C")],
+                ..spec(2, "n1")
+            },
             &c,
         )
         .unwrap_err();
@@ -473,18 +490,13 @@ mod tests {
     fn unknown_attribute_rejected() {
         let c = catalog();
         let err = JoinQuery::new(
-            QueryKey::derive("n1", 3),
-            "n1",
-            Timestamp(0),
-            "R",
-            "S",
-            vec![SelectItem {
-                side: Side::Left,
-                attr: "Zzz".into(),
-            }],
-            Expr::attr("C"),
-            Expr::attr("E"),
-            vec![],
+            QuerySpec {
+                select: vec![SelectItem {
+                    side: Side::Left,
+                    attr: "Zzz".into(),
+                }],
+                ..spec(3, "n1")
+            },
             &c,
         )
         .unwrap_err();
@@ -495,22 +507,14 @@ mod tests {
     fn filter_type_mismatch_rejected() {
         let c = catalog();
         let err = JoinQuery::new(
-            QueryKey::derive("n1", 4),
-            "n1",
-            Timestamp(0),
-            "R",
-            "S",
-            vec![SelectItem {
-                side: Side::Left,
-                attr: "A".into(),
-            }],
-            Expr::attr("C"),
-            Expr::attr("E"),
-            vec![Filter {
-                side: Side::Left,
-                attr: "A".into(),
-                value: Value::Str("x".into()),
-            }],
+            QuerySpec {
+                filters: vec![Filter {
+                    side: Side::Left,
+                    attr: "A".into(),
+                    value: Value::Str("x".into()),
+                }],
+                ..spec(4, "n1")
+            },
             &c,
         )
         .unwrap_err();
@@ -521,22 +525,15 @@ mod tests {
     fn triggering_respects_time_and_filters() {
         let c = catalog();
         let q = JoinQuery::new(
-            QueryKey::derive("n1", 5),
-            "n1",
-            Timestamp(10),
-            "R",
-            "S",
-            vec![SelectItem {
-                side: Side::Left,
-                attr: "A".into(),
-            }],
-            Expr::attr("C"),
-            Expr::attr("E"),
-            vec![Filter {
-                side: Side::Left,
-                attr: "B".into(),
-                value: Value::Int(7),
-            }],
+            QuerySpec {
+                ins_time: Timestamp(10),
+                filters: vec![Filter {
+                    side: Side::Left,
+                    attr: "B".into(),
+                    value: Value::Int(7),
+                }],
+                ..spec(5, "n1")
+            },
             &c,
         )
         .unwrap();
@@ -563,18 +560,14 @@ mod tests {
         let c = catalog();
         let q1 = t1_query(&c);
         let q2 = JoinQuery::new(
-            QueryKey::derive("n2", 0),
-            "n2",
-            Timestamp(99),
-            "R",
-            "S",
-            vec![SelectItem {
-                side: Side::Right,
-                attr: "B".into(),
-            }],
-            Expr::attr("C"),
-            Expr::attr("E"),
-            vec![],
+            QuerySpec {
+                ins_time: Timestamp(99),
+                select: vec![SelectItem {
+                    side: Side::Right,
+                    attr: "B".into(),
+                }],
+                ..spec(0, "n2")
+            },
             &c,
         )
         .unwrap();
@@ -586,18 +579,10 @@ mod tests {
         let c = catalog();
         let q1 = t1_query(&c);
         let q3 = JoinQuery::new(
-            QueryKey::derive("n3", 0),
-            "n3",
-            Timestamp(0),
-            "R",
-            "S",
-            vec![SelectItem {
-                side: Side::Left,
-                attr: "A".into(),
-            }],
-            Expr::attr("B"),
-            Expr::attr("E"),
-            vec![],
+            QuerySpec {
+                conditions: [Expr::attr("B"), Expr::attr("E")],
+                ..spec(0, "n3")
+            },
             &c,
         )
         .unwrap();

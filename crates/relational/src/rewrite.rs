@@ -293,7 +293,7 @@ impl fmt::Display for Notification {
 mod tests {
     use super::*;
     use crate::expr::{BinOp, Expr};
-    use crate::query::{Filter, QueryKey, SelectItem};
+    use crate::query::{Filter, QueryKey, QuerySpec, SelectItem};
     use crate::schema::{Catalog, RelationSchema};
     use crate::value::DataType;
 
@@ -307,24 +307,24 @@ mod tests {
         //   SELECT R.A, S.B FROM R, S WHERE R.C = S.C
         let q = Arc::new(
             JoinQuery::new(
-                QueryKey::derive("n", 0),
-                "n",
-                Timestamp(0),
-                "R",
-                "S",
-                vec![
-                    SelectItem {
-                        side: Side::Left,
-                        attr: "A".into(),
-                    },
-                    SelectItem {
-                        side: Side::Right,
-                        attr: "B".into(),
-                    },
-                ],
-                Expr::attr("C"),
-                Expr::attr("C"),
-                vec![],
+                QuerySpec {
+                    key: QueryKey::derive("n", 0),
+                    subscriber: "n".into(),
+                    ins_time: Timestamp(0),
+                    relations: ["R".into(), "S".into()],
+                    select: vec![
+                        SelectItem {
+                            side: Side::Left,
+                            attr: "A".into(),
+                        },
+                        SelectItem {
+                            side: Side::Right,
+                            attr: "B".into(),
+                        },
+                    ],
+                    conditions: [Expr::attr("C"), Expr::attr("C")],
+                    filters: vec![],
+                },
                 &c,
             )
             .unwrap(),
@@ -387,18 +387,18 @@ mod tests {
         let (c, _) = setup();
         let q = Arc::new(
             JoinQuery::new(
-                QueryKey::derive("n", 1),
-                "n",
-                Timestamp(100),
-                "R",
-                "S",
-                vec![SelectItem {
-                    side: Side::Left,
-                    attr: "A".into(),
-                }],
-                Expr::attr("C"),
-                Expr::attr("C"),
-                vec![],
+                QuerySpec {
+                    key: QueryKey::derive("n", 1),
+                    subscriber: "n".into(),
+                    ins_time: Timestamp(100),
+                    relations: ["R".into(), "S".into()],
+                    select: vec![SelectItem {
+                        side: Side::Left,
+                        attr: "A".into(),
+                    }],
+                    conditions: [Expr::attr("C"), Expr::attr("C")],
+                    filters: vec![],
+                },
                 &c,
             )
             .unwrap(),
@@ -512,24 +512,24 @@ mod tests {
         );
         let q = Arc::new(
             JoinQuery::new(
-                QueryKey::derive("n", 0),
-                "n",
-                Timestamp(0),
-                "R",
-                "S",
-                vec![
-                    SelectItem {
-                        side: Side::Left,
-                        attr: "A".into(),
-                    },
-                    SelectItem {
-                        side: Side::Right,
-                        attr: "D".into(),
-                    },
-                ],
-                left,
-                right,
-                vec![],
+                QuerySpec {
+                    key: QueryKey::derive("n", 0),
+                    subscriber: "n".into(),
+                    ins_time: Timestamp(0),
+                    relations: ["R".into(), "S".into()],
+                    select: vec![
+                        SelectItem {
+                            side: Side::Left,
+                            attr: "A".into(),
+                        },
+                        SelectItem {
+                            side: Side::Right,
+                            attr: "D".into(),
+                        },
+                    ],
+                    conditions: [left, right],
+                    filters: vec![],
+                },
                 &c,
             )
             .unwrap(),
@@ -574,22 +574,22 @@ mod tests {
         let (c, _) = setup();
         let q = Arc::new(
             JoinQuery::new(
-                QueryKey::derive("n", 2),
-                "n",
-                Timestamp(0),
-                "R",
-                "S",
-                vec![SelectItem {
-                    side: Side::Right,
-                    attr: "B".into(),
-                }],
-                Expr::attr("C"),
-                Expr::attr("C"),
-                vec![Filter {
-                    side: Side::Left,
-                    attr: "A".into(),
-                    value: Value::Int(9),
-                }],
+                QuerySpec {
+                    key: QueryKey::derive("n", 2),
+                    subscriber: "n".into(),
+                    ins_time: Timestamp(0),
+                    relations: ["R".into(), "S".into()],
+                    select: vec![SelectItem {
+                        side: Side::Right,
+                        attr: "B".into(),
+                    }],
+                    conditions: [Expr::attr("C"), Expr::attr("C")],
+                    filters: vec![Filter {
+                        side: Side::Left,
+                        attr: "A".into(),
+                        value: Value::Int(9),
+                    }],
+                },
                 &c,
             )
             .unwrap(),

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use cq_relational::{
-    parse_query, Catalog, DataType, Expr, JoinQuery, QueryKey, QueryRef, RelationSchema,
+    parse_query, Catalog, DataType, Expr, JoinQuery, QueryKey, QueryRef, QuerySpec, RelationSchema,
     RewrittenQuery, SelectItem, Side, Timestamp, Tuple, Value,
 };
 use proptest::prelude::*;
@@ -42,24 +42,24 @@ fn catalog() -> Catalog {
 fn t1_query(c: &Catalog, ins: u64) -> QueryRef {
     Arc::new(
         JoinQuery::new(
-            QueryKey::derive("n", 0),
-            "n",
-            Timestamp(ins),
-            "R",
-            "S",
-            vec![
-                SelectItem {
-                    side: Side::Left,
-                    attr: "A".into(),
-                },
-                SelectItem {
-                    side: Side::Right,
-                    attr: "D".into(),
-                },
-            ],
-            Expr::attr("B"),
-            Expr::attr("E"),
-            vec![],
+            QuerySpec {
+                key: QueryKey::derive("n", 0),
+                subscriber: "n".into(),
+                ins_time: Timestamp(ins),
+                relations: ["R".into(), "S".into()],
+                select: vec![
+                    SelectItem {
+                        side: Side::Left,
+                        attr: "A".into(),
+                    },
+                    SelectItem {
+                        side: Side::Right,
+                        attr: "D".into(),
+                    },
+                ],
+                conditions: [Expr::attr("B"), Expr::attr("E")],
+                filters: vec![],
+            },
             c,
         )
         .unwrap(),
@@ -164,15 +164,15 @@ proptest! {
             vec![]
         };
         let q = JoinQuery::new(
-            QueryKey::derive("n", 1),
-            "n",
-            Timestamp(0),
-            "R",
-            "S",
-            select,
-            Expr::attr("B"),
-            Expr::attr("E"),
-            filters,
+            QuerySpec {
+                key: QueryKey::derive("n", 1),
+                subscriber: "n".into(),
+                ins_time: Timestamp(0),
+                relations: ["R".into(), "S".into()],
+                select,
+                conditions: [Expr::attr("B"), Expr::attr("E")],
+                filters,
+            },
             &c,
         )
         .unwrap();

@@ -182,7 +182,10 @@ pub fn run(cfg: &RunConfig) -> RunResult {
         seed: cfg.workload.seed,
         fault: cfg.fault.clone(),
     };
-    let mut net = Network::new(engine_cfg, workload.catalog().clone());
+    // The harness picks the protocol explicitly; `Network` stays a pure
+    // orchestrator over whatever strategy object it is handed.
+    let protocol = cq_engine::protocol_for(engine_cfg.algorithm);
+    let mut net = Network::with_protocol(engine_cfg, workload.catalog().clone(), protocol);
 
     // Warm-up stream (before queries exist, so it only builds statistics
     // and value-level tuple stores).
