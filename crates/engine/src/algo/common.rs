@@ -21,6 +21,7 @@ use crate::messages::Message;
 use crate::metrics::TrafficKind;
 use crate::protocol::{Effect, Matches, NodeCtx, Protocol};
 use crate::tables::{StoredQuery, StoredTuple};
+use crate::trace::TraceEvent;
 
 /// Indexes `[T; 2]` probe results by side.
 pub(crate) fn side_slot(side: Side) -> usize {
@@ -256,11 +257,19 @@ pub(crate) fn match_against_vltt(
         .collect();
     ctx.metrics()
         .add_evaluator_filtering(node, candidates.len() as u64);
+    let before = matches.len();
     for t in &candidates {
         if rq.matches(t)? {
             matches.add(rq, t)?;
         }
     }
+    let (tick, produced) = (ctx.tick(), matches.len() - before);
+    ctx.trace(|| TraceEvent::JoinEval {
+        tick,
+        node: node as u32,
+        candidates: candidates.len() as u64,
+        matches: produced,
+    });
     Ok(())
 }
 
@@ -288,12 +297,26 @@ pub(crate) fn match_vlqt_candidates(
             matches.add(rq, tuple)?;
         }
     }
+    let (tick, produced) = (ctx.tick(), matches.len());
+    ctx.trace(|| TraceEvent::JoinEval {
+        tick,
+        node: node as u32,
+        candidates: candidates.len() as u64,
+        matches: produced,
+    });
     Ok(matches)
 }
 
 /// Stores a value-level tuple in the VLTT, mirroring it onto successors
 /// when k-successor replication is on.
 pub(crate) fn store_value_tuple(ctx: &mut NodeCtx<'_>, entry: StoredTuple) {
+    let (tick, node) = (ctx.tick(), ctx.node().index() as u32);
+    ctx.trace(|| TraceEvent::IndexInsert {
+        tick,
+        node,
+        table: "vltt",
+        fresh: true, // the VLTT keeps every arrival (no dedup key)
+    });
     if ctx.repl_k() > 0 {
         ctx.state().vltt.insert(entry.clone());
         ctx.push(Effect::Replicate {

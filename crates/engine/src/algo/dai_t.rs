@@ -16,6 +16,7 @@ use crate::error::{EngineError, Result};
 use crate::protocol::{Effect, NodeCtx, Protocol};
 use crate::replication::ReplicaItem;
 use crate::tables::StoredRewritten;
+use crate::trace::TraceEvent;
 
 /// The DAI-T protocol (Section 4.4.3).
 #[derive(Clone, Copy, Debug, Default)]
@@ -83,15 +84,24 @@ impl Protocol for DaiTProtocol {
         let matches = ctx.new_matches();
         for rq in items {
             let entry = StoredRewritten { index_id, rq };
+            let fresh;
             if ctx.repl_k() > 0 {
-                if ctx.state().vlqt.insert(entry.clone()) {
+                fresh = ctx.state().vlqt.insert(entry.clone());
+                if fresh {
                     ctx.push(Effect::Replicate {
                         item: ReplicaItem::Rewritten(entry),
                     });
                 }
             } else {
-                ctx.state().vlqt.insert(entry);
+                fresh = ctx.state().vlqt.insert(entry);
             }
+            let (tick, node) = (ctx.tick(), ctx.node().index() as u32);
+            ctx.trace(|| TraceEvent::IndexInsert {
+                tick,
+                node,
+                table: "vlqt",
+                fresh,
+            });
         }
         ctx.push(Effect::Deliver { matches });
         Ok(())

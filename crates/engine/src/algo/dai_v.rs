@@ -19,6 +19,7 @@ use crate::messages::{Message, ValueJoin};
 use crate::protocol::{Effect, NodeCtx, Protocol};
 use crate::replication::ReplicaItem;
 use crate::tables::StoredValueTuple;
+use crate::trace::TraceEvent;
 
 /// The DAI-V protocol (Section 4.5).
 #[derive(Clone, Copy, Debug, Default)]
@@ -134,6 +135,7 @@ impl Protocol for DaiVProtocol {
         let other = side.other();
         let node = ctx.node().index();
         let mut matches = ctx.new_matches();
+        let mut checked = 0u64;
         for rq in &items {
             let candidates: Vec<Arc<Tuple>> = ctx
                 .state()
@@ -143,12 +145,26 @@ impl Protocol for DaiVProtocol {
                 .collect();
             ctx.metrics()
                 .add_evaluator_filtering(node, candidates.len() as u64);
+            checked += candidates.len() as u64;
             for t in &candidates {
                 if rq.matches(t)? {
                     matches.add(rq, t)?;
                 }
             }
         }
+        let (tick, produced) = (ctx.tick(), matches.len());
+        ctx.trace(|| TraceEvent::JoinEval {
+            tick,
+            node: node as u32,
+            candidates: checked,
+            matches: produced,
+        });
+        ctx.trace(|| TraceEvent::IndexInsert {
+            tick,
+            node: node as u32,
+            table: "vstore",
+            fresh: true, // the value store keeps every arrival
+        });
         let entry = StoredValueTuple {
             index_id,
             side,

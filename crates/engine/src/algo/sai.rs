@@ -17,6 +17,7 @@ use crate::error::{EngineError, Result};
 use crate::protocol::{Effect, NodeCtx, Protocol};
 use crate::replication::ReplicaItem;
 use crate::tables::{StoredRewritten, StoredTuple};
+use crate::trace::TraceEvent;
 
 /// The SAI protocol (Section 4.3).
 #[derive(Clone, Copy, Debug, Default)]
@@ -139,6 +140,13 @@ impl Protocol for SaiProtocol {
             let fresh = ctx.state().vlqt.insert(StoredRewritten {
                 index_id,
                 rq: rq.clone(),
+            });
+            let (tick, node) = (ctx.tick(), ctx.node().index() as u32);
+            ctx.trace(|| TraceEvent::IndexInsert {
+                tick,
+                node,
+                table: "vlqt",
+                fresh,
             });
             if fresh {
                 if ctx.repl_k() > 0 {

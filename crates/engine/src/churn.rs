@@ -10,6 +10,7 @@ use cq_overlay::{Id, NodeHandle};
 use crate::error::{EngineError, Result};
 use crate::network::Network;
 use crate::replication::ReplicaItem;
+use crate::trace::TraceEvent;
 
 impl Network {
     /// Voluntary departure: the node transfers every key it holds to its
@@ -41,13 +42,46 @@ impl Network {
     /// Ring-level failure plus primary/replica state loss at the victim.
     pub(crate) fn fail_node_state(&mut self, h: NodeHandle) -> Result<()> {
         self.ring.fail(h)?;
+        let node = h.index() as u32;
+        let tick = self.trace_tick();
+        self.trace(|| TraceEvent::NodeFailed { tick, node });
+        let tracing = self.trace_on();
         let st = &mut self.nodes[h.index()];
+        let wiped: [(&'static str, u64); 4] = [
+            ("alqt", st.alqt.len() as u64),
+            ("vlqt", st.vlqt.len() as u64),
+            ("vltt", st.vltt.len() as u64),
+            ("vstore", st.vstore.len() as u64),
+        ];
         st.alqt.drain_all();
         st.vlqt.drain_all();
         st.vltt.drain_all();
         st.vstore.drain_all();
+        let offline = st.offline_store.len() as u64;
         st.offline_store.clear();
         st.replicas.clear();
+        if tracing {
+            for (table, removed) in wiped {
+                if removed > 0 {
+                    self.trace(|| TraceEvent::IndexRemove {
+                        tick,
+                        node,
+                        table,
+                        removed,
+                        reason: "fail",
+                    });
+                }
+            }
+            if offline > 0 {
+                self.trace(|| TraceEvent::IndexRemove {
+                    tick,
+                    node,
+                    table: "offline-store",
+                    removed: offline,
+                    reason: "fail",
+                });
+            }
+        }
         self.metrics.faults.nodes_failed += 1;
         Ok(())
     }
@@ -84,6 +118,8 @@ impl Network {
                 continue;
             }
             self.metrics.faults.replicas_promoted += promoted.len() as u64;
+            let (tick, node, items) = (self.trace_tick(), h.index() as u32, promoted.len() as u64);
+            self.trace(|| TraceEvent::Promote { tick, node, items });
             let mut items: Vec<ReplicaItem> = Vec::with_capacity(promoted.len());
             {
                 let st = &mut self.nodes[h.index()];
@@ -171,34 +207,52 @@ impl Network {
     ) {
         debug_assert_ne!(from, to);
         let (a, b) = (from.index(), to.index());
-        // Split the borrow: `from` and `to` are distinct slots.
-        let (src, dst) = if a < b {
-            let (l, r) = self.nodes.split_at_mut(b);
-            (&mut l[a], &mut r[0])
-        } else {
-            let (l, r) = self.nodes.split_at_mut(a);
-            (&mut r[0], &mut l[b])
-        };
-        for e in src.alqt.extract_where(&pred) {
-            dst.alqt.insert(e);
-        }
-        for e in src.vlqt.extract_where(&pred) {
-            dst.vlqt.insert(e);
-        }
-        for e in src.vltt.extract_where(&pred) {
-            dst.vltt.insert(e);
-        }
-        for (group, value, e) in src.vstore.extract_where(&pred) {
-            dst.vstore.insert(&group, &value, e);
-        }
-        let mut kept = Vec::new();
-        for (id, n) in std::mem::take(&mut src.offline_store) {
-            if pred(id) {
-                dst.offline_store.push((id, n));
+        let mut moved = 0u64;
+        {
+            // Split the borrow: `from` and `to` are distinct slots.
+            let (src, dst) = if a < b {
+                let (l, r) = self.nodes.split_at_mut(b);
+                (&mut l[a], &mut r[0])
             } else {
-                kept.push((id, n));
+                let (l, r) = self.nodes.split_at_mut(a);
+                (&mut r[0], &mut l[b])
+            };
+            for e in src.alqt.extract_where(&pred) {
+                moved += 1;
+                dst.alqt.insert(e);
             }
+            for e in src.vlqt.extract_where(&pred) {
+                moved += 1;
+                dst.vlqt.insert(e);
+            }
+            for e in src.vltt.extract_where(&pred) {
+                moved += 1;
+                dst.vltt.insert(e);
+            }
+            for (group, value, e) in src.vstore.extract_where(&pred) {
+                moved += 1;
+                dst.vstore.insert(&group, &value, e);
+            }
+            let mut kept = Vec::new();
+            for (id, n) in std::mem::take(&mut src.offline_store) {
+                if pred(id) {
+                    moved += 1;
+                    dst.offline_store.push((id, n));
+                } else {
+                    kept.push((id, n));
+                }
+            }
+            src.offline_store = kept;
         }
-        src.offline_store = kept;
+        if moved > 0 {
+            let (tick, node) = (self.trace_tick(), a as u32);
+            self.trace(|| TraceEvent::IndexRemove {
+                tick,
+                node,
+                table: "all",
+                removed: moved,
+                reason: "transfer",
+            });
+        }
     }
 }

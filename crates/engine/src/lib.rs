@@ -58,6 +58,7 @@ pub mod pipeline;
 pub mod protocol;
 pub mod replication;
 pub mod tables;
+pub mod trace;
 mod transport;
 
 pub use algo::protocol_for;
@@ -73,3 +74,7 @@ pub use oracle::Oracle;
 pub use pipeline::Pipeline;
 pub use protocol::{Effect, Matches, NodeCtx, Protocol};
 pub use replication::{PromotedState, ReplicaItem, ReplicaStore};
+pub use trace::{
+    JsonlSink, JsonlSummarySink, NoopSink, RingBufferSink, SummarySink, TeeSink, TraceEvent,
+    TraceSink, TraceSummary,
+};

@@ -35,6 +35,7 @@ use crate::node::NodeState;
 use crate::protocol::{Effect, NodeCtx, Protocol};
 use crate::replication::ReplicaItem;
 use crate::tables::StoredQuery;
+use crate::trace::{TraceEvent, TraceSink};
 use crate::transport::Transport;
 
 /// The whole simulated network.
@@ -55,6 +56,14 @@ pub struct Network {
     outbox: Vec<Effect>,
     /// Transport state: the in-flight queue and the optional fault pipe.
     pub(crate) transport: Transport,
+    /// The trace sink; `None` (the default) keeps every emission site a
+    /// single untaken branch, so the hot path is unchanged.
+    pub(crate) tracer: Option<Arc<dyn TraceSink>>,
+    /// Per-slot send counters backing trace [`MsgId`]s on the perfect
+    /// delivery path (the fault pipe allocates its own when installed).
+    ///
+    /// [`MsgId`]: crate::faults::MsgId
+    pub(crate) trace_seq: Vec<u64>,
     /// `Key(n) → handle` for notification delivery.
     pub(crate) subscribers: FxHashMap<String, NodeHandle>,
     /// Log of every posed query (for oracles and tests).
@@ -97,6 +106,8 @@ impl Network {
             rng: StdRng::seed_from_u64(seed),
             protocol,
             outbox: Vec::new(),
+            tracer: None,
+            trace_seq: Vec::new(),
             transport: Transport::new(pipe),
             subscribers: FxHashMap::default(),
             posed_queries: Vec::new(),
@@ -127,6 +138,49 @@ impl Network {
     /// Collected metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Installs a trace sink; every subsequent engine action emits typed
+    /// [`TraceEvent`]s into it. Sinks observe only — installing one cannot
+    /// change a run's results (see [`crate::trace`]).
+    pub fn set_tracer(&mut self, tracer: Arc<dyn TraceSink>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes the trace sink, returning emission to the zero-cost path.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    /// Emits a [`TraceEvent::Phase`] marker (no-op without a sink) so trace
+    /// consumers can segment a run into named phases.
+    pub fn trace_phase(&self, name: &str) {
+        self.trace(|| TraceEvent::Phase {
+            tick: self.clock.0,
+            name: name.to_string(),
+        });
+    }
+
+    /// Emits one trace event when a sink is installed. Construction is
+    /// deferred behind the closure so the disabled path is a single branch.
+    #[inline]
+    pub(crate) fn trace(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.record(&f());
+        }
+    }
+
+    /// Whether a trace sink is installed (sites that must gather extra data
+    /// — e.g. hop paths — check this before doing the work).
+    #[inline]
+    pub(crate) fn trace_on(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The logical clock value trace events are stamped with.
+    #[inline]
+    pub(crate) fn trace_tick(&self) -> u64 {
+        self.clock.0
     }
 
     /// Resets load/traffic counters (e.g. after a warm-up phase).
@@ -306,7 +360,8 @@ impl Network {
                 &mut self.metrics,
                 &mut self.rng,
                 &mut outbox,
-            );
+            )
+            .with_trace(self.tracer.as_deref(), self.clock.0);
             f(&*protocol, &mut ctx)
         };
         let flushed = self.flush_effects(at, &mut outbox);
@@ -347,11 +402,14 @@ impl Network {
                     index_attr,
                 };
                 if self.repl_k() > 0 {
-                    if self.nodes[at.index()].alqt.insert(entry.clone()) {
+                    let fresh = self.nodes[at.index()].alqt.insert(entry.clone());
+                    self.trace_index_insert(at, "alqt", fresh);
+                    if fresh {
                         self.replicate(at, ReplicaItem::Query(entry));
                     }
                 } else {
-                    self.nodes[at.index()].alqt.insert(entry);
+                    let fresh = self.nodes[at.index()].alqt.insert(entry);
+                    self.trace_index_insert(at, "alqt", fresh);
                 }
                 Ok(())
             }
@@ -377,6 +435,12 @@ impl Network {
                 // send time, so a lost message is never counted delivered.
                 self.metrics.notifications_delivered += notifications.len() as u64;
                 self.metrics.notifications_stored_offline += notifications.len() as u64;
+                self.trace(|| TraceEvent::NotifyDelivered {
+                    tick: self.clock.0,
+                    node: at.index() as u32,
+                    count: notifications.len() as u64,
+                    offline: true,
+                });
                 if self.repl_k() > 0 {
                     for n in &notifications {
                         self.replicate(
@@ -395,6 +459,12 @@ impl Network {
             Message::Notify { notifications } => {
                 // Counted here — at actual inbox arrival.
                 self.metrics.notifications_delivered += notifications.len() as u64;
+                self.trace(|| TraceEvent::NotifyDelivered {
+                    tick: self.clock.0,
+                    node: at.index() as u32,
+                    count: notifications.len() as u64,
+                    offline: false,
+                });
                 self.nodes[at.index()].inbox.extend(notifications);
                 Ok(())
             }
@@ -403,5 +473,16 @@ impl Network {
                 Ok(())
             }
         }
+    }
+
+    /// Emits an [`TraceEvent::IndexInsert`] for a storage-level insert.
+    #[inline]
+    fn trace_index_insert(&self, at: NodeHandle, table: &'static str, fresh: bool) {
+        self.trace(|| TraceEvent::IndexInsert {
+            tick: self.clock.0,
+            node: at.index() as u32,
+            table,
+            fresh,
+        });
     }
 }

@@ -33,6 +33,7 @@ use crate::messages::{Message, ValueJoin};
 use crate::metrics::{Metrics, TrafficKind};
 use crate::node::NodeState;
 use crate::replication::ReplicaItem;
+use crate::trace::{TraceEvent, TraceSink};
 
 /// A deferred transport action emitted by a protocol handler.
 ///
@@ -93,6 +94,20 @@ impl Matches {
         }
     }
 
+    /// Total matches accumulated so far (notification bodies, or the sum of
+    /// the per-subscriber counts).
+    pub fn len(&self) -> u64 {
+        match self {
+            Matches::Full(v) => v.len() as u64,
+            Matches::Counts(c) => c.values().sum(),
+        }
+    }
+
+    /// Whether nothing has matched yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Records that `rq` matched tuple `t`.
     pub fn add(&mut self, rq: &RewrittenQuery, t: &Tuple) -> cq_relational::Result<()> {
         match self {
@@ -126,10 +141,16 @@ pub struct NodeCtx<'a> {
     metrics: &'a mut Metrics,
     rng: &'a mut StdRng,
     outbox: &'a mut Vec<Effect>,
+    /// The trace sink when tracing is on. Handlers emit through
+    /// [`NodeCtx::trace`], which is a single branch when off.
+    tracer: Option<&'a dyn TraceSink>,
+    /// The network's logical clock, stamped onto emitted events.
+    tick: u64,
 }
 
 impl<'a> NodeCtx<'a> {
-    /// Assembles a context for a handler running at `node`.
+    /// Assembles a context for a handler running at `node` (tracing off;
+    /// see [`NodeCtx::with_trace`]).
     pub fn new(
         node: NodeHandle,
         config: &'a EngineConfig,
@@ -147,6 +168,30 @@ impl<'a> NodeCtx<'a> {
             metrics,
             rng,
             outbox,
+            tracer: None,
+            tick: 0,
+        }
+    }
+
+    /// Attaches a trace sink and the logical clock value handler-emitted
+    /// events should carry.
+    pub fn with_trace(mut self, tracer: Option<&'a dyn TraceSink>, tick: u64) -> Self {
+        self.tracer = tracer;
+        self.tick = tick;
+        self
+    }
+
+    /// The logical clock value events are stamped with.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Emits one trace event when tracing is on. The closure defers event
+    /// construction, so the disabled path is a single branch.
+    #[inline]
+    pub fn trace(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = self.tracer {
+            t.record(&f());
         }
     }
 

@@ -23,6 +23,7 @@ use crate::metrics::TrafficKind;
 use crate::network::Network;
 use crate::protocol::Matches;
 use crate::replication::ReplicaItem;
+use crate::trace::TraceEvent;
 
 /// One enqueued protocol message: the payload plus the transport envelope
 /// the reliable-delivery layer needs (sender, resolved receiver, target
@@ -40,6 +41,34 @@ pub(crate) struct Pending {
     pub(crate) reroute: bool,
     /// The payload.
     pub(crate) msg: Message,
+    /// Trace identifier assigned at enqueue on the perfect-delivery path
+    /// (the fault pipe allocates its own in `transmit`). Always `None` when
+    /// tracing is off.
+    pub(crate) trace_id: Option<MsgId>,
+    /// Hop-by-hop route captured at routing time when tracing is on
+    /// (unicast sends only; multisend batch members share a fan-out tree).
+    pub(crate) trace_path: Option<Vec<u32>>,
+}
+
+impl Pending {
+    /// An envelope with tracing fields unset (the enqueue path fills them).
+    pub(crate) fn new(
+        from: NodeHandle,
+        to: NodeHandle,
+        target: Id,
+        reroute: bool,
+        msg: Message,
+    ) -> Self {
+        Pending {
+            from,
+            to,
+            target,
+            reroute,
+            msg,
+            trace_id: None,
+            trace_path: None,
+        }
+    }
 }
 
 /// Transport state owned by the network: the in-flight message queue and
@@ -68,6 +97,52 @@ impl Transport {
 // of `Network` operating on the transport state; they touch routing, hop
 // accounting and queues only — never algorithm logic.
 impl Network {
+    /// Queues one envelope. On the perfect-delivery path with tracing on,
+    /// this is where the send becomes observable: a trace [`MsgId`] is
+    /// allocated and a [`TraceEvent::MsgSend`] emitted (the fault pipe path
+    /// defers both to `transmit`, which owns the real sequence allocator).
+    pub(crate) fn enqueue(&mut self, mut p: Pending) {
+        if self.trace_on() && self.transport.pipe.is_none() {
+            let slot = p.from.index();
+            if slot >= self.trace_seq.len() {
+                self.trace_seq.resize(slot + 1, 0);
+            }
+            let id = (slot as u32, self.trace_seq[slot]);
+            self.trace_seq[slot] += 1;
+            p.trace_id = Some(id);
+            let path = p.trace_path.take();
+            let (tick, to, target, kind) = (self.trace_tick(), p.to, p.target, p.msg.kind());
+            self.trace(|| TraceEvent::MsgSend {
+                tick,
+                node: slot as u32,
+                id,
+                to: to.index() as u32,
+                target,
+                kind,
+                path,
+            });
+        }
+        self.transport.pending.push_back(p);
+    }
+
+    /// Routes `from → id`, returning the owner and hop count — and, only
+    /// when tracing is on, the materialized hop path. [`cq_overlay::Ring::route`]
+    /// walks the identical greedy path as `route_owner`, so hop accounting
+    /// is bit-identical whether or not the path is captured.
+    fn routed_owner(
+        &self,
+        from: NodeHandle,
+        id: Id,
+    ) -> Result<(NodeHandle, usize, Option<Vec<u32>>)> {
+        if self.trace_on() {
+            let mut path = Vec::with_capacity(8);
+            let (owner, hops) = self.ring.route_owner_path(from, id, &mut path)?;
+            Ok((owner, hops, Some(path)))
+        } else {
+            let (owner, hops) = self.ring.route_owner(from, id)?;
+            Ok((owner, hops, None))
+        }
+    }
     /// Sends a batch of messages from `node` using the configured multisend
     /// design, accounting traffic, and enqueues them at their owners.
     pub(crate) fn dispatch_from(
@@ -95,13 +170,7 @@ impl Network {
         for (owner, ids) in outcome.deliveries {
             for id in ids {
                 for msg in by_id.remove(&id).into_iter().flatten() {
-                    self.transport.pending.push_back(Pending {
-                        from: node,
-                        to: owner,
-                        target: id,
-                        reroute: true,
-                        msg,
-                    });
+                    self.enqueue(Pending::new(node, owner, id, true, msg));
                 }
             }
         }
@@ -112,7 +181,7 @@ impl Network {
     /// Sends one message from a rewriter toward a value-level identifier,
     /// consulting the JFRT when enabled (Section 4.7).
     pub(crate) fn send_via_jfrt(&mut self, from: NodeHandle, id: Id, msg: Message) -> Result<()> {
-        let owner = if self.config.use_jfrt {
+        let (owner, path) = if self.config.use_jfrt {
             let lookup = {
                 let ring = &self.ring;
                 self.nodes[from.index()]
@@ -122,47 +191,45 @@ impl Network {
             match lookup {
                 JfrtLookup::Hit(owner) => {
                     self.metrics.record_traffic(TrafficKind::Reindex, 1);
-                    owner
+                    let path = self
+                        .trace_on()
+                        .then(|| vec![from.index() as u32, owner.index() as u32]);
+                    (owner, path)
                 }
                 JfrtLookup::Miss => {
-                    let (owner, hops) = self.ring.route_owner(from, id)?;
+                    let (owner, hops, path) = self.routed_owner(from, id)?;
                     self.metrics.record_traffic(TrafficKind::Reindex, hops);
                     self.nodes[from.index()].jfrt.record(id, owner);
-                    owner
+                    (owner, path)
                 }
                 JfrtLookup::Stale(_) => {
                     // one wasted hop to the stale node, then ordinary routing
-                    let (owner, hops) = self.ring.route_owner(from, id)?;
+                    let (owner, hops, path) = self.routed_owner(from, id)?;
                     self.metrics.record_traffic(TrafficKind::Reindex, hops + 1);
                     self.nodes[from.index()].jfrt.record(id, owner);
-                    owner
+                    (owner, path)
                 }
             }
         } else {
-            let (owner, hops) = self.ring.route_owner(from, id)?;
+            let (owner, hops, path) = self.routed_owner(from, id)?;
             self.metrics.record_traffic(TrafficKind::Reindex, hops);
-            owner
+            (owner, path)
         };
-        self.transport.pending.push_back(Pending {
-            from,
-            to: owner,
-            target: id,
-            reroute: true,
-            msg,
-        });
+        let mut p = Pending::new(from, owner, id, true, msg);
+        p.trace_path = path;
+        self.enqueue(p);
         Ok(())
     }
 
     /// Enqueues a node-addressed message (direct notification or replica):
     /// the receiver is known by handle, and retransmissions never re-route.
     pub(crate) fn push_direct(&mut self, from: NodeHandle, to: NodeHandle, msg: Message) {
-        self.transport.pending.push_back(Pending {
-            from,
-            to,
-            target: self.ring.id_of(to),
-            reroute: false,
-            msg,
-        });
+        let mut p = Pending::new(from, to, self.ring.id_of(to), false, msg);
+        if self.trace_on() {
+            // one direct hop: sender → receiver
+            p.trace_path = Some(vec![from.index() as u32, to.index() as u32]);
+        }
+        self.enqueue(p);
     }
 
     /// Mirrors one freshly inserted primary item onto `at`'s `k` first alive
@@ -174,6 +241,8 @@ impl Network {
         }
         for succ in self.ring.successors_of(at, k) {
             self.metrics.faults.replica_messages += 1;
+            let (tick, node, to) = (self.trace_tick(), at.index() as u32, succ.index() as u32);
+            self.trace(|| TraceEvent::Replicate { tick, node, to });
             self.push_direct(
                 at,
                 succ,
@@ -195,6 +264,15 @@ impl Network {
             result
         } else {
             while let Some(p) = self.transport.pending.pop_front() {
+                if let Some(id) = p.trace_id {
+                    let (tick, node, kind) = (self.trace_tick(), p.to.index() as u32, p.msg.kind());
+                    self.trace(|| TraceEvent::MsgDeliver {
+                        tick,
+                        node,
+                        id,
+                        kind,
+                    });
+                }
                 self.dispatch(p.to, p.msg)?;
             }
             Ok(())
@@ -221,13 +299,31 @@ impl Network {
             for delivery in pipe.in_flight.remove(&now).unwrap_or_default() {
                 match delivery {
                     Delivery::Data { id, to, msg } => {
+                        let node = to.index() as u32;
                         if !self.ring.node(to).is_alive() {
                             self.metrics.faults.messages_lost += 1;
+                            self.trace(|| TraceEvent::FaultDrop {
+                                tick: now,
+                                node,
+                                id,
+                            });
                             continue;
                         }
                         if pipe.record_arrival(id, to) {
                             self.metrics.faults.dedup_suppressed += 1;
+                            self.trace(|| TraceEvent::DedupSuppressed {
+                                tick: now,
+                                node,
+                                id,
+                            });
                         } else {
+                            let kind = msg.kind();
+                            self.trace(|| TraceEvent::MsgDeliver {
+                                tick: now,
+                                node,
+                                id,
+                                kind,
+                            });
                             self.dispatch(to, msg)?;
                         }
                         // Ack every arrival (a duplicate usually means the
@@ -240,6 +336,11 @@ impl Network {
                                     && pipe.rng.gen::<f64>() < pipe.cfg.loss_rate
                                 {
                                     self.metrics.faults.messages_lost += 1;
+                                    self.trace(|| TraceEvent::FaultDrop {
+                                        tick: now,
+                                        node: sender.index() as u32,
+                                        id,
+                                    });
                                 } else {
                                     pipe.schedule(now + 1, Delivery::Ack { id, to: sender });
                                 }
@@ -265,8 +366,22 @@ impl Network {
     /// Registers one fresh send with the pipe: assigns a `(sender, seq)`
     /// identifier, opens the ack window when retries are enabled, and
     /// schedules the transmission copies through the fault draws.
-    fn transmit(&mut self, pipe: &mut FaultPipe, p: Pending) {
+    fn transmit(&mut self, pipe: &mut FaultPipe, mut p: Pending) {
         let id = pipe.alloc_seq(p.from);
+        if self.trace_on() {
+            let path = p.trace_path.take();
+            let (tick, to, target, kind) = (pipe.tick, p.to, p.target, p.msg.kind());
+            let node = p.from.index() as u32;
+            self.trace(|| TraceEvent::MsgSend {
+                tick,
+                node,
+                id,
+                to: to.index() as u32,
+                target,
+                kind,
+                path,
+            });
+        }
         if pipe.cfg.retries_enabled() {
             pipe.open_window(id, &p.from, p.target, p.reroute, &p.to, &p.msg);
             pipe.schedule_retry(pipe.tick + pipe.cfg.ack_timeout, id);
@@ -277,14 +392,19 @@ impl Network {
     /// Draws duplication, loss and delay for one logical transmission and
     /// schedules the surviving copies.
     fn schedule_copies(&mut self, pipe: &mut FaultPipe, id: MsgId, to: NodeHandle, msg: Message) {
+        let node = to.index() as u32;
         let mut copies = 1u32;
         if pipe.cfg.duplicate_rate > 0.0 && pipe.rng.gen::<f64>() < pipe.cfg.duplicate_rate {
             copies = 2;
             self.metrics.faults.messages_duplicated += 1;
+            let tick = pipe.tick;
+            self.trace(|| TraceEvent::FaultDuplicate { tick, node, id });
         }
         for _ in 0..copies {
             if pipe.cfg.loss_rate > 0.0 && pipe.rng.gen::<f64>() < pipe.cfg.loss_rate {
                 self.metrics.faults.messages_lost += 1;
+                let tick = pipe.tick;
+                self.trace(|| TraceEvent::FaultDrop { tick, node, id });
                 continue;
             }
             let mut at = pipe.tick + 1;
@@ -293,6 +413,15 @@ impl Network {
                 && pipe.rng.gen::<f64>() < pipe.cfg.delay_rate
             {
                 at += pipe.rng.gen_range(1..=pipe.cfg.max_delay);
+            }
+            if at > pipe.tick + 1 {
+                let (tick, extra) = (pipe.tick, at - pipe.tick - 1);
+                self.trace(|| TraceEvent::FaultDelay {
+                    tick,
+                    node,
+                    id,
+                    extra,
+                });
             }
             pipe.schedule(
                 at,
@@ -338,6 +467,13 @@ impl Network {
             self.metrics.faults.retransmission_hops += 1;
         }
         self.metrics.faults.retransmissions += 1;
+        let (node, attempt) = (o.from.index() as u32, o.attempt);
+        self.trace(|| TraceEvent::Retransmit {
+            tick: now,
+            node,
+            id,
+            attempt,
+        });
         self.schedule_copies(pipe, id, o.to, o.msg.clone());
         pipe.reopen_window(id, o);
         pipe.schedule_retry(next, id);
@@ -384,20 +520,40 @@ impl Network {
         match matches {
             Matches::Full(notifications) => self.deliver_notifications(from, notifications),
             Matches::Counts(counts) => {
+                // Counts mode sends no real messages, so delivery is
+                // accounted here. A count only counts as *delivered* when
+                // the subscriber is online to receive it; offline counts are
+                // `notifications_stored_offline` only — mirroring the
+                // full-retention path, where a store happens but no inbox
+                // delivery (see DESIGN.md, "Fault model").
                 for (subscriber, count) in counts {
                     if count == 0 {
                         continue;
                     }
-                    self.metrics.notifications_delivered += count;
                     match self.subscribers.get(&subscriber) {
                         Some(&h) if self.ring.node(h).is_alive() => {
+                            self.metrics.notifications_delivered += count;
                             self.metrics.record_traffic(TrafficKind::Notify, 1);
+                            let (tick, node) = (self.trace_tick(), h.index() as u32);
+                            self.trace(|| TraceEvent::NotifyDelivered {
+                                tick,
+                                node,
+                                count,
+                                offline: false,
+                            });
                         }
                         _ => {
                             self.metrics.notifications_stored_offline += count;
                             let id = indexing::subscriber_id(self.ring.space(), &subscriber);
-                            let (_, hops) = self.ring.route_owner(from, id)?;
+                            let (owner, hops) = self.ring.route_owner(from, id)?;
                             self.metrics.record_traffic(TrafficKind::Notify, hops);
+                            let (tick, node) = (self.trace_tick(), owner.index() as u32);
+                            self.trace(|| TraceEvent::NotifyDelivered {
+                                tick,
+                                node,
+                                count,
+                                offline: true,
+                            });
                         }
                     }
                 }
@@ -445,18 +601,20 @@ impl Network {
                 _ => {
                     // Offline: route toward Successor(Id(n)) and store there.
                     let id = indexing::subscriber_id(self.ring.space(), &subscriber);
-                    let (owner, hops) = self.ring.route_owner(from, id)?;
+                    let (owner, hops, path) = self.routed_owner(from, id)?;
                     self.metrics.record_traffic(TrafficKind::Notify, hops);
-                    self.transport.pending.push_back(Pending {
+                    let mut p = Pending::new(
                         from,
-                        to: owner,
-                        target: id,
-                        reroute: true,
-                        msg: Message::StoreNotifications {
+                        owner,
+                        id,
+                        true,
+                        Message::StoreNotifications {
                             subscriber_id: id,
                             notifications: batch,
                         },
-                    });
+                    );
+                    p.trace_path = path;
+                    self.enqueue(p);
                 }
             }
         }

@@ -1,0 +1,111 @@
+//! Regression pin for the counts-mode accounting bug: with
+//! `retain_notifications: false`, `deliver_matches` used to bump
+//! `notifications_delivered` *before* checking whether the subscriber was
+//! still online, so a disconnected subscriber's matches were counted both
+//! as delivered and as stored offline. The two retention modes must report
+//! the same accounting picture (modulo the documented asymmetry — see
+//! DESIGN.md, "Fault model"): full retention counts every arrival, inbox
+//! or offline store, as delivered; counts mode splits the offline portion
+//! into `notifications_stored_offline` only.
+
+use cq_engine::{Algorithm, EngineConfig, FaultConfig, Network, Oracle};
+use cq_relational::{Catalog, DataType, RelationSchema, Value};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int)]).unwrap())
+        .unwrap();
+    c.register(RelationSchema::of("S", &[("D", DataType::Int), ("E", DataType::Int)]).unwrap())
+        .unwrap();
+    c
+}
+
+/// ef01-style workload: two subscribers, one of which disconnects halfway
+/// through a lossy stream, so both the online and the offline delivery
+/// arms are exercised under retransmission pressure.
+fn run_mode(alg: Algorithm, retain: bool) -> Network {
+    let mut net = Network::new(
+        EngineConfig::new(alg)
+            .with_nodes(24)
+            .with_seed(42)
+            .with_fault(FaultConfig::lossy(0.15, 77))
+            .with_retained_notifications(retain),
+        catalog(),
+    );
+    let a = net.node_at(0);
+    let b = net.node_at(7);
+    net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+        .unwrap();
+    net.pose_query_sql(b, "SELECT R.A FROM R, S WHERE R.B = S.E AND S.D = 2")
+        .unwrap();
+    let insert = |net: &mut Network, i: i64| {
+        net.insert_tuple(
+            net.node_at((i % 20) as usize),
+            "R",
+            vec![Value::Int(i), Value::Int(i % 4)],
+        )
+        .unwrap();
+        net.insert_tuple(
+            net.node_at(((i + 3) % 20) as usize),
+            "S",
+            vec![Value::Int(2 + i % 2), Value::Int(i % 3)],
+        )
+        .unwrap();
+    };
+    for i in 0..6 {
+        insert(&mut net, i);
+    }
+    // `b` disconnects: its matches from the second half of the stream must
+    // land in the offline store (full mode) / offline counters (counts
+    // mode), never in the delivered figure of counts mode.
+    net.node_leave(b).unwrap();
+    net.stabilize(2).unwrap();
+    for i in 6..12 {
+        insert(&mut net, i);
+    }
+    net
+}
+
+#[test]
+fn counts_mode_agrees_with_full_retention_under_faults() {
+    for alg in Algorithm::ALL {
+        let full = run_mode(alg, true);
+        let counts = run_mode(alg, false);
+
+        // Ground truth: full retention delivers exactly the oracle set
+        // (inbox plus offline store), each notification exactly once.
+        let mut oracle = Oracle::new();
+        oracle.ingest(full.posed_queries(), full.inserted_tuples());
+        let expected = oracle.expected().unwrap();
+        assert_eq!(
+            full.delivered_set(),
+            expected,
+            "{alg}: full retention must match the oracle under faults"
+        );
+        // (No `delivered == expected.len()` assertion: the counter counts
+        // match *events* while the oracle set holds distinct notification
+        // *contents* — the stream repeats S tuples, so events exceed set
+        // size by design.)
+        let fm = full.metrics();
+
+        // The two modes draw different fault RNG sequences (counts mode
+        // sends no notification messages), but exactly-once evaluation
+        // means the totals agree.
+        let cm = counts.metrics();
+        assert!(
+            cm.notifications_stored_offline > 0,
+            "{alg}: the workload must exercise the offline arm"
+        );
+        assert_eq!(
+            cm.notifications_stored_offline, fm.notifications_stored_offline,
+            "{alg}: both modes must agree on the offline portion"
+        );
+        // The regression: offline counts used to be added to *both*
+        // counters, making this left side exceed the oracle total.
+        assert_eq!(
+            cm.notifications_delivered + cm.notifications_stored_offline,
+            fm.notifications_delivered,
+            "{alg}: counts mode must split, not double-count, offline matches"
+        );
+    }
+}

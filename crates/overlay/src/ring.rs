@@ -521,6 +521,18 @@ impl Ring {
         self.route_core(from, target, |_| ())
     }
 
+    /// [`Ring::route`] for trace capture: appends each visited node's slot
+    /// to `path` (sender first) instead of materializing an intermediate
+    /// handle vector. Same greedy walk, bit-identical hop accounting.
+    pub fn route_owner_path(
+        &self,
+        from: NodeHandle,
+        target: Id,
+        path: &mut Vec<u32>,
+    ) -> Result<(NodeHandle, usize)> {
+        self.route_core(from, target, |h| path.push(h.index() as u32))
+    }
+
     /// The greedy walk shared by [`Ring::route`] and [`Ring::route_owner`].
     /// `visit` observes every node on the path, starting with `from`;
     /// returns the owner and the hop count (nodes visited minus one).

@@ -1,15 +1,19 @@
 //! Regenerates the paper's evaluation figures and Table 4.1.
 //!
 //! ```text
-//! experiments [--full] [--csv] [--jobs N] [ids...]
+//! experiments [--full] [--csv] [--jobs N] [--trace DIR] [ids...]
 //!
-//!   --full     paper-approaching scale (default: quick)
-//!   --csv      also print CSV blocks after each table
-//!   --jobs N   fan independent simulation runs over N worker threads
-//!              (default: 1 = sequential; results are identical either way)
-//!   ids        e01..e16, t01, a01, ef01 (default: all)
+//!   --full       paper-approaching scale (default: quick)
+//!   --csv        also print CSV blocks after each table
+//!   --jobs N     fan independent simulation runs over N worker threads
+//!                (default: 1 = sequential; results are identical either way)
+//!   --trace DIR  write one JSONL trace file per simulation run into DIR
+//!                (created if missing; tracing observes only — the report
+//!                output is identical with or without it)
+//!   ids          e01..e16, t01, a01, ef01 (default: all)
 //! ```
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use cq_sim::experiments::{all, Scale};
@@ -18,12 +22,23 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut full = false;
     let mut csv = false;
+    let mut trace: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--full" => full = true,
             "--csv" => csv = true,
+            "--trace" => {
+                let dir = iter.next().unwrap_or_else(|| {
+                    eprintln!("--trace expects a directory path");
+                    std::process::exit(2);
+                });
+                trace = Some(PathBuf::from(dir));
+            }
+            other if other.starts_with("--trace=") => {
+                trace = Some(PathBuf::from(&other["--trace=".len()..]));
+            }
             "--jobs" => {
                 let n = iter
                     .next()
@@ -51,6 +66,16 @@ fn main() {
         }
     }
     let scale = if full { Scale::Full } else { Scale::Quick };
+
+    if let Some(dir) = trace {
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+            eprintln!("cannot create trace directory {}: {e}", dir.display());
+            std::process::exit(2);
+        });
+        // Stderr only: stdout is diffed against the committed goldens.
+        eprintln!("[tracing: one JSONL file per run into {}]", dir.display());
+        cq_sim::set_trace_dir(Some(dir));
+    }
 
     let registry = all();
     let selected: Vec<_> = if ids.is_empty() {

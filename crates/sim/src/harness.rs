@@ -2,12 +2,48 @@
 //! installs queries, streams tuples and collects the metric vectors the
 //! figures are built from.
 
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
 use cq_engine::{
-    Algorithm, EngineConfig, FaultConfig, FaultCounters, IndexStrategy, Network, Oracle,
-    TrafficKind,
+    Algorithm, EngineConfig, FaultConfig, FaultCounters, IndexStrategy, JsonlSummarySink, Network,
+    Oracle, TraceSummary, TrafficKind,
 };
 use cq_overlay::TrafficStats;
 use cq_workload::{Workload, WorkloadConfig};
+
+/// Directory JSONL traces are written into when tracing is enabled via
+/// [`set_trace_dir`] (the experiments binary's `--trace <dir>` flag).
+static TRACE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+/// Monotonic counter making trace file names unique across runs (and across
+/// `--jobs` workers; the assignment order — not the file contents — depends
+/// on scheduling under parallelism).
+static TRACE_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// Enables JSONL tracing for every subsequent [`run`]: each run writes
+/// `trace-NNNN-<alg>-<nodes>n-seed<seed>.jsonl` into `dir` and fills
+/// [`RunResult::trace`] with a [`TraceSummary`]. Pass `None` to disable.
+///
+/// Tracing observes only — metric vectors and report output are identical
+/// with it on or off (goldens are generated with it off).
+pub fn set_trace_dir(dir: Option<PathBuf>) {
+    *TRACE_DIR.lock().expect("trace dir lock") = dir;
+}
+
+fn trace_dir() -> Option<PathBuf> {
+    TRACE_DIR.lock().expect("trace dir lock").clone()
+}
+
+fn trace_file_name(dir: &Path, cfg: &RunConfig) -> PathBuf {
+    let n = TRACE_RUN.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!(
+        "trace-{n:04}-{}-{}n-seed{}.jsonl",
+        cfg.algorithm.to_string().to_lowercase(),
+        cfg.nodes,
+        cfg.workload.seed
+    ))
+}
 
 /// Parameters of one simulation run.
 #[derive(Clone, Debug)]
@@ -111,6 +147,9 @@ pub struct RunResult {
     /// `delivered / expected` (1.0 when nothing was expected or recall was
     /// not computed).
     pub recall: f64,
+    /// Aggregate trace view (per-kind event counts, per-node hop
+    /// histograms). `None` unless tracing was enabled via [`set_trace_dir`].
+    pub trace: Option<TraceSummary>,
 }
 
 impl RunResult {
@@ -187,13 +226,26 @@ pub fn run(cfg: &RunConfig) -> RunResult {
     let protocol = cq_engine::protocol_for(engine_cfg.algorithm);
     let mut net = Network::with_protocol(engine_cfg, workload.catalog().clone(), protocol);
 
+    // When tracing is enabled, stream every event into a JSONL file while
+    // accumulating an in-memory summary (one fused sink, one lock). Sinks
+    // only observe: the run's results are identical with or without them.
+    let trace_sink = trace_dir().map(|dir| {
+        let sink = Arc::new(
+            JsonlSummarySink::create(trace_file_name(&dir, cfg)).expect("create trace file"),
+        );
+        net.set_tracer(sink.clone());
+        sink
+    });
+
     // Warm-up stream (before queries exist, so it only builds statistics
     // and value-level tuple stores).
+    net.trace_phase("warmup");
     for _ in 0..cfg.warmup_tuples {
         stream_one(&mut net, &mut workload);
     }
 
     // Install queries over the focused pair (R0, R1).
+    net.trace_phase("install");
     for _ in 0..cfg.queries {
         let poser = net.random_node();
         let sql = if cfg.t2_queries {
@@ -216,6 +268,7 @@ pub fn run(cfg: &RunConfig) -> RunResult {
     // The measured tuple window, with any requested abrupt failures spread
     // evenly across it (each immediately followed by stabilization, which
     // repairs the ring and promotes replicas).
+    net.trace_phase("stream");
     let mut failed = 0usize;
     for i in 0..cfg.tuples {
         while failed < cfg.failures && i * (cfg.failures + 1) >= (failed + 1) * cfg.tuples {
@@ -231,6 +284,10 @@ pub fn run(cfg: &RunConfig) -> RunResult {
 
     let mut result = collect(&net, cfg.tuples, cfg.retain_notifications);
     result.install_traffic = install_traffic;
+    if let Some(sink) = trace_sink {
+        sink.flush().expect("flush trace file");
+        result.trace = Some(sink.summary());
+    }
     result
 }
 
@@ -307,6 +364,7 @@ fn collect(net: &Network, streamed: usize, with_recall: bool) -> RunResult {
         expected_notifications,
         delivered_notifications,
         recall,
+        trace: None,
     }
 }
 

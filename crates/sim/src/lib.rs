@@ -22,7 +22,7 @@ pub mod parallel;
 pub mod report;
 pub mod stats;
 
-pub use cq_engine::{FaultConfig, FaultCounters};
-pub use harness::{run, RunConfig, RunResult};
+pub use cq_engine::{FaultConfig, FaultCounters, TraceEvent, TraceSummary};
+pub use harness::{run, set_trace_dir, RunConfig, RunResult};
 pub use parallel::{run_many, set_jobs};
 pub use report::Report;

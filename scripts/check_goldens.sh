@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Regenerates the experiment registry and diffs it against the committed
+# golden files.
+#
+#   scripts/check_goldens.sh             quick registry vs quick_experiments.txt
+#   scripts/check_goldens.sh --full      also full registry vs full_experiments.txt
+#                                        (full scale takes minutes, not seconds)
+#   scripts/check_goldens.sh --update    rewrite the golden file(s) in place
+#
+# The quick golden is stored with per-experiment timing lines stripped; the
+# full golden keeps its timings for the paper writeup, so both sides are
+# stripped before that diff (wall time varies per host, tables must not).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+full=0
+update=0
+for arg in "$@"; do
+  case "$arg" in
+    --full) full=1 ;;
+    --update) update=1 ;;
+    *)
+      echo "usage: $0 [--full] [--update]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+cargo build --release --bin experiments
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== quick registry =="
+target/release/experiments --csv | grep -v "finished in" > "$tmp/quick.txt"
+if [ "$update" = 1 ]; then
+  cp "$tmp/quick.txt" quick_experiments.txt
+  echo "updated quick_experiments.txt"
+elif ! diff -u quick_experiments.txt "$tmp/quick.txt"; then
+  echo >&2
+  echo "quick golden drifted; regenerate via: scripts/check_goldens.sh --update" >&2
+  exit 1
+fi
+
+if [ "$full" = 1 ]; then
+  echo "== full registry =="
+  target/release/experiments --full --csv > "$tmp/full_raw.txt"
+  if [ "$update" = 1 ]; then
+    cp "$tmp/full_raw.txt" full_experiments.txt
+    echo "updated full_experiments.txt"
+  else
+    grep -v "finished in" full_experiments.txt > "$tmp/full_golden.txt"
+    grep -v "finished in" "$tmp/full_raw.txt" > "$tmp/full_new.txt"
+    if ! diff -u "$tmp/full_golden.txt" "$tmp/full_new.txt"; then
+      echo >&2
+      echo "full golden drifted; regenerate via: scripts/check_goldens.sh --full --update" >&2
+      exit 1
+    fi
+  fi
+fi
+
+echo "goldens OK"
