@@ -11,3 +11,41 @@
 
 /// Re-export used by the benches to keep their imports uniform.
 pub use cq_sim::experiments::{self, Scale};
+
+/// An allocation-counting wrapper around the system allocator, used by the
+/// `alloc_audit` binary (behind the `count-allocs` feature) to verify that
+/// the join-evaluation kernels stay allocation-free per candidate: the
+/// audit measures allocations per event at two table sizes an order of
+/// magnitude apart and checks the per-event count does not grow with the
+/// candidate count.
+pub mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Counts every `alloc`/`realloc` (frees are not counted — the audit
+    /// cares about allocation *pressure*, not leaks).
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    /// Total allocations since process start.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}

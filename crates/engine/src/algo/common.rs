@@ -1,14 +1,24 @@
 //! Handler building blocks shared by the four protocol implementations.
 //!
-//! Everything here is a pure function of a [`NodeCtx`]: state reads/writes
-//! go through `ctx.state()`, randomness through `ctx.rng()`, and sends are
-//! pushed as [`Effect`]s. The helpers reproduce the paper's shared
-//! machinery — query indexing (Section 4.3.1), the two-level tuple indexing
-//! of Section 4.2, rewriting T1 queries on tuple arrival (Sections
-//! 4.3.2/4.4) and matching rewritten queries against stored tuples
-//! (Section 4.3.3) — while the per-algorithm differences stay in the
-//! [`Protocol`] impls.
+//! Everything here is a pure function of a [`NodeCtx`] (or of its
+//! [`NodeCtx::split`] halves): state reads/writes go through the node
+//! state, randomness through the context RNG, and sends are pushed as
+//! [`Effect`]s. The helpers reproduce the paper's shared machinery — query
+//! indexing (Section 4.3.1), the two-level tuple indexing of Section 4.2,
+//! rewriting T1 queries on tuple arrival (Sections 4.3.2/4.4) and matching
+//! rewritten queries against stored tuples (Section 4.3.3) — while the
+//! per-algorithm differences stay in the [`Protocol`] impls.
+//!
+//! The join kernels ([`t1_tuple_arrival`], [`match_against_vltt`],
+//! [`match_vlqt_candidates`]) scan their tables **in place**: candidate
+//! entries are borrowed straight out of the index maps while matches,
+//! metrics and effects flow into the disjoint [`EffectCtx`] sinks. No
+//! candidate set is ever cloned out and no per-arrival key `String` is
+//! allocated (value keys come from the tuple's cached canonical forms or
+//! the reusable scratch buffer). See DESIGN.md, "Hot-path memory
+//! discipline".
 
+use std::borrow::Cow;
 use std::sync::Arc;
 
 use cq_overlay::Id;
@@ -19,8 +29,9 @@ use crate::error::Result;
 use crate::indexing;
 use crate::messages::Message;
 use crate::metrics::TrafficKind;
-use crate::protocol::{Effect, Matches, NodeCtx, Protocol};
-use crate::tables::{StoredQuery, StoredTuple};
+use crate::node::NodeState;
+use crate::protocol::{Effect, EffectCtx, Matches, NodeCtx, Protocol};
+use crate::tables::{StoredTuple, Vlqt, Vltt};
 use crate::trace::TraceEvent;
 
 /// Indexes `[T; 2]` probe results by side.
@@ -33,15 +44,23 @@ pub(crate) fn side_slot(side: Side) -> usize {
 
 /// `IndexA(q)` for `side`: the join attribute for T1 queries, a
 /// pseudo-random attribute of the side's condition for T2 (Section 4.5).
-pub(crate) fn default_index_attr(ctx: &mut NodeCtx<'_>, query: &JoinQuery, side: Side) -> String {
+/// Always borrowed from the query: the T2 candidate set is precomputed at
+/// validation time ([`JoinQuery::condition_attrs`]), so the pick costs one
+/// RNG draw and zero allocations.
+pub(crate) fn default_index_attr<'q>(
+    ctx: &mut NodeCtx<'_>,
+    query: &'q JoinQuery,
+    side: Side,
+) -> Cow<'q, str> {
     if let Some(attr) = query.join_attr(side) {
-        return attr.to_string();
+        return Cow::Borrowed(attr);
     }
     // T2: no single join attribute; pick pseudo-randomly among the side's
-    // condition attributes (validated non-empty at construction).
-    let attrs: Vec<&str> = query.condition(side).attributes().into_iter().collect();
+    // condition attributes (validated non-empty at construction; sorted and
+    // deduplicated, matching the BTreeSet order previously collected here).
+    let attrs = query.condition_attrs(side);
     let i = ctx.rng().gen_range(0..attrs.len());
-    attrs[i].to_string()
+    Cow::Borrowed(attrs[i].as_str())
 }
 
 /// Emits the attribute-level `IndexQuery` batch for `sides`, one message
@@ -63,7 +82,7 @@ pub(crate) fn pose_at_sides(
                 Message::IndexQuery {
                     query: Arc::clone(query),
                     index_side: side,
-                    index_attr: attr.clone(),
+                    index_attr: attr.to_string(),
                     index_id: id,
                 },
             ));
@@ -129,50 +148,16 @@ pub(crate) fn probe_rewriters(
     Ok((out[0], out[1]))
 }
 
-/// Rewriter prelude on tuple arrival: records arrival statistics, snapshots
-/// the query groups scoped to the addressed replica identifier, and
-/// accounts the rewriter's filtering work. Returns the triggered groups
-/// (empty when nothing is stored under `(relation, attr)` for this
-/// replica).
-pub(crate) fn triggered_groups(
-    ctx: &mut NodeCtx<'_>,
-    tuple: &Tuple,
-    attr: &str,
-    index_id: Id,
-) -> Result<Vec<(String, Vec<StoredQuery>)>> {
-    let rel = tuple.relation();
-    let value_key = tuple.canonical_of(attr)?;
-    let node = ctx.node().index();
-    let st = ctx.state();
-    st.record_arrival(rel, attr, value_key);
-    let mut checks = 0u64;
-    // Clone the scoped groups out so rewriting below can borrow freely.
-    let groups: Vec<(String, Vec<StoredQuery>)> = st
-        .alqt
-        .groups(rel, attr)
-        .map(|(g, qs)| {
-            let scoped: Vec<StoredQuery> = qs
-                .iter()
-                .filter(|sq| sq.index_id == index_id)
-                .cloned()
-                .collect();
-            checks += scoped.len() as u64;
-            (g.to_string(), scoped)
-        })
-        .filter(|(_, qs)| !qs.is_empty())
-        .collect();
-    if checks == 0 {
-        return Ok(Vec::new());
-    }
-    ctx.metrics().add_rewriter_filtering(node, checks);
-    Ok(groups)
-}
-
 /// T1 tuple arrival at a rewriter (Sections 4.3.2 / 4.4.2 / 4.4.3): rewrite
 /// every triggered query, reindex each group's rewritten queries at the
 /// value level with one `Join` message per group. `dedup_reindex` enables
 /// DAI-T's rewriter memory ("a rewriter does not need to reindex the same
 /// rewritten query more than once", Section 4.4.3).
+///
+/// The ALQT groups are scanned in place — entries scoped to other replica
+/// identifiers are skipped during iteration, and the filtering work counter
+/// tallies exactly the entries addressed to this replica (matching or not
+/// on `index_attr`), as before.
 pub(crate) fn t1_tuple_arrival(
     ctx: &mut NodeCtx<'_>,
     tuple: &Arc<Tuple>,
@@ -180,12 +165,25 @@ pub(crate) fn t1_tuple_arrival(
     index_id: Id,
     dedup_reindex: bool,
 ) -> Result<()> {
-    let groups = triggered_groups(ctx, tuple, attr, index_id)?;
-    let space = ctx.space();
-    for (_group, stored) in groups {
+    let rel = tuple.relation();
+    let value_key = tuple.canonical_of(attr)?;
+    let (st, mut fx) = ctx.split();
+    st.record_arrival(rel, attr, value_key);
+    // Split the node state: the group scan borrows the ALQT shared while
+    // DAI-T's dedup memory is written through the disjoint `reindexed`.
+    let NodeState {
+        alqt, reindexed, ..
+    } = st;
+    let space = fx.space();
+    let mut checks = 0u64;
+    for (_group, stored) in alqt.groups(rel, attr) {
         let mut items: Vec<RewrittenQuery> = Vec::new();
         let mut target: Option<Id> = None;
-        for sq in &stored {
+        for sq in stored {
+            if sq.index_id != index_id {
+                continue;
+            }
+            checks += 1;
             if sq.index_attr != attr {
                 continue;
             }
@@ -193,25 +191,27 @@ pub(crate) fn t1_tuple_arrival(
             let dis_attr = sq
                 .query
                 .join_attr(dis_side)
-                .expect("T1 validated at pose time")
-                .to_string();
+                .expect("T1 validated at pose time");
             let Some(rq) = RewrittenQuery::rewrite_attribute(
                 &sq.query,
                 sq.index_side,
                 &sq.index_attr,
-                &dis_attr,
+                dis_attr,
                 tuple,
             )?
             else {
                 continue;
             };
-            if dedup_reindex && !ctx.state().reindexed.insert(rq.key().to_string()) {
-                continue;
+            if dedup_reindex {
+                if reindexed.contains(rq.key()) {
+                    continue;
+                }
+                reindexed.insert(rq.key().to_string());
             }
             let id = indexing::vindex_attr(
                 space,
                 sq.query.relation(dis_side),
-                &dis_attr,
+                dis_attr,
                 rq.target().value(),
             );
             debug_assert!(target.is_none_or(|t| t == id), "group shares one evaluator");
@@ -219,7 +219,7 @@ pub(crate) fn t1_tuple_arrival(
             items.push(rq);
         }
         if let (Some(id), false) = (target, items.is_empty()) {
-            ctx.push(Effect::Send {
+            fx.push(Effect::Send {
                 id,
                 msg: Message::Join {
                     items,
@@ -228,80 +228,77 @@ pub(crate) fn t1_tuple_arrival(
             });
         }
     }
+    if checks > 0 {
+        let node = fx.node().index();
+        fx.metrics().add_rewriter_filtering(node, checks);
+    }
     Ok(())
 }
 
-/// Matches one rewritten query against the local VLTT (Section 4.3.3),
+/// Matches one rewritten query against the VLTT (Section 4.3.3) in place,
 /// accumulating notifications. Returns a typed protocol violation when the
 /// rewritten query carries a value target (those never travel in plain
 /// `Join` messages).
 pub(crate) fn match_against_vltt(
-    ctx: &mut NodeCtx<'_>,
+    fx: &mut EffectCtx<'_>,
+    vltt: &Vltt,
     rq: &RewrittenQuery,
     matches: &mut Matches,
 ) -> Result<()> {
     let MatchTarget::Attribute { attr, value } = rq.target() else {
-        return Err(ctx.violation(format!(
+        return Err(fx.violation(format!(
             "rewritten query {} carries a value target; T1 evaluators match attribute targets only",
             rq.key()
         )));
     };
-    let mut value_key = String::with_capacity(24);
+    let mut value_key = fx.take_scratch();
     value.canonical_into(&mut value_key);
-    let node = ctx.node().index();
-    let candidates: Vec<Arc<Tuple>> = ctx
-        .state()
-        .vltt
-        .candidates(rq.free_relation(), attr, &value_key)
-        .map(|e| Arc::clone(&e.tuple))
-        .collect();
-    ctx.metrics()
-        .add_evaluator_filtering(node, candidates.len() as u64);
+    let node = fx.node().index();
     let before = matches.len();
-    for t in &candidates {
-        if rq.matches(t)? {
-            matches.add(rq, t)?;
+    let mut candidates = 0u64;
+    for e in vltt.candidates(rq.free_relation(), attr, &value_key) {
+        candidates += 1;
+        if rq.matches(&e.tuple)? {
+            matches.add(rq, &e.tuple)?;
         }
     }
-    let (tick, produced) = (ctx.tick(), matches.len() - before);
-    ctx.trace(|| TraceEvent::JoinEval {
+    fx.restore_scratch(value_key);
+    fx.metrics().add_evaluator_filtering(node, candidates);
+    let (tick, produced) = (fx.tick(), matches.len() - before);
+    fx.trace(|| TraceEvent::JoinEval {
         tick,
         node: node as u32,
-        candidates: candidates.len() as u64,
+        candidates,
         matches: produced,
     });
     Ok(())
 }
 
-/// Matches an arriving value-level tuple against the local VLQT
-/// (Section 4.3.4), returning the accumulated matches.
+/// Matches an arriving value-level tuple against the VLQT (Section 4.3.4)
+/// in place, returning the accumulated matches.
 pub(crate) fn match_vlqt_candidates(
-    ctx: &mut NodeCtx<'_>,
+    fx: &mut EffectCtx<'_>,
+    vlqt: &Vlqt,
     tuple: &Arc<Tuple>,
     attr: &str,
 ) -> Result<Matches> {
     let rel = tuple.relation();
     let value_key = tuple.canonical_of(attr)?;
-    let node = ctx.node().index();
-    let candidates: Vec<RewrittenQuery> = ctx
-        .state()
-        .vlqt
-        .candidates(rel, attr, value_key)
-        .map(|e| e.rq.clone())
-        .collect();
-    ctx.metrics()
-        .add_evaluator_filtering(node, candidates.len() as u64);
-    let mut matches = ctx.new_matches();
-    for rq in &candidates {
-        if rq.matches(tuple)? {
-            matches.add(rq, tuple)?;
+    let node = fx.node().index();
+    let mut matches = fx.new_matches();
+    let mut candidates = 0u64;
+    for e in vlqt.candidates(rel, attr, value_key) {
+        candidates += 1;
+        if e.rq.matches(tuple)? {
+            matches.add(&e.rq, tuple)?;
         }
     }
-    let (tick, produced) = (ctx.tick(), matches.len());
-    ctx.trace(|| TraceEvent::JoinEval {
+    fx.metrics().add_evaluator_filtering(node, candidates);
+    let (tick, produced) = (fx.tick(), matches.len());
+    fx.trace(|| TraceEvent::JoinEval {
         tick,
         node: node as u32,
-        candidates: candidates.len() as u64,
+        candidates,
         matches: produced,
     });
     Ok(matches)
@@ -309,20 +306,20 @@ pub(crate) fn match_vlqt_candidates(
 
 /// Stores a value-level tuple in the VLTT, mirroring it onto successors
 /// when k-successor replication is on.
-pub(crate) fn store_value_tuple(ctx: &mut NodeCtx<'_>, entry: StoredTuple) {
-    let (tick, node) = (ctx.tick(), ctx.node().index() as u32);
-    ctx.trace(|| TraceEvent::IndexInsert {
+pub(crate) fn store_value_tuple(st: &mut NodeState, fx: &mut EffectCtx<'_>, entry: StoredTuple) {
+    let (tick, node) = (fx.tick(), fx.node().index() as u32);
+    fx.trace(|| TraceEvent::IndexInsert {
         tick,
         node,
         table: "vltt",
         fresh: true, // the VLTT keeps every arrival (no dedup key)
     });
-    if ctx.repl_k() > 0 {
-        ctx.state().vltt.insert(entry.clone());
-        ctx.push(Effect::Replicate {
+    if fx.repl_k() > 0 {
+        st.vltt.insert(entry.clone());
+        fx.push(Effect::Replicate {
             item: crate::replication::ReplicaItem::Tuple(entry),
         });
     } else {
-        ctx.state().vltt.insert(entry);
+        st.vltt.insert(entry);
     }
 }

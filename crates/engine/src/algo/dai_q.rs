@@ -4,6 +4,7 @@
 //! Rewritten queries are evaluated on arrival and discarded, so every
 //! match is produced by the tuple that was already stored.
 
+use std::borrow::Cow;
 use std::sync::Arc;
 
 use cq_overlay::Id;
@@ -34,7 +35,12 @@ impl Protocol for DaiQProtocol {
         Ok(())
     }
 
-    fn index_attr(&self, ctx: &mut NodeCtx<'_>, query: &JoinQuery, side: Side) -> String {
+    fn index_attr<'q>(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        query: &'q JoinQuery,
+        side: Side,
+    ) -> Cow<'q, str> {
         common::default_index_attr(ctx, query, side)
     }
 
@@ -66,8 +72,10 @@ impl Protocol for DaiQProtocol {
     ) -> Result<()> {
         // Store only — matching happens when rewritten queries arrive.
         let _ = tuple.canonical_of(&attr)?;
+        let (st, mut fx) = ctx.split();
         common::store_value_tuple(
-            ctx,
+            st,
+            &mut fx,
             StoredTuple {
                 index_id,
                 attr,
@@ -84,11 +92,12 @@ impl Protocol for DaiQProtocol {
         index_id: Id,
     ) -> Result<()> {
         let _ = index_id; // evaluate, never store
-        let mut matches = ctx.new_matches();
+        let (st, mut fx) = ctx.split();
+        let mut matches = fx.new_matches();
         for rq in items {
-            common::match_against_vltt(ctx, &rq, &mut matches)?;
+            common::match_against_vltt(&mut fx, &st.vltt, &rq, &mut matches)?;
         }
-        ctx.push(Effect::Deliver { matches });
+        fx.push(Effect::Deliver { matches });
         Ok(())
     }
 }

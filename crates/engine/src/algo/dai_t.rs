@@ -5,6 +5,7 @@
 //! remembers which rewritten queries it has already reindexed so each is
 //! sent at most once.
 
+use std::borrow::Cow;
 use std::sync::Arc;
 
 use cq_overlay::Id;
@@ -37,7 +38,12 @@ impl Protocol for DaiTProtocol {
         Ok(())
     }
 
-    fn index_attr(&self, ctx: &mut NodeCtx<'_>, query: &JoinQuery, side: Side) -> String {
+    fn index_attr<'q>(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        query: &'q JoinQuery,
+        side: Side,
+    ) -> Cow<'q, str> {
         common::default_index_attr(ctx, query, side)
     }
 
@@ -69,8 +75,9 @@ impl Protocol for DaiTProtocol {
         index_id: Id,
     ) -> Result<()> {
         let _ = index_id; // match only — tuples are never stored
-        let matches = common::match_vlqt_candidates(ctx, &tuple, &attr)?;
-        ctx.push(Effect::Deliver { matches });
+        let (st, mut fx) = ctx.split();
+        let matches = common::match_vlqt_candidates(&mut fx, &st.vlqt, &tuple, &attr)?;
+        fx.push(Effect::Deliver { matches });
         Ok(())
     }
 

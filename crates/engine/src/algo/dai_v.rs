@@ -7,6 +7,7 @@
 //! message to `Hash(valJC)`, where the evaluator matches against stored
 //! tuples of the other side and then stores the tuple.
 
+use std::borrow::Cow;
 use std::sync::Arc;
 
 use cq_overlay::Id;
@@ -35,7 +36,12 @@ impl Protocol for DaiVProtocol {
         Ok(())
     }
 
-    fn index_attr(&self, ctx: &mut NodeCtx<'_>, query: &JoinQuery, side: Side) -> String {
+    fn index_attr<'q>(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        query: &'q JoinQuery,
+        side: Side,
+    ) -> Cow<'q, str> {
         common::default_index_attr(ctx, query, side)
     }
 
@@ -57,14 +63,27 @@ impl Protocol for DaiVProtocol {
         attr: String,
         index_id: Id,
     ) -> Result<()> {
-        let groups = common::triggered_groups(ctx, &tuple, &attr, index_id)?;
-        let space = ctx.space();
-        let keyed = ctx.config().dai_v_keyed;
-        for (group, stored) in groups {
+        // In-place rewriter scan: record arrival statistics, then walk the
+        // ALQT groups directly — entries scoped to other replica
+        // identifiers are skipped during iteration and the group key is
+        // borrowed, only turned into an owned `String` when a message is
+        // actually emitted for the group.
+        let rel = tuple.relation();
+        let value_key = tuple.canonical_of(&attr)?;
+        let (st, mut fx) = ctx.split();
+        st.record_arrival(rel, &attr, value_key);
+        let space = fx.space();
+        let keyed = fx.config().dai_v_keyed;
+        let mut checks = 0u64;
+        for (group, stored) in st.alqt.groups(rel, &attr) {
             if keyed {
                 // Section 4.5's keyed extension: one evaluator — and one
                 // message — per (query, valJC); no grouping possible.
-                for sq in &stored {
+                for sq in stored {
+                    if sq.index_id != index_id {
+                        continue;
+                    }
+                    checks += 1;
                     if sq.index_attr != attr {
                         continue;
                     }
@@ -84,14 +103,18 @@ impl Protocol for DaiVProtocol {
                         value_key: val.canonical(),
                         index_id: id,
                     });
-                    ctx.push(Effect::Send { id, msg });
+                    fx.push(Effect::Send { id, msg });
                 }
             } else {
                 // One message per (group, valJC): rewritten queries + tuple.
                 let mut items: Vec<RewrittenQuery> = Vec::new();
                 let mut side = None;
                 let mut val = None;
-                for sq in &stored {
+                for sq in stored {
+                    if sq.index_id != index_id {
+                        continue;
+                    }
+                    checks += 1;
                     if sq.index_attr != attr {
                         continue; // stored under a different attribute bucket
                     }
@@ -106,16 +129,20 @@ impl Protocol for DaiVProtocol {
                 if let (Some(side), Some(val)) = (side, val) {
                     let id = indexing::vindex_value(space, &val);
                     let msg = Message::JoinV(ValueJoin {
-                        group,
+                        group: group.to_string(),
                         items,
                         tuple: Arc::clone(&tuple),
                         side,
                         value_key: val.canonical(),
                         index_id: id,
                     });
-                    ctx.push(Effect::Send { id, msg });
+                    fx.push(Effect::Send { id, msg });
                 }
             }
+        }
+        if checks > 0 {
+            let node = fx.node().index();
+            fx.metrics().add_rewriter_filtering(node, checks);
         }
         Ok(())
     }
@@ -133,33 +160,33 @@ impl Protocol for DaiVProtocol {
         // side, then store the triggering tuple. Rewritten queries are not
         // stored.
         let other = side.other();
-        let node = ctx.node().index();
-        let mut matches = ctx.new_matches();
+        let (st, mut fx) = ctx.split();
+        let node = fx.node().index();
+        let mut matches = fx.new_matches();
         let mut checked = 0u64;
         for rq in &items {
-            let candidates: Vec<Arc<Tuple>> = ctx
-                .state()
-                .vstore
-                .candidates(&group, &value_key, other)
-                .map(|e| Arc::clone(&e.tuple))
-                .collect();
-            ctx.metrics()
-                .add_evaluator_filtering(node, candidates.len() as u64);
-            checked += candidates.len() as u64;
-            for t in &candidates {
-                if rq.matches(t)? {
-                    matches.add(rq, t)?;
+            // Scan the store in place per rewritten query — the candidate
+            // list is identical for each, but iterating (rather than
+            // cloning it out once) keeps the filtering-work accounting
+            // per-rq, as the paper counts it.
+            let mut count = 0u64;
+            for e in st.vstore.candidates(&group, &value_key, other) {
+                count += 1;
+                if rq.matches(&e.tuple)? {
+                    matches.add(rq, &e.tuple)?;
                 }
             }
+            fx.metrics().add_evaluator_filtering(node, count);
+            checked += count;
         }
-        let (tick, produced) = (ctx.tick(), matches.len());
-        ctx.trace(|| TraceEvent::JoinEval {
+        let (tick, produced) = (fx.tick(), matches.len());
+        fx.trace(|| TraceEvent::JoinEval {
             tick,
             node: node as u32,
             candidates: checked,
             matches: produced,
         });
-        ctx.trace(|| TraceEvent::IndexInsert {
+        fx.trace(|| TraceEvent::IndexInsert {
             tick,
             node: node as u32,
             table: "vstore",
@@ -170,9 +197,9 @@ impl Protocol for DaiVProtocol {
             side,
             tuple,
         };
-        if ctx.repl_k() > 0 {
-            ctx.state().vstore.insert(&group, &value_key, entry.clone());
-            ctx.push(Effect::Replicate {
+        if fx.repl_k() > 0 {
+            st.vstore.insert(&group, &value_key, entry.clone());
+            fx.push(Effect::Replicate {
                 item: ReplicaItem::ValueTuple {
                     group,
                     value_key,
@@ -180,9 +207,9 @@ impl Protocol for DaiVProtocol {
                 },
             });
         } else {
-            ctx.state().vstore.insert(&group, &value_key, entry);
+            st.vstore.insert(&group, &value_key, entry);
         }
-        ctx.push(Effect::Deliver { matches });
+        fx.push(Effect::Deliver { matches });
         Ok(())
     }
 }

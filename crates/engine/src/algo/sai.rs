@@ -4,6 +4,7 @@
 //! [`IndexStrategy`]); evaluators store both rewritten queries and tuples,
 //! so either arrival order produces the match.
 
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::sync::Arc;
 
@@ -14,6 +15,7 @@ use rand::Rng;
 use super::common;
 use crate::config::{Algorithm, IndexStrategy};
 use crate::error::{EngineError, Result};
+use crate::node::NodeState;
 use crate::protocol::{Effect, NodeCtx, Protocol};
 use crate::replication::ReplicaItem;
 use crate::tables::{StoredRewritten, StoredTuple};
@@ -80,7 +82,12 @@ impl Protocol for SaiProtocol {
         Ok(())
     }
 
-    fn index_attr(&self, ctx: &mut NodeCtx<'_>, query: &JoinQuery, side: Side) -> String {
+    fn index_attr<'q>(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        query: &'q JoinQuery,
+        side: Side,
+    ) -> Cow<'q, str> {
         common::default_index_attr(ctx, query, side)
     }
 
@@ -112,11 +119,13 @@ impl Protocol for SaiProtocol {
         index_id: Id,
     ) -> Result<()> {
         // Match stored rewritten queries against the tuple (4.3.4) ...
-        let matches = common::match_vlqt_candidates(ctx, &tuple, &attr)?;
-        ctx.push(Effect::Deliver { matches });
+        let (st, mut fx) = ctx.split();
+        let matches = common::match_vlqt_candidates(&mut fx, &st.vlqt, &tuple, &attr)?;
+        fx.push(Effect::Deliver { matches });
         // ... then store it for rewritten queries still to come.
         common::store_value_tuple(
-            ctx,
+            st,
+            &mut fx,
             StoredTuple {
                 index_id,
                 attr,
@@ -132,35 +141,35 @@ impl Protocol for SaiProtocol {
         items: Vec<RewrittenQuery>,
         index_id: Id,
     ) -> Result<()> {
-        let mut matches = ctx.new_matches();
+        let (st, mut fx) = ctx.split();
+        let NodeState { vlqt, vltt, .. } = st;
+        let repl = fx.repl_k() > 0;
+        let mut matches = fx.new_matches();
         for rq in items {
             // Store first (dedup by key); only a *new* rewritten query is
             // evaluated against stored tuples — a duplicate "need only
-            // store the information related to tuple t".
-            let fresh = ctx.state().vlqt.insert(StoredRewritten {
-                index_id,
-                rq: rq.clone(),
-            });
-            let (tick, node) = (ctx.tick(), ctx.node().index() as u32);
-            ctx.trace(|| TraceEvent::IndexInsert {
+            // store the information related to tuple t". `insert_fresh`
+            // hands back the stored entry so the fresh path borrows it
+            // instead of cloning the rewritten query.
+            let stored = vlqt.insert_fresh(StoredRewritten { index_id, rq });
+            let fresh = stored.is_some();
+            let (tick, node) = (fx.tick(), fx.node().index() as u32);
+            fx.trace(|| TraceEvent::IndexInsert {
                 tick,
                 node,
                 table: "vlqt",
                 fresh,
             });
-            if fresh {
-                if ctx.repl_k() > 0 {
-                    ctx.push(Effect::Replicate {
-                        item: ReplicaItem::Rewritten(StoredRewritten {
-                            index_id,
-                            rq: rq.clone(),
-                        }),
+            if let Some(entry) = stored {
+                if repl {
+                    fx.push(Effect::Replicate {
+                        item: ReplicaItem::Rewritten(entry.clone()),
                     });
                 }
-                common::match_against_vltt(ctx, &rq, &mut matches)?;
+                common::match_against_vltt(&mut fx, vltt, &entry.rq, &mut matches)?;
             }
         }
-        ctx.push(Effect::Deliver { matches });
+        fx.push(Effect::Deliver { matches });
         Ok(())
     }
 }

@@ -80,6 +80,14 @@ pub enum Message {
         /// The item to mirror into the receiver's replica store.
         item: Box<ReplicaItem>,
     },
+    /// Several messages of one multisend batch coalesced for a single
+    /// destination — one queue entry instead of one per message. The
+    /// receiver unwraps them in order, so dispatch order is exactly what
+    /// separate enqueues would produce. Only the perfect-delivery,
+    /// untraced transport path bundles (the fault pump's per-transmission
+    /// draws and the tracer's per-message send events both observe logical
+    /// messages individually); bundles are never nested.
+    Bundle(Vec<Message>),
 }
 
 /// Payload of [`Message::JoinV`]: one group's rewritten queries plus the
@@ -112,6 +120,7 @@ impl Message {
             Message::StoreNotifications { .. } => "store-notify",
             Message::Notify { .. } => "notify",
             Message::Replicate { .. } => "replicate",
+            Message::Bundle(_) => "bundle",
         }
     }
 }

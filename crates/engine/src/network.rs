@@ -54,6 +54,9 @@ pub struct Network {
     /// Reusable effect buffer handlers push into (drained after each
     /// handler, kept allocated across invocations).
     outbox: Vec<Effect>,
+    /// Reusable string buffer for per-arrival value keys, threaded into
+    /// each [`NodeCtx`] so kernels build keys without allocating.
+    scratch: String,
     /// Transport state: the in-flight queue and the optional fault pipe.
     pub(crate) transport: Transport,
     /// The trace sink; `None` (the default) keeps every emission site a
@@ -106,6 +109,7 @@ impl Network {
             rng: StdRng::seed_from_u64(seed),
             protocol,
             outbox: Vec::new(),
+            scratch: String::with_capacity(64),
             tracer: None,
             trace_seq: Vec::new(),
             transport: Transport::new(pipe),
@@ -360,6 +364,7 @@ impl Network {
                 &mut self.metrics,
                 &mut self.rng,
                 &mut outbox,
+                &mut self.scratch,
             )
             .with_trace(self.tracer.as_deref(), self.clock.0);
             f(&*protocol, &mut ctx)
@@ -470,6 +475,16 @@ impl Network {
             }
             Message::Replicate { item } => {
                 self.nodes[at.index()].replicas.insert(*item);
+                Ok(())
+            }
+            Message::Bundle(msgs) => {
+                // Unwrap in order: dispatching members back-to-back is
+                // exactly equivalent to popping them consecutively off the
+                // queue, because each member's effects enqueue at the back —
+                // behind the rest of the run in both schedules.
+                for m in msgs {
+                    self.dispatch(at, m)?;
+                }
                 Ok(())
             }
         }

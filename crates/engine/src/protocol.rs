@@ -20,6 +20,7 @@
 //! returns, before the next message is dequeued — so the message order on
 //! the wire is exactly what it would be if handlers sent inline.
 
+use std::borrow::Cow;
 use std::sync::Arc;
 
 use cq_fasthash::FxHashMap;
@@ -141,6 +142,9 @@ pub struct NodeCtx<'a> {
     metrics: &'a mut Metrics,
     rng: &'a mut StdRng,
     outbox: &'a mut Vec<Effect>,
+    /// A reusable string buffer for per-arrival value keys (owned by the
+    /// orchestrator so its capacity survives across handler invocations).
+    scratch: &'a mut String,
     /// The trace sink when tracing is on. Handlers emit through
     /// [`NodeCtx::trace`], which is a single branch when off.
     tracer: Option<&'a dyn TraceSink>,
@@ -151,6 +155,7 @@ pub struct NodeCtx<'a> {
 impl<'a> NodeCtx<'a> {
     /// Assembles a context for a handler running at `node` (tracing off;
     /// see [`NodeCtx::with_trace`]).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         node: NodeHandle,
         config: &'a EngineConfig,
@@ -159,6 +164,7 @@ impl<'a> NodeCtx<'a> {
         metrics: &'a mut Metrics,
         rng: &'a mut StdRng,
         outbox: &'a mut Vec<Effect>,
+        scratch: &'a mut String,
     ) -> Self {
         NodeCtx {
             node,
@@ -168,6 +174,7 @@ impl<'a> NodeCtx<'a> {
             metrics,
             rng,
             outbox,
+            scratch,
             tracer: None,
             tick: 0,
         }
@@ -265,6 +272,125 @@ impl<'a> NodeCtx<'a> {
             detail: detail.into(),
         }
     }
+
+    /// Splits the context into the local node's state and an [`EffectCtx`]
+    /// covering everything else (metrics, RNG, outbox, tracing, scratch).
+    ///
+    /// This is what lets the join kernels scan table entries *in place*: the
+    /// `&mut NodeState` borrow is disjoint from every sink in the
+    /// `EffectCtx`, so a handler can hold shared references into one table
+    /// (e.g. VLTT candidates) while accumulating matches, bumping counters,
+    /// and pushing effects — no `Arc::clone`-collect needed. The borrow
+    /// checker enforces the split because `nodes` and the sink fields are
+    /// distinct fields of `NodeCtx`.
+    pub fn split(&mut self) -> (&mut NodeState, EffectCtx<'_>) {
+        (
+            &mut self.nodes[self.node.index()],
+            EffectCtx {
+                node: self.node,
+                config: self.config,
+                ring: self.ring,
+                metrics: &mut *self.metrics,
+                rng: &mut *self.rng,
+                outbox: &mut *self.outbox,
+                scratch: &mut *self.scratch,
+                tracer: self.tracer,
+                tick: self.tick,
+            },
+        )
+    }
+}
+
+/// The non-state half of a [`NodeCtx`] split: every sink and read-only
+/// capability a kernel needs while a disjoint `&mut NodeState` (or shared
+/// borrows derived from it) is live. See [`NodeCtx::split`].
+pub struct EffectCtx<'a> {
+    node: NodeHandle,
+    config: &'a EngineConfig,
+    ring: &'a Ring,
+    metrics: &'a mut Metrics,
+    rng: &'a mut StdRng,
+    outbox: &'a mut Vec<Effect>,
+    scratch: &'a mut String,
+    tracer: Option<&'a dyn TraceSink>,
+    tick: u64,
+}
+
+impl EffectCtx<'_> {
+    /// The node the current message arrived at.
+    pub fn node(&self) -> NodeHandle {
+        self.node
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        self.config
+    }
+
+    /// The identifier space of the ring.
+    pub fn space(&self) -> cq_overlay::IdSpace {
+        self.ring.space()
+    }
+
+    /// The engine RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// The metrics sink.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+
+    /// Queues a deferred transport action.
+    pub fn push(&mut self, effect: Effect) {
+        self.outbox.push(effect);
+    }
+
+    /// The configured k-successor replication factor.
+    pub fn repl_k(&self) -> usize {
+        self.config.fault.replication
+    }
+
+    /// An empty match accumulator honoring the retention setting.
+    pub fn new_matches(&self) -> Matches {
+        Matches::new(self.config.retain_notifications)
+    }
+
+    /// The logical clock value events are stamped with.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Emits one trace event when tracing is on (single branch when off).
+    #[inline]
+    pub fn trace(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = self.tracer {
+            t.record(&f());
+        }
+    }
+
+    /// Takes the reusable scratch buffer (cleared). Pair with
+    /// [`EffectCtx::restore_scratch`] so the capacity is kept across
+    /// arrivals; on error paths the buffer is simply dropped and the next
+    /// taker starts from an empty one.
+    pub fn take_scratch(&mut self) -> String {
+        let mut s = std::mem::take(self.scratch);
+        s.clear();
+        s
+    }
+
+    /// Returns the scratch buffer after use.
+    pub fn restore_scratch(&mut self, s: String) {
+        *self.scratch = s;
+    }
+
+    /// A typed protocol-violation error.
+    pub fn violation(&self, detail: impl Into<String>) -> EngineError {
+        EngineError::Protocol {
+            detail: detail.into(),
+        }
+    }
 }
 
 /// One of the paper's evaluation algorithms, expressed as a set of message
@@ -298,8 +424,15 @@ pub trait Protocol: Send + Sync {
 
     /// The attribute a query is indexed by on `side`: the join attribute
     /// for T1 queries, a pseudo-random attribute of the condition
-    /// expression for T2 (Section 4.5).
-    fn index_attr(&self, ctx: &mut NodeCtx<'_>, query: &JoinQuery, side: Side) -> String;
+    /// expression for T2 (Section 4.5). Borrowed from the query in both
+    /// default cases — implementations that compute an attribute may return
+    /// an owned value.
+    fn index_attr<'q>(
+        &self,
+        ctx: &mut NodeCtx<'_>,
+        query: &'q JoinQuery,
+        side: Side,
+    ) -> Cow<'q, str>;
 
     /// A query is posed at `ctx.node()`: choose the index side(s) and emit
     /// the attribute-level `IndexQuery` batch.

@@ -47,6 +47,13 @@ impl Vlqt {
     /// rewritten query with the same key is already present — "x need only
     /// store the information related to tuple t".
     pub fn insert(&mut self, entry: StoredRewritten) -> bool {
+        self.insert_fresh(entry).is_some()
+    }
+
+    /// Like [`Vlqt::insert`], but hands back a borrow of the freshly stored
+    /// entry (or `None` on a duplicate key). Lets the SAI evaluator keep
+    /// working with the stored copy instead of cloning the rewritten query.
+    pub fn insert_fresh(&mut self, entry: StoredRewritten) -> Option<&StoredRewritten> {
         let MatchTarget::Attribute { attr, value } = entry.rq.target() else {
             panic!("VLQT stores attribute-targeted rewritten queries only");
         };
@@ -55,11 +62,11 @@ impl Vlqt {
         let by_value = bucket_mut(&mut self.buckets, entry.rq.free_relation(), attr);
         let by_key = str_bucket_mut(by_value, &vkey);
         if by_key.contains_key(entry.rq.key()) {
-            return false;
+            return None;
         }
-        by_key.insert(entry.rq.key().into(), entry);
         self.len += 1;
-        true
+        let key: Box<str> = entry.rq.key().into();
+        Some(by_key.entry(key).or_insert(entry))
     }
 
     /// The rewritten queries an incoming tuple of `(relation, attr = value)`

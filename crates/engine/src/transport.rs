@@ -135,7 +135,9 @@ impl Network {
         id: Id,
     ) -> Result<(NodeHandle, usize, Option<Vec<u32>>)> {
         if self.trace_on() {
-            let mut path = Vec::with_capacity(8);
+            // capacity covers a full greedy route on a 2^16-node ring plus
+            // endpoints, so tracing never reallocates mid-route
+            let mut path = Vec::with_capacity(18);
             let (owner, hops) = self.ring.route_owner_path(from, id, &mut path)?;
             Ok((owner, hops, Some(path)))
         } else {
@@ -167,10 +169,38 @@ impl Network {
         for (id, msg) in targets {
             by_id.entry(id).or_default().push(msg);
         }
+        // On the perfect-delivery, untraced path, coalesce each delivery
+        // entry's consecutive run of messages into one `Bundle` envelope:
+        // the receiver unwraps in order, so global dispatch order is exactly
+        // the per-message order (the run sat consecutively at the queue head
+        // either way, and its handler effects join the queue *behind* it).
+        // The fault pipe must see logical messages individually (its RNG
+        // draws are per transmission) and the tracer emits one `MsgSend` per
+        // message, so both paths keep per-message enqueues.
+        let bundle =
+            self.config.batch_delivery && self.transport.pipe.is_none() && !self.trace_on();
         for (owner, ids) in outcome.deliveries {
-            for id in ids {
-                for msg in by_id.remove(&id).into_iter().flatten() {
-                    self.enqueue(Pending::new(node, owner, id, true, msg));
+            if bundle {
+                let mut run: Vec<Message> = Vec::new();
+                let first = ids[0];
+                for id in ids {
+                    run.extend(by_id.remove(&id).into_iter().flatten());
+                }
+                match run.len() {
+                    0 => {}
+                    1 => {
+                        let msg = run.pop().expect("len checked");
+                        self.enqueue(Pending::new(node, owner, first, true, msg));
+                    }
+                    _ => {
+                        self.enqueue(Pending::new(node, owner, first, true, Message::Bundle(run)));
+                    }
+                }
+            } else {
+                for id in ids {
+                    for msg in by_id.remove(&id).into_iter().flatten() {
+                        self.enqueue(Pending::new(node, owner, id, true, msg));
+                    }
                 }
             }
         }

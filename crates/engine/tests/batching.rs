@@ -1,0 +1,223 @@
+//! Batched per-destination delivery must be a pure transport optimization:
+//! a network with `batch_delivery` on and one with it off, driven by the
+//! same workload, must agree on every per-node inbox *sequence* (delivery
+//! order, not just content), the delivered notification set, and the full
+//! metrics block — with and without an active fault pipe (with faults the
+//! transport bypasses bundling entirely, so equivalence is by
+//! construction; the property pins that the bypass actually happens).
+//!
+//! Also pins the zero-clone join-evaluation kernels against the oracle for
+//! all four algorithms: iterating table entries in place must produce
+//! exactly the match sets the clone-and-collect implementation did.
+
+use cq_engine::{Algorithm, EngineConfig, FaultConfig, Network, Oracle};
+use cq_relational::{Catalog, DataType, Notification, RelationSchema, Value};
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int)]).unwrap())
+        .unwrap();
+    c.register(RelationSchema::of("S", &[("D", DataType::Int), ("E", DataType::Int)]).unwrap())
+        .unwrap();
+    c
+}
+
+/// One step of a random workload.
+#[derive(Clone, Debug)]
+enum Step {
+    PoseSimple,
+    PoseWithFilter(i64),
+    InsertR(i64, i64),
+    InsertS(i64, i64),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        1 => Just(Step::PoseSimple),
+        1 => (-2i64..2).prop_map(Step::PoseWithFilter),
+        4 => ((-20i64..20), (-3i64..3)).prop_map(|(a, b)| Step::InsertR(a, b)),
+        4 => ((-20i64..20), (-3i64..3)).prop_map(|(d, e)| Step::InsertS(d, e)),
+    ]
+}
+
+fn run(alg: Algorithm, steps: &[Step], seed: u64, fault: FaultConfig, batch: bool) -> Network {
+    let mut net = Network::new(
+        EngineConfig::new(alg)
+            .with_nodes(32)
+            .with_seed(seed)
+            .with_fault(fault)
+            .with_batch_delivery(batch),
+        catalog(),
+    );
+    for (n, step) in steps.iter().enumerate() {
+        let from = net.node_at(n % 32);
+        match step {
+            Step::PoseSimple => {
+                net.pose_query_sql(from, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+                    .unwrap();
+            }
+            Step::PoseWithFilter(v) => {
+                net.pose_query_sql(
+                    from,
+                    &format!("SELECT R.A FROM R, S WHERE R.B = S.E AND S.D = {v}"),
+                )
+                .unwrap();
+            }
+            Step::InsertR(a, b) => {
+                net.insert_tuple(from, "R", vec![Value::Int(*a), Value::Int(*b)])
+                    .unwrap();
+            }
+            Step::InsertS(d, e) => {
+                net.insert_tuple(from, "S", vec![Value::Int(*d), Value::Int(*e)])
+                    .unwrap();
+            }
+        }
+    }
+    net
+}
+
+/// Every per-node inbox sequence — order-sensitive, unlike
+/// [`Network::delivered_set`].
+fn inbox_sequences(net: &Network) -> Vec<Vec<Notification>> {
+    (0..net.alive_count())
+        .map(|i| net.inbox(net.node_at(i)).to_vec())
+        .collect()
+}
+
+fn assert_equivalent(alg: Algorithm, steps: &[Step], seed: u64, fault: FaultConfig) {
+    let bundled = run(alg, steps, seed, fault.clone(), true);
+    let per_msg = run(alg, steps, seed, fault, false);
+    assert_eq!(
+        inbox_sequences(&bundled),
+        inbox_sequences(&per_msg),
+        "{alg}: inbox order diverged between bundled and per-message delivery"
+    );
+    assert_eq!(
+        bundled.delivered_set(),
+        per_msg.delivered_set(),
+        "{alg}: delivered set diverged"
+    );
+    assert_eq!(
+        format!("{:?}", bundled.metrics()),
+        format!("{:?}", per_msg.metrics()),
+        "{alg}: metrics diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bundled_delivery_is_byte_identical_to_per_message(
+        steps in prop::collection::vec(step_strategy(), 1..40),
+        seed in 0u64..1000,
+    ) {
+        for alg in Algorithm::ALL {
+            assert_equivalent(alg, &steps, seed, FaultConfig::default());
+        }
+    }
+
+    #[test]
+    fn bundled_delivery_is_byte_identical_under_faults(
+        steps in prop::collection::vec(step_strategy(), 1..30),
+        seed in 0u64..1000,
+        loss_pct in 0u32..31,
+        fault_seed in 0u64..1000,
+    ) {
+        let loss = f64::from(loss_pct) / 100.0;
+        for alg in Algorithm::ALL {
+            assert_equivalent(alg, &steps, seed, FaultConfig::lossy(loss, fault_seed));
+        }
+    }
+}
+
+/// The zero-clone kernels (in-place ALQT/VLQT/VLTT/value-store scans) must
+/// produce exactly the oracle's match set for every algorithm — T1 for all
+/// four, plus the paper's T2 example under DAI-V.
+#[test]
+fn zero_clone_kernels_match_oracle_for_all_algorithms() {
+    let steps: Vec<Step> = (0..3)
+        .map(|_| Step::PoseSimple)
+        .chain((0..2).map(Step::PoseWithFilter))
+        .chain((0..24).map(|i| {
+            if i % 2 == 0 {
+                Step::InsertR(i, i % 4)
+            } else {
+                Step::InsertS(i, i % 4)
+            }
+        }))
+        .collect();
+    for alg in Algorithm::ALL {
+        let net = run(alg, &steps, 7, FaultConfig::default(), true);
+        let mut oracle = Oracle::new();
+        oracle.ingest(net.posed_queries(), net.inserted_tuples());
+        assert_eq!(
+            net.delivered_set(),
+            oracle.expected().unwrap(),
+            "{alg}: zero-clone kernels diverged from the oracle"
+        );
+    }
+}
+
+/// T2 coverage of the zero-clone DAI-V path (arithmetic join condition —
+/// exercises `default_index_attr`'s random pick over the condition
+/// attributes and the value-store scan).
+#[test]
+fn zero_clone_dai_v_t2_matches_oracle() {
+    let mut c = Catalog::new();
+    c.register(
+        RelationSchema::of(
+            "R",
+            &[
+                ("A", DataType::Int),
+                ("B", DataType::Int),
+                ("C", DataType::Int),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c.register(
+        RelationSchema::of(
+            "S",
+            &[
+                ("D", DataType::Int),
+                ("E", DataType::Int),
+                ("F", DataType::Int),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let mut net = Network::new(
+        EngineConfig::new(Algorithm::DaiV)
+            .with_nodes(32)
+            .with_seed(7),
+        c,
+    );
+    let a = net.node_at(0);
+    net.pose_query_sql(
+        a,
+        "SELECT R.A, S.D FROM R, S WHERE 4*R.B + R.C + 8 = 5*S.E + S.D - S.F",
+    )
+    .unwrap();
+    for i in 0..12i64 {
+        let from = net.node_at((i as usize) % 32);
+        net.insert_tuple(
+            from,
+            "R",
+            vec![Value::Int(i), Value::Int(i % 3), Value::Int(i % 5)],
+        )
+        .unwrap();
+        net.insert_tuple(
+            from,
+            "S",
+            vec![Value::Int(i % 5), Value::Int(i % 3), Value::Int(i % 2)],
+        )
+        .unwrap();
+    }
+    let mut oracle = Oracle::new();
+    oracle.ingest(net.posed_queries(), net.inserted_tuples());
+    assert_eq!(net.delivered_set(), oracle.expected().unwrap());
+}

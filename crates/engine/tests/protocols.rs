@@ -92,6 +92,7 @@ impl Driver {
     ) -> cq_engine::Result<()> {
         let protocol = Arc::clone(&self.protocol);
         let mut outbox = Vec::new();
+        let mut scratch = String::new();
         {
             let mut ctx = NodeCtx::new(
                 at,
@@ -101,6 +102,7 @@ impl Driver {
                 &mut self.metrics,
                 &mut self.rng,
                 &mut outbox,
+                &mut scratch,
             );
             f(&*protocol, &mut ctx)?;
         }

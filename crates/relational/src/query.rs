@@ -142,6 +142,10 @@ pub struct JoinQuery {
     relations: [String; 2],
     select: Vec<SelectItem>,
     conditions: [Expr; 2],
+    /// Attributes referenced by each condition side, sorted and deduplicated.
+    /// Precomputed at validation time so per-arrival index-attribute choices
+    /// (T2 picks pseudo-randomly among these) don't re-walk the expression.
+    cond_attrs: [Vec<String>; 2],
     filters: Vec<Filter>,
 }
 
@@ -180,6 +184,7 @@ impl JoinQuery {
             let schema = schemas[item.side.idx()];
             schema.index_of(&item.attr)?;
         }
+        let mut cond_attrs: [Vec<String>; 2] = [Vec::new(), Vec::new()];
         for side in Side::BOTH {
             let expr = &conditions[side.idx()];
             let attrs = expr.attributes();
@@ -188,9 +193,12 @@ impl JoinQuery {
                     detail: format!("join-condition side {side} references no attribute"),
                 });
             }
-            for a in attrs {
+            for a in &attrs {
                 schemas[side.idx()].index_of(a)?;
             }
+            // `Expr::attributes` yields a BTreeSet, so this preserves the
+            // sorted, deduplicated order callers historically observed.
+            cond_attrs[side.idx()] = attrs.into_iter().map(str::to_string).collect();
         }
         for flt in &filters {
             let schema = schemas[flt.side.idx()];
@@ -214,6 +222,7 @@ impl JoinQuery {
             relations,
             select,
             conditions,
+            cond_attrs,
             filters,
         })
     }
@@ -280,6 +289,13 @@ impl JoinQuery {
     /// index/load-distributing attribute of the T1 algorithms.
     pub fn join_attr(&self, side: Side) -> Option<&str> {
         self.condition(side).as_single_attr()
+    }
+
+    /// Attributes referenced by `side`'s condition expression, sorted and
+    /// deduplicated (precomputed at validation time; never empty).
+    #[inline]
+    pub fn condition_attrs(&self, side: Side) -> &[String] {
+        &self.cond_attrs[side.idx()]
     }
 
     /// Attributes of `side` appearing in the select list, with their select

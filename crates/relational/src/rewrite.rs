@@ -257,10 +257,10 @@ fn rewritten_key(base: &QueryKey, side: Side, bound: &[Value], target_value: &Va
     });
     for v in bound {
         s.push('+');
-        s.push_str(&v.canonical());
+        v.canonical_into(&mut s);
     }
     s.push('+');
-    s.push_str(&target_value.canonical());
+    target_value.canonical_into(&mut s);
     s
 }
 

@@ -80,14 +80,20 @@ impl RelationSchema {
     }
 
     /// Index of an attribute by name.
+    ///
+    /// Relation schemas have single-digit arity, so a linear scan over the
+    /// short attribute names beats hashing the lookup key on every tuple
+    /// touch; the name map is kept for wide schemas.
     pub fn index_of(&self, attr: &str) -> Result<usize> {
-        self.by_name
-            .get(attr)
-            .copied()
-            .ok_or_else(|| RelationalError::UnknownAttribute {
-                relation: self.name.clone(),
-                attribute: attr.to_string(),
-            })
+        if self.attributes.len() <= 8 {
+            self.attributes.iter().position(|a| a.name == attr)
+        } else {
+            self.by_name.get(attr).copied()
+        }
+        .ok_or_else(|| RelationalError::UnknownAttribute {
+            relation: self.name.clone(),
+            attribute: attr.to_string(),
+        })
     }
 
     /// Whether the relation has an attribute with this name.

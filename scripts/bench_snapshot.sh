@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Captures a perf snapshot of the quick experiment suite and the
+# join-evaluation kernels, writing BENCH_6.json at the repo root so future
+# PRs have a trajectory to compare against.
+#
+#   scripts/bench_snapshot.sh            full snapshot -> BENCH_6.json
+#   scripts/bench_snapshot.sh --check    CI smoke mode: one quick-suite run,
+#                                        shrunk kernel audit, output to a
+#                                        temp file (the committed snapshot
+#                                        is not touched), plus the
+#                                        flat-allocation-slope check
+#
+# The snapshot records wall times (min over N runs — min, not mean, because
+# a shared box only adds noise upward), kernel events/sec, and heap
+# allocations per event from the counting-allocator build. The allocation
+# numbers are the zero-clone guarantee: each scan kernel is measured at two
+# table sizes an order of magnitude apart, and allocations/event must not
+# grow with the candidate count.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=full
+for arg in "$@"; do
+  case "$arg" in
+    --check) mode=check ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+out=BENCH_6.json
+runs=3
+audit_args=()
+if [[ $mode == check ]]; then
+  out=$(mktemp --suffix=.json)
+  runs=1
+  audit_args=(--quick)
+fi
+
+cargo build --release -p cq-sim --bin experiments
+cargo build --release -p cq-bench --features count-allocs --bin alloc_audit
+
+best=
+for ((i = 0; i < runs; i++)); do
+  t0=$(date +%s%N)
+  target/release/experiments --csv > /dev/null
+  t1=$(date +%s%N)
+  ms=$(( (t1 - t0) / 1000000 ))
+  echo "quick suite run $((i + 1))/$runs: ${ms} ms" >&2
+  if [[ -z $best || $ms -lt $best ]]; then best=$ms; fi
+done
+
+audit=$(target/release/alloc_audit "${audit_args[@]}")
+
+jq -n \
+  --argjson wall "$best" \
+  --argjson runs "$runs" \
+  --argjson audit "$audit" \
+  '{
+    snapshot: "BENCH_6",
+    baseline: {
+      quick_suite_wall_ms: 4230,
+      note: "main before PR 6 (zero-clone kernels + batched delivery), same box"
+    },
+    quick_suite: { wall_ms_min: $wall, runs: $runs },
+    alloc_audit: $audit
+  }' > "$out"
+
+echo "wrote $out (quick suite min ${best} ms over ${runs} run(s))" >&2
+
+# Zero-clone guarantee: per-event allocations of the scan kernels must be
+# flat in the table size (slope < 0.5 allocs/event between the small and
+# large size), and the ALQT group scan must be allocation-free.
+jq -e '
+  .alloc_audit.count_allocs == false or (
+    [ .alloc_audit.kernels
+      | group_by(.kernel)[]
+      | select(.[0].kernel | test("-scan$"))
+      | (max_by(.size).allocs_per_event - min_by(.size).allocs_per_event)
+    ] | all(. < 0.5)
+  )
+' "$out" > /dev/null || { echo "FAIL: scan-kernel allocations grow with table size" >&2; exit 1; }
+jq -e '
+  .alloc_audit.count_allocs == false or (
+    [ .alloc_audit.kernels[] | select(.kernel == "alqt-scan") | .allocs_per_event ]
+    | all(. < 0.01)
+  )
+' "$out" > /dev/null || { echo "FAIL: alqt-scan is not allocation-free" >&2; exit 1; }
+echo "allocation-slope check passed" >&2
