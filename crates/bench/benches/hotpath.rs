@@ -75,7 +75,7 @@ fn bench_vltt_lookup(c: &mut Criterion) {
     for &n in &[1_000usize, 10_000] {
         let mut vltt = Vltt::new();
         for i in 0..n as i64 {
-            vltt.insert(stored_tuple(&cat, i, i % 64));
+            vltt.insert(stored_tuple(&cat, i, i % 64)).unwrap();
         }
         let mut i = 0i64;
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -115,7 +115,8 @@ fn bench_vlqt_lookup(c: &mut Criterion) {
             vlqt.insert(StoredRewritten {
                 index_id: Id(i as u64),
                 rq,
-            });
+            })
+            .unwrap();
         }
         let mut i = 0i64;
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {

@@ -73,7 +73,8 @@ fn bench_candidate_scan_vltt(c: &mut Criterion) {
                 index_id: Id(i as u64),
                 attr: "C".to_string(),
                 tuple: s_tuple(&cat, 7, i),
-            });
+            })
+            .unwrap();
         }
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
@@ -108,7 +109,8 @@ fn bench_candidate_scan_vlqt(c: &mut Criterion) {
             vlqt.insert(StoredRewritten {
                 index_id: Id(i),
                 rq,
-            });
+            })
+            .unwrap();
         }
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {

@@ -114,7 +114,8 @@ fn audit_vltt_scan(cat: &Catalog, size: usize, events: u64) -> Row {
             index_id: Id(i as u64),
             attr: "C".to_string(),
             tuple: s_tuple(cat, 7, i),
-        });
+        })
+        .unwrap();
     }
     measure("vltt-scan", size, events, || {
         let mut matches = Matches::new(false);
@@ -140,7 +141,8 @@ fn audit_vlqt_scan(cat: &Catalog, size: usize, events: u64) -> Row {
         vlqt.insert(StoredRewritten {
             index_id: Id(i),
             rq,
-        });
+        })
+        .unwrap();
     }
     measure("vlqt-scan", size, events, || {
         let mut matches = Matches::new(false);

@@ -25,7 +25,7 @@ use cq_overlay::Id;
 use cq_relational::{JoinQuery, MatchTarget, QueryRef, RewrittenQuery, Side, Tuple};
 use rand::Rng;
 
-use crate::error::Result;
+use crate::error::{EngineError, Result};
 use crate::indexing;
 use crate::messages::Message;
 use crate::metrics::TrafficKind;
@@ -191,7 +191,13 @@ pub(crate) fn t1_tuple_arrival(
             let dis_attr = sq
                 .query
                 .join_attr(dis_side)
-                .expect("T1 validated at pose time");
+                .ok_or_else(|| EngineError::Protocol {
+                    detail: format!(
+                        "stored query {} has no join attribute on its \
+                             distributing side (corrupted ALQT entry?)",
+                        sq.query.key()
+                    ),
+                })?;
             let Some(rq) = RewrittenQuery::rewrite_attribute(
                 &sq.query,
                 sq.index_side,
@@ -306,7 +312,11 @@ pub(crate) fn match_vlqt_candidates(
 
 /// Stores a value-level tuple in the VLTT, mirroring it onto successors
 /// when k-successor replication is on.
-pub(crate) fn store_value_tuple(st: &mut NodeState, fx: &mut EffectCtx<'_>, entry: StoredTuple) {
+pub(crate) fn store_value_tuple(
+    st: &mut NodeState,
+    fx: &mut EffectCtx<'_>,
+    entry: StoredTuple,
+) -> Result<()> {
     let (tick, node) = (fx.tick(), fx.node().index() as u32);
     fx.trace(|| TraceEvent::IndexInsert {
         tick,
@@ -315,11 +325,12 @@ pub(crate) fn store_value_tuple(st: &mut NodeState, fx: &mut EffectCtx<'_>, entr
         fresh: true, // the VLTT keeps every arrival (no dedup key)
     });
     if fx.repl_k() > 0 {
-        st.vltt.insert(entry.clone());
+        st.vltt.insert(entry.clone())?;
         fx.push(Effect::Replicate {
             item: crate::replication::ReplicaItem::Tuple(entry),
         });
     } else {
-        st.vltt.insert(entry);
+        st.vltt.insert(entry)?;
     }
+    Ok(())
 }

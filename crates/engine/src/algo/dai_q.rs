@@ -81,7 +81,7 @@ impl Protocol for DaiQProtocol {
                 attr,
                 tuple,
             },
-        );
+        )?;
         Ok(())
     }
 

@@ -93,14 +93,14 @@ impl Protocol for DaiTProtocol {
             let entry = StoredRewritten { index_id, rq };
             let fresh;
             if ctx.repl_k() > 0 {
-                fresh = ctx.state().vlqt.insert(entry.clone());
+                fresh = ctx.state().vlqt.insert(entry.clone())?;
                 if fresh {
                     ctx.push(Effect::Replicate {
                         item: ReplicaItem::Rewritten(entry),
                     });
                 }
             } else {
-                fresh = ctx.state().vlqt.insert(entry);
+                fresh = ctx.state().vlqt.insert(entry)?;
             }
             let (tick, node) = (ctx.tick(), ctx.node().index() as u32);
             ctx.trace(|| TraceEvent::IndexInsert {

@@ -131,7 +131,7 @@ impl Protocol for SaiProtocol {
                 attr,
                 tuple,
             },
-        );
+        )?;
         Ok(())
     }
 
@@ -151,7 +151,7 @@ impl Protocol for SaiProtocol {
             // store the information related to tuple t". `insert_fresh`
             // hands back the stored entry so the fresh path borrows it
             // instead of cloning the rewritten query.
-            let stored = vlqt.insert_fresh(StoredRewritten { index_id, rq });
+            let stored = vlqt.insert_fresh(StoredRewritten { index_id, rq })?;
             let fresh = stored.is_some();
             let (tick, node) = (fx.tick(), fx.node().index() as u32);
             fx.trace(|| TraceEvent::IndexInsert {

@@ -14,9 +14,11 @@ use crate::trace::TraceEvent;
 
 impl Network {
     /// Voluntary departure: the node transfers every key it holds to its
-    /// successor, then leaves the ring. Replicas the node held for others
-    /// are dropped — their primaries are still alive and re-mirror on the
-    /// next promotion cycle.
+    /// successor, then leaves the ring. Replica duty moves with the range:
+    /// the successor also inherits the mirrored copies this node held for
+    /// its predecessors. (Dropping them — the old behavior — silently
+    /// reduced those primaries' redundancy below `k` until their next
+    /// re-mirroring, so one further failure in that window lost state.)
     pub fn node_leave(&mut self, h: NodeHandle) -> Result<()> {
         let succ = self
             .ring
@@ -24,9 +26,16 @@ impl Network {
             .ok_or(EngineError::UnknownNode)?;
         self.ring.leave(h)?;
         if succ != h {
-            self.transfer_all(h, succ);
+            self.transfer_all(h, succ)?;
+            let inherited = self.nodes[h.index()].replicas.drain_items();
+            let store = &mut self.nodes[succ.index()].replicas;
+            for item in inherited {
+                store.insert(item)?;
+            }
+        } else {
+            // Last node standing: nobody is left to hold replicas for.
+            self.nodes[h.index()].replicas.clear();
         }
-        self.nodes[h.index()].replicas.clear();
         Ok(())
     }
 
@@ -83,6 +92,7 @@ impl Network {
             }
         }
         self.metrics.faults.nodes_failed += 1;
+        self.note_failure(h.index() as u32);
         Ok(())
     }
 
@@ -128,11 +138,11 @@ impl Network {
                     items.push(ReplicaItem::Query(e));
                 }
                 for e in promoted.rewritten {
-                    st.vlqt.insert(e.clone());
+                    st.vlqt.insert(e.clone())?;
                     items.push(ReplicaItem::Rewritten(e));
                 }
                 for e in promoted.tuples {
-                    st.vltt.insert(e.clone());
+                    st.vltt.insert(e.clone())?;
                     items.push(ReplicaItem::Tuple(e));
                 }
                 for (group, value_key, e) in promoted.value_tuples {
@@ -177,7 +187,7 @@ impl Network {
         if succ != h {
             let space = self.ring.space();
             let in_range = move |x: Id| space.in_open_closed(x, pred, id);
-            self.transfer_matching(succ, h, in_range);
+            self.transfer_matching(succ, h, in_range)?;
         }
         // Missed notifications addressed to us move into the inbox.
         let me = self.ring.node(h).key().to_string();
@@ -195,8 +205,8 @@ impl Network {
         Ok(())
     }
 
-    fn transfer_all(&mut self, from: NodeHandle, to: NodeHandle) {
-        self.transfer_matching(from, to, |_| true);
+    fn transfer_all(&mut self, from: NodeHandle, to: NodeHandle) -> Result<()> {
+        self.transfer_matching(from, to, |_| true)
     }
 
     fn transfer_matching(
@@ -204,7 +214,7 @@ impl Network {
         from: NodeHandle,
         to: NodeHandle,
         pred: impl Fn(Id) -> bool + Copy,
-    ) {
+    ) -> Result<()> {
         debug_assert_ne!(from, to);
         let (a, b) = (from.index(), to.index());
         let mut moved = 0u64;
@@ -223,11 +233,11 @@ impl Network {
             }
             for e in src.vlqt.extract_where(&pred) {
                 moved += 1;
-                dst.vlqt.insert(e);
+                dst.vlqt.insert(e)?;
             }
             for e in src.vltt.extract_where(&pred) {
                 moved += 1;
-                dst.vltt.insert(e);
+                dst.vltt.insert(e)?;
             }
             for (group, value, e) in src.vstore.extract_where(&pred) {
                 moved += 1;
@@ -254,5 +264,6 @@ impl Network {
                 reason: "transfer",
             });
         }
+        Ok(())
     }
 }

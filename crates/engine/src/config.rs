@@ -3,6 +3,7 @@
 use cq_overlay::IdSpace;
 
 use crate::faults::FaultConfig;
+use crate::recovery::SuspicionConfig;
 
 /// The four distributed evaluation algorithms of Chapter 4.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -143,6 +144,10 @@ pub struct EngineConfig {
     /// abrupt failures, reliable delivery, k-successor state replication).
     /// The default is fully inert — no faults, no retries, no replicas.
     pub fault: FaultConfig,
+    /// In-protocol failure detection + anti-entropy repair
+    /// (`engine::recovery`). Disabled by default: failures are then handled
+    /// by the harness's oracle `stabilize` calls exactly as before.
+    pub suspicion: SuspicionConfig,
 }
 
 impl EngineConfig {
@@ -161,6 +166,7 @@ impl EngineConfig {
             batch_delivery: true,
             seed: 42,
             fault: FaultConfig::default(),
+            suspicion: SuspicionConfig::default(),
         }
     }
 
@@ -218,6 +224,12 @@ impl EngineConfig {
     /// Sets the fault-injection configuration (see [`FaultConfig`]).
     pub fn with_fault(mut self, fault: FaultConfig) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Sets the failure-detection configuration (see [`SuspicionConfig`]).
+    pub fn with_suspicion(mut self, suspicion: SuspicionConfig) -> Self {
+        self.suspicion = suspicion;
         self
     }
 

@@ -22,7 +22,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use cq_fasthash::FxHashMap;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use cq_overlay::{Id, NodeHandle};
 
@@ -67,6 +67,9 @@ pub struct FaultConfig {
     /// all fault rates are zero (used by tests to pin the layer's
     /// transparency).
     pub reliable: bool,
+    /// How abrupt failures arrive over time: the classic rate/schedule
+    /// knobs above, or an empirical session-length distribution.
+    pub churn: ChurnModel,
     /// RNG seed for all fault draws (independent of the engine seed, so
     /// injecting faults never perturbs protocol-level random choices).
     pub seed: u64,
@@ -86,8 +89,83 @@ impl Default for FaultConfig {
             ack_timeout: 0,
             max_retries: 0,
             reliable: false,
+            churn: ChurnModel::Rate,
             seed: 0,
         }
+    }
+}
+
+/// How abrupt node failures are generated while the pump runs.
+///
+/// [`ChurnModel::Rate`] is the PR 2 behavior: `failure_rate` per tick plus
+/// the explicit `scheduled_failures` list. [`ChurnModel::Empirical`] samples
+/// one session length per node slot from a fitted distribution at pipe
+/// construction — the trace-driven shape measurement studies report for
+/// peer-to-peer populations — and fails each node when its session expires.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChurnModel {
+    /// Rate-driven and scheduled failures (`failure_rate`,
+    /// `scheduled_failures`, `max_failures`).
+    Rate,
+    /// Session-length churn: every node draws one session length (in pump
+    /// ticks) from `session` when the pipe is built and fails abruptly when
+    /// it expires, up to `max_events` failures per run.
+    Empirical {
+        /// The fitted session-length distribution.
+        session: SessionDist,
+        /// Upper bound on session-expiry failures per run.
+        max_events: usize,
+    },
+}
+
+impl ChurnModel {
+    /// Whether this model generates failures on its own (and therefore
+    /// needs the tick pump).
+    pub fn is_active(&self) -> bool {
+        matches!(self, ChurnModel::Empirical { max_events, .. } if *max_events > 0)
+    }
+}
+
+/// Session-length distributions with published fits for peer uptime traces.
+/// Sampled with hand-rolled inverse-transform / Box–Muller draws so the
+/// vendored minimal `rand` suffices.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SessionDist {
+    /// Log-normal: `exp(mu + sigma * Z)` with `Z ~ N(0, 1)`.
+    LogNormal {
+        /// Mean of the underlying normal (log-ticks).
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Weibull with the usual shape/scale parameterization; shape < 1 gives
+    /// the heavy-tailed sessions measurement studies observe.
+    Weibull {
+        /// Shape parameter `k`.
+        shape: f64,
+        /// Scale parameter `lambda` (ticks).
+        scale: f64,
+    },
+}
+
+impl SessionDist {
+    /// Draws one session length in ticks (always >= 1).
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let len = match *self {
+            SessionDist::LogNormal { mu, sigma } => {
+                // Box–Muller: two uniforms -> one standard normal.
+                let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (mu + sigma * z).exp()
+            }
+            SessionDist::Weibull { shape, scale } => {
+                // Inverse transform: scale * (-ln(1 - U))^(1/shape).
+                let u: f64 = rng.gen::<f64>().min(1.0 - f64::EPSILON);
+                scale * (-(1.0 - u).ln()).powf(1.0 / shape)
+            }
+        };
+        len.round().max(1.0).min(u64::MAX as f64) as u64
     }
 }
 
@@ -117,6 +195,7 @@ impl FaultConfig {
             || self.delay_rate > 0.0
             || self.failure_rate > 0.0
             || !self.scheduled_failures.is_empty()
+            || self.churn.is_active()
     }
 
     /// Whether any part of the robustness layer is active (fault pump or
@@ -205,6 +284,20 @@ pub(crate) enum Delivery {
     },
 }
 
+impl Delivery {
+    /// Whether this copy carries a heartbeat probe (ping or pong). Probes
+    /// are fire-and-forget and excluded from [`FaultPipe::busy`].
+    pub fn is_probe(&self) -> bool {
+        matches!(
+            self,
+            Delivery::Data {
+                msg: Message::Ping { .. } | Message::Pong { .. },
+                ..
+            }
+        )
+    }
+}
+
 /// The runtime state of the fault-injection + reliable-delivery layer.
 /// Owned by the network when [`FaultConfig::perturbs_delivery`] is true.
 #[derive(Debug)]
@@ -229,15 +322,43 @@ pub(crate) struct FaultPipe {
     pub sched_idx: usize,
     /// Rate-driven failures injected so far.
     pub failures_injected: usize,
+    /// Empirical-churn session expiries: pump tick -> node slots whose
+    /// sessions end there (sampled once at construction).
+    pub session_ends: BTreeMap<u64, Vec<u32>>,
+    /// Session-expiry failures injected so far.
+    pub churn_events: usize,
+    /// Scheduled deliveries that are *not* heartbeat probes. [`busy`]
+    /// counts only these, so in-flight pings and pongs never keep the
+    /// pump spinning on their own — probe traffic progresses passively
+    /// on ticks real protocol work (or `Network::settle`) forces.
+    ///
+    /// [`busy`]: FaultPipe::busy
+    pub nonprobe_in_flight: usize,
 }
 
 impl FaultPipe {
-    /// A fresh pipe for `slots` node slots.
+    /// A fresh pipe for `slots` node slots. Under [`ChurnModel::Empirical`]
+    /// every slot draws its session length here, before any fault draw, so
+    /// the schedule is a pure function of the seed and the slot count.
     pub fn new(cfg: FaultConfig, slots: usize) -> Self {
         let seed = cfg.seed;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut session_ends: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        if let ChurnModel::Empirical {
+            session,
+            max_events,
+        } = &cfg.churn
+        {
+            if *max_events > 0 {
+                for slot in 0..slots {
+                    let end = 1 + session.sample(&mut rng);
+                    session_ends.entry(end).or_default().push(slot as u32);
+                }
+            }
+        }
         FaultPipe {
             cfg,
-            rng: StdRng::seed_from_u64(seed),
+            rng,
             tick: 0,
             next_seq: vec![0; slots],
             in_flight: BTreeMap::new(),
@@ -246,6 +367,9 @@ impl FaultPipe {
             dedup: (0..slots).map(|_| FxHashMap::default()).collect(),
             sched_idx: 0,
             failures_injected: 0,
+            session_ends,
+            churn_events: 0,
+            nonprobe_in_flight: 0,
         }
     }
 
@@ -310,7 +434,17 @@ impl FaultPipe {
 
     /// Schedules a delivery at an absolute tick.
     pub fn schedule(&mut self, at: u64, delivery: Delivery) {
+        if !delivery.is_probe() {
+            self.nonprobe_in_flight += 1;
+        }
         self.in_flight.entry(at).or_default().push(delivery);
+    }
+
+    /// Accounts for deliveries just removed from `in_flight` (the pump
+    /// calls this with each tick's batch before handing copies out).
+    pub fn note_removed(&mut self, deliveries: &[Delivery]) {
+        let nonprobe = deliveries.iter().filter(|d| !d.is_probe()).count();
+        self.nonprobe_in_flight -= nonprobe;
     }
 
     /// Schedules a retransmission check for `id` at an absolute tick.
@@ -318,9 +452,12 @@ impl FaultPipe {
         self.retry_at.entry(at).or_default().push(id);
     }
 
-    /// Whether any deliveries or retransmission checks remain.
+    /// Whether any non-probe deliveries or retransmission checks remain.
+    /// In-flight heartbeat probes deliberately do not count: a probe reply
+    /// schedules the next probe, so counting them would keep the pump
+    /// spinning forever once detection is enabled.
     pub fn busy(&self) -> bool {
-        !self.in_flight.is_empty() || !self.retry_at.is_empty()
+        self.nonprobe_in_flight > 0 || !self.retry_at.is_empty()
     }
 
     /// The backoff delay before the n-th retransmission:

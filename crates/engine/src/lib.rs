@@ -56,6 +56,7 @@ pub mod node;
 pub mod oracle;
 pub mod pipeline;
 pub mod protocol;
+pub mod recovery;
 pub mod replication;
 pub mod tables;
 pub mod trace;
@@ -64,15 +65,16 @@ mod transport;
 pub use algo::protocol_for;
 pub use config::{Algorithm, EngineConfig, IndexStrategy};
 pub use error::{EngineError, Result};
-pub use faults::{DedupWindow, FaultConfig};
+pub use faults::{ChurnModel, DedupWindow, FaultConfig, SessionDist};
 pub use jfrt::{Jfrt, JfrtLookup};
 pub use messages::{Message, ValueJoin};
-pub use metrics::{FaultCounters, Metrics, NodeLoad, TrafficKind};
+pub use metrics::{FaultCounters, Metrics, NodeLoad, RecoveryCounters, TrafficKind};
 pub use network::Network;
 pub use node::NodeState;
 pub use oracle::Oracle;
 pub use pipeline::Pipeline;
 pub use protocol::{Effect, Matches, NodeCtx, Protocol};
+pub use recovery::SuspicionConfig;
 pub use replication::{PromotedState, ReplicaItem, ReplicaStore};
 pub use trace::{
     JsonlSink, JsonlSummarySink, NoopSink, RingBufferSink, SummarySink, TeeSink, TraceEvent,

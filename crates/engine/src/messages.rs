@@ -80,6 +80,23 @@ pub enum Message {
         /// The item to mirror into the receiver's replica store.
         item: Box<ReplicaItem>,
     },
+    /// Heartbeat probe from the failure-detection layer (`engine::recovery`):
+    /// a ring neighbor asking "are you alive?". Node-addressed and
+    /// fire-and-forget — probes never open ack windows; an unanswered probe
+    /// *is* the failure signal.
+    Ping {
+        /// The probing node's slot (where the pong returns).
+        from: u32,
+        /// Probe sequence number (recovery-layer local).
+        seq: u64,
+    },
+    /// Heartbeat reply: the probed node confirming liveness.
+    Pong {
+        /// The responding node's slot.
+        from: u32,
+        /// Echo of the probe's sequence number.
+        seq: u64,
+    },
     /// Several messages of one multisend batch coalesced for a single
     /// destination — one queue entry instead of one per message. The
     /// receiver unwraps them in order, so dispatch order is exactly what
@@ -120,6 +137,8 @@ impl Message {
             Message::StoreNotifications { .. } => "store-notify",
             Message::Notify { .. } => "notify",
             Message::Replicate { .. } => "replicate",
+            Message::Ping { .. } => "ping",
+            Message::Pong { .. } => "pong",
             Message::Bundle(_) => "bundle",
         }
     }

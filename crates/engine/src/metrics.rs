@@ -100,6 +100,48 @@ pub struct FaultCounters {
     pub replica_messages: u64,
 }
 
+/// Failure-detection and repair counters (`engine::recovery`), all zero
+/// unless `SuspicionConfig::enabled`. Like [`FaultCounters`] they live
+/// outside [`TrafficKind`] so enabling detection never changes the shape of
+/// existing traffic reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Heartbeat probes sent (pings; pongs are not counted separately).
+    pub heartbeats_sent: u64,
+    /// Probe timeouts that moved a watch into the suspected state.
+    pub suspects: u64,
+    /// Suspicions confirmed: the watcher declared the target dead and
+    /// triggered stabilization + replica promotion.
+    pub confirms: u64,
+    /// Suspicions (or confirmations) of nodes that were actually alive —
+    /// slow links, not failures.
+    pub false_suspects: u64,
+    /// Actually-dead nodes detected (first confirm per failed node).
+    pub detections: u64,
+    /// Sum over detections of pump ticks from failure to confirmation
+    /// (time-to-detect numerator; `detections` is the denominator).
+    pub detect_ticks_total: u64,
+    /// Failed nodes whose replica state was verified repaired by a clean
+    /// anti-entropy round (or instantly when anti-entropy is disabled).
+    pub repairs: u64,
+    /// Sum over repairs of pump ticks from failure to verified repair.
+    pub repair_ticks_total: u64,
+    /// Anti-entropy digest comparisons performed (one per primary/successor
+    /// pair per round).
+    pub digest_exchanges: u64,
+    /// Replica items re-mirrored by anti-entropy repair.
+    pub repair_items: u64,
+    /// Approximate wire bytes of re-mirrored repair items.
+    pub repair_bytes: u64,
+    /// Data messages lost because their receiver was dead but not yet
+    /// detected (the recovery blind spot, notifications included).
+    pub lost_in_detection_window: u64,
+    /// The subset of `lost_in_detection_window` that carried notifications
+    /// (`notify` / `store-notify`) — deliveries subscribers missed while
+    /// detection lagged the failure.
+    pub notifications_lost_in_window: u64,
+}
+
 /// Global metric registry for one simulation run.
 #[derive(Clone, Debug)]
 pub struct Metrics {
@@ -113,6 +155,8 @@ pub struct Metrics {
     pub notifications_stored_offline: u64,
     /// Fault-injection and recovery counters.
     pub faults: FaultCounters,
+    /// Failure-detection and anti-entropy repair counters.
+    pub recovery: RecoveryCounters,
 }
 
 fn kind_slot(kind: TrafficKind) -> usize {
@@ -134,6 +178,7 @@ impl Metrics {
             notifications_delivered: 0,
             notifications_stored_offline: 0,
             faults: FaultCounters::default(),
+            recovery: RecoveryCounters::default(),
         }
     }
 
@@ -203,6 +248,7 @@ impl Metrics {
         self.notifications_delivered = 0;
         self.notifications_stored_offline = 0;
         self.faults = FaultCounters::default();
+        self.recovery = RecoveryCounters::default();
     }
 }
 
@@ -239,12 +285,14 @@ mod tests {
         m.notifications_delivered = 9;
         m.notifications_stored_offline = 2;
         m.faults.messages_lost = 4;
+        m.recovery.heartbeats_sent = 6;
         m.reset();
         assert_eq!(m.total_filtering(), 0);
         assert_eq!(m.total_traffic().messages, 0);
         assert_eq!(m.notifications_delivered, 0);
         assert_eq!(m.notifications_stored_offline, 0);
         assert_eq!(m.faults, FaultCounters::default());
+        assert_eq!(m.recovery, RecoveryCounters::default());
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::messages::Message;
 use crate::metrics::Metrics;
 use crate::node::NodeState;
 use crate::protocol::{Effect, NodeCtx, Protocol};
+use crate::recovery::Recovery;
 use crate::replication::ReplicaItem;
 use crate::tables::StoredQuery;
 use crate::trace::{TraceEvent, TraceSink};
@@ -67,6 +68,9 @@ pub struct Network {
     ///
     /// [`MsgId`]: crate::faults::MsgId
     pub(crate) trace_seq: Vec<u64>,
+    /// The in-protocol failure detector (`engine::recovery`); `None` (the
+    /// default) leaves failure handling to oracle `stabilize` calls.
+    pub(crate) recovery: Option<Box<Recovery>>,
     /// `Key(n) → handle` for notification delivery.
     pub(crate) subscribers: FxHashMap<String, NodeHandle>,
     /// Log of every posed query (for oracles and tests).
@@ -94,10 +98,15 @@ impl Network {
         let ring = Ring::build(config.space(), config.nodes, "node-");
         let slots = ring.slot_count();
         let seed = config.seed;
-        let pipe = config
-            .fault
-            .perturbs_delivery()
+        // The detector needs the tick pump: probes, timeouts and digest
+        // rounds all live in pump time, so enabling suspicion installs the
+        // pipe even when no delivery fault is configured.
+        let pipe = (config.fault.perturbs_delivery() || config.suspicion.enabled)
             .then(|| Box::new(FaultPipe::new(config.fault.clone(), slots)));
+        let recovery = config
+            .suspicion
+            .enabled
+            .then(|| Box::new(Recovery::new(config.suspicion)));
         Network {
             config,
             catalog,
@@ -113,6 +122,7 @@ impl Network {
             tracer: None,
             trace_seq: Vec::new(),
             transport: Transport::new(pipe),
+            recovery,
             subscribers: FxHashMap::default(),
             posed_queries: Vec::new(),
             inserted_tuples: Vec::new(),
@@ -473,8 +483,20 @@ impl Network {
                 self.nodes[at.index()].inbox.extend(notifications);
                 Ok(())
             }
-            Message::Replicate { item } => {
-                self.nodes[at.index()].replicas.insert(*item);
+            Message::Replicate { item } => self.nodes[at.index()].replicas.insert(*item),
+            Message::Ping { from, seq } => {
+                // Heartbeat probe: answer directly to the prober. The pong
+                // is itself a probe message — fire-and-forget, never acked.
+                let me = at.index() as u32;
+                self.push_direct(
+                    at,
+                    NodeHandle::from_index(from as usize),
+                    Message::Pong { from: me, seq },
+                );
+                Ok(())
+            }
+            Message::Pong { from, .. } => {
+                self.on_pong(at, from);
                 Ok(())
             }
             Message::Bundle(msgs) => {

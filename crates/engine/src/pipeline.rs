@@ -96,7 +96,8 @@ impl Pipeline {
     ) -> Result<QueryKey> {
         let schema = net.catalog().get(derived_relation)?.clone();
         let key = net.pose_query_sql(self.driver, sql)?;
-        // Validate arity up front: the posed query is the last one logged.
+        // Validate arity up front: pose_query_sql just succeeded, so the
+        // posed-query log is non-empty and its last entry is this query.
         let query = net
             .posed_queries()
             .last()

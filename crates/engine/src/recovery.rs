@@ -1,0 +1,627 @@
+//! In-protocol failure detection and anti-entropy replica repair.
+//!
+//! The fault layer (`engine::faults`) injects abrupt node failures, but the
+//! seed engine repaired them with *oracle knowledge*: the harness called
+//! [`Network::stabilize`] the instant a node died. This module replaces the
+//! oracle with an in-protocol detector:
+//!
+//! * **Heartbeats** — every [`SuspicionConfig::heartbeat_every`] pump ticks,
+//!   each alive node pings every entry of its *local* successor list (the
+//!   stale, per-node view — exactly what a real Chord node has). Probes are
+//!   fire-and-forget: they never open ack windows, and in-flight probes do
+//!   not keep the message pump busy (see `FaultPipe::busy`).
+//! * **Suspicion** — an unanswered probe moves the watch to *suspected*
+//!   after [`SuspicionConfig::suspect_after`] ticks; a pong at any point
+//!   clears it (a late pong from a slow-but-alive node is counted as a
+//!   *false suspicion*). A suspicion that survives another
+//!   [`SuspicionConfig::confirm_after`] ticks is *confirmed*: the watcher
+//!   triggers ring stabilization and replica promotion. Confirming a node
+//!   that was actually alive is harmless — promotion only extracts replicas
+//!   whose identifiers the promoting node *really* owns.
+//! * **Anti-entropy** — every [`SuspicionConfig::anti_entropy_every`] ticks,
+//!   each primary compares an order-independent digest of its owned state
+//!   (entry count + commutative hash sum, see
+//!   [`crate::replication`]) against each of its `k` successors' replica
+//!   stores and re-mirrors only the missing items. A round in which no
+//!   successor was missing anything closes all open repair episodes.
+//!
+//! With [`SuspicionConfig::default`] (disabled) none of this exists at
+//! runtime and every run is byte-identical to the pre-detection engine.
+
+use std::collections::BTreeMap;
+
+use cq_fasthash::FxHashMap;
+use cq_fasthash::FxHashSet;
+use cq_overlay::{Id, NodeHandle};
+
+use crate::error::{EngineError, Result};
+use crate::faults::FaultPipe;
+use crate::messages::Message;
+use crate::network::Network;
+use crate::node::NodeState;
+use crate::replication::{
+    digest_of, hash_offline, hash_query, hash_rewritten, hash_tuple, hash_value_tuple, ReplicaItem,
+};
+use crate::trace::TraceEvent;
+
+/// Failure-detection knobs. All durations are pump ticks (the same unit the
+/// fault layer uses). The default is fully disabled: no probes, no
+/// suspicion, no anti-entropy — failures are repaired by whoever calls
+/// [`Network::stabilize`], exactly as before this module existed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuspicionConfig {
+    /// Master switch. When `false` every other knob is ignored.
+    pub enabled: bool,
+    /// Ticks between heartbeat rounds (treated as 1 if set to 0).
+    pub heartbeat_every: u64,
+    /// Ticks an unanswered probe waits before the target is *suspected*.
+    pub suspect_after: u64,
+    /// Ticks a suspicion must survive (no pong) before it is *confirmed*
+    /// and repair (stabilization + replica promotion) is triggered.
+    pub confirm_after: u64,
+    /// Ticks between anti-entropy digest rounds; `0` disables anti-entropy
+    /// (repair episodes then close at confirmation time).
+    pub anti_entropy_every: u64,
+}
+
+impl Default for SuspicionConfig {
+    fn default() -> Self {
+        SuspicionConfig {
+            enabled: false,
+            heartbeat_every: 4,
+            suspect_after: 8,
+            confirm_after: 8,
+            anti_entropy_every: 16,
+        }
+    }
+}
+
+impl SuspicionConfig {
+    /// An enabled profile with the default cadence — the starting point for
+    /// tests and the `ef02` experiment.
+    pub fn active() -> Self {
+        SuspicionConfig {
+            enabled: true,
+            ..SuspicionConfig::default()
+        }
+    }
+
+    /// Overrides the suspicion timeout (the `ef02` sweep axis). The confirm
+    /// grace scales with it so an aggressive detector is aggressive
+    /// end-to-end.
+    pub fn with_suspect_after(mut self, ticks: u64) -> Self {
+        self.suspect_after = ticks;
+        self.confirm_after = ticks;
+        self
+    }
+
+    /// Overrides the anti-entropy cadence (`0` disables digest rounds).
+    pub fn with_anti_entropy_every(mut self, ticks: u64) -> Self {
+        self.anti_entropy_every = ticks;
+        self
+    }
+}
+
+/// One watcher→target probe relationship.
+#[derive(Clone, Copy, Debug)]
+enum WatchState {
+    /// A probe is out; `sent_at` is the tick of the *first* unanswered
+    /// probe (later heartbeat rounds re-ping without resetting the clock).
+    Waiting {
+        /// Tick of the first unanswered probe.
+        sent_at: u64,
+    },
+    /// The suspect timer expired without a pong.
+    Suspected {
+        /// Tick the watch moved to suspected.
+        suspected_at: u64,
+    },
+}
+
+/// Runtime state of the failure detector. Owned by [`Network`] when
+/// [`SuspicionConfig::enabled`] is set; absent otherwise.
+#[derive(Debug)]
+pub(crate) struct Recovery {
+    /// The configuration.
+    cfg: SuspicionConfig,
+    /// Mirror of the pipe's current tick (the pipe itself is moved out of
+    /// the network while the pump runs, so sites like `fail_node_state`
+    /// read the tick here).
+    pub(crate) now: u64,
+    /// Probe sequence counter (shared across nodes; probes are
+    /// fire-and-forget so uniqueness is all that matters).
+    probe_seq: u64,
+    /// Active watches, keyed `(prober slot, target slot)`. A `BTreeMap`
+    /// so deadline sweeps iterate in a deterministic order.
+    watches: BTreeMap<(u32, u32), WatchState>,
+    /// Failed-but-not-yet-confirmed nodes: slot → (failure pump tick,
+    /// failure logical clock). Metrics/window bookkeeping only — the
+    /// protocol never reads this map to decide anything, or the detector
+    /// would be an oracle in disguise.
+    pub(crate) undetected: FxHashMap<u32, (u64, u64)>,
+    /// Closed detection windows as logical-clock intervals
+    /// `[fail_clock, confirm_clock]`.
+    windows: Vec<(u64, u64)>,
+    /// Detected failures whose replica repair has not yet been verified by
+    /// a clean anti-entropy round: `(slot, failure pump tick)`.
+    repair_pending: Vec<(u32, u64)>,
+    /// Next tick a heartbeat round fires.
+    next_heartbeat: u64,
+    /// Next tick an anti-entropy round fires.
+    next_anti_entropy: u64,
+}
+
+impl Recovery {
+    /// Fresh detector state.
+    pub(crate) fn new(cfg: SuspicionConfig) -> Self {
+        Recovery {
+            cfg,
+            now: 0,
+            probe_seq: 0,
+            watches: BTreeMap::new(),
+            undetected: FxHashMap::default(),
+            windows: Vec::new(),
+            repair_pending: Vec::new(),
+            next_heartbeat: 1,
+            next_anti_entropy: cfg.anti_entropy_every.max(1),
+        }
+    }
+
+    /// Whether detection or repair work is still outstanding (failures not
+    /// yet confirmed, or confirmed but not yet verified repaired).
+    pub(crate) fn pending(&self) -> bool {
+        !self.undetected.is_empty() || !self.repair_pending.is_empty()
+    }
+}
+
+/// Digest hashes of the primary state `st` holds under identifiers
+/// satisfying `pred` (the anti-entropy reference side; the replica side is
+/// [`crate::replication::ReplicaStore::hashes_where`]).
+fn primary_hashes(st: &NodeState, pred: impl Fn(Id) -> bool + Copy) -> FxHashSet<u64> {
+    let mut out = FxHashSet::default();
+    for e in st.alqt.entries() {
+        if pred(e.index_id) {
+            out.insert(hash_query(e));
+        }
+    }
+    for e in st.vlqt.entries() {
+        if pred(e.index_id) {
+            out.insert(hash_rewritten(e));
+        }
+    }
+    for e in st.vltt.entries() {
+        if pred(e.index_id) {
+            out.insert(hash_tuple(e));
+        }
+    }
+    for (group, value_key, e) in st.vstore.entries() {
+        if pred(e.index_id) {
+            out.insert(hash_value_tuple(group, value_key, e));
+        }
+    }
+    for (id, n) in &st.offline_store {
+        if pred(*id) {
+            out.insert(hash_offline(*id, n));
+        }
+    }
+    out
+}
+
+/// Primary items under `pred` whose digest hash the replica side (`have`)
+/// is missing — the anti-entropy repair payload.
+fn missing_primary_items(
+    st: &NodeState,
+    pred: impl Fn(Id) -> bool + Copy,
+    have: &FxHashSet<u64>,
+) -> Vec<ReplicaItem> {
+    let mut out = Vec::new();
+    for e in st.alqt.entries() {
+        if pred(e.index_id) && !have.contains(&hash_query(e)) {
+            out.push(ReplicaItem::Query(e.clone()));
+        }
+    }
+    for e in st.vlqt.entries() {
+        if pred(e.index_id) && !have.contains(&hash_rewritten(e)) {
+            out.push(ReplicaItem::Rewritten(e.clone()));
+        }
+    }
+    for e in st.vltt.entries() {
+        if pred(e.index_id) && !have.contains(&hash_tuple(e)) {
+            out.push(ReplicaItem::Tuple(e.clone()));
+        }
+    }
+    for (group, value_key, e) in st.vstore.entries() {
+        if pred(e.index_id) && !have.contains(&hash_value_tuple(group, value_key, e)) {
+            out.push(ReplicaItem::ValueTuple {
+                group: group.to_string(),
+                value_key: value_key.to_string(),
+                entry: e.clone(),
+            });
+        }
+    }
+    for (id, n) in &st.offline_store {
+        if pred(*id) && !have.contains(&hash_offline(*id, n)) {
+            out.push(ReplicaItem::Offline {
+                id: *id,
+                notification: n.clone(),
+            });
+        }
+    }
+    out
+}
+
+impl Network {
+    /// Whether the in-protocol failure detector is installed.
+    #[inline]
+    pub(crate) fn recovery_active(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    /// Records an abrupt failure with the detector (window/metric
+    /// bookkeeping only). Called by `fail_node_state`.
+    pub(crate) fn note_failure(&mut self, slot: u32) {
+        let clock = self.trace_tick();
+        if let Some(rec) = self.recovery.as_mut() {
+            rec.undetected.insert(slot, (rec.now, clock));
+        }
+    }
+
+    /// A pong arrived at `prober` from slot `from`: clear the watch, and
+    /// count a false suspicion if the target had already been suspected.
+    pub(crate) fn on_pong(&mut self, prober: NodeHandle, from: u32) {
+        let Some(rec) = self.recovery.as_mut() else {
+            return;
+        };
+        let node = prober.index() as u32;
+        let now = rec.now;
+        let was_suspected = matches!(
+            rec.watches.remove(&(node, from)),
+            Some(WatchState::Suspected { .. })
+        );
+        if was_suspected {
+            self.metrics.recovery.false_suspects += 1;
+            self.trace(|| TraceEvent::FalseSuspect {
+                tick: now,
+                node,
+                target: from,
+            });
+        }
+    }
+
+    /// One detector step, run at the top of every pump tick: heartbeat
+    /// round, suspicion deadline sweep, anti-entropy round — each on its
+    /// own cadence. A no-op when detection is disabled.
+    pub(crate) fn recovery_tick(&mut self, pipe: &mut FaultPipe) -> Result<()> {
+        if self.recovery.is_none() {
+            return Ok(());
+        }
+        // Invariant: is_none() returned above; take-and-restore releases the
+        // &mut self borrow while the round runs.
+        let mut rec = self.recovery.take().expect("checked above");
+        rec.now = pipe.tick;
+        let result = self
+            .heartbeat_round(&mut rec)
+            .and_then(|()| self.sweep_deadlines(&mut rec))
+            .and_then(|()| self.anti_entropy_round(&mut rec));
+        self.recovery = Some(rec);
+        result
+    }
+
+    /// Sends one round of probes: every alive node pings every entry of its
+    /// *local* successor list (which may be stale — that is the point).
+    /// Existing watches are re-pinged without resetting their clocks.
+    fn heartbeat_round(&mut self, rec: &mut Recovery) -> Result<()> {
+        if rec.now < rec.next_heartbeat {
+            return Ok(());
+        }
+        rec.next_heartbeat = rec.now + rec.cfg.heartbeat_every.max(1);
+        let probers: Vec<NodeHandle> = self.ring.alive_nodes().collect();
+        for p in probers {
+            let slot = p.index() as u32;
+            let targets: Vec<NodeHandle> = self
+                .ring
+                .node(p)
+                .successor_list()
+                .iter()
+                .copied()
+                .filter(|t| *t != p)
+                .collect();
+            for t in targets {
+                let tslot = t.index() as u32;
+                rec.watches
+                    .entry((slot, tslot))
+                    .or_insert(WatchState::Waiting { sent_at: rec.now });
+                let seq = rec.probe_seq;
+                rec.probe_seq += 1;
+                self.metrics.recovery.heartbeats_sent += 1;
+                self.push_direct(p, t, Message::Ping { from: slot, seq });
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances watch deadlines: waiting → suspected → confirmed. A
+    /// confirmation removes the watch, triggers stabilization + replica
+    /// promotion, and — when the target really was dead — closes the
+    /// detection window and opens a repair episode.
+    fn sweep_deadlines(&mut self, rec: &mut Recovery) -> Result<()> {
+        let now = rec.now;
+        let mut confirmed: Vec<(u32, u32)> = Vec::new();
+        let mut suspected: Vec<(u32, u32)> = Vec::new();
+        let mut dead_probers: Vec<(u32, u32)> = Vec::new();
+        for (&(p, t), state) in rec.watches.iter_mut() {
+            if !self
+                .ring
+                .node(NodeHandle::from_index(p as usize))
+                .is_alive()
+            {
+                dead_probers.push((p, t));
+                continue;
+            }
+            match *state {
+                WatchState::Waiting { sent_at } => {
+                    if now >= sent_at + rec.cfg.suspect_after {
+                        *state = WatchState::Suspected { suspected_at: now };
+                        suspected.push((p, t));
+                    }
+                }
+                WatchState::Suspected { suspected_at } => {
+                    if now >= suspected_at + rec.cfg.confirm_after {
+                        confirmed.push((p, t));
+                    }
+                }
+            }
+        }
+        for key in dead_probers {
+            rec.watches.remove(&key);
+        }
+        for (p, t) in suspected {
+            self.metrics.recovery.suspects += 1;
+            self.trace(|| TraceEvent::Suspect {
+                tick: now,
+                node: p,
+                target: t,
+            });
+        }
+        let mut repaired = false;
+        for (p, t) in confirmed {
+            rec.watches.remove(&(p, t));
+            let dead = !self
+                .ring
+                .node(NodeHandle::from_index(t as usize))
+                .is_alive();
+            self.metrics.recovery.confirms += 1;
+            self.trace(|| TraceEvent::Confirm {
+                tick: now,
+                node: p,
+                target: t,
+                dead,
+            });
+            if !dead {
+                // A slow-but-alive node was declared dead. Stabilization
+                // and promotion below are harmless (the ring still lists
+                // it; promotion extracts nothing it owns) — the cost is
+                // the spurious repair work itself, which is the honest
+                // price of an aggressive timeout.
+                self.metrics.recovery.false_suspects += 1;
+            } else if let Some((fail_tick, fail_clock)) = rec.undetected.remove(&t) {
+                // First confirmation of this actually-dead node.
+                self.metrics.recovery.detections += 1;
+                self.metrics.recovery.detect_ticks_total += now.saturating_sub(fail_tick);
+                rec.windows.push((fail_clock, self.trace_tick()));
+                if rec.cfg.anti_entropy_every > 0 && self.repl_k() > 0 {
+                    rec.repair_pending.push((t, fail_tick));
+                } else {
+                    // No digest rounds to verify against: promotion below
+                    // is the whole repair.
+                    self.metrics.recovery.repairs += 1;
+                    self.metrics.recovery.repair_ticks_total += now.saturating_sub(fail_tick);
+                }
+            }
+            repaired = true;
+        }
+        if repaired {
+            self.ring.stabilize_all(1);
+            self.promote_replicas()?;
+        }
+        Ok(())
+    }
+
+    /// One anti-entropy round: every alive primary digests its owned state
+    /// against each of its `k` successors' replica stores and re-mirrors
+    /// only the missing items. A globally clean round (nothing missing
+    /// anywhere) closes all open repair episodes.
+    fn anti_entropy_round(&mut self, rec: &mut Recovery) -> Result<()> {
+        let k = self.repl_k();
+        if k == 0 || rec.cfg.anti_entropy_every == 0 || rec.now < rec.next_anti_entropy {
+            return Ok(());
+        }
+        rec.next_anti_entropy = rec.now + rec.cfg.anti_entropy_every;
+        let now = rec.now;
+        // Plan immutably first (digests borrow node state), then send.
+        let mut plans: Vec<(NodeHandle, NodeHandle, Vec<ReplicaItem>)> = Vec::new();
+        let mut exchanges: Vec<(u32, u32, u64, u64)> = Vec::new();
+        {
+            let ring = &self.ring;
+            let primaries: Vec<NodeHandle> = ring.alive_nodes().collect();
+            for p in primaries {
+                let succs = ring.successors_of(p, k);
+                if succs.is_empty() {
+                    continue;
+                }
+                let owned = |id: Id| ring.owns(p, id);
+                let primary = primary_hashes(&self.nodes[p.index()], owned);
+                let pdig = digest_of(&primary);
+                for s in succs {
+                    let sdig = self.nodes[s.index()].replicas.digest_where(owned);
+                    let missing = if sdig == pdig {
+                        Vec::new()
+                    } else {
+                        let mut have = FxHashSet::default();
+                        self.nodes[s.index()]
+                            .replicas
+                            .hashes_where(owned, &mut have);
+                        missing_primary_items(&self.nodes[p.index()], owned, &have)
+                    };
+                    exchanges.push((
+                        p.index() as u32,
+                        s.index() as u32,
+                        pdig.0,
+                        missing.len() as u64,
+                    ));
+                    if !missing.is_empty() {
+                        plans.push((p, s, missing));
+                    }
+                }
+            }
+        }
+        for (node, to, items, missing) in exchanges {
+            self.metrics.recovery.digest_exchanges += 1;
+            self.trace(|| TraceEvent::DigestExchange {
+                tick: now,
+                node,
+                to,
+                items,
+                missing,
+            });
+        }
+        let clean = plans.is_empty();
+        for (p, s, items) in plans {
+            let (node, to, count) = (p.index() as u32, s.index() as u32, items.len() as u64);
+            let bytes: u64 = items.iter().map(ReplicaItem::approx_bytes).sum();
+            self.metrics.recovery.repair_items += count;
+            self.metrics.recovery.repair_bytes += bytes;
+            self.trace(|| TraceEvent::Repair {
+                tick: now,
+                node,
+                to,
+                items: count,
+                bytes,
+            });
+            for item in items {
+                self.push_direct(
+                    p,
+                    s,
+                    Message::Replicate {
+                        item: Box::new(item),
+                    },
+                );
+            }
+        }
+        if clean && !rec.repair_pending.is_empty() {
+            for (_, fail_tick) in rec.repair_pending.drain(..) {
+                self.metrics.recovery.repairs += 1;
+                self.metrics.recovery.repair_ticks_total += now.saturating_sub(fail_tick);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drives the pump until the detector has confirmed every outstanding
+    /// failure and verified its repair — forcing empty ticks if no protocol
+    /// traffic keeps the clock moving. A no-op without a detector. Errors
+    /// if detection cannot converge (e.g. more consecutive failures than
+    /// the successor lists cover).
+    pub fn settle(&mut self) -> Result<()> {
+        self.process_all()?;
+        if self.recovery.is_none() {
+            return Ok(());
+        }
+        let Some(mut pipe) = self.transport.pipe.take() else {
+            return Ok(());
+        };
+        let mut result = Ok(());
+        let mut forced = 0u64;
+        loop {
+            let pending = self.recovery.as_ref().is_some_and(|r| r.pending());
+            if !pending && !pipe.busy() && self.transport.pending.is_empty() {
+                break;
+            }
+            forced += 1;
+            if forced > 100_000 {
+                result = Err(EngineError::Protocol {
+                    detail: "failure detection did not converge within 100000 forced ticks \
+                             (more consecutive failures than successor lists cover?)"
+                        .to_string(),
+                });
+                break;
+            }
+            while let Some(p) = self.transport.pending.pop_front() {
+                self.transmit(&mut pipe, p);
+            }
+            if let Err(e) = self.pump_tick(&mut pipe) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.transport.pipe = Some(pipe);
+        result
+    }
+
+    /// The detection windows observed so far, as closed logical-clock
+    /// intervals `[fail, confirm]`; failures not yet confirmed yield
+    /// half-open windows `[fail, u64::MAX]`. Tuples published inside any
+    /// window have no delivery guarantee (the paper's best-effort
+    /// semantics); everything outside must match the oracle.
+    pub fn detection_windows(&self) -> Vec<(u64, u64)> {
+        let Some(rec) = self.recovery.as_ref() else {
+            return Vec::new();
+        };
+        let mut out = rec.windows.clone();
+        for (_, fail_clock) in rec.undetected.values() {
+            out.push((*fail_clock, u64::MAX));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Failure-detection counters (alias for `metrics().recovery`).
+    pub fn recovery_counters(&self) -> crate::metrics::RecoveryCounters {
+        self.metrics.recovery
+    }
+
+    /// Runs one anti-entropy round immediately, regardless of cadence
+    /// (test hook for divergence-repair scenarios).
+    #[doc(hidden)]
+    pub fn anti_entropy_now(&mut self) -> Result<()> {
+        if self.recovery.is_none() {
+            return Ok(());
+        }
+        // Invariant: is_none() returned above; take-and-restore releases the
+        // &mut self borrow while the round runs.
+        let mut rec = self.recovery.take().expect("checked above");
+        rec.next_anti_entropy = rec.now;
+        let result = self.anti_entropy_round(&mut rec);
+        self.recovery = Some(rec);
+        if result.is_ok() {
+            return self.process_all();
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_disabled() {
+        let cfg = SuspicionConfig::default();
+        assert!(!cfg.enabled);
+    }
+
+    #[test]
+    fn active_profile_enables_and_scales() {
+        let cfg = SuspicionConfig::active().with_suspect_after(4);
+        assert!(cfg.enabled);
+        assert_eq!(cfg.suspect_after, 4);
+        assert_eq!(cfg.confirm_after, 4);
+    }
+
+    #[test]
+    fn recovery_starts_idle() {
+        let rec = Recovery::new(SuspicionConfig::active());
+        assert!(!rec.pending());
+        assert_eq!(rec.next_heartbeat, 1);
+    }
+}

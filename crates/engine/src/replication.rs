@@ -17,6 +17,8 @@ use cq_fasthash::FxHashSet;
 use cq_overlay::Id;
 use cq_relational::Notification;
 
+use crate::error::Result;
+
 use crate::tables::{
     Alqt, StoredQuery, StoredRewritten, StoredTuple, StoredValueTuple, VStore, Vlqt, Vltt,
 };
@@ -62,6 +64,87 @@ impl ReplicaItem {
             ReplicaItem::Offline { id, .. } => *id,
         }
     }
+
+    /// Content hash used by the anti-entropy digests: equal mirrored items
+    /// hash equally on the primary and on every successor, independent of
+    /// table iteration order (digests combine hashes commutatively).
+    pub fn digest_hash(&self) -> u64 {
+        match self {
+            ReplicaItem::Query(e) => hash_query(e),
+            ReplicaItem::Rewritten(e) => hash_rewritten(e),
+            ReplicaItem::Tuple(e) => hash_tuple(e),
+            ReplicaItem::ValueTuple {
+                group,
+                value_key,
+                entry,
+            } => hash_value_tuple(group, value_key, entry),
+            ReplicaItem::Offline { id, notification } => hash_offline(*id, notification),
+        }
+    }
+
+    /// Coarse wire-size model of one mirrored item (fixed per-variant frame
+    /// plus variable string content), used for the repair-bytes metric.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            ReplicaItem::Query(e) => 48 + e.index_attr.len() as u64 + e.query.key().0.len() as u64,
+            ReplicaItem::Rewritten(e) => 48 + e.rq.key().len() as u64,
+            ReplicaItem::Tuple(e) => 40 + e.attr.len() as u64 + 16 * e.tuple.values().len() as u64,
+            ReplicaItem::ValueTuple {
+                group,
+                value_key,
+                entry,
+            } => {
+                40 + group.len() as u64
+                    + value_key.len() as u64
+                    + 16 * entry.tuple.values().len() as u64
+            }
+            ReplicaItem::Offline { notification, .. } => {
+                32 + notification.subscriber.len() as u64 + 16 * notification.values.len() as u64
+            }
+        }
+    }
+}
+
+/// [`std::hash::Hash`] through the engine's deterministic [`FxHasher`] —
+/// anti-entropy digests must agree across runs and `--jobs` workers, so the
+/// randomly keyed std hasher is out.
+///
+/// [`FxHasher`]: cq_fasthash::FxHasher
+fn fx_hash<T: std::hash::Hash + ?Sized>(tag: u8, v: &T) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = cq_fasthash::FxHasher::default();
+    tag.hash(&mut h);
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Digest hash of an ALQT entry (dedup key: query key + side + index id).
+pub(crate) fn hash_query(e: &StoredQuery) -> u64 {
+    fx_hash(
+        1,
+        &(e.index_id.0, &e.query.key().0, e.index_side, &e.index_attr),
+    )
+}
+
+/// Digest hash of a VLQT entry. `Key(q')` is unique per (query, bound
+/// values, target value), so it identifies the rewriting's full content.
+pub(crate) fn hash_rewritten(e: &StoredRewritten) -> u64 {
+    fx_hash(2, &(e.index_id.0, e.rq.key()))
+}
+
+/// Digest hash of a VLTT entry (tuple sequence numbers are globally unique).
+pub(crate) fn hash_tuple(e: &StoredTuple) -> u64 {
+    fx_hash(3, &(e.index_id.0, &e.attr, e.tuple.seq()))
+}
+
+/// Digest hash of a DAI-V store entry under its `(group, value)` key.
+pub(crate) fn hash_value_tuple(group: &str, value_key: &str, e: &StoredValueTuple) -> u64 {
+    fx_hash(4, &(e.index_id.0, group, value_key, e.side, e.tuple.seq()))
+}
+
+/// Digest hash of one offline-store notification.
+pub(crate) fn hash_offline(id: Id, n: &Notification) -> u64 {
+    fx_hash(5, &(id.0, n))
 }
 
 /// Primary state promoted out of a replica store after a failure, ready to
@@ -94,6 +177,38 @@ impl PromotedState {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Converts the promoted state back into mirrorable items (used when
+    /// entries must be handed to another replica holder rather than
+    /// inserted into primary tables — e.g. a voluntary leave).
+    pub fn into_items(self) -> Vec<ReplicaItem> {
+        let PromotedState {
+            queries,
+            rewritten,
+            tuples,
+            value_tuples,
+            offline,
+        } = self;
+        let mut out = Vec::with_capacity(
+            queries.len() + rewritten.len() + tuples.len() + value_tuples.len() + offline.len(),
+        );
+        out.extend(queries.into_iter().map(ReplicaItem::Query));
+        out.extend(rewritten.into_iter().map(ReplicaItem::Rewritten));
+        out.extend(tuples.into_iter().map(ReplicaItem::Tuple));
+        out.extend(value_tuples.into_iter().map(|(group, value_key, entry)| {
+            ReplicaItem::ValueTuple {
+                group,
+                value_key,
+                entry,
+            }
+        }));
+        out.extend(
+            offline
+                .into_iter()
+                .map(|(id, notification)| ReplicaItem::Offline { id, notification }),
+        );
+        out
+    }
 }
 
 /// Mirrored copies of other nodes' primary state, held by a successor.
@@ -121,21 +236,24 @@ impl ReplicaStore {
         ReplicaStore::default()
     }
 
-    /// Mirrors one item; duplicates are ignored.
-    pub fn insert(&mut self, item: ReplicaItem) {
+    /// Mirrors one item; duplicates are ignored. Errors on a malformed
+    /// item (e.g. a rewritten query without an attribute target, or a
+    /// tuple whose schema lacks its index attribute) so a corrupted
+    /// `Replicate` payload fails the run with context instead of aborting.
+    pub fn insert(&mut self, item: ReplicaItem) -> Result<()> {
         match item {
             ReplicaItem::Query(e) => {
                 self.alqt.insert(e);
             }
             ReplicaItem::Rewritten(e) => {
-                self.vlqt.insert(e);
+                self.vlqt.insert(e)?;
             }
             ReplicaItem::Tuple(e) => {
                 if self
                     .vltt_seen
                     .insert((e.tuple.seq(), e.attr.as_str().into()))
                 {
-                    self.vltt.insert(e);
+                    self.vltt.insert(e)?;
                 }
             }
             ReplicaItem::ValueTuple {
@@ -156,6 +274,7 @@ impl ReplicaStore {
                 }
             }
         }
+        Ok(())
     }
 
     /// Total mirrored items currently held.
@@ -208,6 +327,63 @@ impl ReplicaStore {
             offline,
         }
     }
+
+    /// Extracts *everything* as mirrorable items — used when the holder
+    /// leaves voluntarily and hands its replica duty to a successor.
+    pub fn drain_items(&mut self) -> Vec<ReplicaItem> {
+        self.take_owned(|_| true).into_items()
+    }
+
+    /// Collects the digest hashes of every held item whose index identifier
+    /// satisfies `pred` into `out` (the anti-entropy diff side).
+    pub(crate) fn hashes_where(&self, pred: impl Fn(Id) -> bool, out: &mut FxHashSet<u64>) {
+        for e in self.alqt.entries() {
+            if pred(e.index_id) {
+                out.insert(hash_query(e));
+            }
+        }
+        for e in self.vlqt.entries() {
+            if pred(e.index_id) {
+                out.insert(hash_rewritten(e));
+            }
+        }
+        for e in self.vltt.entries() {
+            if pred(e.index_id) {
+                out.insert(hash_tuple(e));
+            }
+        }
+        for (group, value_key, e) in self.vstore.entries() {
+            if pred(e.index_id) {
+                out.insert(hash_value_tuple(group, value_key, e));
+            }
+        }
+        for (id, n) in &self.offline {
+            if pred(*id) {
+                out.insert(hash_offline(*id, n));
+            }
+        }
+    }
+
+    /// Order-independent digest `(entry count, commutative hash sum)` over
+    /// the held items whose index identifier satisfies `pred`. Two stores
+    /// holding the same item multiset produce the same digest regardless of
+    /// insertion or iteration order.
+    pub(crate) fn digest_where(&self, pred: impl Fn(Id) -> bool) -> (u64, u64) {
+        let mut set = FxHashSet::default();
+        self.hashes_where(pred, &mut set);
+        digest_of(&set)
+    }
+}
+
+/// Folds a hash set into the `(count, sum)` digest the anti-entropy round
+/// compares. Wrapping addition keeps the combination commutative without
+/// the cancellation a plain XOR would allow.
+pub(crate) fn digest_of(hashes: &FxHashSet<u64>) -> (u64, u64) {
+    let mut sum = 0u64;
+    for h in hashes {
+        sum = sum.wrapping_add(*h);
+    }
+    (hashes.len() as u64, sum)
 }
 
 #[cfg(test)]
@@ -249,8 +425,8 @@ mod tests {
                 tuple: tuple(3),
             })
         };
-        s.insert(mk());
-        s.insert(mk());
+        s.insert(mk()).unwrap();
+        s.insert(mk()).unwrap();
         assert_eq!(s.len(), 1);
     }
 
@@ -260,15 +436,18 @@ mod tests {
         s.insert(ReplicaItem::Offline {
             id: Id(9),
             notification: notification(1),
-        });
+        })
+        .unwrap();
         s.insert(ReplicaItem::Offline {
             id: Id(9),
             notification: notification(1),
-        });
+        })
+        .unwrap();
         s.insert(ReplicaItem::Offline {
             id: Id(9),
             notification: notification(2),
-        });
+        })
+        .unwrap();
         assert_eq!(s.len(), 2);
     }
 
@@ -279,16 +458,19 @@ mod tests {
             index_id: Id(10),
             attr: "A".into(),
             tuple: tuple(1),
-        }));
+        }))
+        .unwrap();
         s.insert(ReplicaItem::Tuple(StoredTuple {
             index_id: Id(20),
             attr: "A".into(),
             tuple: tuple(2),
-        }));
+        }))
+        .unwrap();
         s.insert(ReplicaItem::Offline {
             id: Id(10),
             notification: notification(1),
-        });
+        })
+        .unwrap();
         let promoted = s.take_owned(|id| id == Id(10));
         assert_eq!(promoted.len(), 2);
         assert_eq!(promoted.tuples.len(), 1);
@@ -299,7 +481,8 @@ mod tests {
             index_id: Id(10),
             attr: "A".into(),
             tuple: tuple(1),
-        }));
+        }))
+        .unwrap();
         assert_eq!(s.len(), 2);
     }
 
@@ -315,9 +498,9 @@ mod tests {
                 tuple: tuple(seq),
             },
         };
-        s.insert(mk(1));
-        s.insert(mk(1));
-        s.insert(mk(2));
+        s.insert(mk(1)).unwrap();
+        s.insert(mk(1)).unwrap();
+        s.insert(mk(2)).unwrap();
         assert_eq!(s.len(), 2);
         let promoted = s.take_owned(|_| true);
         assert_eq!(promoted.value_tuples.len(), 2);

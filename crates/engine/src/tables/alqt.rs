@@ -93,6 +93,15 @@ impl Alqt {
             .map_or(0, |m| m.values().map(Vec::len).sum())
     }
 
+    /// Iterates every stored entry, in arbitrary order (anti-entropy
+    /// digests; the digest combination is order-independent).
+    pub fn entries(&self) -> impl Iterator<Item = &StoredQuery> {
+        self.buckets
+            .values()
+            .flat_map(|groups| groups.values())
+            .flatten()
+    }
+
     /// Total stored queries (the rewriter's storage load contribution).
     pub fn len(&self) -> usize {
         self.len

@@ -109,6 +109,7 @@ pub fn bucket_mut<'m, V: Default>(
     b: &str,
 ) -> &'m mut V {
     if map.contains_key(lookup_key(&(a, b))) {
+        // Invariant: present per the contains_key probe on the previous line.
         map.get_mut(lookup_key(&(a, b))).expect("checked above")
     } else {
         map.entry(StrPair::new(a, b)).or_default()
@@ -122,6 +123,7 @@ pub fn str_bucket_mut<'m, V: Default>(
     key: &str,
 ) -> &'m mut V {
     if map.contains_key(key) {
+        // Invariant: present per the contains_key probe on the previous line.
         map.get_mut(key).expect("checked above")
     } else {
         map.entry(key.into()).or_default()

@@ -11,6 +11,7 @@ use cq_overlay::Id;
 use cq_relational::{MatchTarget, RewrittenQuery};
 
 use super::keys::{bucket_mut, lookup_key, str_bucket_mut, StrPair};
+use crate::error::{EngineError, Result};
 
 /// A rewritten query stored at an evaluator together with the value-level
 /// identifier it was indexed under.
@@ -45,28 +46,36 @@ impl Vlqt {
 
     /// Stores a rewritten query. Returns `false` (and stores nothing) when a
     /// rewritten query with the same key is already present — "x need only
-    /// store the information related to tuple t".
-    pub fn insert(&mut self, entry: StoredRewritten) -> bool {
-        self.insert_fresh(entry).is_some()
+    /// store the information related to tuple t". Errors on a rewritten
+    /// query without an attribute target (a mis-wired protocol or a
+    /// corrupted replica payload — VLQT is attribute-indexed).
+    pub fn insert(&mut self, entry: StoredRewritten) -> Result<bool> {
+        Ok(self.insert_fresh(entry)?.is_some())
     }
 
     /// Like [`Vlqt::insert`], but hands back a borrow of the freshly stored
     /// entry (or `None` on a duplicate key). Lets the SAI evaluator keep
     /// working with the stored copy instead of cloning the rewritten query.
-    pub fn insert_fresh(&mut self, entry: StoredRewritten) -> Option<&StoredRewritten> {
+    pub fn insert_fresh(&mut self, entry: StoredRewritten) -> Result<Option<&StoredRewritten>> {
         let MatchTarget::Attribute { attr, value } = entry.rq.target() else {
-            panic!("VLQT stores attribute-targeted rewritten queries only");
+            return Err(EngineError::Protocol {
+                detail: format!(
+                    "VLQT stores attribute-targeted rewritten queries only, \
+                     got a value-targeted one for key {}",
+                    entry.rq.key()
+                ),
+            });
         };
         let mut vkey = String::new();
         value.canonical_into(&mut vkey);
         let by_value = bucket_mut(&mut self.buckets, entry.rq.free_relation(), attr);
         let by_key = str_bucket_mut(by_value, &vkey);
         if by_key.contains_key(entry.rq.key()) {
-            return None;
+            return Ok(None);
         }
         self.len += 1;
         let key: Box<str> = entry.rq.key().into();
-        Some(by_key.entry(key).or_insert(entry))
+        Ok(Some(by_key.entry(key).or_insert(entry)))
     }
 
     /// The rewritten queries an incoming tuple of `(relation, attr = value)`
@@ -93,6 +102,15 @@ impl Vlqt {
             .map_or(0, FxHashMap::len)
     }
 
+    /// Iterates every stored entry, in arbitrary order (anti-entropy
+    /// digests; the digest combination is order-independent).
+    pub fn entries(&self) -> impl Iterator<Item = &StoredRewritten> {
+        self.buckets
+            .values()
+            .flat_map(|by_value| by_value.values())
+            .flat_map(|by_key| by_key.values())
+    }
+
     /// Total stored rewritten queries.
     pub fn len(&self) -> usize {
         self.len
@@ -115,6 +133,8 @@ impl Vlqt {
                     .map(|(k, _)| k.clone())
                     .collect();
                 for k in keys {
+                    // Invariant: `keys` was collected from this same map
+                    // two lines up, with no removals in between.
                     out.push(by_key.remove(&*k).expect("key listed above"));
                 }
             }
@@ -185,10 +205,12 @@ mod tests {
         let (c, q) = setup();
         let mut t = Vlqt::new();
         let rq = rewritten(&c, &q, 1, 7);
-        assert!(t.insert(StoredRewritten {
-            index_id: Id(0),
-            rq
-        }));
+        assert!(t
+            .insert(StoredRewritten {
+                index_id: Id(0),
+                rq
+            })
+            .unwrap());
         assert_eq!(t.len(), 1);
         let vkey = Value::Int(7).canonical();
         assert_eq!(t.candidate_count("S", "C", &vkey), 1);
@@ -201,21 +223,27 @@ mod tests {
     fn same_key_is_stored_once() {
         let (c, q) = setup();
         let mut t = Vlqt::new();
-        assert!(t.insert(StoredRewritten {
-            index_id: Id(0),
-            rq: rewritten(&c, &q, 1, 7)
-        }));
+        assert!(t
+            .insert(StoredRewritten {
+                index_id: Id(0),
+                rq: rewritten(&c, &q, 1, 7)
+            })
+            .unwrap());
         // identical select value and join value → same rewritten key
-        assert!(!t.insert(StoredRewritten {
-            index_id: Id(0),
-            rq: rewritten(&c, &q, 1, 7)
-        }));
+        assert!(!t
+            .insert(StoredRewritten {
+                index_id: Id(0),
+                rq: rewritten(&c, &q, 1, 7)
+            })
+            .unwrap());
         assert_eq!(t.len(), 1);
         // different select value → different key
-        assert!(t.insert(StoredRewritten {
-            index_id: Id(0),
-            rq: rewritten(&c, &q, 2, 7)
-        }));
+        assert!(t
+            .insert(StoredRewritten {
+                index_id: Id(0),
+                rq: rewritten(&c, &q, 2, 7)
+            })
+            .unwrap());
         assert_eq!(t.len(), 2);
     }
 
@@ -226,11 +254,13 @@ mod tests {
         t.insert(StoredRewritten {
             index_id: Id(1),
             rq: rewritten(&c, &q, 1, 7),
-        });
+        })
+        .unwrap();
         t.insert(StoredRewritten {
             index_id: Id(2),
             rq: rewritten(&c, &q, 1, 8),
-        });
+        })
+        .unwrap();
         let moved = t.extract_where(|id| id == Id(2));
         assert_eq!(moved.len(), 1);
         assert_eq!(t.len(), 1);

@@ -13,6 +13,7 @@ use cq_overlay::Id;
 use cq_relational::Tuple;
 
 use super::keys::{bucket_mut, lookup_key, str_bucket_mut, StrPair};
+use crate::error::Result;
 
 /// A tuple stored at the value level together with the attribute it was
 /// indexed by (`IndexA(t)`) and the identifier it was indexed under.
@@ -44,15 +45,16 @@ impl Vltt {
         Vltt::default()
     }
 
-    /// Stores a tuple under `(relation, attr, value-of-attr)`.
-    pub fn insert(&mut self, entry: StoredTuple) {
+    /// Stores a tuple under `(relation, attr, value-of-attr)`. Errors when
+    /// the tuple's schema lacks the index attribute (a corrupted entry —
+    /// e.g. a malformed replica payload — rather than a caller bug).
+    pub fn insert(&mut self, entry: StoredTuple) -> Result<()> {
         let tuple = Arc::clone(&entry.tuple);
-        let value_key = tuple
-            .canonical_of(&entry.attr)
-            .expect("index attribute exists in tuple");
+        let value_key = tuple.canonical_of(&entry.attr)?;
         let by_value = bucket_mut(&mut self.buckets, tuple.relation(), &entry.attr);
         str_bucket_mut(by_value, value_key).push(entry);
         self.len += 1;
+        Ok(())
     }
 
     /// The stored tuples a rewritten query targeting
@@ -77,6 +79,15 @@ impl Vltt {
             .get(lookup_key(&(relation, attr)))
             .and_then(|m| m.get(value_key))
             .map_or(0, Vec::len)
+    }
+
+    /// Iterates every stored entry, in arbitrary order (anti-entropy
+    /// digests; the digest combination is order-independent).
+    pub fn entries(&self) -> impl Iterator<Item = &StoredTuple> {
+        self.buckets
+            .values()
+            .flat_map(|by_value| by_value.values())
+            .flatten()
     }
 
     /// Total stored tuples.
@@ -135,17 +146,20 @@ mod tests {
             index_id: Id(0),
             attr: "A".into(),
             tuple: tuple(7, 1),
-        });
+        })
+        .unwrap();
         t.insert(StoredTuple {
             index_id: Id(0),
             attr: "A".into(),
             tuple: tuple(7, 2),
-        });
+        })
+        .unwrap();
         t.insert(StoredTuple {
             index_id: Id(0),
             attr: "B".into(),
             tuple: tuple(7, 1),
-        });
+        })
+        .unwrap();
         assert_eq!(t.len(), 3);
         let k7 = Value::Int(7).canonical();
         assert_eq!(t.candidate_count("R", "A", &k7), 2);
@@ -161,12 +175,14 @@ mod tests {
             index_id: Id(1),
             attr: "A".into(),
             tuple: tuple(1, 1),
-        });
+        })
+        .unwrap();
         t.insert(StoredTuple {
             index_id: Id(2),
             attr: "A".into(),
             tuple: tuple(2, 2),
-        });
+        })
+        .unwrap();
         let moved = t.extract_where(|id| id == Id(1));
         assert_eq!(moved.len(), 1);
         assert_eq!(t.len(), 1);

@@ -83,6 +83,15 @@ impl VStore {
             .map_or(0, |slots| slots[side_slot(side)].len())
     }
 
+    /// Iterates every stored entry with its `(group, value)` key, in
+    /// arbitrary order (anti-entropy digests; the digest combination is
+    /// order-independent).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str, &StoredValueTuple)> {
+        self.buckets
+            .iter()
+            .flat_map(|(key, slots)| slots.iter().flatten().map(move |e| (&*key.a, &*key.b, e)))
+    }
+
     /// Total stored tuples.
     pub fn len(&self) -> usize {
         self.len

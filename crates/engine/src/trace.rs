@@ -211,6 +211,66 @@ pub enum TraceEvent {
         /// Phase name.
         name: String,
     },
+    /// A watcher's probe to `target` timed out: the target is now suspected
+    /// (failure detection, `engine::recovery`).
+    Suspect {
+        /// Logical clock.
+        tick: u64,
+        /// The watching node's slot.
+        node: u32,
+        /// The suspected node's slot.
+        target: u32,
+    },
+    /// A suspicion aged past the confirmation timeout: the watcher declared
+    /// `target` dead and triggered stabilization + replica promotion.
+    Confirm {
+        /// Logical clock.
+        tick: u64,
+        /// The watching node's slot.
+        node: u32,
+        /// The declared-dead node's slot.
+        target: u32,
+        /// Whether the target really was dead (`false` marks a false
+        /// confirmation of a slow-but-alive node).
+        dead: bool,
+    },
+    /// A suspected node answered a probe after all (or was found alive at
+    /// confirmation time): the suspicion was false.
+    FalseSuspect {
+        /// Logical clock.
+        tick: u64,
+        /// The watching node's slot.
+        node: u32,
+        /// The wrongly suspected node's slot.
+        target: u32,
+    },
+    /// An anti-entropy round compared a primary's per-range digest with one
+    /// of its successors' replica stores.
+    DigestExchange {
+        /// Logical clock.
+        tick: u64,
+        /// The primary's slot.
+        node: u32,
+        /// The successor whose replica store was compared.
+        to: u32,
+        /// Entries in the primary's range digest.
+        items: u64,
+        /// Entries the successor's store was missing.
+        missing: u64,
+    },
+    /// Anti-entropy re-mirrored missing replica items onto a successor.
+    Repair {
+        /// Logical clock.
+        tick: u64,
+        /// The primary's slot.
+        node: u32,
+        /// The successor receiving the re-mirrored items.
+        to: u32,
+        /// Items re-mirrored.
+        items: u64,
+        /// Approximate wire bytes of the re-mirrored items.
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -232,6 +292,11 @@ impl TraceEvent {
             TraceEvent::Replicate { .. } => "replicate",
             TraceEvent::Promote { .. } => "promote",
             TraceEvent::Phase { .. } => "phase",
+            TraceEvent::Suspect { .. } => "suspect",
+            TraceEvent::Confirm { .. } => "confirm",
+            TraceEvent::FalseSuspect { .. } => "false-suspect",
+            TraceEvent::DigestExchange { .. } => "digest-exchange",
+            TraceEvent::Repair { .. } => "repair",
         }
     }
 
@@ -255,11 +320,16 @@ impl TraceEvent {
             TraceEvent::Replicate { .. } => 12,
             TraceEvent::Promote { .. } => 13,
             TraceEvent::Phase { .. } => 14,
+            TraceEvent::Suspect { .. } => 15,
+            TraceEvent::Confirm { .. } => 16,
+            TraceEvent::FalseSuspect { .. } => 17,
+            TraceEvent::DigestExchange { .. } => 18,
+            TraceEvent::Repair { .. } => 19,
         }
     }
 
     /// All kind labels, in a stable order (used by summaries).
-    pub const KINDS: [&'static str; 15] = [
+    pub const KINDS: [&'static str; 20] = [
         "msg-send",
         "msg-deliver",
         "fault-drop",
@@ -275,6 +345,11 @@ impl TraceEvent {
         "replicate",
         "promote",
         "phase",
+        "suspect",
+        "confirm",
+        "false-suspect",
+        "digest-exchange",
+        "repair",
     ];
 
     /// The logical clock the event carries.
@@ -294,7 +369,12 @@ impl TraceEvent {
             | TraceEvent::NotifyDelivered { tick, .. }
             | TraceEvent::Replicate { tick, .. }
             | TraceEvent::Promote { tick, .. }
-            | TraceEvent::Phase { tick, .. } => *tick,
+            | TraceEvent::Phase { tick, .. }
+            | TraceEvent::Suspect { tick, .. }
+            | TraceEvent::Confirm { tick, .. }
+            | TraceEvent::FalseSuspect { tick, .. }
+            | TraceEvent::DigestExchange { tick, .. }
+            | TraceEvent::Repair { tick, .. } => *tick,
         }
     }
 
@@ -317,7 +397,12 @@ impl TraceEvent {
             | TraceEvent::JoinEval { node, .. }
             | TraceEvent::NotifyDelivered { node, .. }
             | TraceEvent::Replicate { node, .. }
-            | TraceEvent::Promote { node, .. } => *node,
+            | TraceEvent::Promote { node, .. }
+            | TraceEvent::Suspect { node, .. }
+            | TraceEvent::Confirm { node, .. }
+            | TraceEvent::FalseSuspect { node, .. }
+            | TraceEvent::DigestExchange { node, .. }
+            | TraceEvent::Repair { node, .. } => *node,
             TraceEvent::Phase { .. } => u32::MAX,
         }
     }
@@ -539,6 +624,66 @@ impl TraceEvent {
                 line.lit(b"\"");
                 14
             }
+            TraceEvent::Suspect { tick, node, target } => {
+                line.head(b"{\"ev\":\"suspect\",\"tick\":", *tick, *node);
+                line.lit(b",\"target\":");
+                line.put_u64(*target as u64);
+                15
+            }
+            TraceEvent::Confirm {
+                tick,
+                node,
+                target,
+                dead,
+            } => {
+                line.head(b"{\"ev\":\"confirm\",\"tick\":", *tick, *node);
+                line.lit(b",\"target\":");
+                line.put_u64(*target as u64);
+                // Confirms of genuinely dead nodes are the common case; the
+                // default `dead:true` is omitted.
+                if !dead {
+                    line.lit(b",\"dead\":false");
+                }
+                16
+            }
+            TraceEvent::FalseSuspect { tick, node, target } => {
+                line.head(b"{\"ev\":\"false-suspect\",\"tick\":", *tick, *node);
+                line.lit(b",\"target\":");
+                line.put_u64(*target as u64);
+                17
+            }
+            TraceEvent::DigestExchange {
+                tick,
+                node,
+                to,
+                items,
+                missing,
+            } => {
+                line.head(b"{\"ev\":\"digest-exchange\",\"tick\":", *tick, *node);
+                line.lit(b",\"to\":");
+                line.put_u64(*to as u64);
+                line.lit(b",\"items\":");
+                line.put_u64(*items);
+                line.lit(b",\"missing\":");
+                line.put_u64(*missing);
+                18
+            }
+            TraceEvent::Repair {
+                tick,
+                node,
+                to,
+                items,
+                bytes,
+            } => {
+                line.head(b"{\"ev\":\"repair\",\"tick\":", *tick, *node);
+                line.lit(b",\"to\":");
+                line.put_u64(*to as u64);
+                line.lit(b",\"items\":");
+                line.put_u64(*items);
+                line.lit(b",\"bytes\":");
+                line.put_u64(*bytes);
+                19
+            }
         };
         line.lit(b"}");
         line.finish();
@@ -646,6 +791,36 @@ impl TraceEvent {
                 tick,
                 name: json_str(line, "name")?,
             },
+            "suspect" => TraceEvent::Suspect {
+                tick,
+                node,
+                target: json_u64(line, "target")? as u32,
+            },
+            "confirm" => TraceEvent::Confirm {
+                tick,
+                node,
+                target: json_u64(line, "target")? as u32,
+                dead: json_bool(line, "dead").unwrap_or(true),
+            },
+            "false-suspect" => TraceEvent::FalseSuspect {
+                tick,
+                node,
+                target: json_u64(line, "target")? as u32,
+            },
+            "digest-exchange" => TraceEvent::DigestExchange {
+                tick,
+                node,
+                to: json_u64(line, "to")? as u32,
+                items: json_u64(line, "items")?,
+                missing: json_u64(line, "missing")?,
+            },
+            "repair" => TraceEvent::Repair {
+                tick,
+                node,
+                to: json_u64(line, "to")? as u32,
+                items: json_u64(line, "items")?,
+                bytes: json_u64(line, "bytes")?,
+            },
             _ => return None,
         })
     }
@@ -653,7 +828,7 @@ impl TraceEvent {
 
 /// Re-interns a parsed message-kind string to the engine's static labels.
 fn intern_kind(s: &str) -> Option<&'static str> {
-    const KINDS: [&str; 8] = [
+    const KINDS: [&str; 10] = [
         "query",
         "al-index",
         "vl-index",
@@ -662,6 +837,8 @@ fn intern_kind(s: &str) -> Option<&'static str> {
         "store-notify",
         "notify",
         "replicate",
+        "ping",
+        "pong",
     ];
     KINDS.iter().find(|k| **k == s).copied()
 }
@@ -1246,6 +1423,42 @@ mod tests {
             TraceEvent::Phase {
                 tick: 0,
                 name: "install \"quoted\"\\weird".to_string(),
+            },
+            TraceEvent::Suspect {
+                tick: 13,
+                node: 6,
+                target: 4,
+            },
+            TraceEvent::Confirm {
+                tick: 15,
+                node: 6,
+                target: 4,
+                dead: true,
+            },
+            TraceEvent::Confirm {
+                tick: 15,
+                node: 6,
+                target: 7,
+                dead: false,
+            },
+            TraceEvent::FalseSuspect {
+                tick: 14,
+                node: 6,
+                target: 7,
+            },
+            TraceEvent::DigestExchange {
+                tick: 16,
+                node: 2,
+                to: 3,
+                items: 40,
+                missing: 2,
+            },
+            TraceEvent::Repair {
+                tick: 16,
+                node: 2,
+                to: 3,
+                items: 2,
+                bytes: 160,
             },
         ]
     }

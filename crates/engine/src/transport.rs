@@ -15,7 +15,7 @@ use cq_relational::Notification;
 use rand::Rng;
 
 use crate::error::Result;
-use crate::faults::{Delivery, FaultPipe, MsgId};
+use crate::faults::{ChurnModel, Delivery, FaultPipe, MsgId};
 use crate::indexing;
 use crate::jfrt::JfrtLookup;
 use crate::messages::Message;
@@ -189,6 +189,7 @@ impl Network {
                 match run.len() {
                     0 => {}
                     1 => {
+                        // Invariant: the match arm guarantees exactly one element.
                         let msg = run.pop().expect("len checked");
                         self.enqueue(Pending::new(node, owner, first, true, msg));
                     }
@@ -288,6 +289,8 @@ impl Network {
     /// when one is configured.
     pub(crate) fn process_all(&mut self) -> Result<()> {
         if self.transport.pipe.is_some() {
+            // Invariant: is_some() held on the previous line; take-and-restore
+            // releases the &mut self borrow for the pump loop below.
             let mut pipe = self.transport.pipe.take().expect("checked above");
             let result = self.pump_faulty(&mut pipe);
             self.transport.pipe = Some(pipe);
@@ -321,82 +324,115 @@ impl Network {
                 self.transmit(pipe, p);
             }
             if !pipe.busy() {
+                // In-flight heartbeat probes may remain; they deliver
+                // passively on ticks later work (or `Network::settle`)
+                // forces.
                 return Ok(());
             }
-            pipe.tick += 1;
-            self.inject_failures(pipe)?;
-            let now = pipe.tick;
-            for delivery in pipe.in_flight.remove(&now).unwrap_or_default() {
-                match delivery {
-                    Delivery::Data { id, to, msg } => {
-                        let node = to.index() as u32;
-                        if !self.ring.node(to).is_alive() {
-                            self.metrics.faults.messages_lost += 1;
-                            self.trace(|| TraceEvent::FaultDrop {
-                                tick: now,
-                                node,
-                                id,
-                            });
-                            continue;
+            self.pump_tick(pipe)?;
+        }
+    }
+
+    /// One pump tick: advance the clock, inject failures, run the failure
+    /// detector, deliver this tick's arrivals, fire retry checks. Also
+    /// driven directly by [`Network::settle`] when the detector must make
+    /// progress without protocol traffic.
+    pub(crate) fn pump_tick(&mut self, pipe: &mut FaultPipe) -> Result<()> {
+        pipe.tick += 1;
+        self.inject_failures(pipe)?;
+        self.recovery_tick(pipe)?;
+        let now = pipe.tick;
+        let batch = pipe.in_flight.remove(&now).unwrap_or_default();
+        pipe.note_removed(&batch);
+        for delivery in batch {
+            match delivery {
+                Delivery::Data { id, to, msg } => {
+                    let node = to.index() as u32;
+                    if !self.ring.node(to).is_alive() {
+                        self.metrics.faults.messages_lost += 1;
+                        // A non-probe message swallowed by a failed-but-
+                        // undetected receiver is the recovery blind spot.
+                        let probe = matches!(msg, Message::Ping { .. } | Message::Pong { .. });
+                        if !probe
+                            && self
+                                .recovery
+                                .as_ref()
+                                .is_some_and(|r| r.undetected.contains_key(&node))
+                        {
+                            self.metrics.recovery.lost_in_detection_window += 1;
+                            if matches!(
+                                msg,
+                                Message::Notify { .. } | Message::StoreNotifications { .. }
+                            ) {
+                                self.metrics.recovery.notifications_lost_in_window += 1;
+                            }
                         }
-                        if pipe.record_arrival(id, to) {
-                            self.metrics.faults.dedup_suppressed += 1;
-                            self.trace(|| TraceEvent::DedupSuppressed {
-                                tick: now,
-                                node,
-                                id,
-                            });
-                        } else {
-                            let kind = msg.kind();
-                            self.trace(|| TraceEvent::MsgDeliver {
-                                tick: now,
-                                node,
-                                id,
-                                kind,
-                            });
-                            self.dispatch(to, msg)?;
-                        }
-                        // Ack every arrival (a duplicate usually means the
-                        // previous ack was lost). Acks are subject to loss
-                        // like any transmission.
-                        if pipe.cfg.retries_enabled() {
-                            if let Some(o) = pipe.outstanding.get(&id) {
-                                let sender = o.from;
-                                if pipe.cfg.loss_rate > 0.0
-                                    && pipe.rng.gen::<f64>() < pipe.cfg.loss_rate
-                                {
-                                    self.metrics.faults.messages_lost += 1;
-                                    self.trace(|| TraceEvent::FaultDrop {
-                                        tick: now,
-                                        node: sender.index() as u32,
-                                        id,
-                                    });
-                                } else {
-                                    pipe.schedule(now + 1, Delivery::Ack { id, to: sender });
-                                }
+                        self.trace(|| TraceEvent::FaultDrop {
+                            tick: now,
+                            node,
+                            id,
+                        });
+                        continue;
+                    }
+                    if pipe.record_arrival(id, to) {
+                        self.metrics.faults.dedup_suppressed += 1;
+                        self.trace(|| TraceEvent::DedupSuppressed {
+                            tick: now,
+                            node,
+                            id,
+                        });
+                    } else {
+                        let kind = msg.kind();
+                        self.trace(|| TraceEvent::MsgDeliver {
+                            tick: now,
+                            node,
+                            id,
+                            kind,
+                        });
+                        self.dispatch(to, msg)?;
+                    }
+                    // Ack every arrival (a duplicate usually means the
+                    // previous ack was lost). Acks are subject to loss
+                    // like any transmission. Probes never have an
+                    // outstanding window, so they are never acked.
+                    if pipe.cfg.retries_enabled() {
+                        if let Some(o) = pipe.outstanding.get(&id) {
+                            let sender = o.from;
+                            if pipe.cfg.loss_rate > 0.0
+                                && pipe.rng.gen::<f64>() < pipe.cfg.loss_rate
+                            {
+                                self.metrics.faults.messages_lost += 1;
+                                self.trace(|| TraceEvent::FaultDrop {
+                                    tick: now,
+                                    node: sender.index() as u32,
+                                    id,
+                                });
+                            } else {
+                                pipe.schedule(now + 1, Delivery::Ack { id, to: sender });
                             }
                         }
                     }
-                    Delivery::Ack { id, to } => {
-                        // An ack addressed to a node that died in flight
-                        // never closes the window; `maybe_retransmit` drops
-                        // the dead sender's window on its next firing.
-                        if self.ring.node(to).is_alive() {
-                            pipe.outstanding.remove(&id);
-                        }
+                }
+                Delivery::Ack { id, to } => {
+                    // An ack addressed to a node that died in flight
+                    // never closes the window; `maybe_retransmit` drops
+                    // the dead sender's window on its next firing.
+                    if self.ring.node(to).is_alive() {
+                        pipe.outstanding.remove(&id);
                     }
                 }
             }
-            for id in pipe.retry_at.remove(&now).unwrap_or_default() {
-                self.maybe_retransmit(pipe, id, now);
-            }
         }
+        for id in pipe.retry_at.remove(&now).unwrap_or_default() {
+            self.maybe_retransmit(pipe, id, now);
+        }
+        Ok(())
     }
 
     /// Registers one fresh send with the pipe: assigns a `(sender, seq)`
     /// identifier, opens the ack window when retries are enabled, and
     /// schedules the transmission copies through the fault draws.
-    fn transmit(&mut self, pipe: &mut FaultPipe, mut p: Pending) {
+    pub(crate) fn transmit(&mut self, pipe: &mut FaultPipe, mut p: Pending) {
         let id = pipe.alloc_seq(p.from);
         if self.trace_on() {
             let path = p.trace_path.take();
@@ -412,7 +448,10 @@ impl Network {
                 path,
             });
         }
-        if pipe.cfg.retries_enabled() {
+        // Heartbeat probes are fire-and-forget: no ack window, no
+        // retransmission — an unanswered probe *is* the detector's signal.
+        let probe = matches!(p.msg, Message::Ping { .. } | Message::Pong { .. });
+        if pipe.cfg.retries_enabled() && !probe {
             pipe.open_window(id, &p.from, p.target, p.reroute, &p.to, &p.msg);
             pipe.schedule_retry(pipe.tick + pipe.cfg.ack_timeout, id);
         }
@@ -527,7 +566,29 @@ impl Network {
             pipe.failures_injected += 1;
             failed = true;
         }
-        if failed {
+        // Empirical churn: sessions sampled at pipe construction expire.
+        if let ChurnModel::Empirical { max_events, .. } = &pipe.cfg.churn {
+            let max_events = *max_events;
+            let mut due = pipe.session_ends.split_off(&(pipe.tick + 1));
+            std::mem::swap(&mut due, &mut pipe.session_ends);
+            for slot in due.into_values().flatten() {
+                if pipe.churn_events >= max_events || self.ring.len() <= 1 {
+                    break;
+                }
+                let h = NodeHandle::from_index(slot as usize);
+                if !self.ring.node(h).is_alive() {
+                    continue;
+                }
+                if self.fail_node_state(h).is_ok() {
+                    pipe.churn_events += 1;
+                    failed = true;
+                }
+            }
+        }
+        // Without a detector, failures are repaired with oracle knowledge
+        // on the very tick they happen — the seed behavior. With one, the
+        // suspicion state machine must *discover* them first.
+        if failed && !self.recovery_active() {
             self.ring.stabilize_all(1);
             self.promote_replicas()?;
         }
@@ -541,6 +602,8 @@ impl Network {
             return false;
         }
         let i = pipe.rng.gen_range(0..self.ring.len());
+        // Invariant: gen_range draws below ring.len(), and the early return
+        // above guarantees at least one alive node remains.
         let victim = self.ring.alive_nodes().nth(i).expect("index in range");
         self.fail_node_state(victim).is_ok()
     }

@@ -193,6 +193,59 @@ fn replication_turns_lossy_failures_into_lossless_ones() {
 }
 
 #[test]
+fn departing_replica_holder_hands_copies_to_its_successor() {
+    // Regression: a voluntary leave used to drop the replica entries the
+    // departing node held *for other primaries*. If such a primary then
+    // failed before its next re-mirroring, k=1 redundancy was silently
+    // gone and its state was lost. The leave must hand the held copies to
+    // the successor so the later failure stays lossless.
+    for alg in Algorithm::ALL {
+        let fault = FaultConfig {
+            replication: 1,
+            ..FaultConfig::default()
+        };
+        let mut net = Network::new(
+            EngineConfig::new(alg)
+                .with_nodes(40)
+                .with_seed(9)
+                .with_fault(fault),
+            catalog(),
+        );
+        let a = net.node_at(0);
+        net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+            .unwrap();
+        for i in 0..8i64 {
+            net.insert_tuple(a, "R", vec![Value::Int(i), Value::Int(i % 3)])
+                .unwrap();
+        }
+        // Pick a primary that holds state, whose k=1 replica therefore
+        // lives exactly on its first alive successor.
+        let (victim, holder) = net
+            .ring()
+            .alive_nodes()
+            .filter(|&h| h != a)
+            .filter_map(|h| {
+                let st = net.node_state(h);
+                let busy = st.alqt.len() + st.vlqt.len() + st.vltt.len() + st.vstore.len() > 0;
+                let succ = net.ring().first_alive_successor(h)?;
+                (busy && succ != a && succ != h).then_some((h, succ))
+            })
+            .next()
+            .expect("some non-subscriber primary holds state");
+        // The replica holder leaves, then the primary fails before any
+        // re-mirroring could run.
+        net.node_leave(holder).unwrap();
+        net.node_fail(victim).unwrap();
+        net.stabilize(3).unwrap();
+        for i in 0..8i64 {
+            net.insert_tuple(a, "S", vec![Value::Int(i), Value::Int(i % 3)])
+                .unwrap();
+        }
+        check_oracle(&net);
+    }
+}
+
+#[test]
 fn join_after_start_takes_over_range() {
     let mut net = Network::new(
         EngineConfig::new(Algorithm::Sai)

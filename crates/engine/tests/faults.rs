@@ -2,8 +2,12 @@
 //! reordering under reliable delivery, and k-successor replication across
 //! abrupt failures.
 
-use cq_engine::{Algorithm, EngineConfig, FaultConfig, Network, Oracle};
+use cq_engine::{
+    Algorithm, EngineConfig, FaultConfig, Network, Oracle, RingBufferSink, TraceEvent,
+};
 use cq_relational::{Catalog, DataType, RelationSchema, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 fn catalog() -> Catalog {
     let mut c = Catalog::new();
@@ -273,6 +277,159 @@ fn offline_storage_metrics_count_arrivals_once() {
         "the stored notification counts as delivered exactly once"
     );
     assert_eq!(net.metrics().notifications_stored_offline, 1);
+}
+
+#[test]
+fn retransmission_backoff_schedule_is_exponential_with_a_cap() {
+    // Total loss pins the whole retry schedule: every window exhausts all
+    // its retries, and the gap between attempt n and n+1 must be exactly
+    // `ack_timeout << n`, with the shift capped at 6.
+    let fault = FaultConfig {
+        loss_rate: 1.0,
+        reliable: true,
+        ack_timeout: 1,
+        max_retries: 9,
+        seed: 51,
+        ..FaultConfig::default()
+    };
+    let mut net = Network::new(
+        EngineConfig::new(Algorithm::Sai)
+            .with_nodes(16)
+            .with_seed(19)
+            .with_fault(fault),
+        catalog(),
+    );
+    let sink = Arc::new(RingBufferSink::new(8192));
+    net.set_tracer(sink.clone());
+    let a = net.node_at(0);
+    net.pose_query_sql(a, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+        .unwrap();
+
+    let mut sent: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+    let mut retries: BTreeMap<(u32, u64), Vec<(u64, u32)>> = BTreeMap::new();
+    for ev in sink.events() {
+        match ev {
+            TraceEvent::MsgSend { tick, id, .. } => {
+                sent.entry(id).or_insert(tick);
+            }
+            TraceEvent::Retransmit {
+                tick, id, attempt, ..
+            } => retries.entry(id).or_default().push((tick, attempt)),
+            _ => {}
+        }
+    }
+    assert!(!retries.is_empty(), "total loss must force retransmissions");
+    for (id, seq) in retries {
+        let attempts: Vec<u32> = seq.iter().map(|&(_, a)| a).collect();
+        let expected: Vec<u32> = (1..=9).collect();
+        assert_eq!(
+            attempts, expected,
+            "msg {id:?}: window exhausts all retries"
+        );
+        let t0 = sent[&id];
+        assert_eq!(
+            seq[0].0 - t0,
+            1,
+            "msg {id:?}: first retry after ack_timeout"
+        );
+        for w in seq.windows(2) {
+            let [(t_prev, a_prev), (t_next, _)] = [w[0], w[1]];
+            // backoff(n) = ack_timeout << min(n, 6)
+            let gap = 1u64 << a_prev.min(6);
+            assert_eq!(
+                t_next - t_prev,
+                gap,
+                "msg {id:?}: gap after attempt {a_prev} must be {gap}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exhausted_retry_windows_give_up_without_livelock() {
+    // Sustained total loss: every window must stop after `max_retries`
+    // attempts, the pump must still terminate, and nothing may be
+    // delivered (or fabricated).
+    let fault = FaultConfig {
+        loss_rate: 1.0,
+        reliable: true,
+        ack_timeout: 2,
+        max_retries: 3,
+        seed: 52,
+        ..FaultConfig::default()
+    };
+    let mut net = Network::new(
+        EngineConfig::new(Algorithm::DaiT)
+            .with_nodes(16)
+            .with_seed(20)
+            .with_fault(fault),
+        catalog(),
+    );
+    let sink = Arc::new(RingBufferSink::new(8192));
+    net.set_tracer(sink.clone());
+    stream(&mut net);
+
+    let mut max_attempt: BTreeMap<(u32, u64), u32> = BTreeMap::new();
+    for ev in sink.events() {
+        if let TraceEvent::Retransmit { id, attempt, .. } = ev {
+            let e = max_attempt.entry(id).or_default();
+            *e = (*e).max(attempt);
+        }
+    }
+    assert!(!max_attempt.is_empty());
+    assert!(
+        max_attempt.values().all(|&a| a <= 3),
+        "no window may exceed max_retries"
+    );
+    let f = net.metrics().faults;
+    assert_eq!(
+        f.retransmissions,
+        3 * max_attempt.len() as u64,
+        "every opened window retries exactly max_retries times"
+    );
+    assert!(
+        net.delivered_set().is_empty(),
+        "nothing can get through total loss"
+    );
+}
+
+#[test]
+fn dedup_absorbs_retransmit_racing_a_late_ack() {
+    // An aggressive ack timeout under heavy delay: originals are still in
+    // flight when their retransmissions fire, so receivers see both copies
+    // and acks arrive after the next retry was already scheduled. The
+    // dedup window must absorb every such race without fault-injected
+    // duplicates being involved at all.
+    let fault = FaultConfig {
+        delay_rate: 0.9,
+        max_delay: 6,
+        reliable: true,
+        ack_timeout: 1,
+        max_retries: 8,
+        seed: 53,
+        ..FaultConfig::default()
+    };
+    for alg in Algorithm::ALL {
+        let mut net = Network::new(
+            EngineConfig::new(alg)
+                .with_nodes(24)
+                .with_seed(21)
+                .with_fault(fault.clone()),
+            catalog(),
+        );
+        stream(&mut net);
+        let f = net.metrics().faults;
+        assert_eq!(f.messages_duplicated, 0, "{alg}: no duplication was drawn");
+        assert!(
+            f.retransmissions > 0,
+            "{alg}: delayed acks must trigger spurious retransmissions"
+        );
+        assert!(
+            f.dedup_suppressed > 0,
+            "{alg}: the second copy of a raced message must be suppressed"
+        );
+        check_oracle(&net, &format!("{alg} retransmit/ack race"));
+    }
 }
 
 #[test]

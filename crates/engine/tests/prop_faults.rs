@@ -93,4 +93,34 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn backoff_and_dedup_survive_sustained_loss_with_delay(
+        steps in prop::collection::vec(step_strategy(), 1..30),
+        seed in 0u64..1000,
+        loss_pct in 5u32..31,
+        delay_pct in 0u32..100,
+        max_delay in 1u64..8,
+        fault_seed in 0u64..1000,
+    ) {
+        // Loss combined with delivery delay: retransmissions fire while
+        // originals (or their acks) are still in flight, exercising the
+        // backoff schedule and the retransmit/late-ack dedup race. The
+        // delivered set must still be exactly the oracle's.
+        let mut fault = FaultConfig::lossy(f64::from(loss_pct) / 100.0, fault_seed);
+        fault.delay_rate = f64::from(delay_pct) / 100.0;
+        fault.max_delay = max_delay;
+        fault.ack_timeout = 1; // aggressive: races acks against retries
+        for alg in Algorithm::ALL {
+            let net = run(alg, &steps, seed, fault.clone());
+            let mut oracle = Oracle::new();
+            oracle.ingest(net.posed_queries(), net.inserted_tuples());
+            let expected = oracle.expected().unwrap();
+            prop_assert_eq!(
+                net.delivered_set(),
+                expected,
+                "{} diverged under loss {} + delay {}", alg, loss_pct, delay_pct
+            );
+        }
+    }
 }

@@ -81,7 +81,7 @@ proptest! {
                 )
                 .unwrap(),
             );
-            t.insert(StoredTuple { index_id: Id(id), attr: "B".into(), tuple });
+            t.insert(StoredTuple { index_id: Id(id), attr: "B".into(), tuple }).unwrap();
         }
         let before = t.len();
         let moved = t.extract_where(|id| id.0 < threshold);

@@ -87,7 +87,7 @@ fn main() {
             .collect()
     };
     if selected.is_empty() {
-        eprintln!("no experiment matches; known ids: e01..e16, t01, a01, ef01");
+        eprintln!("no experiment matches; known ids: e01..e16, t01, a01, ef01, ef02");
         std::process::exit(2);
     }
 

@@ -23,6 +23,7 @@ pub mod e14_network_size;
 pub mod e15_top_loaded;
 pub mod e16_dai_v;
 pub mod ef01_faults;
+pub mod ef02_churn;
 pub mod t01_comparison;
 
 use crate::report::Report;
@@ -71,6 +72,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("t01", t01_comparison::run),
         ("a01", a01_dai_v_keyed::run),
         ("ef01", ef01_faults::run),
+        ("ef02", ef02_churn::run),
     ]
 }
 
@@ -81,8 +83,8 @@ mod tests {
     #[test]
     fn registry_covers_every_figure_and_table() {
         // 16 experiment figures + Table 4.1 + the keyed-DAI-V ablation +
-        // the fault-tolerance extension.
-        assert_eq!(all().len(), 19);
+        // the fault-tolerance and churn-recovery extensions.
+        assert_eq!(all().len(), 20);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::sync::{Arc, Mutex};
 
 use cq_engine::{
     Algorithm, EngineConfig, FaultConfig, FaultCounters, IndexStrategy, JsonlSummarySink, Network,
-    Oracle, TraceSummary, TrafficKind,
+    Oracle, RecoveryCounters, SuspicionConfig, TraceSummary, TrafficKind,
 };
 use cq_overlay::TrafficStats;
 use cq_workload::{Workload, WorkloadConfig};
@@ -76,6 +76,13 @@ pub struct RunConfig {
     /// Fault model for the run (message loss/duplication/delay, reliable
     /// delivery, k-successor replication). Inert by default.
     pub fault: FaultConfig,
+    /// In-protocol failure detection (heartbeats, suspicion, anti-entropy).
+    /// Disabled by default: failures are then repaired by oracle
+    /// `stabilize` calls, the seed behavior. When enabled, the harness
+    /// never stabilizes for the detector — it `settle`s at the end of the
+    /// stream instead and reports recall against the oracle both overall
+    /// and restricted to tuples published outside detection windows.
+    pub suspicion: SuspicionConfig,
     /// Abrupt node failures injected at evenly spaced points across the
     /// measured tuple window, each followed by two stabilization rounds.
     pub failures: usize,
@@ -101,6 +108,7 @@ impl RunConfig {
             measure_stream_only: true,
             workload: WorkloadConfig::default(),
             fault: FaultConfig::default(),
+            suspicion: SuspicionConfig::default(),
             failures: 0,
             retain_notifications: false,
         }
@@ -138,6 +146,13 @@ pub struct RunResult {
     /// Fault-layer counters (loss, duplication, retransmissions, dedup
     /// suppressions, failures, promotions).
     pub faults: FaultCounters,
+    /// Failure-detection counters (heartbeats, suspicions, detections,
+    /// anti-entropy repair work); all zero unless suspicion was enabled.
+    pub recovery: RecoveryCounters,
+    /// Recall restricted to tuples published *outside* detection windows —
+    /// the deliveries the detector-based engine actually guarantees.
+    /// Equals `recall` when no window opened (or recall was not computed).
+    pub recall_outside_windows: f64,
     /// Distinct notification contents the oracle expects (only computed
     /// when `retain_notifications` is set; zero otherwise).
     pub expected_notifications: u64,
@@ -221,6 +236,7 @@ pub fn run(cfg: &RunConfig) -> RunResult {
         batch_delivery: true,
         seed: cfg.workload.seed,
         fault: cfg.fault.clone(),
+        suspicion: cfg.suspicion,
     };
     // The harness picks the protocol explicitly; `Network` stays a pure
     // orchestrator over whatever strategy object it is handed.
@@ -270,17 +286,23 @@ pub fn run(cfg: &RunConfig) -> RunResult {
     // evenly across it (each immediately followed by stabilization, which
     // repairs the ring and promotes replicas).
     net.trace_phase("stream");
+    let detect = cfg.suspicion.enabled;
     let mut failed = 0usize;
     for i in 0..cfg.tuples {
         while failed < cfg.failures && i * (cfg.failures + 1) >= (failed + 1) * cfg.tuples {
-            fail_one(&mut net);
+            fail_one(&mut net, detect);
             failed += 1;
         }
         stream_one(&mut net, &mut workload);
     }
     while failed < cfg.failures {
-        fail_one(&mut net);
+        fail_one(&mut net, detect);
         failed += 1;
+    }
+    if detect {
+        // Let the detector confirm every outstanding failure and verify
+        // its repair before measuring.
+        net.settle().expect("failure detection converges");
     }
 
     let mut result = collect(&net, cfg.tuples, cfg.retain_notifications);
@@ -292,15 +314,19 @@ pub fn run(cfg: &RunConfig) -> RunResult {
     result
 }
 
-/// Abruptly fails one pseudo-random alive node and stabilizes (never kills
-/// the last node).
-fn fail_one(net: &mut Network) {
+/// Abruptly fails one pseudo-random alive node (never the last one). With
+/// `detect` off, the harness repairs immediately with oracle knowledge
+/// (the seed behavior); with it on, the in-protocol detector must discover
+/// the failure on its own.
+fn fail_one(net: &mut Network, detect: bool) {
     if net.alive_count() <= 1 {
         return;
     }
     let victim = net.random_node();
     net.node_fail(victim).expect("victim is alive");
-    net.stabilize(2).expect("stabilization after failure");
+    if !detect {
+        net.stabilize(2).expect("stabilization after failure");
+    }
 }
 
 fn stream_one(net: &mut Network, workload: &mut Workload) {
@@ -332,22 +358,50 @@ fn collect(net: &Network, streamed: usize, with_recall: bool) -> RunResult {
         .iter()
         .map(|&k| (k, net.metrics().traffic(k)))
         .collect();
-    let (expected_notifications, delivered_notifications, recall) = if with_recall {
-        let mut oracle = Oracle::new();
-        oracle.ingest(net.posed_queries(), net.inserted_tuples());
-        let expected = oracle.expected().expect("oracle evaluation");
-        let delivered = net.delivered_set();
-        let hit = expected.iter().filter(|n| delivered.contains(*n)).count() as u64;
-        let total = expected.len() as u64;
-        let recall = if total == 0 {
-            1.0
+    let (expected_notifications, delivered_notifications, recall, recall_outside_windows) =
+        if with_recall {
+            let mut oracle = Oracle::new();
+            oracle.ingest(net.posed_queries(), net.inserted_tuples());
+            let expected = oracle.expected().expect("oracle evaluation");
+            let delivered = net.delivered_set();
+            let hit = expected.iter().filter(|n| delivered.contains(*n)).count() as u64;
+            let total = expected.len() as u64;
+            let recall = if total == 0 {
+                1.0
+            } else {
+                hit as f64 / total as f64
+            };
+            // Recall over the oracle restricted to tuples published outside
+            // every detection window — the deliveries a detector-based
+            // engine guarantees (tuples inside a window may have been
+            // routed to a failed-but-undetected owner).
+            let windows = net.detection_windows();
+            let outside = if windows.is_empty() {
+                recall
+            } else {
+                let tuples: Vec<_> = net
+                    .inserted_tuples()
+                    .iter()
+                    .filter(|t| {
+                        let p = t.pub_time().0;
+                        windows.iter().all(|&(a, b)| p < a || p > b)
+                    })
+                    .cloned()
+                    .collect();
+                let mut o = Oracle::new();
+                o.ingest(net.posed_queries(), &tuples);
+                let exp = o.expected().expect("oracle evaluation");
+                let hit = exp.iter().filter(|n| delivered.contains(*n)).count() as u64;
+                if exp.is_empty() {
+                    1.0
+                } else {
+                    hit as f64 / exp.len() as f64
+                }
+            };
+            (total, hit, recall, outside)
         } else {
-            hit as f64 / total as f64
+            (0, 0, 1.0, 1.0)
         };
-        (total, hit, recall)
-    } else {
-        (0, 0, 1.0)
-    };
     RunResult {
         filtering,
         rewriter_filtering,
@@ -362,9 +416,11 @@ fn collect(net: &Network, streamed: usize, with_recall: bool) -> RunResult {
         stored_rewritten,
         stored_tuples,
         faults: net.metrics().faults,
+        recovery: net.metrics().recovery,
         expected_notifications,
         delivered_notifications,
         recall,
+        recall_outside_windows,
         trace: None,
     }
 }
