@@ -61,6 +61,8 @@ pub mod replication;
 pub mod tables;
 pub mod trace;
 mod transport;
+mod transport_tcp;
+pub mod wire;
 
 pub use algo::protocol_for;
 pub use config::{Algorithm, EngineConfig, IndexStrategy};
@@ -77,6 +79,6 @@ pub use protocol::{Effect, Matches, NodeCtx, Protocol};
 pub use recovery::SuspicionConfig;
 pub use replication::{PromotedState, ReplicaItem, ReplicaStore};
 pub use trace::{
-    JsonlSink, JsonlSummarySink, NoopSink, RingBufferSink, SummarySink, TeeSink, TraceEvent,
-    TraceSink, TraceSummary,
+    BinarySummarySink, JsonlSink, JsonlSummarySink, NoopSink, RingBufferSink, SummarySink, TeeSink,
+    TraceEvent, TraceSink, TraceSummary,
 };

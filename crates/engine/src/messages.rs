@@ -126,6 +126,40 @@ pub struct ValueJoin {
 }
 
 impl Message {
+    /// All kind labels, in [`Message::kind_index`] order (used by the
+    /// per-kind wire-byte counters).
+    pub const KINDS: [&'static str; 11] = [
+        "query",
+        "al-index",
+        "vl-index",
+        "join",
+        "join-v",
+        "store-notify",
+        "notify",
+        "replicate",
+        "ping",
+        "pong",
+        "bundle",
+    ];
+
+    /// Index of this message's kind in [`Message::KINDS`] — a direct
+    /// discriminant map so per-kind byte accounting never compares strings.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Message::IndexQuery { .. } => 0,
+            Message::AlIndexTuple { .. } => 1,
+            Message::VlIndexTuple { .. } => 2,
+            Message::Join { .. } => 3,
+            Message::JoinV(_) => 4,
+            Message::StoreNotifications { .. } => 5,
+            Message::Notify { .. } => 6,
+            Message::Replicate { .. } => 7,
+            Message::Ping { .. } => 8,
+            Message::Pong { .. } => 9,
+            Message::Bundle(_) => 10,
+        }
+    }
+
     /// A short label for debugging/tracing.
     pub fn kind(&self) -> &'static str {
         match self {

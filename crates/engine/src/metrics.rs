@@ -98,6 +98,23 @@ pub struct FaultCounters {
     pub replicas_promoted: u64,
     /// Replication messages sent (mirroring primaries onto successors).
     pub replica_messages: u64,
+    /// Exact wire bytes sent per message kind, indexed like
+    /// [`Message::KINDS`] — sized with the `engine::wire` codec, so reports
+    /// state the true serialized cost of every transmission (initial sends
+    /// and retransmissions; acks carry no payload frame and are excluded).
+    /// Populated by the fault pump and by the TCP backend; the default
+    /// perfect-delivery simulator path skips serialization sizing entirely
+    /// and leaves these at zero.
+    ///
+    /// [`Message::KINDS`]: crate::messages::Message::KINDS
+    pub bytes_sent: [u64; 11],
+}
+
+impl FaultCounters {
+    /// Total wire bytes over every message kind.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.bytes_sent.iter().sum()
+    }
 }
 
 /// Failure-detection and repair counters (`engine::recovery`), all zero
@@ -131,7 +148,8 @@ pub struct RecoveryCounters {
     pub digest_exchanges: u64,
     /// Replica items re-mirrored by anti-entropy repair.
     pub repair_items: u64,
-    /// Approximate wire bytes of re-mirrored repair items.
+    /// Exact wire bytes of re-mirrored repair items: the serialized size of
+    /// each repair's `Replicate` message under the `engine::wire` codec.
     pub repair_bytes: u64,
     /// Data messages lost because their receiver was dead but not yet
     /// detected (the recovery blind spot, notifications included).

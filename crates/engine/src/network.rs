@@ -37,7 +37,8 @@ use crate::recovery::Recovery;
 use crate::replication::ReplicaItem;
 use crate::tables::StoredQuery;
 use crate::trace::{TraceEvent, TraceSink};
-use crate::transport::Transport;
+use crate::transport::{ActiveTransport, SimTransport, Transport as _};
+use crate::transport_tcp::TcpTransport;
 
 /// The whole simulated network.
 pub struct Network {
@@ -58,8 +59,10 @@ pub struct Network {
     /// Reusable string buffer for per-arrival value keys, threaded into
     /// each [`NodeCtx`] so kernels build keys without allocating.
     scratch: String,
-    /// Transport state: the in-flight queue and the optional fault pipe.
-    pub(crate) transport: Transport,
+    /// The installed transport backend: the deterministic in-memory queue
+    /// (with its optional fault pipe) by default, or framed TCP loopback
+    /// sockets after [`Network::enable_tcp_transport`].
+    pub(crate) transport: ActiveTransport,
     /// The trace sink; `None` (the default) keeps every emission site a
     /// single untaken branch, so the hot path is unchanged.
     pub(crate) tracer: Option<Arc<dyn TraceSink>>,
@@ -121,12 +124,43 @@ impl Network {
             scratch: String::with_capacity(64),
             tracer: None,
             trace_seq: Vec::new(),
-            transport: Transport::new(pipe),
+            transport: ActiveTransport::Sim(SimTransport::new(pipe)),
             recovery,
             subscribers: FxHashMap::default(),
             posed_queries: Vec::new(),
             inserted_tuples: Vec::new(),
         }
+    }
+
+    /// Swaps the deterministic in-memory transport for real framed TCP
+    /// sockets over `127.0.0.1` — one listener per node, every message
+    /// serialized through [`crate::wire`] and read back off the socket
+    /// before dispatch. Envelope order is preserved exactly, so a TCP run
+    /// delivers the same notification set as a simulator run of the same
+    /// seed.
+    ///
+    /// Incompatible with the fault-injection pipe and the failure detector
+    /// (both simulate time inside the in-memory pump): enabling TCP on such
+    /// a configuration is a protocol error. Call before posing queries so
+    /// no envelopes are queued on the old backend.
+    pub fn enable_tcp_transport(&mut self) -> Result<()> {
+        if self.transport.has_pipe() || self.recovery.is_some() {
+            return Err(EngineError::Protocol {
+                detail: "TCP transport requires perfect delivery: disable fault injection and \
+                         the suspicion detector"
+                    .to_string(),
+            });
+        }
+        if !self.transport.is_idle() {
+            return Err(EngineError::Protocol {
+                detail: "TCP transport must be enabled before any message is queued".to_string(),
+            });
+        }
+        self.transport = ActiveTransport::Tcp(Box::new(TcpTransport::bind(
+            self.ring.slot_count(),
+            self.catalog.clone(),
+        )?));
+        Ok(())
     }
 
     /// The engine configuration.

@@ -43,6 +43,8 @@ use crate::replication::{
     digest_of, hash_offline, hash_query, hash_rewritten, hash_tuple, hash_value_tuple, ReplicaItem,
 };
 use crate::trace::TraceEvent;
+use crate::transport::Transport as _;
+use crate::wire;
 
 /// Failure-detection knobs. All durations are pump ticks (the same unit the
 /// fault layer uses). The default is fully disabled: no probes, no
@@ -488,7 +490,15 @@ impl Network {
         let clean = plans.is_empty();
         for (p, s, items) in plans {
             let (node, to, count) = (p.index() as u32, s.index() as u32, items.len() as u64);
-            let bytes: u64 = items.iter().map(ReplicaItem::approx_bytes).sum();
+            // Exact repair cost: the serialized size of each re-mirror's
+            // `Replicate` frame under the wire codec.
+            let msgs: Vec<Message> = items
+                .into_iter()
+                .map(|item| Message::Replicate {
+                    item: Box::new(item),
+                })
+                .collect();
+            let bytes: u64 = msgs.iter().map(wire::encoded_len).sum();
             self.metrics.recovery.repair_items += count;
             self.metrics.recovery.repair_bytes += bytes;
             self.trace(|| TraceEvent::Repair {
@@ -498,14 +508,8 @@ impl Network {
                 items: count,
                 bytes,
             });
-            for item in items {
-                self.push_direct(
-                    p,
-                    s,
-                    Message::Replicate {
-                        item: Box::new(item),
-                    },
-                );
+            for msg in msgs {
+                self.push_direct(p, s, msg);
             }
         }
         if clean && !rec.repair_pending.is_empty() {
@@ -527,14 +531,14 @@ impl Network {
         if self.recovery.is_none() {
             return Ok(());
         }
-        let Some(mut pipe) = self.transport.pipe.take() else {
+        let Some(mut pipe) = self.transport.take_pipe() else {
             return Ok(());
         };
         let mut result = Ok(());
         let mut forced = 0u64;
         loop {
             let pending = self.recovery.as_ref().is_some_and(|r| r.pending());
-            if !pending && !pipe.busy() && self.transport.pending.is_empty() {
+            if !pending && !pipe.busy() && self.transport.is_idle() {
                 break;
             }
             forced += 1;
@@ -546,15 +550,23 @@ impl Network {
                 });
                 break;
             }
-            while let Some(p) = self.transport.pending.pop_front() {
-                self.transmit(&mut pipe, p);
+            let drained = loop {
+                match self.transport.next_delivery() {
+                    Ok(Some(p)) => self.transmit(&mut pipe, p),
+                    Ok(None) => break Ok(()),
+                    Err(e) => break Err(e),
+                }
+            };
+            if let Err(e) = drained {
+                result = Err(e);
+                break;
             }
             if let Err(e) = self.pump_tick(&mut pipe) {
                 result = Err(e);
                 break;
             }
         }
-        self.transport.pipe = Some(pipe);
+        self.transport.restore_pipe(pipe);
         result
     }
 

@@ -81,28 +81,6 @@ impl ReplicaItem {
             ReplicaItem::Offline { id, notification } => hash_offline(*id, notification),
         }
     }
-
-    /// Coarse wire-size model of one mirrored item (fixed per-variant frame
-    /// plus variable string content), used for the repair-bytes metric.
-    pub fn approx_bytes(&self) -> u64 {
-        match self {
-            ReplicaItem::Query(e) => 48 + e.index_attr.len() as u64 + e.query.key().0.len() as u64,
-            ReplicaItem::Rewritten(e) => 48 + e.rq.key().len() as u64,
-            ReplicaItem::Tuple(e) => 40 + e.attr.len() as u64 + 16 * e.tuple.values().len() as u64,
-            ReplicaItem::ValueTuple {
-                group,
-                value_key,
-                entry,
-            } => {
-                40 + group.len() as u64
-                    + value_key.len() as u64
-                    + 16 * entry.tuple.values().len() as u64
-            }
-            ReplicaItem::Offline { notification, .. } => {
-                32 + notification.subscriber.len() as u64 + 16 * notification.values.len() as u64
-            }
-        }
-    }
 }
 
 /// [`std::hash::Hash`] through the engine's deterministic [`FxHasher`] —

@@ -1135,6 +1135,18 @@ impl JsonlWriter {
         kind
     }
 
+    /// Appends one `engine::wire` frame instead of a JSONL line (the binary
+    /// trace format); returns the event's kind index like `append`.
+    #[inline]
+    fn append_frame(&mut self, ev: &TraceEvent) -> usize {
+        crate::wire::encode_trace_event(ev, &mut self.buf);
+        if self.buf.len() >= JSONL_BUF {
+            let _ = self.file.write_all(&self.buf);
+            self.buf.clear();
+        }
+        ev.kind_index()
+    }
+
     fn flush(&mut self) -> std::io::Result<()> {
         if !self.buf.is_empty() {
             self.file.write_all(&self.buf)?;
@@ -1303,6 +1315,45 @@ impl TraceSink for JsonlSummarySink {
         let mut guard = self.inner.lock().expect("trace writer");
         let (out, summary) = &mut *guard;
         let kind = out.append(ev);
+        summary.note_kind(kind, ev);
+    }
+}
+
+/// The binary twin of [`JsonlSummarySink`]: every event is written as one
+/// length-prefixed, versioned `engine::wire` frame (the exact layout
+/// [`crate::wire::encode_trace_event`] produces), fused with the same
+/// in-memory summary. Installed by the sim harness for
+/// `--trace-format binary`; the `trace_dump` tool converts a binary stream
+/// back to the JSONL the text tooling reads.
+#[derive(Debug)]
+pub struct BinarySummarySink {
+    inner: Mutex<(JsonlWriter, SummaryState)>,
+}
+
+impl BinarySummarySink {
+    /// Creates (truncating) the binary trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(BinarySummarySink {
+            inner: Mutex::new((JsonlWriter::create(path)?, SummaryState::default())),
+        })
+    }
+
+    /// Flushes buffered frames to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.inner.lock().expect("trace writer").0.flush()
+    }
+
+    /// The summary accumulated so far.
+    pub fn summary(&self) -> TraceSummary {
+        self.inner.lock().expect("trace writer").1.to_summary()
+    }
+}
+
+impl TraceSink for BinarySummarySink {
+    fn record(&self, ev: &TraceEvent) {
+        let mut guard = self.inner.lock().expect("trace writer");
+        let (out, summary) = &mut *guard;
+        let kind = out.append_frame(ev);
         summary.note_kind(kind, ev);
     }
 }

@@ -24,6 +24,7 @@ use crate::network::Network;
 use crate::protocol::Matches;
 use crate::replication::ReplicaItem;
 use crate::trace::TraceEvent;
+use crate::wire;
 
 /// One enqueued protocol message: the payload plus the transport envelope
 /// the reliable-delivery layer needs (sender, resolved receiver, target
@@ -71,24 +72,176 @@ impl Pending {
     }
 }
 
-/// Transport state owned by the network: the in-flight message queue and
-/// the optional fault-injection pipe.
-pub(crate) struct Transport {
+/// The transport abstraction every backend implements: how envelopes enter
+/// the delivery substrate, how they come back out in global FIFO order, and
+/// the hooks the fault-injection / reliable-delivery pump needs.
+///
+/// Backends are selected by **enum dispatch** through [`ActiveTransport`]
+/// (never `dyn`): the simulator's hot loop calls `enqueue`/`next_delivery`
+/// once per protocol message, and a vtable there would defeat the batching
+/// and kernel wins the delivery path is built around.
+///
+/// The contract `Network` relies on:
+///
+/// * `enqueue` is infallible — a backend whose send can fail (sockets)
+///   defers the error and surfaces it from the next `next_delivery` call.
+/// * `next_delivery` yields envelopes in exactly the order they were
+///   enqueued, network-wide. The deterministic simulator and the TCP
+///   backend therefore dispatch identical sequences for the same seed.
+/// * The fault-pipe hooks (`take_pipe`/`restore_pipe`/`has_pipe`) expose
+///   the optional reliable-delivery pump state. Only [`SimTransport`]
+///   carries a pipe; backends without one return `None`/`false`, and the
+///   pump paths are never entered for them.
+pub(crate) trait Transport {
+    /// Queues one envelope for delivery. Must not fail: backends with
+    /// fallible sends record the error and report it from
+    /// [`Transport::next_delivery`].
+    fn enqueue(&mut self, p: Pending);
+
+    /// Removes and returns the next envelope in network-global FIFO order,
+    /// or `None` when the queue is drained. Socket-backed transports
+    /// perform their framed reads here and surface deferred send errors.
+    fn next_delivery(&mut self) -> Result<Option<Pending>>;
+
+    /// Whether no envelopes are queued (socket backends: no envelopes in
+    /// flight on their wires either).
+    fn is_idle(&self) -> bool;
+
+    /// Detaches the fault-injection + reliable-delivery pipe so the pump
+    /// can run against `&mut Network`. `None` when the backend has no pipe.
+    fn take_pipe(&mut self) -> Option<Box<FaultPipe>>;
+
+    /// Reattaches a pipe detached by [`Transport::take_pipe`].
+    fn restore_pipe(&mut self, pipe: Box<FaultPipe>);
+
+    /// Whether a fault pipe is installed (drives the trace-id allocation
+    /// and bundle-coalescing gates).
+    fn has_pipe(&self) -> bool;
+
+    /// Drains the backend's per-message-kind wire-byte counters, indexed
+    /// like [`Message::KINDS`]. `None` for backends that don't serialize
+    /// (the simulator accounts wire bytes in the fault pump instead).
+    fn take_wire_bytes(&mut self) -> Option<[u64; 11]>;
+}
+
+/// The deterministic in-memory backend: a FIFO queue of envelopes and the
+/// optional fault-injection pipe. This is the seed engine's transport,
+/// unchanged in behavior, now behind the [`Transport`] trait.
+pub(crate) struct SimTransport {
     /// FIFO queue of sent-but-not-yet-handled messages.
-    pub(crate) pending: VecDeque<Pending>,
+    pending: VecDeque<Pending>,
     /// The fault-injection + reliable-delivery pipe; `None` when message
     /// delivery is perfect (the default), in which case `pending` is
     /// drained FIFO exactly as the original engine did.
-    pub(crate) pipe: Option<Box<FaultPipe>>,
+    pipe: Option<Box<FaultPipe>>,
 }
 
-impl Transport {
-    /// Perfect-delivery transport (`pipe` installed separately when faults
-    /// are configured).
+impl SimTransport {
+    /// Perfect-delivery transport (`pipe` installed at construction when
+    /// faults are configured).
     pub(crate) fn new(pipe: Option<Box<FaultPipe>>) -> Self {
-        Transport {
+        SimTransport {
             pending: VecDeque::new(),
             pipe,
+        }
+    }
+}
+
+impl Transport for SimTransport {
+    #[inline]
+    fn enqueue(&mut self, p: Pending) {
+        self.pending.push_back(p);
+    }
+
+    #[inline]
+    fn next_delivery(&mut self) -> Result<Option<Pending>> {
+        Ok(self.pending.pop_front())
+    }
+
+    #[inline]
+    fn is_idle(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn take_pipe(&mut self) -> Option<Box<FaultPipe>> {
+        self.pipe.take()
+    }
+
+    fn restore_pipe(&mut self, pipe: Box<FaultPipe>) {
+        self.pipe = Some(pipe);
+    }
+
+    #[inline]
+    fn has_pipe(&self) -> bool {
+        self.pipe.is_some()
+    }
+
+    fn take_wire_bytes(&mut self) -> Option<[u64; 11]> {
+        None
+    }
+}
+
+/// The installed transport backend, dispatched by enum match so every call
+/// is a direct (inlinable) branch rather than a vtable jump.
+pub(crate) enum ActiveTransport {
+    /// Deterministic in-memory delivery (the default).
+    Sim(SimTransport),
+    /// Real framed sockets over `std::net` loopback. Boxed so the enum —
+    /// embedded in every `Network` — stays the size of the common variant.
+    Tcp(Box<crate::transport_tcp::TcpTransport>),
+}
+
+impl Transport for ActiveTransport {
+    #[inline]
+    fn enqueue(&mut self, p: Pending) {
+        match self {
+            ActiveTransport::Sim(t) => t.enqueue(p),
+            ActiveTransport::Tcp(t) => t.enqueue(p),
+        }
+    }
+
+    #[inline]
+    fn next_delivery(&mut self) -> Result<Option<Pending>> {
+        match self {
+            ActiveTransport::Sim(t) => t.next_delivery(),
+            ActiveTransport::Tcp(t) => t.next_delivery(),
+        }
+    }
+
+    #[inline]
+    fn is_idle(&self) -> bool {
+        match self {
+            ActiveTransport::Sim(t) => t.is_idle(),
+            ActiveTransport::Tcp(t) => t.is_idle(),
+        }
+    }
+
+    fn take_pipe(&mut self) -> Option<Box<FaultPipe>> {
+        match self {
+            ActiveTransport::Sim(t) => t.take_pipe(),
+            ActiveTransport::Tcp(t) => t.take_pipe(),
+        }
+    }
+
+    fn restore_pipe(&mut self, pipe: Box<FaultPipe>) {
+        match self {
+            ActiveTransport::Sim(t) => t.restore_pipe(pipe),
+            ActiveTransport::Tcp(t) => t.restore_pipe(pipe),
+        }
+    }
+
+    #[inline]
+    fn has_pipe(&self) -> bool {
+        match self {
+            ActiveTransport::Sim(t) => t.has_pipe(),
+            ActiveTransport::Tcp(t) => t.has_pipe(),
+        }
+    }
+
+    fn take_wire_bytes(&mut self) -> Option<[u64; 11]> {
+        match self {
+            ActiveTransport::Sim(t) => t.take_wire_bytes(),
+            ActiveTransport::Tcp(t) => t.take_wire_bytes(),
         }
     }
 }
@@ -102,7 +255,7 @@ impl Network {
     /// allocated and a [`TraceEvent::MsgSend`] emitted (the fault pipe path
     /// defers both to `transmit`, which owns the real sequence allocator).
     pub(crate) fn enqueue(&mut self, mut p: Pending) {
-        if self.trace_on() && self.transport.pipe.is_none() {
+        if self.trace_on() && !self.transport.has_pipe() {
             let slot = p.from.index();
             if slot >= self.trace_seq.len() {
                 self.trace_seq.resize(slot + 1, 0);
@@ -122,7 +275,7 @@ impl Network {
                 path,
             });
         }
-        self.transport.pending.push_back(p);
+        self.transport.enqueue(p);
     }
 
     /// Routes `from → id`, returning the owner and hop count — and, only
@@ -177,8 +330,7 @@ impl Network {
         // The fault pipe must see logical messages individually (its RNG
         // draws are per transmission) and the tracer emits one `MsgSend` per
         // message, so both paths keep per-message enqueues.
-        let bundle =
-            self.config.batch_delivery && self.transport.pipe.is_none() && !self.trace_on();
+        let bundle = self.config.batch_delivery && !self.transport.has_pipe() && !self.trace_on();
         for (owner, ids) in outcome.deliveries {
             if bundle {
                 let mut run: Vec<Message> = Vec::new();
@@ -288,15 +440,15 @@ impl Network {
     /// perfect FIFO queue by default, or through the fault-injection pipe
     /// when one is configured.
     pub(crate) fn process_all(&mut self) -> Result<()> {
-        if self.transport.pipe.is_some() {
-            // Invariant: is_some() held on the previous line; take-and-restore
+        if self.transport.has_pipe() {
+            // Invariant: has_pipe() held on the previous line; take-and-restore
             // releases the &mut self borrow for the pump loop below.
-            let mut pipe = self.transport.pipe.take().expect("checked above");
+            let mut pipe = self.transport.take_pipe().expect("checked above");
             let result = self.pump_faulty(&mut pipe);
-            self.transport.pipe = Some(pipe);
+            self.transport.restore_pipe(pipe);
             result
         } else {
-            while let Some(p) = self.transport.pending.pop_front() {
+            while let Some(p) = self.transport.next_delivery()? {
                 if let Some(id) = p.trace_id {
                     let (tick, node, kind) = (self.trace_tick(), p.to.index() as u32, p.msg.kind());
                     self.trace(|| TraceEvent::MsgDeliver {
@@ -307,6 +459,13 @@ impl Network {
                     });
                 }
                 self.dispatch(p.to, p.msg)?;
+            }
+            // Socket backends count real frame bytes as they write; fold
+            // whatever this drain produced into the per-kind counters.
+            if let Some(bytes) = self.transport.take_wire_bytes() {
+                for (kind, b) in bytes.into_iter().enumerate() {
+                    self.metrics.faults.bytes_sent[kind] += b;
+                }
             }
             Ok(())
         }
@@ -319,8 +478,8 @@ impl Network {
     fn pump_faulty(&mut self, pipe: &mut FaultPipe) -> Result<()> {
         loop {
             // Fold freshly produced sends into the pipe (handlers and
-            // promotions push onto `pending`).
-            while let Some(p) = self.transport.pending.pop_front() {
+            // promotions push onto the queue).
+            while let Some(p) = self.transport.next_delivery()? {
                 self.transmit(pipe, p);
             }
             if !pipe.busy() {
@@ -434,6 +593,10 @@ impl Network {
     /// schedules the transmission copies through the fault draws.
     pub(crate) fn transmit(&mut self, pipe: &mut FaultPipe, mut p: Pending) {
         let id = pipe.alloc_seq(p.from);
+        // Exact wire cost of this transmission (acks are not payload frames
+        // and are not counted). Only the fault pump pays for serialization
+        // sizing; the perfect-delivery path never reaches here.
+        self.metrics.faults.bytes_sent[p.msg.kind_index()] += wire::encoded_len(&p.msg);
         if self.trace_on() {
             let path = p.trace_path.take();
             let (tick, to, target, kind) = (pipe.tick, p.to, p.target, p.msg.kind());
@@ -536,6 +699,7 @@ impl Network {
             self.metrics.faults.retransmission_hops += 1;
         }
         self.metrics.faults.retransmissions += 1;
+        self.metrics.faults.bytes_sent[o.msg.kind_index()] += wire::encoded_len(&o.msg);
         let (node, attempt) = (o.from.index() as u32, o.attempt);
         self.trace(|| TraceEvent::Retransmit {
             tick: now,

@@ -1,0 +1,267 @@
+//! Real-socket transport backend: framed TCP over `std::net` loopback.
+//!
+//! One listener per node slot, lazily established persistent stream pairs,
+//! and every [`Message`] serialized through [`crate::wire`] on send and
+//! decoded back off the socket before dispatch. The backend keeps a
+//! userspace FIFO of *envelopes* (sender, receiver, target, trace fields) in
+//! exact enqueue order while only the message payload crosses the wire;
+//! because TCP preserves per-connection order and the FIFO fixes the global
+//! order, a run over sockets dispatches the identical message sequence as
+//! the in-memory simulator at the same seed — delivered sets and metrics
+//! match by construction.
+//!
+//! Failure model: `enqueue` must be infallible (transport contract), so a
+//! send that fails after one reconnect attempt parks the error and
+//! [`Transport::next_delivery`] surfaces it as a typed
+//! [`EngineError::Protocol`]. The fault-injection pipe is a simulator
+//! construct and is never installed here.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use cq_fasthash::FxHashMap;
+
+use crate::error::{EngineError, Result};
+use crate::faults::FaultPipe;
+use crate::messages::Message;
+use crate::transport::{Pending, Transport};
+use crate::wire;
+
+use cq_relational::Catalog;
+
+/// The queued metadata for one in-flight message: everything [`Pending`]
+/// carries except the payload, which is on the wire.
+struct Envelope {
+    from: cq_overlay::NodeHandle,
+    to: cq_overlay::NodeHandle,
+    target: cq_overlay::Id,
+    reroute: bool,
+    trace_id: Option<crate::faults::MsgId>,
+    trace_path: Option<Vec<u32>>,
+}
+
+/// Maps an I/O failure into the transport's typed protocol error.
+fn io_err(context: &str, e: std::io::Error) -> EngineError {
+    EngineError::Protocol {
+        detail: format!("tcp transport: {context}: {e}"),
+    }
+}
+
+/// The TCP loopback backend. See the module docs for the ordering and
+/// failure model.
+pub(crate) struct TcpTransport {
+    /// Schemas for decoding tuples read back off the wire.
+    catalog: Catalog,
+    /// One listener per node slot, bound on `127.0.0.1:0`.
+    listeners: Vec<TcpListener>,
+    /// The bound address of each slot's listener.
+    addrs: Vec<SocketAddr>,
+    /// Established outgoing streams, keyed `(sender, receiver)`.
+    out: FxHashMap<(u32, u32), TcpStream>,
+    /// Accepted incoming streams, keyed `(receiver, sender)`.
+    incoming: FxHashMap<(u32, u32), TcpStream>,
+    /// Envelope metadata in network-global FIFO order.
+    queue: VecDeque<Envelope>,
+    /// A send failure parked until the next `next_delivery` call.
+    deferred: Option<EngineError>,
+    /// Exact frame bytes written per message kind ([`Message::KINDS`] order).
+    bytes_sent: [u64; 11],
+    /// Reusable encode buffer.
+    wbuf: Vec<u8>,
+    /// Reusable decode buffer.
+    rbuf: Vec<u8>,
+}
+
+impl TcpTransport {
+    /// Binds one loopback listener per node slot.
+    pub(crate) fn bind(slots: usize, catalog: Catalog) -> Result<Self> {
+        let mut listeners = Vec::with_capacity(slots);
+        let mut addrs = Vec::with_capacity(slots);
+        for slot in 0..slots {
+            let listener = TcpListener::bind(("127.0.0.1", 0))
+                .map_err(|e| io_err(&format!("bind listener for node {slot}"), e))?;
+            addrs.push(
+                listener
+                    .local_addr()
+                    .map_err(|e| io_err(&format!("local addr for node {slot}"), e))?,
+            );
+            listeners.push(listener);
+        }
+        Ok(TcpTransport {
+            catalog,
+            listeners,
+            addrs,
+            out: FxHashMap::default(),
+            incoming: FxHashMap::default(),
+            queue: VecDeque::new(),
+            deferred: None,
+            bytes_sent: [0; 11],
+            wbuf: Vec::new(),
+            rbuf: Vec::new(),
+        })
+    }
+
+    /// Opens a stream to `addr` and identifies the sender with a 4-byte
+    /// hello so the acceptor can key the connection.
+    fn connect(addr: SocketAddr, from: u32) -> std::io::Result<TcpStream> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&from.to_le_bytes())?;
+        Ok(stream)
+    }
+
+    /// Writes one frame on the `(from → to)` stream, reconnecting once if
+    /// the cached stream broke.
+    fn write_frame(&mut self, from: u32, to: u32, frame: &[u8]) -> std::io::Result<()> {
+        if let Some(stream) = self.out.get_mut(&(from, to)) {
+            if stream.write_all(frame).is_ok() {
+                return Ok(());
+            }
+            self.out.remove(&(from, to));
+        }
+        let mut stream = Self::connect(self.addrs[to as usize], from)?;
+        stream.write_all(frame)?;
+        self.out.insert((from, to), stream);
+        Ok(())
+    }
+
+    /// Accepts connections on `to`'s listener until the `(to, from)` pair
+    /// is registered. Safe to block: the frame this read is for was already
+    /// written, so the connection is established or in the backlog.
+    fn ensure_incoming(&mut self, to: u32, from: u32) -> Result<()> {
+        while !self.incoming.contains_key(&(to, from)) {
+            let (mut stream, _) = self.listeners[to as usize]
+                .accept()
+                .map_err(|e| io_err(&format!("accept at node {to}"), e))?;
+            let mut hello = [0u8; 4];
+            stream
+                .read_exact(&mut hello)
+                .map_err(|e| io_err(&format!("read hello at node {to}"), e))?;
+            self.incoming
+                .insert((to, u32::from_le_bytes(hello)), stream);
+        }
+        Ok(())
+    }
+
+    /// Reads and decodes the next frame on the `(to, from)` stream. A read
+    /// failure (the sender reconnected mid-stream) drops the stale stream
+    /// and accepts its replacement once.
+    fn read_message(&mut self, to: u32, from: u32) -> Result<Message> {
+        let mut rbuf = std::mem::take(&mut self.rbuf);
+        let mut attempts = 0;
+        let res = loop {
+            attempts += 1;
+            if let Err(e) = self.ensure_incoming(to, from) {
+                break Err(e);
+            }
+            // Invariant: ensure_incoming registered the pair above.
+            let stream = self.incoming.get_mut(&(to, from)).expect("pair ensured");
+            match read_frame(stream, &mut rbuf) {
+                Ok(()) => {
+                    break wire::decode_message(&rbuf, &self.catalog).map(|(msg, _)| msg);
+                }
+                Err(e) if attempts < 2 => {
+                    self.incoming.remove(&(to, from));
+                    let _ = e;
+                }
+                Err(e) => break Err(io_err(&format!("read frame {from}→{to}"), e)),
+            }
+        };
+        self.rbuf = rbuf;
+        res
+    }
+}
+
+/// Reads one full frame (length prefix included) into `buf`.
+fn read_frame(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<()> {
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix)?;
+    let framed = u32::from_le_bytes(prefix);
+    if framed == 0 || framed > wire::MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {framed} outside (0, {}]", wire::MAX_FRAME),
+        ));
+    }
+    buf.clear();
+    buf.resize(4 + framed as usize, 0);
+    buf[..4].copy_from_slice(&prefix);
+    stream.read_exact(&mut buf[4..])
+}
+
+impl Transport for TcpTransport {
+    fn enqueue(&mut self, p: Pending) {
+        if self.deferred.is_some() {
+            return; // the transport already failed; the error surfaces first
+        }
+        let Pending {
+            from,
+            to,
+            target,
+            reroute,
+            msg,
+            trace_id,
+            trace_path,
+        } = p;
+        let mut wbuf = std::mem::take(&mut self.wbuf);
+        wbuf.clear();
+        wire::encode_message(&msg, &mut wbuf);
+        self.bytes_sent[msg.kind_index()] += wbuf.len() as u64;
+        let res = self.write_frame(from.index() as u32, to.index() as u32, &wbuf);
+        self.wbuf = wbuf;
+        match res {
+            Ok(()) => self.queue.push_back(Envelope {
+                from,
+                to,
+                target,
+                reroute,
+                trace_id,
+                trace_path,
+            }),
+            Err(e) => {
+                let context = format!("send {}→{}", from.index(), to.index());
+                self.deferred = Some(io_err(&context, e));
+            }
+        }
+    }
+
+    fn next_delivery(&mut self) -> Result<Option<Pending>> {
+        if let Some(e) = self.deferred.take() {
+            return Err(e);
+        }
+        let Some(env) = self.queue.pop_front() else {
+            return Ok(None);
+        };
+        let msg = self.read_message(env.to.index() as u32, env.from.index() as u32)?;
+        Ok(Some(Pending {
+            from: env.from,
+            to: env.to,
+            target: env.target,
+            reroute: env.reroute,
+            msg,
+            trace_id: env.trace_id,
+            trace_path: env.trace_path,
+        }))
+    }
+
+    fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.deferred.is_none()
+    }
+
+    fn take_pipe(&mut self) -> Option<Box<FaultPipe>> {
+        None
+    }
+
+    fn restore_pipe(&mut self, _pipe: Box<FaultPipe>) {
+        unreachable!("the TCP transport never hands out a fault pipe");
+    }
+
+    fn has_pipe(&self) -> bool {
+        false
+    }
+
+    fn take_wire_bytes(&mut self) -> Option<[u64; 11]> {
+        Some(std::mem::take(&mut self.bytes_sent))
+    }
+}

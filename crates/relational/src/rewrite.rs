@@ -113,6 +113,28 @@ impl RewrittenQuery {
         }))
     }
 
+    /// Reassembles a rewritten query from its already-computed parts — the
+    /// wire-decoding path. The key is carried on the wire rather than
+    /// recomputed, so a decoded rewriting keeps the exact identity (and
+    /// dedup behavior) of the one the sender held.
+    pub fn from_parts(
+        key: String,
+        query: QueryRef,
+        bound_side: Side,
+        bound_values: Vec<Value>,
+        target: MatchTarget,
+        trigger_time: Timestamp,
+    ) -> RewrittenQuery {
+        RewrittenQuery {
+            key,
+            query,
+            bound_side,
+            bound_values,
+            target,
+            trigger_time,
+        }
+    }
+
     /// `Key(q')` — unique per (query, bound select values, target value), so
     /// that "two rewritten queries have the same key if they are created
     /// from the same query q but by different tuples that have the same

@@ -1,15 +1,18 @@
 //! Regenerates the paper's evaluation figures and Table 4.1.
 //!
 //! ```text
-//! experiments [--full] [--csv] [--jobs N] [--trace DIR] [ids...]
+//! experiments [--full] [--csv] [--jobs N] [--trace DIR] [--trace-format FMT] [ids...]
 //!
 //!   --full       paper-approaching scale (default: quick)
 //!   --csv        also print CSV blocks after each table
 //!   --jobs N     fan independent simulation runs over N worker threads
 //!                (default: 1 = sequential; results are identical either way)
-//!   --trace DIR  write one JSONL trace file per simulation run into DIR
+//!   --trace DIR  write one trace file per simulation run into DIR
 //!                (created if missing; tracing observes only — the report
 //!                output is identical with or without it)
+//!   --trace-format FMT
+//!                trace serialization: `jsonl` (default) or `binary`
+//!                (wire-framed; convert back with the trace_dump tool)
 //!   ids          e01..e16, t01, a01, ef01 (default: all)
 //! ```
 
@@ -17,6 +20,18 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use cq_sim::experiments::{all, Scale};
+use cq_sim::TraceFormat;
+
+fn parse_trace_format(s: &str) -> TraceFormat {
+    match s {
+        "jsonl" => TraceFormat::Jsonl,
+        "binary" => TraceFormat::Binary,
+        other => {
+            eprintln!("unknown trace format {other} (expected `jsonl` or `binary`)");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +53,16 @@ fn main() {
             }
             other if other.starts_with("--trace=") => {
                 trace = Some(PathBuf::from(&other["--trace=".len()..]));
+            }
+            "--trace-format" => {
+                let fmt = iter.next().unwrap_or_else(|| {
+                    eprintln!("--trace-format expects `jsonl` or `binary`");
+                    std::process::exit(2);
+                });
+                cq_sim::set_trace_format(parse_trace_format(fmt));
+            }
+            other if other.starts_with("--trace-format=") => {
+                cq_sim::set_trace_format(parse_trace_format(&other["--trace-format=".len()..]));
             }
             "--jobs" => {
                 let n = iter
@@ -73,7 +98,7 @@ fn main() {
             std::process::exit(2);
         });
         // Stderr only: stdout is diffed against the committed goldens.
-        eprintln!("[tracing: one JSONL file per run into {}]", dir.display());
+        eprintln!("[tracing: one trace file per run into {}]", dir.display());
         cq_sim::set_trace_dir(Some(dir));
     }
 

@@ -1,0 +1,62 @@
+//! Runs one experiment over real TCP loopback sockets and checks the
+//! delivered notification set and metrics against an in-memory simulator
+//! run of the same seed.
+//!
+//! ```text
+//! tcp_cluster [--alg A] [--nodes N] [--queries Q] [--tuples T] [--seed S]
+//! ```
+//!
+//! Exits nonzero (with a description of the first divergence) if the socket
+//! run and the simulator run disagree.
+
+use cq_engine::Algorithm;
+use cq_sim::cluster::{compare, ClusterConfig};
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> T {
+    v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} expects a value");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ClusterConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--alg" => {
+                let name: String = parse("--alg", iter.next());
+                cfg.algorithm = Algorithm::ALL
+                    .into_iter()
+                    .find(|a| a.to_string().eq_ignore_ascii_case(&name))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown algorithm {name} (expected SAI/DAI-Q/DAI-T/DAI-V)");
+                        std::process::exit(2);
+                    });
+            }
+            "--nodes" => cfg.nodes = parse("--nodes", iter.next()),
+            "--queries" => cfg.queries = parse("--queries", iter.next()),
+            "--tuples" => cfg.tuples = parse("--tuples", iter.next()),
+            "--seed" => cfg.seed = parse("--seed", iter.next()),
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: tcp_cluster [--alg A] [--nodes N] [--queries Q] [--tuples T] [--seed S]");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!(
+        "tcp_cluster: {} over {} nodes, {} queries, {} tuples, seed {}",
+        cfg.algorithm, cfg.nodes, cfg.queries, cfg.tuples, cfg.seed
+    );
+    match compare(&cfg) {
+        Ok(wire_bytes) => {
+            println!("sim and tcp runs agree; tcp moved {wire_bytes} wire bytes");
+        }
+        Err(divergence) => {
+            eprintln!("MISMATCH: {divergence}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Sim-vs-socket equivalence runs: execute the same seeded experiment on
+//! the in-memory simulator transport and on real TCP loopback sockets, and
+//! compare what arrived.
+//!
+//! The TCP backend queues envelope metadata in userspace while the message
+//! payloads cross real sockets, so a socket run dispatches the identical
+//! message sequence as the simulator at the same seed — the delivered
+//! notification set and every transport-independent metric must match
+//! exactly. [`compare`] runs both and reports the first divergence; the
+//! `tcp_cluster` binary and the `socket-suite` CI test are thin wrappers
+//! around it.
+
+use std::collections::HashSet;
+
+use cq_engine::{Algorithm, EngineConfig, Network, TrafficKind};
+use cq_relational::Notification;
+use cq_workload::{Workload, WorkloadConfig};
+
+/// Shape of one equivalence experiment.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Evaluation algorithm.
+    pub algorithm: Algorithm,
+    /// Network size (one TCP listener per node in the socket run).
+    pub nodes: usize,
+    /// Continuous queries to install.
+    pub queries: usize,
+    /// Tuples to stream after installation.
+    pub tuples: usize,
+    /// Workload and engine seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            algorithm: Algorithm::DaiT,
+            nodes: 32,
+            queries: 10,
+            tuples: 80,
+            seed: 7,
+        }
+    }
+}
+
+/// What one run produced: everything the equivalence check compares.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterRun {
+    /// The distinct notifications delivered to inboxes and offline stores.
+    pub delivered: HashSet<Notification>,
+    /// Notifications delivered with multiplicity.
+    pub notifications: u64,
+    /// Total logical messages routed.
+    pub messages: u64,
+    /// Total overlay hops consumed.
+    pub hops: u64,
+    /// Per-category `(messages, hops)` in [`TrafficKind::ALL`] order.
+    pub traffic: Vec<(u64, u64)>,
+    /// Total wire bytes counted by the transport (zero on the default
+    /// simulator path, which never serializes).
+    pub wire_bytes: u64,
+}
+
+/// Executes the experiment once, over sockets when `tcp` is set.
+pub fn run_once(cfg: &ClusterConfig, tcp: bool) -> ClusterRun {
+    let mut workload = Workload::new(WorkloadConfig {
+        seed: cfg.seed,
+        ..WorkloadConfig::default()
+    });
+    let engine_cfg = EngineConfig::new(cfg.algorithm)
+        .with_nodes(cfg.nodes)
+        .with_seed(cfg.seed)
+        .with_retained_notifications(true);
+    let mut net = Network::new(engine_cfg, workload.catalog().clone());
+    if tcp {
+        net.enable_tcp_transport()
+            .expect("perfect-delivery config accepts the TCP transport");
+    }
+    for _ in 0..cfg.queries {
+        let poser = net.random_node();
+        let sql = workload.query_between(0, 1);
+        net.pose_query_sql(poser, &sql)
+            .expect("generated queries are valid");
+    }
+    for _ in 0..cfg.tuples {
+        let rel = workload.next_stream_relation();
+        let values = workload.random_tuple_values();
+        let from = net.random_node();
+        net.insert_tuple(from, &rel, values)
+            .expect("generated tuples are valid");
+    }
+    let m = net.metrics();
+    let total = m.total_traffic();
+    ClusterRun {
+        delivered: net.delivered_set(),
+        notifications: m.notifications_delivered,
+        messages: total.messages,
+        hops: total.hops,
+        traffic: TrafficKind::ALL
+            .iter()
+            .map(|&k| {
+                let t = m.traffic(k);
+                (t.messages, t.hops)
+            })
+            .collect(),
+        wire_bytes: m.faults.total_bytes_sent(),
+    }
+}
+
+/// Runs the experiment on both transports and returns the socket run's
+/// wire-byte total on success, or a description of the first divergence.
+pub fn compare(cfg: &ClusterConfig) -> Result<u64, String> {
+    let sim = run_once(cfg, false);
+    let tcp = run_once(cfg, true);
+    if sim.delivered != tcp.delivered {
+        let sim_only = sim.delivered.difference(&tcp.delivered).count();
+        let tcp_only = tcp.delivered.difference(&sim.delivered).count();
+        return Err(format!(
+            "delivered sets diverge: {} notifications only in sim, {} only in tcp",
+            sim_only, tcp_only
+        ));
+    }
+    if sim.notifications != tcp.notifications {
+        return Err(format!(
+            "delivery multiplicity diverges: sim {} vs tcp {}",
+            sim.notifications, tcp.notifications
+        ));
+    }
+    if (sim.messages, sim.hops) != (tcp.messages, tcp.hops) {
+        return Err(format!(
+            "total traffic diverges: sim {}msg/{}hops vs tcp {}msg/{}hops",
+            sim.messages, sim.hops, tcp.messages, tcp.hops
+        ));
+    }
+    if sim.traffic != tcp.traffic {
+        return Err(format!(
+            "per-kind traffic diverges: sim {:?} vs tcp {:?}",
+            sim.traffic, tcp.traffic
+        ));
+    }
+    if sim.wire_bytes != 0 {
+        return Err(format!(
+            "simulator counted wire bytes ({}) without serializing",
+            sim.wire_bytes
+        ));
+    }
+    if tcp.wire_bytes == 0 {
+        return Err("tcp transport counted no wire bytes".to_string());
+    }
+    Ok(tcp.wire_bytes)
+}

@@ -7,23 +7,48 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cq_engine::{
-    Algorithm, EngineConfig, FaultConfig, FaultCounters, IndexStrategy, JsonlSummarySink, Network,
-    Oracle, RecoveryCounters, SuspicionConfig, TraceSummary, TrafficKind,
+    Algorithm, BinarySummarySink, EngineConfig, FaultConfig, FaultCounters, IndexStrategy,
+    JsonlSummarySink, Network, Oracle, RecoveryCounters, SuspicionConfig, TraceSummary,
+    TrafficKind,
 };
 use cq_overlay::TrafficStats;
 use cq_workload::{Workload, WorkloadConfig};
 
-/// Directory JSONL traces are written into when tracing is enabled via
+/// Directory trace files are written into when tracing is enabled via
 /// [`set_trace_dir`] (the experiments binary's `--trace <dir>` flag).
 static TRACE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+/// The serialization the trace files use (`--trace-format`).
+static TRACE_FORMAT: Mutex<TraceFormat> = Mutex::new(TraceFormat::Jsonl);
 /// Monotonic counter making trace file names unique across runs (and across
 /// `--jobs` workers; the assignment order — not the file contents — depends
 /// on scheduling under parallelism).
 static TRACE_RUN: AtomicU64 = AtomicU64::new(0);
 
-/// Enables JSONL tracing for every subsequent [`run`]: each run writes
-/// `trace-NNNN-<alg>-<nodes>n-seed<seed>.jsonl` into `dir` and fills
+/// Serialization of the per-run trace files.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line (`.jsonl`) — greppable, the default.
+    #[default]
+    Jsonl,
+    /// One length-prefixed `cq_engine::wire` frame per event (`.trace`) —
+    /// compact; convert back to JSONL with the `trace_dump` tool.
+    Binary,
+}
+
+impl TraceFormat {
+    /// The trace-file extension for this format.
+    fn extension(self) -> &'static str {
+        match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Binary => "trace",
+        }
+    }
+}
+
+/// Enables tracing for every subsequent [`run`]: each run writes
+/// `trace-NNNN-<alg>-<nodes>n-seed<seed>.<ext>` into `dir` and fills
 /// [`RunResult::trace`] with a [`TraceSummary`]. Pass `None` to disable.
+/// The extension and encoding follow [`set_trace_format`].
 ///
 /// Tracing observes only — metric vectors and report output are identical
 /// with it on or off (goldens are generated with it off).
@@ -31,18 +56,68 @@ pub fn set_trace_dir(dir: Option<PathBuf>) {
     *TRACE_DIR.lock().expect("trace dir lock") = dir;
 }
 
+/// Selects the trace-file serialization for every subsequent [`run`]
+/// (default [`TraceFormat::Jsonl`]). Takes effect only while a trace
+/// directory is set.
+pub fn set_trace_format(format: TraceFormat) {
+    *TRACE_FORMAT.lock().expect("trace format lock") = format;
+}
+
 fn trace_dir() -> Option<PathBuf> {
     TRACE_DIR.lock().expect("trace dir lock").clone()
 }
 
-fn trace_file_name(dir: &Path, cfg: &RunConfig) -> PathBuf {
+fn trace_format() -> TraceFormat {
+    *TRACE_FORMAT.lock().expect("trace format lock")
+}
+
+fn trace_file_name(dir: &Path, cfg: &RunConfig, format: TraceFormat) -> PathBuf {
     let n = TRACE_RUN.fetch_add(1, Ordering::Relaxed);
     dir.join(format!(
-        "trace-{n:04}-{}-{}n-seed{}.jsonl",
+        "trace-{n:04}-{}-{}n-seed{}.{}",
         cfg.algorithm.to_string().to_lowercase(),
         cfg.nodes,
-        cfg.workload.seed
+        cfg.workload.seed,
+        format.extension()
     ))
+}
+
+/// The fused trace sink a run installs, in either serialization. Both
+/// variants share the flush/summary surface the harness needs.
+enum HarnessSink {
+    Jsonl(Arc<JsonlSummarySink>),
+    Binary(Arc<BinarySummarySink>),
+}
+
+impl HarnessSink {
+    fn create(dir: &Path, cfg: &RunConfig) -> (Self, Arc<dyn cq_engine::TraceSink>) {
+        let format = trace_format();
+        let path = trace_file_name(dir, cfg, format);
+        match format {
+            TraceFormat::Jsonl => {
+                let sink = Arc::new(JsonlSummarySink::create(path).expect("create trace file"));
+                (HarnessSink::Jsonl(sink.clone()), sink)
+            }
+            TraceFormat::Binary => {
+                let sink = Arc::new(BinarySummarySink::create(path).expect("create trace file"));
+                (HarnessSink::Binary(sink.clone()), sink)
+            }
+        }
+    }
+
+    fn flush(&self) -> std::io::Result<()> {
+        match self {
+            HarnessSink::Jsonl(s) => s.flush(),
+            HarnessSink::Binary(s) => s.flush(),
+        }
+    }
+
+    fn summary(&self) -> TraceSummary {
+        match self {
+            HarnessSink::Jsonl(s) => s.summary(),
+            HarnessSink::Binary(s) => s.summary(),
+        }
+    }
 }
 
 /// Parameters of one simulation run.
@@ -243,15 +318,14 @@ pub fn run(cfg: &RunConfig) -> RunResult {
     let protocol = cq_engine::protocol_for(engine_cfg.algorithm);
     let mut net = Network::with_protocol(engine_cfg, workload.catalog().clone(), protocol);
 
-    // When tracing is enabled, stream every event into a JSONL file while
-    // accumulating an in-memory summary (one fused sink, one lock). Sinks
-    // only observe: the run's results are identical with or without them.
+    // When tracing is enabled, stream every event into a trace file (JSONL
+    // or wire-framed binary per `set_trace_format`) while accumulating an
+    // in-memory summary (one fused sink, one lock). Sinks only observe: the
+    // run's results are identical with or without them.
     let trace_sink = trace_dir().map(|dir| {
-        let sink = Arc::new(
-            JsonlSummarySink::create(trace_file_name(&dir, cfg)).expect("create trace file"),
-        );
-        net.set_tracer(sink.clone());
-        sink
+        let (harness_sink, tracer) = HarnessSink::create(&dir, cfg);
+        net.set_tracer(tracer);
+        harness_sink
     });
 
     // Warm-up stream (before queries exist, so it only builds statistics

@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod experiments;
 pub mod harness;
 pub mod parallel;
@@ -23,6 +24,6 @@ pub mod report;
 pub mod stats;
 
 pub use cq_engine::{FaultConfig, FaultCounters, TraceEvent, TraceSummary};
-pub use harness::{run, set_trace_dir, RunConfig, RunResult};
+pub use harness::{run, set_trace_dir, set_trace_format, RunConfig, RunResult, TraceFormat};
 pub use parallel::{run_many, set_jobs};
 pub use report::Report;

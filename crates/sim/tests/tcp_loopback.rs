@@ -1,0 +1,54 @@
+//! End-to-end socket suite: a quick experiment over real TCP loopback
+//! sockets must deliver exactly what the in-memory simulator delivers at
+//! the same seed, for every algorithm.
+
+use cq_engine::Algorithm;
+use cq_sim::cluster::{compare, run_once, ClusterConfig};
+
+#[test]
+fn tcp_loopback_matches_simulator() {
+    for algorithm in [Algorithm::Sai, Algorithm::DaiT] {
+        let cfg = ClusterConfig {
+            algorithm,
+            nodes: 24,
+            queries: 8,
+            tuples: 60,
+            seed: 11,
+        };
+        compare(&cfg).unwrap_or_else(|d| panic!("{algorithm}: {d}"));
+    }
+}
+
+#[test]
+fn tcp_runs_deliver_notifications() {
+    let cfg = ClusterConfig {
+        nodes: 16,
+        queries: 6,
+        tuples: 50,
+        seed: 3,
+        ..ClusterConfig::default()
+    };
+    let run = run_once(&cfg, true);
+    assert!(
+        !run.delivered.is_empty(),
+        "the socket run should produce notifications"
+    );
+    assert!(run.wire_bytes > 0, "frames crossed real sockets");
+}
+
+#[test]
+fn tcp_rejects_fault_configs() {
+    use cq_engine::{EngineConfig, FaultConfig, Network};
+    use cq_workload::{Workload, WorkloadConfig};
+
+    let workload = Workload::new(WorkloadConfig::default());
+    let cfg = EngineConfig::new(Algorithm::DaiT)
+        .with_nodes(8)
+        .with_fault(FaultConfig {
+            loss_rate: 0.1,
+            ..FaultConfig::default()
+        });
+    let mut net = Network::new(cfg, workload.catalog().clone());
+    let err = net.enable_tcp_transport().expect_err("pipe configs refuse");
+    assert!(err.to_string().contains("perfect delivery"), "{err}");
+}
