@@ -1,0 +1,284 @@
+//! Nonblocking framed connections: the per-socket buffering layer under the
+//! TCP transport's event loop.
+//!
+//! A [`FrameConn`] owns one nonblocking `TcpStream` and two byte buffers:
+//!
+//! * **Read side** — bytes are pulled off the socket in bounded chunks
+//!   ([`READ_CHUNK`] at a time, never `frame_len` up front) and reassembled
+//!   into complete frames. The frame length is validated as soon as the
+//!   header arrives — a hostile or corrupt peer announcing a zero or
+//!   oversized length is rejected *before* any body byte is read or
+//!   buffered, so an attacker cannot make the receiver allocate
+//!   `MAX_FRAME`-sized buffers from a 12-byte header. After a genuinely
+//!   large frame is consumed the buffer is shrunk back (see
+//!   [`SHRINK_AT`]/[`SHRINK_TO`]), so one big message does not pin its
+//!   high-water allocation for the rest of the run.
+//! * **Write side** — [`FrameConn::queue_frame`] appends and
+//!   [`FrameConn::flush`] writes as much as the kernel accepts. A full
+//!   kernel buffer (`WouldBlock`) leaves the remainder queued in userspace —
+//!   this is the transport's **backpressure** state, counted by
+//!   [`FrameConn::blocked_writes`] — and the event loop re-flushes when the
+//!   poller reports the socket writable again.
+//!
+//! On-stream layout, repeated per frame:
+//!
+//! ```text
+//! +--------------+----------------+------------------------+
+//! | seq: u64 LE  | length: u32 LE | length bytes           |
+//! | (per-stream  | (of the rest)  | (e.g. a `crate::wire`  |
+//! |  frame seq)  |                |  version+payload body) |
+//! +--------------+----------------+------------------------+
+//! ```
+//!
+//! The `[length][bytes]` tail is exactly a [`crate::wire`] codec frame, so a
+//! reassembled frame feeds `wire::decode_message` verbatim. The leading
+//! sequence number is *transport* state: the sender numbers frames per
+//! logical stream, and the receiver checks contiguity, so frames lost to a
+//! reconnect (or replayed by a confused peer) are detected as a typed
+//! protocol error instead of silently decoding the wrong message. The
+//! sequencing policy lives in the transport; `FrameConn` carries the number.
+//!
+//! This type is deliberately protocol-agnostic (lengths and sequence
+//! numbers, never message contents), which is why the multi-client cluster
+//! harness in `cq-sim` reuses it for its command streams.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Bytes pulled off the socket per `read` call — the reassembly buffer
+/// grows by at most this much at a time, regardless of the announced
+/// frame length.
+pub const READ_CHUNK: usize = 64 * 1024;
+
+/// Frames at least this large mark the read buffer for shrinking once
+/// consumed.
+pub const SHRINK_AT: usize = 256 * 1024;
+
+/// Capacity the buffers shrink back to after servicing a large frame.
+pub const SHRINK_TO: usize = 64 * 1024;
+
+/// Per-frame header bytes: an 8-byte sequence number plus the 4-byte frame
+/// length.
+pub const FRAME_HEADER: usize = 12;
+
+/// One complete frame off the wire: the stream sequence number and the
+/// `[length][bytes]` payload (length prefix included, ready for
+/// [`crate::wire::decode_message`]).
+pub type RawFrame = (u64, Vec<u8>);
+
+/// A nonblocking socket with framed read/write buffers. See the module
+/// docs for the layout and the backpressure model.
+#[derive(Debug)]
+pub struct FrameConn {
+    stream: TcpStream,
+    /// Unparsed received bytes; `rpos` is the parse cursor.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Queued outgoing bytes; `wpos` is the flushed cursor.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Largest frame length this connection accepts.
+    max_frame: u32,
+    /// The peer closed its write half (a clean EOF was observed).
+    eof: bool,
+    /// A frame ≥ [`SHRINK_AT`] was consumed; shrink at the next compaction.
+    shrink_pending: bool,
+    /// Times a flush stopped early because the kernel buffer was full.
+    blocked_writes: u64,
+}
+
+impl FrameConn {
+    /// Wraps `stream`, switching it to nonblocking mode. `max_frame` bounds
+    /// the frame length accepted from the peer (use
+    /// [`crate::wire::MAX_FRAME`] for protocol streams).
+    pub fn new(stream: TcpStream, max_frame: u32) -> io::Result<FrameConn> {
+        stream.set_nonblocking(true)?;
+        Ok(FrameConn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            max_frame,
+            eof: false,
+            shrink_pending: false,
+            blocked_writes: 0,
+        })
+    }
+
+    /// The underlying socket (for addresses and socket options).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Queues raw bytes ahead of any frames — connection preambles (the
+    /// transport's hello) use this. Call [`FrameConn::flush`] to send.
+    pub fn queue_bytes(&mut self, bytes: &[u8]) {
+        self.wbuf.extend_from_slice(bytes);
+    }
+
+    /// Queues one frame. `frame` must start with its own u32 LE length
+    /// prefix counting the remaining bytes (the [`crate::wire`] encoders
+    /// produce exactly this shape).
+    pub fn queue_frame(&mut self, seq: u64, frame: &[u8]) {
+        debug_assert!(frame.len() >= 4, "frame carries its length prefix");
+        debug_assert_eq!(
+            u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize,
+            frame.len() - 4,
+            "frame length prefix counts the remaining bytes"
+        );
+        self.wbuf.extend_from_slice(&seq.to_le_bytes());
+        self.wbuf.extend_from_slice(frame);
+    }
+
+    /// Whether queued bytes are waiting for the socket to become writable.
+    pub fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Bytes queued but not yet accepted by the kernel.
+    pub fn queued_write_bytes(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Times a flush hit a full kernel buffer and left bytes queued — the
+    /// number of times this connection entered backpressure.
+    pub fn blocked_writes(&self) -> u64 {
+        self.blocked_writes
+    }
+
+    /// Whether the peer has closed its write half.
+    pub fn is_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Current capacity of the read-reassembly buffer (observable effect of
+    /// the post-large-frame shrink).
+    pub fn read_buffer_capacity(&self) -> usize {
+        self.rbuf.capacity()
+    }
+
+    /// Writes as much queued data as the kernel accepts. Returns `true`
+    /// when the queue drained, `false` when the socket would block and the
+    /// remainder stays queued (re-flush on the next writable event).
+    pub fn flush(&mut self) -> io::Result<bool> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.blocked_writes += 1;
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let oversized = self.wbuf.capacity() > SHRINK_AT;
+        self.wbuf.clear();
+        self.wpos = 0;
+        if oversized {
+            self.wbuf.shrink_to(SHRINK_TO);
+        }
+        Ok(true)
+    }
+
+    /// Reads everything currently available (in [`READ_CHUNK`]-bounded
+    /// chunks) and appends every completed frame to `out`. Returns `true`
+    /// while the connection is open, `false` on a clean EOF at a frame
+    /// boundary. Errors on malformed lengths — rejected as soon as the
+    /// header is visible — and on an EOF that truncates a frame.
+    pub fn read_frames(&mut self, out: &mut Vec<RawFrame>) -> io::Result<bool> {
+        if self.eof {
+            return Ok(false);
+        }
+        loop {
+            let start = self.rbuf.len();
+            self.rbuf.resize(start + READ_CHUNK, 0);
+            match self.stream.read(&mut self.rbuf[start..]) {
+                Ok(0) => {
+                    self.rbuf.truncate(start);
+                    self.parse_available(out)?;
+                    self.eof = true;
+                    let pending = self.rbuf.len() - self.rpos;
+                    if pending > 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            format!("connection closed mid-frame ({pending} bytes of an unfinished frame buffered)"),
+                        ));
+                    }
+                    self.compact();
+                    return Ok(false);
+                }
+                Ok(n) => {
+                    self.rbuf.truncate(start + n);
+                    self.parse_available(out)?;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.rbuf.truncate(start);
+                    self.compact();
+                    return Ok(true);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    self.rbuf.truncate(start);
+                }
+                Err(e) => {
+                    self.rbuf.truncate(start);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Extracts every complete frame sitting in the reassembly buffer.
+    fn parse_available(&mut self, out: &mut Vec<RawFrame>) -> io::Result<()> {
+        loop {
+            let avail = self.rbuf.len() - self.rpos;
+            if avail < FRAME_HEADER {
+                return Ok(());
+            }
+            let at = self.rpos;
+            let seq = u64::from_le_bytes(self.rbuf[at..at + 8].try_into().expect("8 bytes"));
+            let len = u32::from_le_bytes(self.rbuf[at + 8..at + 12].try_into().expect("4 bytes"));
+            // Early abort: the length is judged the moment the header is
+            // complete, before any body byte is read for this frame.
+            if len == 0 || len > self.max_frame {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame length {len} outside (0, {}]", self.max_frame),
+                ));
+            }
+            let total = FRAME_HEADER + len as usize;
+            if avail < total {
+                return Ok(()); // body still arriving, chunk by chunk
+            }
+            // The emitted frame keeps its length prefix: `[len][bytes]` is
+            // exactly what `wire::decode_message` consumes.
+            out.push((seq, self.rbuf[at + 8..at + total].to_vec()));
+            self.rpos += total;
+            if len as usize >= SHRINK_AT {
+                self.shrink_pending = true;
+            }
+        }
+    }
+
+    /// Drops consumed bytes and releases a large frame's high-water
+    /// allocation once the buffer is back to ordinary size.
+    fn compact(&mut self) {
+        if self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+        } else {
+            self.rbuf.drain(..self.rpos);
+        }
+        self.rpos = 0;
+        if self.shrink_pending && self.rbuf.len() <= SHRINK_TO {
+            self.rbuf.shrink_to(SHRINK_TO);
+            self.shrink_pending = false;
+        }
+    }
+}

@@ -47,6 +47,7 @@ mod churn;
 pub mod config;
 pub mod error;
 pub mod faults;
+pub mod frames;
 pub mod indexing;
 pub mod jfrt;
 pub mod messages;
@@ -78,6 +79,8 @@ pub use pipeline::Pipeline;
 pub use protocol::{Effect, Matches, NodeCtx, Protocol};
 pub use recovery::SuspicionConfig;
 pub use replication::{PromotedState, ReplicaItem, ReplicaStore};
+pub use transport_tcp::TcpOptions;
+
 pub use trace::{
     BinarySummarySink, JsonlSink, JsonlSummarySink, NoopSink, RingBufferSink, SummarySink, TeeSink,
     TraceEvent, TraceSink, TraceSummary,

@@ -38,7 +38,7 @@ use crate::replication::ReplicaItem;
 use crate::tables::StoredQuery;
 use crate::trace::{TraceEvent, TraceSink};
 use crate::transport::{ActiveTransport, SimTransport, Transport as _};
-use crate::transport_tcp::TcpTransport;
+use crate::transport_tcp::{TcpOptions, TcpTransport};
 
 /// The whole simulated network.
 pub struct Network {
@@ -144,6 +144,14 @@ impl Network {
     /// a configuration is a protocol error. Call before posing queries so
     /// no envelopes are queued on the old backend.
     pub fn enable_tcp_transport(&mut self) -> Result<()> {
+        self.enable_tcp_transport_with(TcpOptions::default())
+    }
+
+    /// [`Network::enable_tcp_transport`] with explicit backend tuning —
+    /// tests shrink the kernel socket buffers to force the write path into
+    /// userspace backpressure, or shorten the stall timeout so
+    /// lost-frame scenarios fail fast.
+    pub fn enable_tcp_transport_with(&mut self, opts: TcpOptions) -> Result<()> {
         if self.transport.has_pipe() || self.recovery.is_some() {
             return Err(EngineError::Protocol {
                 detail: "TCP transport requires perfect delivery: disable fault injection and \
@@ -159,8 +167,29 @@ impl Network {
         self.transport = ActiveTransport::Tcp(Box::new(TcpTransport::bind(
             self.ring.slot_count(),
             self.catalog.clone(),
+            opts,
         )?));
         Ok(())
+    }
+
+    /// The loopback listener address of every node slot when the TCP
+    /// backend is active (`None` on the in-memory backend). Adversarial
+    /// framing tests connect rogue peers to these.
+    pub fn tcp_local_addrs(&self) -> Option<&[std::net::SocketAddr]> {
+        match &self.transport {
+            ActiveTransport::Tcp(t) => Some(t.local_addrs()),
+            ActiveTransport::Sim(_) => None,
+        }
+    }
+
+    /// How many times the TCP backend's flush parked bytes in userspace
+    /// because a kernel send buffer was full (0 on the in-memory backend).
+    /// Observable effect of write backpressure for tests and diagnostics.
+    pub fn tcp_backpressure_events(&self) -> u64 {
+        match &self.transport {
+            ActiveTransport::Tcp(t) => t.backpressure_events(),
+            ActiveTransport::Sim(_) => 0,
+        }
     }
 
     /// The engine configuration.

@@ -88,11 +88,20 @@ impl SuspicionConfig {
         }
     }
 
-    /// Overrides the suspicion timeout (the `ef02` sweep axis). The confirm
-    /// grace scales with it so an aggressive detector is aggressive
-    /// end-to-end.
+    /// Overrides the suspicion timeout (the `ef02` sweep axis). Sets only
+    /// [`SuspicionConfig::suspect_after`] — pair with
+    /// [`SuspicionConfig::with_confirm_after`] to scale the confirmation
+    /// grace alongside it. (An earlier version silently overwrote
+    /// `confirm_after` too, making it impossible to configure the two
+    /// timeouts independently.)
     pub fn with_suspect_after(mut self, ticks: u64) -> Self {
         self.suspect_after = ticks;
+        self
+    }
+
+    /// Overrides the confirmation grace: how long a suspicion must survive
+    /// before repair is triggered.
+    pub fn with_confirm_after(mut self, ticks: u64) -> Self {
         self.confirm_after = ticks;
         self
     }
@@ -624,10 +633,33 @@ mod tests {
 
     #[test]
     fn active_profile_enables_and_scales() {
-        let cfg = SuspicionConfig::active().with_suspect_after(4);
+        let cfg = SuspicionConfig::active()
+            .with_suspect_after(4)
+            .with_confirm_after(4);
         assert!(cfg.enabled);
         assert_eq!(cfg.suspect_after, 4);
         assert_eq!(cfg.confirm_after, 4);
+    }
+
+    #[test]
+    fn builder_setters_are_independent() {
+        // `with_suspect_after` must not touch the confirmation grace (it
+        // once silently overwrote it, making independent tuning impossible).
+        let cfg = SuspicionConfig::active().with_suspect_after(3);
+        assert_eq!(cfg.suspect_after, 3);
+        assert_eq!(
+            cfg.confirm_after,
+            SuspicionConfig::default().confirm_after,
+            "with_suspect_after must leave confirm_after alone"
+        );
+        let cfg = SuspicionConfig::active().with_confirm_after(5);
+        assert_eq!(cfg.suspect_after, SuspicionConfig::default().suspect_after);
+        assert_eq!(cfg.confirm_after, 5);
+        // And the pair composes in either order.
+        let cfg = SuspicionConfig::active()
+            .with_confirm_after(9)
+            .with_suspect_after(6);
+        assert_eq!((cfg.suspect_after, cfg.confirm_after), (6, 9));
     }
 
     #[test]

@@ -98,10 +98,18 @@ pub(crate) trait Transport {
     /// [`Transport::next_delivery`].
     fn enqueue(&mut self, p: Pending);
 
-    /// Removes and returns the next envelope in network-global FIFO order,
-    /// or `None` when the queue is drained. Socket-backed transports
-    /// perform their framed reads here and surface deferred send errors.
+    /// Removes and returns the next envelope in network-global FIFO order.
+    /// **Never blocks**: `None` means either the queue is drained
+    /// ([`Transport::is_idle`] true) or the head envelope's payload has not
+    /// finished arriving yet (socket backends; the driver calls
+    /// [`Transport::poll`] and retries). Deferred send errors surface here.
     fn next_delivery(&mut self) -> Result<Option<Pending>>;
+
+    /// The explicit I/O progress hook: socket backends flush backpressured
+    /// writes, accept pending connections, and drain readable sockets. With
+    /// `block` set, the call may wait (bounded) for readiness; otherwise it
+    /// only services what is already ready. A no-op for in-memory backends.
+    fn poll(&mut self, block: bool) -> Result<()>;
 
     /// Whether no envelopes are queued (socket backends: no envelopes in
     /// flight on their wires either).
@@ -159,6 +167,11 @@ impl Transport for SimTransport {
     }
 
     #[inline]
+    fn poll(&mut self, _block: bool) -> Result<()> {
+        Ok(()) // in-memory delivery has no I/O to progress
+    }
+
+    #[inline]
     fn is_idle(&self) -> bool {
         self.pending.is_empty()
     }
@@ -205,6 +218,14 @@ impl Transport for ActiveTransport {
         match self {
             ActiveTransport::Sim(t) => t.next_delivery(),
             ActiveTransport::Tcp(t) => t.next_delivery(),
+        }
+    }
+
+    #[inline]
+    fn poll(&mut self, block: bool) -> Result<()> {
+        match self {
+            ActiveTransport::Sim(t) => t.poll(block),
+            ActiveTransport::Tcp(t) => t.poll(block),
         }
     }
 
@@ -448,17 +469,31 @@ impl Network {
             self.transport.restore_pipe(pipe);
             result
         } else {
-            while let Some(p) = self.transport.next_delivery()? {
-                if let Some(id) = p.trace_id {
-                    let (tick, node, kind) = (self.trace_tick(), p.to.index() as u32, p.msg.kind());
-                    self.trace(|| TraceEvent::MsgDeliver {
-                        tick,
-                        node,
-                        id,
-                        kind,
-                    });
+            loop {
+                // Opportunistically service ready sockets (no-op for the
+                // simulator) so frames drain even while envelopes are ready.
+                self.transport.poll(false)?;
+                while let Some(p) = self.transport.next_delivery()? {
+                    if let Some(id) = p.trace_id {
+                        let (tick, node, kind) =
+                            (self.trace_tick(), p.to.index() as u32, p.msg.kind());
+                        self.trace(|| TraceEvent::MsgDeliver {
+                            tick,
+                            node,
+                            id,
+                            kind,
+                        });
+                    }
+                    self.dispatch(p.to, p.msg)?;
                 }
-                self.dispatch(p.to, p.msg)?;
+                if self.transport.is_idle() {
+                    break;
+                }
+                // Envelopes are outstanding but the head frame has not
+                // arrived: block (bounded) for socket readiness and retry.
+                // The backend's stall timeout turns a lost frame into a
+                // typed error instead of an infinite wait.
+                self.transport.poll(true)?;
             }
             // Socket backends count real frame bytes as they write; fold
             // whatever this drain produced into the per-kind counters.

@@ -1,34 +1,98 @@
-//! Real-socket transport backend: framed TCP over `std::net` loopback.
+//! Real-socket transport backend: a nonblocking, readiness-driven TCP
+//! event loop over `std::net` loopback.
 //!
-//! One listener per node slot, lazily established persistent stream pairs,
-//! and every [`Message`] serialized through [`crate::wire`] on send and
-//! decoded back off the socket before dispatch. The backend keeps a
-//! userspace FIFO of *envelopes* (sender, receiver, target, trace fields) in
-//! exact enqueue order while only the message payload crosses the wire;
-//! because TCP preserves per-connection order and the FIFO fixes the global
-//! order, a run over sockets dispatches the identical message sequence as
-//! the in-memory simulator at the same seed — delivered sets and metrics
-//! match by construction.
+//! One listener per node slot, lazily established per-`(from, to)` stream
+//! pairs, and every [`crate::messages::Message`] serialized through [`crate::wire`] on send
+//! and decoded back off the socket before dispatch. Unlike the original
+//! blocking lockstep backend (write one frame, read one frame), every
+//! socket here is **nonblocking** and owned by a single reactor:
+//!
+//! * a [`cq_poll::Poller`] (epoll on Linux) reports which sockets are
+//!   readable or writable;
+//! * each connection is a [`crate::frames::FrameConn`] with its own framed
+//!   read/write buffers — partial frames reassemble across reads, and a
+//!   full kernel send buffer parks the remaining bytes in userspace
+//!   (**write backpressure**) until the poller reports the socket writable;
+//! * [`Transport::poll`] is the explicit progress hook: it flushes
+//!   backpressured writers, accepts pending connections, and drains
+//!   readable sockets. [`Transport::next_delivery`] never blocks — it hands
+//!   out the head envelope only once its frame has fully arrived, and the
+//!   driver (`Network::process_all`) calls `poll(block = true)` whenever
+//!   envelopes are outstanding but no frame is ready.
+//!
+//! The backend keeps a userspace FIFO of *envelopes* (sender, receiver,
+//! target, trace fields) in exact enqueue order while only the message
+//! payload crosses the wire; because each stream preserves order, frames
+//! carry per-stream sequence numbers, and the FIFO fixes the global order,
+//! a run over sockets dispatches the identical message sequence as the
+//! in-memory simulator at the same seed — delivered sets and metrics match
+//! by construction.
 //!
 //! Failure model: `enqueue` must be infallible (transport contract), so a
-//! send that fails after one reconnect attempt parks the error and
-//! [`Transport::next_delivery`] surfaces it as a typed
-//! [`EngineError::Protocol`]. The fault-injection pipe is a simulator
-//! construct and is never installed here.
+//! send that fails parks the error and [`Transport::next_delivery`]
+//! surfaces it as a typed [`EngineError::Protocol`]; messages enqueued
+//! while an error is parked are counted and the count is reported in the
+//! surfaced error. Frame/envelope **misalignment is detected, never
+//! repaired silently**: every stream numbers its frames, a reconnect hello
+//! announces the sender's next sequence number, and any gap (frames that
+//! died buffered in a broken connection) or replay surfaces as a typed
+//! protocol error instead of decoding the wrong message. The
+//! fault-injection pipe is a simulator construct and is never installed
+//! here.
 
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
 
 use cq_fasthash::FxHashMap;
+use cq_poll::{Event, Interest, Poller};
 
 use crate::error::{EngineError, Result};
 use crate::faults::FaultPipe;
-use crate::messages::Message;
+use crate::frames::{FrameConn, RawFrame};
 use crate::transport::{Pending, Transport};
 use crate::wire;
 
 use cq_relational::Catalog;
+
+/// Hello preamble bytes on every fresh stream: the sender's slot (u32 LE)
+/// followed by the sequence number of the first frame this stream will
+/// carry (u64 LE).
+const HELLO_LEN: usize = 12;
+
+/// How long one blocking [`Transport::poll`] slice waits for readiness
+/// before returning to the driver.
+const POLL_SLICE: Duration = Duration::from_millis(25);
+
+/// Tuning knobs for the TCP backend — all optional; the defaults match
+/// production behavior and tests override them to force specific paths
+/// (tiny kernel buffers exercise backpressure, a short stall timeout makes
+/// deadlock tests fast).
+#[derive(Clone, Copy, Debug)]
+pub struct TcpOptions {
+    /// Kernel send-buffer size (`SO_SNDBUF`) applied to every outgoing
+    /// stream; `None` keeps the system default. Shrinking it forces the
+    /// write path into userspace backpressure.
+    pub send_buffer: Option<usize>,
+    /// Kernel receive-buffer size (`SO_RCVBUF`) applied to every outgoing
+    /// stream; `None` keeps the system default.
+    pub recv_buffer: Option<usize>,
+    /// How long the transport may wait for socket progress while an
+    /// envelope's frame is outstanding before the run fails with a typed
+    /// stall error (a lost frame would otherwise hang the drive loop).
+    pub stall_timeout: Duration,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            send_buffer: None,
+            recv_buffer: None,
+            stall_timeout: Duration::from_secs(10),
+        }
+    }
+}
 
 /// The queued metadata for one in-flight message: everything [`Pending`]
 /// carries except the payload, which is on the wire.
@@ -42,45 +106,116 @@ struct Envelope {
 }
 
 /// Maps an I/O failure into the transport's typed protocol error.
-fn io_err(context: &str, e: std::io::Error) -> EngineError {
+fn io_err(context: &str, e: io::Error) -> EngineError {
     EngineError::Protocol {
         detail: format!("tcp transport: {context}: {e}"),
     }
 }
 
-/// The TCP loopback backend. See the module docs for the ordering and
-/// failure model.
+/// What role a reactor connection is playing.
+enum ConnKind {
+    /// Established outgoing stream: this side only writes frames (a read
+    /// event can only mean the peer closed).
+    Out {
+        /// Sending slot.
+        from: u32,
+        /// Receiving slot.
+        to: u32,
+    },
+    /// Accepted stream still reading its [`HELLO_LEN`]-byte preamble.
+    Handshake {
+        /// The accepting slot.
+        to: u32,
+        /// Hello bytes received so far.
+        buf: [u8; HELLO_LEN],
+        /// How many of `buf`'s bytes are filled.
+        have: usize,
+    },
+    /// Established incoming stream delivering frames from `from` to `to`.
+    In {
+        /// The accepting slot.
+        to: u32,
+        /// The sending slot (from the hello).
+        from: u32,
+    },
+}
+
+/// One reactor-owned connection.
+struct Conn {
+    fc: FrameConn,
+    kind: ConnKind,
+}
+
+/// The TCP loopback backend. See the module docs for the reactor, ordering
+/// and failure model.
 pub(crate) struct TcpTransport {
     /// Schemas for decoding tuples read back off the wire.
     catalog: Catalog,
-    /// One listener per node slot, bound on `127.0.0.1:0`.
+    /// Backend tuning (socket buffers, stall timeout).
+    opts: TcpOptions,
+    /// The readiness poller driving every socket below.
+    poller: Poller,
+    /// One nonblocking listener per node slot, bound on `127.0.0.1:0`,
+    /// registered under tokens `0..slots`.
     listeners: Vec<TcpListener>,
     /// The bound address of each slot's listener.
     addrs: Vec<SocketAddr>,
+    /// Connection table; token `slots + i` maps to `conns[i]`.
+    conns: Vec<Option<Conn>>,
+    /// Free slots in `conns` for reuse.
+    free: Vec<usize>,
     /// Established outgoing streams, keyed `(sender, receiver)`.
-    out: FxHashMap<(u32, u32), TcpStream>,
-    /// Accepted incoming streams, keyed `(receiver, sender)`.
-    incoming: FxHashMap<(u32, u32), TcpStream>,
+    out: FxHashMap<(u32, u32), usize>,
+    /// Established incoming streams, keyed `(receiver, sender)`.
+    incoming: FxHashMap<(u32, u32), usize>,
+    /// Fully reassembled frames awaiting their envelope, per `(receiver,
+    /// sender)` stream, in arrival order.
+    inbox: FxHashMap<(u32, u32), VecDeque<Vec<u8>>>,
+    /// Next frame sequence number per outgoing logical stream. Survives
+    /// reconnects — the hello announces it so the receiver can detect loss.
+    send_seq: FxHashMap<(u32, u32), u64>,
+    /// Next expected frame sequence number per incoming logical stream.
+    recv_seq: FxHashMap<(u32, u32), u64>,
     /// Envelope metadata in network-global FIFO order.
     queue: VecDeque<Envelope>,
     /// A send failure parked until the next `next_delivery` call.
     deferred: Option<EngineError>,
-    /// Exact frame bytes written per message kind ([`Message::KINDS`] order).
+    /// Messages discarded while `deferred` was parked (reported in the
+    /// surfaced error so a failed run says how much was lost).
+    dropped_after_error: u64,
+    /// Exact stream bytes written per message kind ([`crate::messages::Message::KINDS`]
+    /// order): the codec frame plus its 8-byte sequence header.
     bytes_sent: [u64; 11],
     /// Reusable encode buffer.
     wbuf: Vec<u8>,
-    /// Reusable decode buffer.
-    rbuf: Vec<u8>,
+    /// Reusable poller event buffer.
+    events: Vec<Event>,
+    /// Reusable frame-reassembly output buffer.
+    scratch: Vec<RawFrame>,
+    /// Accumulated blocking wait time with zero readiness events while
+    /// envelopes were outstanding (drives the stall timeout).
+    stalled: Duration,
+    /// Total times any connection entered write backpressure (kernel
+    /// buffer full, bytes parked in userspace).
+    backpressure_events: u64,
 }
 
 impl TcpTransport {
-    /// Binds one loopback listener per node slot.
-    pub(crate) fn bind(slots: usize, catalog: Catalog) -> Result<Self> {
+    /// Binds one nonblocking loopback listener per node slot and sets up
+    /// the reactor.
+    pub(crate) fn bind(slots: usize, catalog: Catalog, opts: TcpOptions) -> Result<Self> {
+        let mut poller = Poller::new().map_err(|e| io_err("create poller", e))?;
         let mut listeners = Vec::with_capacity(slots);
         let mut addrs = Vec::with_capacity(slots);
         for slot in 0..slots {
             let listener = TcpListener::bind(("127.0.0.1", 0))
                 .map_err(|e| io_err(&format!("bind listener for node {slot}"), e))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| io_err(&format!("nonblocking listener for node {slot}"), e))?;
+            poller
+                .register(&listener, slot as u64, Interest::READ)
+                .map_err(|e| io_err(&format!("register listener for node {slot}"), e))?;
             addrs.push(
                 listener
                     .local_addr()
@@ -90,110 +225,487 @@ impl TcpTransport {
         }
         Ok(TcpTransport {
             catalog,
+            opts,
+            poller,
             listeners,
             addrs,
+            conns: Vec::new(),
+            free: Vec::new(),
             out: FxHashMap::default(),
             incoming: FxHashMap::default(),
+            inbox: FxHashMap::default(),
+            send_seq: FxHashMap::default(),
+            recv_seq: FxHashMap::default(),
             queue: VecDeque::new(),
             deferred: None,
+            dropped_after_error: 0,
             bytes_sent: [0; 11],
             wbuf: Vec::new(),
-            rbuf: Vec::new(),
+            events: Vec::new(),
+            scratch: Vec::new(),
+            stalled: Duration::ZERO,
+            backpressure_events: 0,
         })
     }
 
-    /// Opens a stream to `addr` and identifies the sender with a 4-byte
-    /// hello so the acceptor can key the connection.
-    fn connect(addr: SocketAddr, from: u32) -> std::io::Result<TcpStream> {
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.write_all(&from.to_le_bytes())?;
-        Ok(stream)
+    /// The bound listener addresses, indexed by node slot (tests point
+    /// adversarial peers at these).
+    pub(crate) fn local_addrs(&self) -> &[SocketAddr] {
+        &self.addrs
     }
 
-    /// Writes one frame on the `(from → to)` stream, reconnecting once if
-    /// the cached stream broke.
-    fn write_frame(&mut self, from: u32, to: u32, frame: &[u8]) -> std::io::Result<()> {
-        if let Some(stream) = self.out.get_mut(&(from, to)) {
-            if stream.write_all(frame).is_ok() {
+    /// Total times any connection's flush parked bytes in userspace
+    /// because the kernel send buffer was full.
+    pub(crate) fn backpressure_events(&self) -> u64 {
+        self.backpressure_events
+    }
+
+    /// The poller token of connection-table index `idx`.
+    fn conn_token(&self, idx: usize) -> u64 {
+        (self.listeners.len() + idx) as u64
+    }
+
+    /// Inserts a connection into the table and registers it readable.
+    fn alloc_conn(&mut self, conn: Conn) -> Result<usize> {
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let token = self.conn_token(idx);
+        self.poller
+            .register(conn.fc.stream(), token, Interest::READ)
+            .map_err(|e| io_err("register connection", e))?;
+        self.conns[idx] = Some(conn);
+        Ok(idx)
+    }
+
+    /// Deregisters, unmaps and drops a connection. The per-stream sequence
+    /// counters survive — they are what lets a reconnect prove (or
+    /// disprove) that no frame was lost in between.
+    fn close_conn(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].take() {
+            let _ = self.poller.deregister(conn.fc.stream());
+            match conn.kind {
+                ConnKind::Out { from, to } => {
+                    if self.out.get(&(from, to)) == Some(&idx) {
+                        self.out.remove(&(from, to));
+                    }
+                }
+                ConnKind::In { to, from } => {
+                    if self.incoming.get(&(to, from)) == Some(&idx) {
+                        self.incoming.remove(&(to, from));
+                    }
+                }
+                ConnKind::Handshake { .. } => {}
+            }
+            self.free.push(idx);
+        }
+    }
+
+    /// Re-registers `idx` with write interest exactly when it has queued
+    /// bytes (level-triggered: leaving write interest on an idle socket
+    /// would spin the poller).
+    fn update_interest(&mut self, idx: usize) -> Result<()> {
+        let Some(conn) = self.conns[idx].as_ref() else {
+            return Ok(());
+        };
+        let interest = if conn.fc.wants_write() {
+            Interest::BOTH
+        } else {
+            Interest::READ
+        };
+        let token = self.conn_token(idx);
+        self.poller
+            .modify(conn.fc.stream(), token, interest)
+            .map_err(|e| io_err("update interest", e))
+    }
+
+    /// Returns the table index of the live `(from → to)` outgoing stream,
+    /// connecting (and queueing the hello) if none exists.
+    fn ensure_out(&mut self, from: u32, to: u32) -> Result<usize> {
+        if let Some(&idx) = self.out.get(&(from, to)) {
+            let live = self.conns[idx].as_ref().is_some_and(|c| !c.fc.is_eof());
+            if live {
+                return Ok(idx);
+            }
+            self.close_conn(idx);
+        }
+        let connect = || -> io::Result<TcpStream> {
+            let stream = TcpStream::connect(self.addrs[to as usize])?;
+            stream.set_nodelay(true)?;
+            if let Some(bytes) = self.opts.send_buffer {
+                cq_poll::set_send_buffer(&stream, bytes)?;
+            }
+            if let Some(bytes) = self.opts.recv_buffer {
+                cq_poll::set_recv_buffer(&stream, bytes)?;
+            }
+            Ok(stream)
+        };
+        let stream = connect().map_err(|e| io_err(&format!("connect {from}→{to}"), e))?;
+        let mut fc = FrameConn::new(stream, wire::MAX_FRAME)
+            .map_err(|e| io_err(&format!("nonblocking stream {from}→{to}"), e))?;
+        let next_seq = self.send_seq.get(&(from, to)).copied().unwrap_or(0);
+        let mut hello = [0u8; HELLO_LEN];
+        hello[..4].copy_from_slice(&from.to_le_bytes());
+        hello[4..].copy_from_slice(&next_seq.to_le_bytes());
+        fc.queue_bytes(&hello);
+        let idx = self.alloc_conn(Conn {
+            fc,
+            kind: ConnKind::Out { from, to },
+        })?;
+        self.out.insert((from, to), idx);
+        Ok(idx)
+    }
+
+    /// Queues one frame on the `(from → to)` stream and flushes as much as
+    /// the kernel accepts; a full kernel buffer leaves the rest parked for
+    /// the next writable event.
+    fn send_frame(&mut self, from: u32, to: u32, frame: &[u8]) -> Result<()> {
+        let idx = self.ensure_out(from, to)?;
+        let seq = self.send_seq.entry((from, to)).or_insert(0);
+        let frame_seq = *seq;
+        *seq += 1;
+        // Invariant: ensure_out returned a live table entry.
+        let conn = self.conns[idx].as_mut().expect("live outgoing conn");
+        conn.fc.queue_frame(frame_seq, frame);
+        match conn.fc.flush() {
+            Ok(true) => {}
+            Ok(false) => self.backpressure_events += 1,
+            Err(e) => {
+                self.close_conn(idx);
+                return Err(io_err(&format!("write {from}→{to}"), e));
+            }
+        }
+        self.update_interest(idx)
+    }
+
+    /// Parks a transport error for [`Transport::next_delivery`] to surface
+    /// (only the first error is kept; later ones add to the drop count
+    /// through [`Transport::enqueue`]'s guard).
+    fn defer(&mut self, e: EngineError) {
+        if self.deferred.is_none() {
+            self.deferred = Some(e);
+        }
+    }
+
+    /// Takes the parked error, folding in how many messages were discarded
+    /// while it waited.
+    fn take_deferred(&mut self) -> Option<EngineError> {
+        let e = self.deferred.take()?;
+        let dropped = std::mem::take(&mut self.dropped_after_error);
+        if dropped == 0 {
+            return Some(e);
+        }
+        Some(match e {
+            EngineError::Protocol { detail } => EngineError::Protocol {
+                detail: format!(
+                    "{detail} ({dropped} subsequent message(s) discarded while the error was pending)"
+                ),
+            },
+            other => other,
+        })
+    }
+
+    // ==================================================================
+    // Reactor event handling
+    // ==================================================================
+
+    /// Accepts every pending connection on `slot`'s listener and starts
+    /// their hello handshakes.
+    fn accept_ready(&mut self, slot: usize) -> Result<()> {
+        loop {
+            match self.listeners[slot].accept() {
+                Ok((stream, _)) => {
+                    let fc = FrameConn::new(stream, wire::MAX_FRAME)
+                        .map_err(|e| io_err(&format!("accept at node {slot}"), e))?;
+                    self.alloc_conn(Conn {
+                        fc,
+                        kind: ConnKind::Handshake {
+                            to: slot as u32,
+                            buf: [0; HELLO_LEN],
+                            have: 0,
+                        },
+                    })?;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_err(&format!("accept at node {slot}"), e)),
+            }
+        }
+    }
+
+    /// Advances a handshake connection: buffers hello bytes and, once all
+    /// [`HELLO_LEN`] arrived, validates the announced sequence number
+    /// against the logical stream's expectation and promotes the
+    /// connection to [`ConnKind::In`].
+    fn read_handshake(&mut self, idx: usize) -> Result<()> {
+        // Phase 1: pull bytes (at most HELLO_LEN in total, so frames queued
+        // behind the hello are never consumed here).
+        let (to, from, announced) = {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return Ok(());
+            };
+            let ConnKind::Handshake { to, buf, have } = &mut conn.kind else {
+                return Ok(());
+            };
+            loop {
+                if *have == HELLO_LEN {
+                    break;
+                }
+                match conn.fc.stream().read(&mut buf[*have..]) {
+                    Ok(0) => {
+                        // Closed before identifying itself: an aborted
+                        // connect, not a protocol peer. Drop quietly.
+                        self.close_conn(idx);
+                        return Ok(());
+                    }
+                    Ok(n) => *have += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        let to = *to;
+                        self.close_conn(idx);
+                        return Err(io_err(&format!("read hello at node {to}"), e));
+                    }
+                }
+            }
+            let from = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+            let announced = u64::from_le_bytes(buf[4..].try_into().expect("8 bytes"));
+            (*to, from, announced)
+        };
+        // Phase 2: validate the announced next-frame sequence number.
+        let pair = (to, from);
+        let expected = self.recv_seq.get(&pair).copied().unwrap_or(0);
+        if announced != expected {
+            self.close_conn(idx);
+            let detail = if announced > expected {
+                format!(
+                    "stream {from}→{to}: reconnect announces next frame #{announced} but #{expected} was expected — {} frame(s) were lost in a broken connection",
+                    announced - expected
+                )
+            } else {
+                format!(
+                    "stream {from}→{to}: hello announces next frame #{announced} but #{expected} was already received — replayed or duplicated stream"
+                )
+            };
+            return Err(EngineError::Protocol { detail });
+        }
+        // Promote; a stale predecessor for the pair (sender reconnected) is
+        // dropped — its frames were all consumed or the hello check above
+        // would have caught the gap.
+        if let Some(conn) = self.conns[idx].as_mut() {
+            conn.kind = ConnKind::In { to, from };
+        }
+        if let Some(old) = self.incoming.insert(pair, idx) {
+            if old != idx {
+                self.close_conn(old);
+            }
+        }
+        // Frames may already sit behind the hello in the kernel buffer.
+        self.read_established(idx)
+    }
+
+    /// Drains an established incoming stream: reassembled frames are
+    /// sequence-checked and appended to the pair's inbox.
+    fn read_established(&mut self, idx: usize) -> Result<()> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let (read_res, pair) = {
+            // Invariant: callers pass a live In connection.
+            let conn = self.conns[idx].as_mut().expect("live incoming conn");
+            let ConnKind::In { to, from } = conn.kind else {
+                unreachable!("read_established on a non-In connection")
+            };
+            (conn.fc.read_frames(&mut scratch), (to, from))
+        };
+        let mut seq_error = None;
+        for (seq, frame) in scratch.drain(..) {
+            if seq_error.is_some() {
+                continue;
+            }
+            let expected = self.recv_seq.entry(pair).or_insert(0);
+            if seq != *expected {
+                seq_error = Some(EngineError::Protocol {
+                    detail: format!(
+                        "stream {}→{}: frame #{seq} arrived where #{expected} was expected — envelope/frame misalignment",
+                        pair.1, pair.0
+                    ),
+                });
+                continue;
+            }
+            *expected += 1;
+            self.inbox.entry(pair).or_default().push_back(frame);
+        }
+        self.scratch = scratch;
+        if let Some(e) = seq_error {
+            self.close_conn(idx);
+            return Err(e);
+        }
+        match read_res {
+            Ok(true) => Ok(()),
+            Ok(false) => {
+                // Clean EOF at a frame boundary: the sender may reconnect;
+                // the retained recv_seq will vet its hello.
+                self.close_conn(idx);
+                Ok(())
+            }
+            Err(e) => {
+                let context = format!("read {}→{}", pair.1, pair.0);
+                self.close_conn(idx);
+                Err(io_err(&context, e))
+            }
+        }
+    }
+
+    /// Handles a readable event on an outgoing stream — the receiver never
+    /// writes, so readable means the peer closed (tolerated: the next send
+    /// reconnects and the hello check vouches for continuity) or is
+    /// violating the protocol.
+    fn read_out(&mut self, idx: usize) -> Result<()> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let read_res = {
+            // Invariant: callers pass a live Out connection.
+            let conn = self.conns[idx].as_mut().expect("live outgoing conn");
+            conn.fc.read_frames(&mut scratch)
+        };
+        let unexpected = !scratch.is_empty();
+        scratch.clear();
+        self.scratch = scratch;
+        if unexpected {
+            self.close_conn(idx);
+            return Err(EngineError::Protocol {
+                detail: "received frames on a send-only stream".to_string(),
+            });
+        }
+        match read_res {
+            Ok(true) => Ok(()),
+            Ok(false) | Err(_) => {
+                self.close_conn(idx);
+                Ok(())
+            }
+        }
+    }
+
+    /// Dispatches one readiness event.
+    fn handle_event(&mut self, ev: Event) -> Result<()> {
+        let slots = self.listeners.len();
+        if (ev.token as usize) < slots {
+            return self.accept_ready(ev.token as usize);
+        }
+        let idx = ev.token as usize - slots;
+        if self.conns.get(idx).is_none_or(Option::is_none) {
+            return Ok(()); // closed earlier in this batch
+        }
+        if ev.writable {
+            // Invariant: checked non-None above.
+            let conn = self.conns[idx].as_mut().expect("live conn");
+            if conn.fc.wants_write() {
+                match conn.fc.flush() {
+                    Ok(true) => self.update_interest(idx)?,
+                    Ok(false) => self.backpressure_events += 1,
+                    Err(e) => {
+                        let context = match conn.kind {
+                            ConnKind::Out { from, to } => format!("write {from}→{to}"),
+                            _ => "write".to_string(),
+                        };
+                        self.close_conn(idx);
+                        return Err(io_err(&context, e));
+                    }
+                }
+            } else if !ev.readable {
+                // Writable with nothing queued: drop the stale interest.
+                self.update_interest(idx)?;
+            }
+        }
+        if ev.readable {
+            if self.conns.get(idx).is_none_or(Option::is_none) {
                 return Ok(());
             }
-            self.out.remove(&(from, to));
-        }
-        let mut stream = Self::connect(self.addrs[to as usize], from)?;
-        stream.write_all(frame)?;
-        self.out.insert((from, to), stream);
-        Ok(())
-    }
-
-    /// Accepts connections on `to`'s listener until the `(to, from)` pair
-    /// is registered. Safe to block: the frame this read is for was already
-    /// written, so the connection is established or in the backlog.
-    fn ensure_incoming(&mut self, to: u32, from: u32) -> Result<()> {
-        while !self.incoming.contains_key(&(to, from)) {
-            let (mut stream, _) = self.listeners[to as usize]
-                .accept()
-                .map_err(|e| io_err(&format!("accept at node {to}"), e))?;
-            let mut hello = [0u8; 4];
-            stream
-                .read_exact(&mut hello)
-                .map_err(|e| io_err(&format!("read hello at node {to}"), e))?;
-            self.incoming
-                .insert((to, u32::from_le_bytes(hello)), stream);
+            // Invariant: checked non-None above.
+            match self.conns[idx].as_ref().expect("live conn").kind {
+                ConnKind::Handshake { .. } => self.read_handshake(idx)?,
+                ConnKind::In { .. } => self.read_established(idx)?,
+                ConnKind::Out { .. } => self.read_out(idx)?,
+            }
         }
         Ok(())
     }
 
-    /// Reads and decodes the next frame on the `(to, from)` stream. A read
-    /// failure (the sender reconnected mid-stream) drops the stale stream
-    /// and accepts its replacement once.
-    fn read_message(&mut self, to: u32, from: u32) -> Result<Message> {
-        let mut rbuf = std::mem::take(&mut self.rbuf);
-        let mut attempts = 0;
-        let res = loop {
-            attempts += 1;
-            if let Err(e) = self.ensure_incoming(to, from) {
-                break Err(e);
+    /// One reactor turn: flush backpressured writers, wait for readiness
+    /// (up to [`POLL_SLICE`] when `block`), and service every event. Tracks
+    /// consecutive empty blocking waits so a frame lost to a broken stream
+    /// fails the run with a typed stall error instead of hanging it.
+    fn poll_reactor(&mut self, block: bool) -> Result<()> {
+        if self.deferred.is_some() {
+            return Ok(()); // next_delivery surfaces it first
+        }
+        for idx in 0..self.conns.len() {
+            let wants = self.conns[idx].as_ref().is_some_and(|c| c.fc.wants_write());
+            if !wants {
+                continue;
             }
-            // Invariant: ensure_incoming registered the pair above.
-            let stream = self.incoming.get_mut(&(to, from)).expect("pair ensured");
-            match read_frame(stream, &mut rbuf) {
-                Ok(()) => {
-                    break wire::decode_message(&rbuf, &self.catalog).map(|(msg, _)| msg);
+            // Invariant: checked live just above.
+            let conn = self.conns[idx].as_mut().expect("live conn");
+            match conn.fc.flush() {
+                Ok(true) => self.update_interest(idx)?,
+                Ok(false) => {}
+                Err(e) => {
+                    self.close_conn(idx);
+                    return Err(io_err("flush", e));
                 }
-                Err(e) if attempts < 2 => {
-                    self.incoming.remove(&(to, from));
-                    let _ = e;
-                }
-                Err(e) => break Err(io_err(&format!("read frame {from}→{to}"), e)),
             }
+        }
+        let timeout = if block {
+            Some(POLL_SLICE)
+        } else {
+            Some(Duration::ZERO)
         };
-        self.rbuf = rbuf;
-        res
+        self.events.clear();
+        let n = self
+            .poller
+            .wait(&mut self.events, timeout)
+            .map_err(|e| io_err("poller wait", e))?;
+        let events = std::mem::take(&mut self.events);
+        let mut result = Ok(());
+        for ev in &events {
+            result = self.handle_event(*ev);
+            if result.is_err() {
+                break;
+            }
+        }
+        self.events = events;
+        result?;
+        if n > 0 {
+            self.stalled = Duration::ZERO;
+        } else if block && !self.queue.is_empty() {
+            self.stalled += POLL_SLICE;
+            if self.stalled >= self.opts.stall_timeout {
+                let head = self
+                    .queue
+                    .front()
+                    .map(|e| format!("{}→{}", e.from.index(), e.to.index()))
+                    .unwrap_or_default();
+                return Err(EngineError::Protocol {
+                    detail: format!(
+                        "tcp transport stalled: no socket progress for {:?} while waiting for the frame of envelope {head} ({} envelopes outstanding)",
+                        self.opts.stall_timeout,
+                        self.queue.len()
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
-}
-
-/// Reads one full frame (length prefix included) into `buf`.
-fn read_frame(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<()> {
-    let mut prefix = [0u8; 4];
-    stream.read_exact(&mut prefix)?;
-    let framed = u32::from_le_bytes(prefix);
-    if framed == 0 || framed > wire::MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame length {framed} outside (0, {}]", wire::MAX_FRAME),
-        ));
-    }
-    buf.clear();
-    buf.resize(4 + framed as usize, 0);
-    buf[..4].copy_from_slice(&prefix);
-    stream.read_exact(&mut buf[4..])
 }
 
 impl Transport for TcpTransport {
     fn enqueue(&mut self, p: Pending) {
         if self.deferred.is_some() {
-            return; // the transport already failed; the error surfaces first
+            // The transport already failed; the error surfaces first and
+            // reports how many messages were discarded behind it.
+            self.dropped_after_error += 1;
+            return;
         }
         let Pending {
             from,
@@ -207,8 +719,9 @@ impl Transport for TcpTransport {
         let mut wbuf = std::mem::take(&mut self.wbuf);
         wbuf.clear();
         wire::encode_message(&msg, &mut wbuf);
-        self.bytes_sent[msg.kind_index()] += wbuf.len() as u64;
-        let res = self.write_frame(from.index() as u32, to.index() as u32, &wbuf);
+        // Exact stream cost: codec frame plus the 8-byte sequence header.
+        self.bytes_sent[msg.kind_index()] += wbuf.len() as u64 + 8;
+        let res = self.send_frame(from.index() as u32, to.index() as u32, &wbuf);
         self.wbuf = wbuf;
         match res {
             Ok(()) => self.queue.push_back(Envelope {
@@ -219,21 +732,26 @@ impl Transport for TcpTransport {
                 trace_id,
                 trace_path,
             }),
-            Err(e) => {
-                let context = format!("send {}→{}", from.index(), to.index());
-                self.deferred = Some(io_err(&context, e));
-            }
+            Err(e) => self.defer(e),
         }
     }
 
     fn next_delivery(&mut self) -> Result<Option<Pending>> {
-        if let Some(e) = self.deferred.take() {
+        if let Some(e) = self.take_deferred() {
             return Err(e);
         }
-        let Some(env) = self.queue.pop_front() else {
+        let Some(env) = self.queue.front() else {
             return Ok(None);
         };
-        let msg = self.read_message(env.to.index() as u32, env.from.index() as u32)?;
+        let pair = (env.to.index() as u32, env.from.index() as u32);
+        let Some(frame) = self.inbox.get_mut(&pair).and_then(VecDeque::pop_front) else {
+            // The head envelope's frame is still in flight; the driver
+            // calls `poll(block = true)` and retries.
+            return Ok(None);
+        };
+        // Invariant: peeked non-empty above.
+        let env = self.queue.pop_front().expect("peeked above");
+        let (msg, _) = wire::decode_message(&frame, &self.catalog)?;
         Ok(Some(Pending {
             from: env.from,
             to: env.to,
@@ -243,6 +761,10 @@ impl Transport for TcpTransport {
             trace_id: env.trace_id,
             trace_path: env.trace_path,
         }))
+    }
+
+    fn poll(&mut self, block: bool) -> Result<()> {
+        self.poll_reactor(block)
     }
 
     fn is_idle(&self) -> bool {

@@ -1,0 +1,277 @@
+//! Adversarial-peer framing tests against the TCP reactor, plus direct
+//! `FrameConn` hardening checks: hostile peers must surface as typed
+//! protocol errors (never silently misdecoded messages), malformed lengths
+//! must be rejected before body bytes are buffered, and the write path must
+//! survive kernel backpressure.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use cq_engine::frames::{FrameConn, SHRINK_AT};
+use cq_engine::{Algorithm, EngineConfig, Network, TcpOptions};
+use cq_relational::{Catalog, DataType, RelationSchema, Value};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(RelationSchema::of("R", &[("A", DataType::Int), ("B", DataType::Int)]).unwrap())
+        .unwrap();
+    c.register(RelationSchema::of("S", &[("C", DataType::Int), ("D", DataType::Str)]).unwrap())
+        .unwrap();
+    c
+}
+
+/// A TCP-backed network small enough for fast adversarial runs; the short
+/// stall timeout keeps any accidental deadlock from hanging the suite.
+fn tcp_net() -> Network {
+    let mut net = Network::new(
+        EngineConfig::new(Algorithm::DaiT)
+            .with_nodes(8)
+            .with_seed(5),
+        catalog(),
+    );
+    net.enable_tcp_transport_with(TcpOptions {
+        stall_timeout: Duration::from_secs(5),
+        ..TcpOptions::default()
+    })
+    .expect("perfect-delivery config accepts the TCP transport");
+    net
+}
+
+/// Connects a rogue peer to a node's listener and performs the transport
+/// hello: `[from u32 LE][next frame seq u64 LE]`.
+fn rogue_connect(addr: SocketAddr, from: u32, start_seq: u64) -> TcpStream {
+    let mut s = TcpStream::connect(addr).expect("connect to node listener");
+    let mut hello = [0u8; 12];
+    hello[..4].copy_from_slice(&from.to_le_bytes());
+    hello[4..].copy_from_slice(&start_seq.to_le_bytes());
+    s.write_all(&hello).expect("write hello");
+    s
+}
+
+/// Encodes one on-stream frame: `[seq u64][len u32][body]`.
+fn raw_frame(seq: u64, body: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(12 + body.len());
+    f.extend_from_slice(&seq.to_le_bytes());
+    f.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    f.extend_from_slice(body);
+    f
+}
+
+/// Keeps inserting tuples (each insert drives the reactor) until a typed
+/// protocol error containing `needle` surfaces.
+fn expect_protocol_error(net: &mut Network, needle: &str) {
+    let node = net.node_at(0);
+    for i in 0..100i64 {
+        std::thread::sleep(Duration::from_millis(5));
+        match net.insert_tuple(node, "R", vec![Value::Int(i), Value::Int(i)]) {
+            Ok(_) => continue,
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(msg.contains(needle), "expected {needle:?} in: {msg}");
+                return;
+            }
+        }
+    }
+    panic!("no protocol error surfaced for {needle:?}");
+}
+
+#[test]
+fn zero_length_frame_is_rejected() {
+    let mut net = tcp_net();
+    let addr = net.tcp_local_addrs().expect("tcp enabled")[3];
+    let mut rogue = rogue_connect(addr, 0xDEAD, 0);
+    rogue
+        .write_all(&[0u8; 12]) // seq 0, announced length 0
+        .unwrap();
+    expect_protocol_error(&mut net, "frame length 0 outside");
+}
+
+#[test]
+fn oversized_length_is_rejected_before_any_body_arrives() {
+    let mut net = tcp_net();
+    let addr = net.tcp_local_addrs().expect("tcp enabled")[2];
+    let mut rogue = rogue_connect(addr, 0xDEAD, 0);
+    // Header only: 12 bytes announcing a body larger than MAX_FRAME. The
+    // receiver must reject at header time — it can never see the body.
+    let mut header = [0u8; 12];
+    header[8..].copy_from_slice(&(cq_engine::wire::MAX_FRAME + 1).to_le_bytes());
+    rogue.write_all(&header).unwrap();
+    expect_protocol_error(&mut net, "outside (0,");
+}
+
+#[test]
+fn mid_frame_disconnect_is_a_typed_error() {
+    let mut net = tcp_net();
+    let addr = net.tcp_local_addrs().expect("tcp enabled")[1];
+    let mut rogue = rogue_connect(addr, 0xBEEF, 0);
+    // A truncated frame: announce 100 bytes, deliver 10, vanish.
+    let mut partial = raw_frame(0, &[7u8; 100]);
+    partial.truncate(12 + 10);
+    rogue.write_all(&partial).unwrap();
+    rogue.shutdown(Shutdown::Both).unwrap();
+    expect_protocol_error(&mut net, "closed mid-frame");
+}
+
+#[test]
+fn reconnect_gap_is_detected_and_clean_reconnect_is_not() {
+    let mut net = tcp_net();
+    let addr = net.tcp_local_addrs().expect("tcp enabled")[4];
+    // A well-behaved sender: two complete frames, then a clean close at a
+    // frame boundary.
+    let mut peer = rogue_connect(addr, 0xFEED, 0);
+    peer.write_all(&raw_frame(0, &[1, 2, 3])).unwrap();
+    peer.write_all(&raw_frame(1, &[4, 5, 6])).unwrap();
+    peer.shutdown(Shutdown::Both).unwrap();
+    // Drive the reactor so the frames and the EOF are consumed.
+    let node = net.node_at(0);
+    for i in 0..10i64 {
+        std::thread::sleep(Duration::from_millis(5));
+        net.insert_tuple(node, "R", vec![Value::Int(i), Value::Int(i)])
+            .expect("clean close at a frame boundary is not an error");
+    }
+    // Clean reconnect: the hello announces exactly the next sequence
+    // number — accepted.
+    let mut peer = rogue_connect(addr, 0xFEED, 2);
+    peer.write_all(&raw_frame(2, &[9])).unwrap();
+    peer.shutdown(Shutdown::Both).unwrap();
+    for i in 0..10i64 {
+        std::thread::sleep(Duration::from_millis(5));
+        net.insert_tuple(node, "R", vec![Value::Int(100 + i), Value::Int(i)])
+            .expect("a seamless reconnect is not an error");
+    }
+    // Gap reconnect: frames 3 and 4 died buffered in a "broken" connection;
+    // the hello announcing 5 where 3 is expected must surface, not silently
+    // re-pair (the old backend decoded the wrong message here).
+    let _peer = rogue_connect(addr, 0xFEED, 5);
+    expect_protocol_error(&mut net, "were lost");
+}
+
+#[test]
+fn replayed_stream_is_detected() {
+    let mut net = tcp_net();
+    let addr = net.tcp_local_addrs().expect("tcp enabled")[5];
+    let mut peer = rogue_connect(addr, 0xCAFE, 0);
+    peer.write_all(&raw_frame(0, &[1])).unwrap();
+    peer.shutdown(Shutdown::Both).unwrap();
+    let node = net.node_at(0);
+    for i in 0..10i64 {
+        std::thread::sleep(Duration::from_millis(5));
+        net.insert_tuple(node, "R", vec![Value::Int(i), Value::Int(i)])
+            .expect("clean close is not an error");
+    }
+    // A "reconnect" that rewinds to an already-consumed sequence number is
+    // a replay, not a resume.
+    let _peer = rogue_connect(addr, 0xCAFE, 0);
+    expect_protocol_error(&mut net, "replayed");
+}
+
+#[test]
+fn large_frames_backpressure_and_shrink_through_the_real_transport() {
+    // Tiny kernel buffers + a tuple whose wire frame exceeds SHRINK_AT
+    // forces the transport through partial writes (userspace backpressure)
+    // and the chunked-read + shrink path — and the run must still deliver.
+    let mut net = Network::new(
+        EngineConfig::new(Algorithm::DaiT)
+            .with_nodes(8)
+            .with_seed(5),
+        catalog(),
+    );
+    net.enable_tcp_transport_with(TcpOptions {
+        send_buffer: Some(4096),
+        recv_buffer: Some(4096),
+        stall_timeout: Duration::from_secs(30),
+    })
+    .expect("perfect-delivery config accepts the TCP transport");
+    let poser = net.node_at(0);
+    net.pose_query_sql(poser, "SELECT R.A, S.D FROM R, S WHERE R.B = S.C")
+        .unwrap();
+    let big = "x".repeat(SHRINK_AT + 1024);
+    net.insert_tuple(
+        net.node_at(1),
+        "S",
+        vec![Value::Int(7), Value::Str(big.clone())],
+    )
+    .unwrap();
+    net.insert_tuple(net.node_at(2), "R", vec![Value::Int(1), Value::Int(7)])
+        .unwrap();
+    assert_eq!(net.inbox(poser).len(), 1, "the join must still fire");
+    assert!(
+        net.inbox(poser)[0].to_string().contains(&big[..32]),
+        "the large value survived the wire"
+    );
+    assert!(
+        net.tcp_backpressure_events() > 0,
+        "a {}-byte frame through a 4 KiB SO_SNDBUF must hit backpressure",
+        SHRINK_AT + 1024
+    );
+}
+
+#[test]
+fn frameconn_rejects_oversized_header_immediately() {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut client = TcpStream::connect(addr).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    let mut fc = FrameConn::new(server, 1024).unwrap();
+    // Announce 2000 bytes against a 1024-byte cap; send the header only.
+    let mut header = [0u8; 12];
+    header[8..].copy_from_slice(&2000u32.to_le_bytes());
+    client.write_all(&header).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    let mut out = Vec::new();
+    let err = fc.read_frames(&mut out).expect_err("header must be judged");
+    assert!(err.to_string().contains("outside (0, 1024]"), "{err}");
+    assert!(out.is_empty());
+}
+
+#[test]
+fn frameconn_shrinks_after_a_large_frame() {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = TcpStream::connect(addr).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    let mut fc = FrameConn::new(server, cq_engine::wire::MAX_FRAME).unwrap();
+    let body = vec![0xABu8; SHRINK_AT + 4096];
+    let writer = std::thread::spawn(move || {
+        let mut client = client;
+        client.write_all(&raw_frame(0, &body)).unwrap();
+        client // keep the connection open
+    });
+    let mut out = Vec::new();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while out.is_empty() {
+        assert!(std::time::Instant::now() < deadline, "frame never arrived");
+        assert!(fc.read_frames(&mut out).unwrap(), "peer stays open");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _client = writer.join().unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].1.len(), 4 + SHRINK_AT + 4096);
+    assert!(
+        fc.read_buffer_capacity() < SHRINK_AT,
+        "the reassembly buffer must release the large frame's allocation \
+         (capacity {})",
+        fc.read_buffer_capacity()
+    );
+}
+
+#[test]
+fn frameconn_counts_write_backpressure() {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = TcpStream::connect(addr).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    cq_poll::set_send_buffer(&server, 4096).unwrap();
+    let mut fc = FrameConn::new(server, cq_engine::wire::MAX_FRAME).unwrap();
+    // 2 MiB into a 4 KiB kernel buffer with a peer that never reads: the
+    // flush must park bytes in userspace rather than block or error.
+    let body = vec![0u8; 2 * 1024 * 1024];
+    let frame = raw_frame(0, &body);
+    fc.queue_frame(0, &frame[8..]);
+    let drained = fc.flush().unwrap();
+    assert!(!drained, "2 MiB cannot fit a 4 KiB kernel buffer");
+    assert!(fc.blocked_writes() > 0);
+    assert!(fc.wants_write());
+    drop(client);
+}

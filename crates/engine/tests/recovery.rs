@@ -178,7 +178,11 @@ fn slow_links_cause_false_suspicion_not_data_loss() {
             .with_nodes(32)
             .with_seed(17)
             .with_fault(fault)
-            .with_suspicion(SuspicionConfig::active().with_suspect_after(2)),
+            .with_suspicion(
+                SuspicionConfig::active()
+                    .with_suspect_after(2)
+                    .with_confirm_after(2),
+            ),
         catalog(),
     );
     let a = net.node_at(0);

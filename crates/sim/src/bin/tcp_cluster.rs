@@ -4,13 +4,20 @@
 //!
 //! ```text
 //! tcp_cluster [--alg A] [--nodes N] [--queries Q] [--tuples T] [--seed S]
+//!             [--clients C]
 //! ```
+//!
+//! Without `--clients`, the command stream is applied in-process and only
+//! the engine's node-to-node traffic crosses sockets. With `--clients C`,
+//! the commands additionally arrive over C concurrent client connections
+//! into one server event loop (true multi-client mode), and the outcome is
+//! checked against a sequential in-memory run of the same command list.
 //!
 //! Exits nonzero (with a description of the first divergence) if the socket
 //! run and the simulator run disagree.
 
 use cq_engine::Algorithm;
-use cq_sim::cluster::{compare, ClusterConfig};
+use cq_sim::cluster::{compare, run_multi_client, ClusterConfig};
 
 fn parse<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> T {
     v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -22,6 +29,7 @@ fn parse<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> T {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ClusterConfig::default();
+    let mut clients: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -39,9 +47,13 @@ fn main() {
             "--queries" => cfg.queries = parse("--queries", iter.next()),
             "--tuples" => cfg.tuples = parse("--tuples", iter.next()),
             "--seed" => cfg.seed = parse("--seed", iter.next()),
+            "--clients" => clients = Some(parse("--clients", iter.next())),
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: tcp_cluster [--alg A] [--nodes N] [--queries Q] [--tuples T] [--seed S]");
+                eprintln!(
+                    "usage: tcp_cluster [--alg A] [--nodes N] [--queries Q] \
+                     [--tuples T] [--seed S] [--clients C]"
+                );
                 std::process::exit(2);
             }
         }
@@ -50,6 +62,26 @@ fn main() {
         "tcp_cluster: {} over {} nodes, {} queries, {} tuples, seed {}",
         cfg.algorithm, cfg.nodes, cfg.queries, cfg.tuples, cfg.seed
     );
+    if let Some(clients) = clients {
+        match run_multi_client(&cfg, clients) {
+            Ok(report) => {
+                println!(
+                    "multi-client run agrees with the sequential baseline: \
+                     {} commands over {} connections, {} wire bytes, \
+                     {} backpressure events",
+                    report.commands,
+                    report.clients,
+                    report.wire_bytes,
+                    report.server_backpressure_events
+                );
+            }
+            Err(divergence) => {
+                eprintln!("MISMATCH: {divergence}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     match compare(&cfg) {
         Ok(wire_bytes) => {
             println!("sim and tcp runs agree; tcp moved {wire_bytes} wire bytes");

@@ -99,7 +99,11 @@ pub fn run(scale: Scale) -> Report {
             for (det, suspect_after) in DETECTORS {
                 let suspicion = match suspect_after {
                     None => SuspicionConfig::default(),
-                    Some(t) => SuspicionConfig::active().with_suspect_after(t),
+                    // Both timeouts track the sweep axis so an aggressive
+                    // detector is aggressive end-to-end.
+                    Some(t) => SuspicionConfig::active()
+                        .with_suspect_after(t)
+                        .with_confirm_after(t),
                 };
                 keys.push((alg, churn, det));
                 cfgs.push(RunConfig {
