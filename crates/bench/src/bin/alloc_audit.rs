@@ -223,6 +223,44 @@ fn audit_insert_e2e(size: usize, events: u64, batch: bool) -> Row {
     })
 }
 
+/// The socket hot path in isolation: one frame pumped per event through a
+/// loopback [`cq_engine::frames::FrameConn`] pair — encoded in place at the write queue's
+/// tail, flushed with a vectored write, read back through the pooled-buffer
+/// path, and the buffer recycled. After the warm-up primes the write
+/// segments, the read chunk, and the pool, the steady state must be
+/// allocation-free end to end (`size` is the frame payload in bytes).
+fn audit_socket_pump(size: usize, events: u64) -> Row {
+    use cq_engine::frames::{BufPool, FrameConn, RawFrame};
+    use std::net::{TcpListener, TcpStream};
+
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let client = TcpStream::connect(addr).expect("connect");
+    let (server, _) = listener.accept().expect("accept");
+    let mut tx = FrameConn::new(client, cq_engine::wire::MAX_FRAME).expect("tx conn");
+    let mut rx = FrameConn::new(server, cq_engine::wire::MAX_FRAME).expect("rx conn");
+    let payload = vec![0xA5u8; size];
+    let mut pool = BufPool::new();
+    let mut out: Vec<RawFrame> = Vec::new();
+    let mut seq = 0u64;
+    measure("socket-pump", size, events, move || {
+        tx.append_frame_with(seq, |buf| {
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&payload);
+        });
+        seq += 1;
+        while tx.wants_write() {
+            tx.flush().expect("flush");
+        }
+        while out.is_empty() {
+            rx.read_frames(&mut out, &mut pool).expect("read");
+        }
+        for (_, buf) in out.drain(..) {
+            pool.put(buf);
+        }
+    })
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let cat = catalog();
@@ -236,6 +274,7 @@ fn main() {
         audit_alqt_scan(&cat, 500, scan_events),
         audit_insert_e2e(50, e2e_events, true),
         audit_insert_e2e(50, e2e_events, false),
+        audit_socket_pump(256, e2e_events),
     ];
     println!("{{");
     println!("  \"count_allocs\": {},", cfg!(feature = "count-allocs"));

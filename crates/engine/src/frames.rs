@@ -1,7 +1,8 @@
 //! Nonblocking framed connections: the per-socket buffering layer under the
 //! TCP transport's event loop.
 //!
-//! A [`FrameConn`] owns one nonblocking `TcpStream` and two byte buffers:
+//! A [`FrameConn`] owns one nonblocking `TcpStream`, a read-reassembly
+//! buffer, and a **segmented write queue**:
 //!
 //! * **Read side** — bytes are pulled off the socket in bounded chunks
 //!   ([`READ_CHUNK`] at a time, never `frame_len` up front) and reassembled
@@ -9,16 +10,28 @@
 //!   header arrives — a hostile or corrupt peer announcing a zero or
 //!   oversized length is rejected *before* any body byte is read or
 //!   buffered, so an attacker cannot make the receiver allocate
-//!   `MAX_FRAME`-sized buffers from a 12-byte header. After a genuinely
-//!   large frame is consumed the buffer is shrunk back (see
+//!   `MAX_FRAME`-sized buffers from a 12-byte header. Completed frames are
+//!   copied into buffers drawn from a caller-supplied [`BufPool`]; once the
+//!   consumer is done decoding it returns the buffer with
+//!   [`BufPool::put`], so steady-state frame traffic recycles a fixed set
+//!   of buffers instead of allocating per frame. After a genuinely large
+//!   frame is consumed the reassembly buffer is shrunk back (see
 //!   [`SHRINK_AT`]/[`SHRINK_TO`]), so one big message does not pin its
 //!   high-water allocation for the rest of the run.
-//! * **Write side** — [`FrameConn::queue_frame`] appends and
-//!   [`FrameConn::flush`] writes as much as the kernel accepts. A full
-//!   kernel buffer (`WouldBlock`) leaves the remainder queued in userspace —
-//!   this is the transport's **backpressure** state, counted by
-//!   [`FrameConn::blocked_writes`] — and the event loop re-flushes when the
-//!   poller reports the socket writable again.
+//! * **Write side** — frames are *encoded in place* at the end of the open
+//!   tail segment ([`FrameConn::append_frame_with`] hands the encoder a
+//!   `&mut Vec<u8>` positioned after the sequence header), so queueing a
+//!   message costs zero intermediate copies. When the tail grows past
+//!   [`WRITE_SEG`] it is sealed and a fresh tail started; a sealed segment
+//!   is never copied again. [`FrameConn::flush`] writes the whole queue —
+//!   the partially-flushed front, every sealed segment, and the tail — with
+//!   **one vectored `writev` per syscall**, so the kernel crossing cost is
+//!   paid per *flush*, not per frame. A full kernel buffer (`WouldBlock`)
+//!   leaves the remainder queued in userspace — this is the transport's
+//!   **backpressure** state, counted by [`FrameConn::blocked_writes`] — and
+//!   the event loop re-flushes when the poller reports the socket writable
+//!   again. Drained segments are retained for reuse, so a steady-state
+//!   enqueue/flush cycle allocates nothing.
 //!
 //! On-stream layout, repeated per frame:
 //!
@@ -38,11 +51,18 @@
 //! protocol error instead of silently decoding the wrong message. The
 //! sequencing policy lives in the transport; `FrameConn` carries the number.
 //!
+//! Every syscall and frame through a connection is tallied in
+//! [`ConnCounters`] (reads, writes, bytes each way, frames each way,
+//! blocked flushes), which the transport aggregates into its
+//! [`SocketStats`](crate::transport_tcp::SocketStats) — the observable
+//! basis for the bytes-per-syscall and frames-per-flush guarantees.
+//!
 //! This type is deliberately protocol-agnostic (lengths and sequence
 //! numbers, never message contents), which is why the multi-client cluster
 //! harness in `cq-sim` reuses it for its command streams.
 
-use std::io::{self, Read, Write};
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
 use std::net::TcpStream;
 
 /// Bytes pulled off the socket per `read` call — the reassembly buffer
@@ -51,7 +71,7 @@ use std::net::TcpStream;
 pub const READ_CHUNK: usize = 64 * 1024;
 
 /// Frames at least this large mark the read buffer for shrinking once
-/// consumed.
+/// consumed; pooled buffers above this capacity are shrunk on return.
 pub const SHRINK_AT: usize = 256 * 1024;
 
 /// Capacity the buffers shrink back to after servicing a large frame.
@@ -61,30 +81,161 @@ pub const SHRINK_TO: usize = 64 * 1024;
 /// length.
 pub const FRAME_HEADER: usize = 12;
 
+/// The open write-tail segment is sealed once it reaches this size, so one
+/// `writev` can cover many coalesced frames without unbounded single-buffer
+/// growth. A frame is never split across segments: one oversized frame
+/// simply makes one oversized segment.
+pub const WRITE_SEG: usize = 32 * 1024;
+
+/// Most queued regions one `writev` call covers (front + sealed segments +
+/// tail). Longer queues flush in several vectored calls.
+const MAX_IOVECS: usize = 64;
+
+/// Most recycled buffers a [`BufPool`] retains; returns beyond this are
+/// dropped so an inbox burst cannot pin its high-water buffer count.
+const POOL_MAX: usize = 64;
+
 /// One complete frame off the wire: the stream sequence number and the
 /// `[length][bytes]` payload (length prefix included, ready for
-/// [`crate::wire::decode_message`]).
+/// [`crate::wire::decode_message`]). The buffer is drawn from the
+/// [`BufPool`] given to [`FrameConn::read_frames`]; return it with
+/// [`BufPool::put`] once decoded to keep the steady state allocation-free.
 pub type RawFrame = (u64, Vec<u8>);
 
+/// A recycling pool of frame buffers shared across connections.
+///
+/// [`FrameConn::read_frames`] draws the buffer for each completed frame
+/// from here instead of allocating, and the consumer returns it after
+/// decoding. Oversized buffers are shrunk to [`SHRINK_TO`] on return (the
+/// same discipline as the reassembly buffer), and at most `POOL_MAX`
+/// buffers are retained.
+#[derive(Debug, Default)]
+pub struct BufPool {
+    bufs: Vec<Vec<u8>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufPool {
+    /// An empty pool.
+    pub fn new() -> BufPool {
+        BufPool::default()
+    }
+
+    /// A cleared buffer: recycled when one is available (a pool *hit*),
+    /// freshly allocated otherwise (a *miss*).
+    pub fn get(&mut self) -> Vec<u8> {
+        match self.bufs.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                self.hits += 1;
+                buf
+            }
+            None => {
+                self.misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer for reuse. Buffers above [`SHRINK_AT`] capacity are
+    /// shrunk back to [`SHRINK_TO`] first, and returns beyond the retention
+    /// cap are dropped.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        if self.bufs.len() >= POOL_MAX {
+            return;
+        }
+        if buf.capacity() > SHRINK_AT {
+            buf.clear();
+            buf.shrink_to(SHRINK_TO);
+        }
+        self.bufs.push(buf);
+    }
+
+    /// Buffers currently retained for reuse.
+    pub fn buffered(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// `(hits, misses)` since the last take, reset to zero.
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.hits),
+            std::mem::take(&mut self.misses),
+        )
+    }
+
+    /// `(hits, misses)` without resetting.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Per-connection I/O tallies: every syscall the connection issued and
+/// every frame it moved. `write_syscalls`/`read_syscalls` count *attempts*
+/// (a `WouldBlock` probe crossed the kernel boundary too), so
+/// bytes-per-syscall derived from these is honest about the real kernel
+/// crossing cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnCounters {
+    /// `writev` calls issued (including ones that returned `WouldBlock`).
+    pub write_syscalls: u64,
+    /// `read` calls issued (including `WouldBlock` probes and the EOF read).
+    pub read_syscalls: u64,
+    /// Bytes the kernel accepted across all writes.
+    pub bytes_written: u64,
+    /// Bytes read off the socket.
+    pub bytes_read: u64,
+    /// Frames queued for sending (`append_frame_with`/`queue_frame`).
+    pub frames_out: u64,
+    /// Complete frames reassembled off the wire.
+    pub frames_in: u64,
+    /// Times a flush hit a full kernel buffer and parked bytes in
+    /// userspace (entered backpressure).
+    pub blocked_writes: u64,
+}
+
+impl ConnCounters {
+    /// Folds another connection's tallies into this one.
+    pub fn merge(&mut self, other: &ConnCounters) {
+        self.write_syscalls += other.write_syscalls;
+        self.read_syscalls += other.read_syscalls;
+        self.bytes_written += other.bytes_written;
+        self.bytes_read += other.bytes_read;
+        self.frames_out += other.frames_out;
+        self.frames_in += other.frames_in;
+        self.blocked_writes += other.blocked_writes;
+    }
+}
+
 /// A nonblocking socket with framed read/write buffers. See the module
-/// docs for the layout and the backpressure model.
+/// docs for the layout, the copy discipline and the backpressure model.
 #[derive(Debug)]
 pub struct FrameConn {
     stream: TcpStream,
     /// Unparsed received bytes; `rpos` is the parse cursor.
     rbuf: Vec<u8>,
     rpos: usize,
-    /// Queued outgoing bytes; `wpos` is the flushed cursor.
-    wbuf: Vec<u8>,
+    /// Sealed (immutable) outgoing segments, oldest first.
+    wsegs: VecDeque<Vec<u8>>,
+    /// The open tail segment frames are encoded into.
+    wtail: Vec<u8>,
+    /// Flushed bytes of the *front* region (`wsegs.front()`, or `wtail`
+    /// when no sealed segment remains).
     wpos: usize,
+    /// Queued-but-unflushed byte total across all regions.
+    wqueued: usize,
+    /// One drained segment kept for the next seal (steady-state seals
+    /// allocate nothing).
+    wspare: Option<Vec<u8>>,
     /// Largest frame length this connection accepts.
     max_frame: u32,
     /// The peer closed its write half (a clean EOF was observed).
     eof: bool,
     /// A frame ≥ [`SHRINK_AT`] was consumed; shrink at the next compaction.
     shrink_pending: bool,
-    /// Times a flush stopped early because the kernel buffer was full.
-    blocked_writes: u64,
+    /// I/O tallies (see [`ConnCounters`]).
+    counters: ConnCounters,
 }
 
 impl FrameConn {
@@ -97,12 +248,15 @@ impl FrameConn {
             stream,
             rbuf: Vec::new(),
             rpos: 0,
-            wbuf: Vec::new(),
+            wsegs: VecDeque::new(),
+            wtail: Vec::new(),
             wpos: 0,
+            wqueued: 0,
+            wspare: None,
             max_frame,
             eof: false,
             shrink_pending: false,
-            blocked_writes: 0,
+            counters: ConnCounters::default(),
         })
     }
 
@@ -111,40 +265,86 @@ impl FrameConn {
         &self.stream
     }
 
+    /// Seals the tail into the segment queue once it has reached
+    /// [`WRITE_SEG`], starting a fresh (recycled when possible) tail.
+    fn maybe_seal(&mut self) {
+        if self.wtail.len() < WRITE_SEG {
+            return;
+        }
+        // `wpos` tracks the front region: if the tail *was* the front
+        // (no sealed segments), it still is after sealing, so the cursor
+        // carries over unchanged.
+        let seg = std::mem::replace(&mut self.wtail, self.wspare.take().unwrap_or_default());
+        self.wsegs.push_back(seg);
+    }
+
     /// Queues raw bytes ahead of any frames — connection preambles (the
     /// transport's hello) use this. Call [`FrameConn::flush`] to send.
     pub fn queue_bytes(&mut self, bytes: &[u8]) {
-        self.wbuf.extend_from_slice(bytes);
+        self.maybe_seal();
+        self.wtail.extend_from_slice(bytes);
+        self.wqueued += bytes.len();
     }
 
-    /// Queues one frame. `frame` must start with its own u32 LE length
-    /// prefix counting the remaining bytes (the [`crate::wire`] encoders
-    /// produce exactly this shape).
-    pub fn queue_frame(&mut self, seq: u64, frame: &[u8]) {
-        debug_assert!(frame.len() >= 4, "frame carries its length prefix");
+    /// Encodes one frame *in place* at the end of the write queue: the
+    /// 8-byte sequence header is written, then `encode` appends the codec
+    /// frame (`[len u32 LE][bytes]`) directly into the queue's tail buffer
+    /// — no intermediate copy exists anywhere. Returns the total bytes
+    /// queued for this frame (sequence header included).
+    pub fn append_frame_with(&mut self, seq: u64, encode: impl FnOnce(&mut Vec<u8>)) -> usize {
+        self.maybe_seal();
+        let start = self.wtail.len();
+        self.wtail.extend_from_slice(&seq.to_le_bytes());
+        encode(&mut self.wtail);
+        let appended = self.wtail.len() - start;
+        debug_assert!(
+            appended >= FRAME_HEADER,
+            "encoder must append at least a length prefix"
+        );
         debug_assert_eq!(
-            u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize,
-            frame.len() - 4,
+            crate::wire::frame_body_len(&self.wtail[start + 8..]),
+            Some(appended - FRAME_HEADER),
             "frame length prefix counts the remaining bytes"
         );
-        self.wbuf.extend_from_slice(&seq.to_le_bytes());
-        self.wbuf.extend_from_slice(frame);
+        self.wqueued += appended;
+        self.counters.frames_out += 1;
+        appended
+    }
+
+    /// Queues one pre-encoded frame (copying it into the write queue).
+    /// `frame` must start with its own u32 LE length prefix counting the
+    /// remaining bytes (the [`crate::wire`] encoders produce exactly this
+    /// shape). Protocol senders encode in place with
+    /// [`FrameConn::append_frame_with`] instead.
+    pub fn queue_frame(&mut self, seq: u64, frame: &[u8]) {
+        self.append_frame_with(seq, |buf| buf.extend_from_slice(frame));
     }
 
     /// Whether queued bytes are waiting for the socket to become writable.
     pub fn wants_write(&self) -> bool {
-        self.wpos < self.wbuf.len()
+        self.wqueued > 0
     }
 
     /// Bytes queued but not yet accepted by the kernel.
     pub fn queued_write_bytes(&self) -> usize {
-        self.wbuf.len() - self.wpos
+        self.wqueued
     }
 
     /// Times a flush hit a full kernel buffer and left bytes queued — the
     /// number of times this connection entered backpressure.
     pub fn blocked_writes(&self) -> u64 {
-        self.blocked_writes
+        self.counters.blocked_writes
+    }
+
+    /// The connection's I/O tallies so far.
+    pub fn counters(&self) -> &ConnCounters {
+        &self.counters
+    }
+
+    /// Drains the I/O tallies, resetting them to zero (the transport folds
+    /// these into its aggregate stats).
+    pub fn take_counters(&mut self) -> ConnCounters {
+        std::mem::take(&mut self.counters)
     }
 
     /// Whether the peer has closed its write half.
@@ -158,52 +358,119 @@ impl FrameConn {
         self.rbuf.capacity()
     }
 
-    /// Writes as much queued data as the kernel accepts. Returns `true`
-    /// when the queue drained, `false` when the socket would block and the
-    /// remainder stays queued (re-flush on the next writable event).
+    /// Sealed segments currently queued (the tail is one more region; a
+    /// flush covers all of them with vectored writes).
+    pub fn queued_segments(&self) -> usize {
+        self.wsegs.len()
+    }
+
+    /// Advances the flush cursor by `n` accepted bytes, recycling sealed
+    /// segments as they drain.
+    fn consume_written(&mut self, mut n: usize) {
+        self.wqueued -= n;
+        while n > 0 {
+            match self.wsegs.front() {
+                Some(front) => {
+                    let avail = front.len() - self.wpos;
+                    if n < avail {
+                        self.wpos += n;
+                        return;
+                    }
+                    n -= avail;
+                    self.wpos = 0;
+                    // Invariant: front() was Some on the line above.
+                    let mut seg = self.wsegs.pop_front().expect("non-empty segment queue");
+                    if self.wspare.is_none() && seg.capacity() <= SHRINK_AT {
+                        seg.clear();
+                        self.wspare = Some(seg);
+                    }
+                }
+                None => {
+                    self.wpos += n;
+                    debug_assert!(self.wpos <= self.wtail.len());
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Writes as much queued data as the kernel accepts, covering every
+    /// queued region — the partially-flushed front, the sealed segments and
+    /// the open tail — with one vectored `writev` per syscall. Returns
+    /// `true` when the queue drained, `false` when the socket would block
+    /// and the remainder stays queued (re-flush on the next writable
+    /// event).
     pub fn flush(&mut self) -> io::Result<bool> {
-        while self.wpos < self.wbuf.len() {
-            match self.stream.write(&self.wbuf[self.wpos..]) {
+        while self.wqueued > 0 {
+            let mut iovs: [IoSlice; MAX_IOVECS] = [IoSlice::new(&[]); MAX_IOVECS];
+            let mut n = 0;
+            for (i, seg) in self.wsegs.iter().enumerate() {
+                if n == MAX_IOVECS {
+                    break;
+                }
+                let from = if i == 0 { self.wpos } else { 0 };
+                iovs[n] = IoSlice::new(&seg[from..]);
+                n += 1;
+            }
+            if n < MAX_IOVECS {
+                let from = if self.wsegs.is_empty() { self.wpos } else { 0 };
+                if from < self.wtail.len() {
+                    iovs[n] = IoSlice::new(&self.wtail[from..]);
+                    n += 1;
+                }
+            }
+            self.counters.write_syscalls += 1;
+            match (&self.stream).write_vectored(&iovs[..n]) {
                 Ok(0) => {
                     return Err(io::Error::new(
                         io::ErrorKind::WriteZero,
                         "socket accepted zero bytes",
                     ))
                 }
-                Ok(n) => self.wpos += n,
+                Ok(written) => {
+                    self.counters.bytes_written += written as u64;
+                    self.consume_written(written);
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    self.blocked_writes += 1;
+                    self.counters.blocked_writes += 1;
                     return Ok(false);
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
             }
         }
-        let oversized = self.wbuf.capacity() > SHRINK_AT;
-        self.wbuf.clear();
+        // Fully drained: reset the tail in place, releasing a large
+        // frame's high-water allocation.
+        debug_assert!(self.wsegs.is_empty());
+        let oversized = self.wtail.capacity() > SHRINK_AT;
+        self.wtail.clear();
         self.wpos = 0;
         if oversized {
-            self.wbuf.shrink_to(SHRINK_TO);
+            self.wtail.shrink_to(SHRINK_TO);
         }
         Ok(true)
     }
 
     /// Reads everything currently available (in [`READ_CHUNK`]-bounded
-    /// chunks) and appends every completed frame to `out`. Returns `true`
-    /// while the connection is open, `false` on a clean EOF at a frame
-    /// boundary. Errors on malformed lengths — rejected as soon as the
-    /// header is visible — and on an EOF that truncates a frame.
-    pub fn read_frames(&mut self, out: &mut Vec<RawFrame>) -> io::Result<bool> {
+    /// chunks) and appends every completed frame to `out`, with frame
+    /// buffers drawn from `pool` (return them with [`BufPool::put`] after
+    /// decoding). Returns `true` while the connection is open, `false` on a
+    /// clean EOF at a frame boundary. Errors on malformed lengths —
+    /// rejected as soon as the header is visible — and on an EOF that
+    /// truncates a frame.
+    pub fn read_frames(&mut self, out: &mut Vec<RawFrame>, pool: &mut BufPool) -> io::Result<bool> {
         if self.eof {
             return Ok(false);
         }
         loop {
             let start = self.rbuf.len();
             self.rbuf.resize(start + READ_CHUNK, 0);
-            match self.stream.read(&mut self.rbuf[start..]) {
+            let res = self.stream.read(&mut self.rbuf[start..]);
+            self.counters.read_syscalls += 1;
+            match res {
                 Ok(0) => {
                     self.rbuf.truncate(start);
-                    self.parse_available(out)?;
+                    self.parse_available(out, pool)?;
                     self.eof = true;
                     let pending = self.rbuf.len() - self.rpos;
                     if pending > 0 {
@@ -216,8 +483,9 @@ impl FrameConn {
                     return Ok(false);
                 }
                 Ok(n) => {
+                    self.counters.bytes_read += n as u64;
                     self.rbuf.truncate(start + n);
-                    self.parse_available(out)?;
+                    self.parse_available(out, pool)?;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     self.rbuf.truncate(start);
@@ -236,7 +504,7 @@ impl FrameConn {
     }
 
     /// Extracts every complete frame sitting in the reassembly buffer.
-    fn parse_available(&mut self, out: &mut Vec<RawFrame>) -> io::Result<()> {
+    fn parse_available(&mut self, out: &mut Vec<RawFrame>, pool: &mut BufPool) -> io::Result<()> {
         loop {
             let avail = self.rbuf.len() - self.rpos;
             if avail < FRAME_HEADER {
@@ -258,8 +526,12 @@ impl FrameConn {
                 return Ok(()); // body still arriving, chunk by chunk
             }
             // The emitted frame keeps its length prefix: `[len][bytes]` is
-            // exactly what `wire::decode_message` consumes.
-            out.push((seq, self.rbuf[at + 8..at + total].to_vec()));
+            // exactly what `wire::decode_message` consumes. The buffer is
+            // recycled, not allocated, once the pool is warm.
+            let mut frame = pool.get();
+            frame.extend_from_slice(&self.rbuf[at + 8..at + total]);
+            out.push((seq, frame));
+            self.counters.frames_in += 1;
             self.rpos += total;
             if len as usize >= SHRINK_AT {
                 self.shrink_pending = true;

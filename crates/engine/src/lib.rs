@@ -79,7 +79,7 @@ pub use pipeline::Pipeline;
 pub use protocol::{Effect, Matches, NodeCtx, Protocol};
 pub use recovery::SuspicionConfig;
 pub use replication::{PromotedState, ReplicaItem, ReplicaStore};
-pub use transport_tcp::TcpOptions;
+pub use transport_tcp::{SocketStats, TcpOptions};
 
 pub use trace::{
     BinarySummarySink, JsonlSink, JsonlSummarySink, NoopSink, RingBufferSink, SummarySink, TeeSink,

@@ -38,7 +38,7 @@ use crate::replication::ReplicaItem;
 use crate::tables::StoredQuery;
 use crate::trace::{TraceEvent, TraceSink};
 use crate::transport::{ActiveTransport, SimTransport, Transport as _};
-use crate::transport_tcp::{TcpOptions, TcpTransport};
+use crate::transport_tcp::{SocketStats, TcpOptions, TcpTransport};
 
 /// The whole simulated network.
 pub struct Network {
@@ -189,6 +189,18 @@ impl Network {
         match &self.transport {
             ActiveTransport::Tcp(t) => t.backpressure_events(),
             ActiveTransport::Sim(_) => 0,
+        }
+    }
+
+    /// Drains the TCP backend's aggregate socket statistics — syscalls,
+    /// bytes each way, frames each way, write backpressure, and the inbox
+    /// buffer-pool hit rate (`None` on the in-memory backend, which never
+    /// touches a socket). Take-style like wire bytes: counters reset to
+    /// zero, so per-phase deltas compose by calling between phases.
+    pub fn take_socket_stats(&mut self) -> Option<SocketStats> {
+        match &mut self.transport {
+            ActiveTransport::Tcp(t) => t.take_socket_stats(),
+            ActiveTransport::Sim(_) => None,
         }
     }
 

@@ -1106,17 +1106,33 @@ impl TraceSink for RingBufferSink {
 struct JsonlWriter {
     file: File,
     buf: Vec<u8>,
+    /// Buffered bytes that trigger the next `write(2)` — the explicit
+    /// writer size, chosen per format by the sink that owns this writer.
+    high_water: usize,
 }
 
-/// Bytes buffered before the next `write(2)` — sized to stay
-/// cache-resident rather than stream through a megabyte of cold lines.
+/// Bytes buffered before the next `write(2)` on JSONL traces — sized to
+/// stay cache-resident rather than stream through a megabyte of cold lines.
 const JSONL_BUF: usize = 1 << 18;
+
+/// Bytes buffered before the next `write(2)` on binary traces. Wire frames
+/// average tens of bytes, so a traced run emits hundreds of thousands of
+/// tiny appends (the ROADMAP's "270k file writes"); a 1 MiB high-water mark
+/// amortizes them to a handful of syscalls per run without an async writer.
+const BINARY_BUF: usize = 1 << 20;
 
 impl JsonlWriter {
     fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        JsonlWriter::with_capacity(path, JSONL_BUF)
+    }
+
+    /// A writer that batches appends until `high_water` bytes are buffered
+    /// (plus headroom for the line or frame that crosses the mark).
+    fn with_capacity(path: impl AsRef<Path>, high_water: usize) -> std::io::Result<Self> {
         Ok(JsonlWriter {
             file: File::create(path)?,
-            buf: Vec::with_capacity(JSONL_BUF + 512),
+            buf: Vec::with_capacity(high_water + 512),
+            high_water,
         })
     }
 
@@ -1126,7 +1142,7 @@ impl JsonlWriter {
     fn append(&mut self, ev: &TraceEvent) -> usize {
         let kind = ev.append_jsonl(&mut self.buf);
         self.buf.push(b'\n');
-        if self.buf.len() >= JSONL_BUF {
+        if self.buf.len() >= self.high_water {
             // An I/O error mid-trace must not kill the simulation; the
             // flush() at the end of a run surfaces persistent failures.
             let _ = self.file.write_all(&self.buf);
@@ -1140,7 +1156,7 @@ impl JsonlWriter {
     #[inline]
     fn append_frame(&mut self, ev: &TraceEvent) -> usize {
         crate::wire::encode_trace_event(ev, &mut self.buf);
-        if self.buf.len() >= JSONL_BUF {
+        if self.buf.len() >= self.high_water {
             let _ = self.file.write_all(&self.buf);
             self.buf.clear();
         }
@@ -1331,10 +1347,15 @@ pub struct BinarySummarySink {
 }
 
 impl BinarySummarySink {
-    /// Creates (truncating) the binary trace file at `path`.
+    /// Creates (truncating) the binary trace file at `path`. The writer is
+    /// sized at `BINARY_BUF` (1 MiB) — binary frames are far smaller than
+    /// JSONL lines, so the binary sink batches more events per `write(2)`.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
         Ok(BinarySummarySink {
-            inner: Mutex::new((JsonlWriter::create(path)?, SummaryState::default())),
+            inner: Mutex::new((
+                JsonlWriter::with_capacity(path, BINARY_BUF)?,
+                SummaryState::default(),
+            )),
         })
     }
 

@@ -130,6 +130,11 @@ pub(crate) trait Transport {
     /// like [`Message::KINDS`]. `None` for backends that don't serialize
     /// (the simulator accounts wire bytes in the fault pump instead).
     fn take_wire_bytes(&mut self) -> Option<[u64; 11]>;
+
+    /// Drains the backend's aggregate socket statistics (syscalls, bytes,
+    /// frames, backpressure, buffer-pool hit rate). `None` for backends
+    /// that never touch a socket.
+    fn take_socket_stats(&mut self) -> Option<crate::transport_tcp::SocketStats>;
 }
 
 /// The deterministic in-memory backend: a FIFO queue of envelopes and the
@@ -190,6 +195,10 @@ impl Transport for SimTransport {
     }
 
     fn take_wire_bytes(&mut self) -> Option<[u64; 11]> {
+        None
+    }
+
+    fn take_socket_stats(&mut self) -> Option<crate::transport_tcp::SocketStats> {
         None
     }
 }
@@ -263,6 +272,13 @@ impl Transport for ActiveTransport {
         match self {
             ActiveTransport::Sim(t) => t.take_wire_bytes(),
             ActiveTransport::Tcp(t) => t.take_wire_bytes(),
+        }
+    }
+
+    fn take_socket_stats(&mut self) -> Option<crate::transport_tcp::SocketStats> {
+        match self {
+            ActiveTransport::Sim(t) => t.take_socket_stats(),
+            ActiveTransport::Tcp(t) => t.take_socket_stats(),
         }
     }
 }

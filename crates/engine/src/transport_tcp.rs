@@ -50,7 +50,8 @@ use cq_poll::{Event, Interest, Poller};
 
 use crate::error::{EngineError, Result};
 use crate::faults::FaultPipe;
-use crate::frames::{FrameConn, RawFrame};
+use crate::frames::{BufPool, ConnCounters, FrameConn, RawFrame};
+use crate::messages::Message;
 use crate::transport::{Pending, Transport};
 use crate::wire;
 
@@ -68,7 +69,8 @@ const POLL_SLICE: Duration = Duration::from_millis(25);
 /// Tuning knobs for the TCP backend — all optional; the defaults match
 /// production behavior and tests override them to force specific paths
 /// (tiny kernel buffers exercise backpressure, a short stall timeout makes
-/// deadlock tests fast).
+/// deadlock tests fast, `max_coalesce_bytes: 0` restores eager
+/// flush-per-message for ordering-equivalence checks).
 #[derive(Clone, Copy, Debug)]
 pub struct TcpOptions {
     /// Kernel send-buffer size (`SO_SNDBUF`) applied to every outgoing
@@ -82,6 +84,14 @@ pub struct TcpOptions {
     /// envelope's frame is outstanding before the run fails with a typed
     /// stall error (a lost frame would otherwise hang the drive loop).
     pub stall_timeout: Duration,
+    /// The coalesced-flush bound: `enqueue` only buffers frames, and the
+    /// reactor flushes each connection once per poll — unless a
+    /// connection's queued bytes reach this bound, which forces an
+    /// immediate flush so userspace queueing (and therefore added latency)
+    /// stays bounded. `0` disables coalescing entirely: every enqueue
+    /// flushes eagerly, one syscall per frame, exactly the pre-coalescing
+    /// behavior.
+    pub max_coalesce_bytes: usize,
 }
 
 impl Default for TcpOptions {
@@ -90,7 +100,77 @@ impl Default for TcpOptions {
             send_buffer: None,
             recv_buffer: None,
             stall_timeout: Duration::from_secs(10),
+            max_coalesce_bytes: 256 * 1024,
         }
+    }
+}
+
+/// Aggregate socket-path statistics, drained `take_wire_bytes`-style via
+/// the transport's `take_socket_stats` hook (and surfaced as
+/// [`crate::Network::take_socket_stats`]). Connection tallies fold in here when a
+/// connection closes and when the stats are taken; pool counters come from
+/// the shared inbox [`BufPool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SocketStats {
+    /// `writev` calls issued across all connections (including
+    /// `WouldBlock` attempts).
+    pub write_syscalls: u64,
+    /// `read` calls issued across all connections (including `WouldBlock`
+    /// probes and EOF reads).
+    pub read_syscalls: u64,
+    /// Bytes the kernel accepted for sending.
+    pub bytes_written: u64,
+    /// Bytes read off the sockets.
+    pub bytes_read: u64,
+    /// Frames queued for sending.
+    pub frames_sent: u64,
+    /// Complete frames reassembled off the wire.
+    pub frames_received: u64,
+    /// Times any flush parked bytes in userspace (write backpressure).
+    pub blocked_writes: u64,
+    /// Inbox frame buffers served from the recycling pool.
+    pub pool_hits: u64,
+    /// Inbox frame buffers that had to be freshly allocated.
+    pub pool_misses: u64,
+}
+
+impl SocketStats {
+    /// Frames sent per write syscall — > 1 means flushes genuinely
+    /// coalesce (the eager-flush baseline is exactly 1 frame per write).
+    pub fn frames_per_flush(&self) -> f64 {
+        if self.write_syscalls == 0 {
+            return 0.0;
+        }
+        self.frames_sent as f64 / self.write_syscalls as f64
+    }
+
+    /// Payload bytes moved per syscall, reads and writes combined.
+    pub fn bytes_per_syscall(&self) -> f64 {
+        let calls = self.write_syscalls + self.read_syscalls;
+        if calls == 0 {
+            return 0.0;
+        }
+        (self.bytes_written + self.bytes_read) as f64 / calls as f64
+    }
+
+    /// Fraction of inbox frame buffers served without allocating.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.pool_hits as f64 / total as f64
+    }
+
+    /// Folds one connection's tallies into the aggregate.
+    fn merge_conn(&mut self, c: &ConnCounters) {
+        self.write_syscalls += c.write_syscalls;
+        self.read_syscalls += c.read_syscalls;
+        self.bytes_written += c.bytes_written;
+        self.bytes_read += c.bytes_read;
+        self.frames_sent += c.frames_out;
+        self.frames_received += c.frames_in;
+        self.blocked_writes += c.blocked_writes;
     }
 }
 
@@ -144,6 +224,10 @@ enum ConnKind {
 struct Conn {
     fc: FrameConn,
     kind: ConnKind,
+    /// Whether the poller currently watches this socket for writability
+    /// (kept in sync lazily so interest changes cost an `epoll_ctl` only
+    /// when the state actually flips).
+    armed_write: bool,
 }
 
 /// The TCP loopback backend. See the module docs for the reactor, ordering
@@ -186,8 +270,14 @@ pub(crate) struct TcpTransport {
     /// Exact stream bytes written per message kind ([`crate::messages::Message::KINDS`]
     /// order): the codec frame plus its 8-byte sequence header.
     bytes_sent: [u64; 11],
-    /// Reusable encode buffer.
-    wbuf: Vec<u8>,
+    /// Recycling pool for inbox frame buffers, shared across every
+    /// connection: `read_frames` draws from it and `next_delivery` returns
+    /// each frame after decoding, so steady-state inbox traffic allocates
+    /// nothing.
+    pool: BufPool,
+    /// Aggregate socket statistics (closed connections fold in here; live
+    /// connection tallies are folded on [`Transport::take_socket_stats`]).
+    stats: SocketStats,
     /// Reusable poller event buffer.
     events: Vec<Event>,
     /// Reusable frame-reassembly output buffer.
@@ -240,7 +330,8 @@ impl TcpTransport {
             deferred: None,
             dropped_after_error: 0,
             bytes_sent: [0; 11],
-            wbuf: Vec::new(),
+            pool: BufPool::new(),
+            stats: SocketStats::default(),
             events: Vec::new(),
             scratch: Vec::new(),
             stalled: Duration::ZERO,
@@ -279,11 +370,13 @@ impl TcpTransport {
         Ok(idx)
     }
 
-    /// Deregisters, unmaps and drops a connection. The per-stream sequence
-    /// counters survive — they are what lets a reconnect prove (or
-    /// disprove) that no frame was lost in between.
+    /// Deregisters, unmaps and drops a connection, folding its I/O tallies
+    /// into the aggregate stats. The per-stream sequence counters survive —
+    /// they are what lets a reconnect prove (or disprove) that no frame was
+    /// lost in between.
     fn close_conn(&mut self, idx: usize) {
-        if let Some(conn) = self.conns[idx].take() {
+        if let Some(mut conn) = self.conns[idx].take() {
+            self.stats.merge_conn(&conn.fc.take_counters());
             let _ = self.poller.deregister(conn.fc.stream());
             match conn.kind {
                 ConnKind::Out { from, to } => {
@@ -302,22 +395,47 @@ impl TcpTransport {
         }
     }
 
-    /// Re-registers `idx` with write interest exactly when it has queued
-    /// bytes (level-triggered: leaving write interest on an idle socket
-    /// would spin the poller).
-    fn update_interest(&mut self, idx: usize) -> Result<()> {
-        let Some(conn) = self.conns[idx].as_ref() else {
+    /// Arms or disarms write interest for `idx`, issuing the poller
+    /// `modify` only when the state actually changes (level-triggered:
+    /// leaving write interest on an idle socket would spin the poller, and
+    /// re-modifying an unchanged one would cost an `epoll_ctl` per flush).
+    fn set_write_interest(&mut self, idx: usize, want: bool) -> Result<()> {
+        let token = self.conn_token(idx);
+        let Some(conn) = self.conns[idx].as_mut() else {
             return Ok(());
         };
-        let interest = if conn.fc.wants_write() {
-            Interest::BOTH
-        } else {
-            Interest::READ
-        };
-        let token = self.conn_token(idx);
+        if conn.armed_write == want {
+            return Ok(());
+        }
+        conn.armed_write = want;
+        let interest = if want { Interest::BOTH } else { Interest::READ };
         self.poller
             .modify(conn.fc.stream(), token, interest)
             .map_err(|e| io_err("update interest", e))
+    }
+
+    /// Flushes a connection's write queue (one vectored write per syscall)
+    /// and keeps the poller's write interest in sync: armed while bytes
+    /// stay parked under backpressure, disarmed once the queue drains.
+    fn flush_conn(&mut self, idx: usize) -> Result<()> {
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return Ok(());
+        };
+        match conn.fc.flush() {
+            Ok(true) => self.set_write_interest(idx, false),
+            Ok(false) => {
+                self.backpressure_events += 1;
+                self.set_write_interest(idx, true)
+            }
+            Err(e) => {
+                let context = match conn.kind {
+                    ConnKind::Out { from, to } => format!("write {from}→{to}"),
+                    _ => "write".to_string(),
+                };
+                self.close_conn(idx);
+                Err(io_err(&context, e))
+            }
+        }
     }
 
     /// Returns the table index of the live `(from → to)` outgoing stream,
@@ -352,31 +470,33 @@ impl TcpTransport {
         let idx = self.alloc_conn(Conn {
             fc,
             kind: ConnKind::Out { from, to },
+            armed_write: false,
         })?;
         self.out.insert((from, to), idx);
         Ok(idx)
     }
 
-    /// Queues one frame on the `(from → to)` stream and flushes as much as
-    /// the kernel accepts; a full kernel buffer leaves the rest parked for
-    /// the next writable event.
-    fn send_frame(&mut self, from: u32, to: u32, frame: &[u8]) -> Result<()> {
+    /// Encodes one message *in place* at the end of the `(from → to)`
+    /// stream's write queue (no scratch buffer, no memcpy) and applies the
+    /// coalesced flush policy: the frame normally just buffers — the
+    /// reactor flushes once per poll — but a queue at or past
+    /// `max_coalesce_bytes` (or any queueing at all when the bound is 0,
+    /// the eager mode) flushes immediately. Returns the exact stream bytes
+    /// queued: the codec frame plus its 8-byte sequence header.
+    fn enqueue_frame(&mut self, from: u32, to: u32, msg: &Message) -> Result<usize> {
         let idx = self.ensure_out(from, to)?;
         let seq = self.send_seq.entry((from, to)).or_insert(0);
         let frame_seq = *seq;
         *seq += 1;
         // Invariant: ensure_out returned a live table entry.
         let conn = self.conns[idx].as_mut().expect("live outgoing conn");
-        conn.fc.queue_frame(frame_seq, frame);
-        match conn.fc.flush() {
-            Ok(true) => {}
-            Ok(false) => self.backpressure_events += 1,
-            Err(e) => {
-                self.close_conn(idx);
-                return Err(io_err(&format!("write {from}→{to}"), e));
-            }
+        let appended = conn
+            .fc
+            .append_frame_with(frame_seq, |buf| wire::encode_message(msg, buf));
+        if conn.fc.queued_write_bytes() >= self.opts.max_coalesce_bytes {
+            self.flush_conn(idx)?;
         }
-        self.update_interest(idx)
+        Ok(appended)
     }
 
     /// Parks a transport error for [`Transport::next_delivery`] to surface
@@ -425,6 +545,7 @@ impl TcpTransport {
                             buf: [0; HELLO_LEN],
                             have: 0,
                         },
+                        armed_write: false,
                     })?;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
@@ -506,7 +627,8 @@ impl TcpTransport {
     }
 
     /// Drains an established incoming stream: reassembled frames are
-    /// sequence-checked and appended to the pair's inbox.
+    /// sequence-checked and appended to the pair's inbox. Frame buffers are
+    /// pool-backed; `next_delivery` returns each one after decoding.
     fn read_established(&mut self, idx: usize) -> Result<()> {
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
@@ -516,15 +638,20 @@ impl TcpTransport {
             let ConnKind::In { to, from } = conn.kind else {
                 unreachable!("read_established on a non-In connection")
             };
-            (conn.fc.read_frames(&mut scratch), (to, from))
+            (
+                conn.fc.read_frames(&mut scratch, &mut self.pool),
+                (to, from),
+            )
         };
         let mut seq_error = None;
         for (seq, frame) in scratch.drain(..) {
             if seq_error.is_some() {
+                self.pool.put(frame);
                 continue;
             }
             let expected = self.recv_seq.entry(pair).or_insert(0);
             if seq != *expected {
+                self.pool.put(frame);
                 seq_error = Some(EngineError::Protocol {
                     detail: format!(
                         "stream {}→{}: frame #{seq} arrived where #{expected} was expected — envelope/frame misalignment",
@@ -567,10 +694,12 @@ impl TcpTransport {
         let read_res = {
             // Invariant: callers pass a live Out connection.
             let conn = self.conns[idx].as_mut().expect("live outgoing conn");
-            conn.fc.read_frames(&mut scratch)
+            conn.fc.read_frames(&mut scratch, &mut self.pool)
         };
         let unexpected = !scratch.is_empty();
-        scratch.clear();
+        for (_, frame) in scratch.drain(..) {
+            self.pool.put(frame);
+        }
         self.scratch = scratch;
         if unexpected {
             self.close_conn(idx);
@@ -601,21 +730,10 @@ impl TcpTransport {
             // Invariant: checked non-None above.
             let conn = self.conns[idx].as_mut().expect("live conn");
             if conn.fc.wants_write() {
-                match conn.fc.flush() {
-                    Ok(true) => self.update_interest(idx)?,
-                    Ok(false) => self.backpressure_events += 1,
-                    Err(e) => {
-                        let context = match conn.kind {
-                            ConnKind::Out { from, to } => format!("write {from}→{to}"),
-                            _ => "write".to_string(),
-                        };
-                        self.close_conn(idx);
-                        return Err(io_err(&context, e));
-                    }
-                }
+                self.flush_conn(idx)?;
             } else if !ev.readable {
                 // Writable with nothing queued: drop the stale interest.
-                self.update_interest(idx)?;
+                self.set_write_interest(idx, false)?;
             }
         }
         if ev.readable {
@@ -632,8 +750,10 @@ impl TcpTransport {
         Ok(())
     }
 
-    /// One reactor turn: flush backpressured writers, wait for readiness
-    /// (up to [`POLL_SLICE`] when `block`), and service every event. Tracks
+    /// One reactor turn: flush every connection with queued bytes — this is
+    /// the **coalesced flush point**, one vectored write per connection for
+    /// everything buffered since the last poll — wait for readiness (up to
+    /// [`POLL_SLICE`] when `block`), and service every event. Tracks
     /// consecutive empty blocking waits so a frame lost to a broken stream
     /// fails the run with a typed stall error instead of hanging it.
     fn poll_reactor(&mut self, block: bool) -> Result<()> {
@@ -645,16 +765,7 @@ impl TcpTransport {
             if !wants {
                 continue;
             }
-            // Invariant: checked live just above.
-            let conn = self.conns[idx].as_mut().expect("live conn");
-            match conn.fc.flush() {
-                Ok(true) => self.update_interest(idx)?,
-                Ok(false) => {}
-                Err(e) => {
-                    self.close_conn(idx);
-                    return Err(io_err("flush", e));
-                }
-            }
+            self.flush_conn(idx)?;
         }
         let timeout = if block {
             Some(POLL_SLICE)
@@ -716,22 +827,20 @@ impl Transport for TcpTransport {
             trace_id,
             trace_path,
         } = p;
-        let mut wbuf = std::mem::take(&mut self.wbuf);
-        wbuf.clear();
-        wire::encode_message(&msg, &mut wbuf);
-        // Exact stream cost: codec frame plus the 8-byte sequence header.
-        self.bytes_sent[msg.kind_index()] += wbuf.len() as u64 + 8;
-        let res = self.send_frame(from.index() as u32, to.index() as u32, &wbuf);
-        self.wbuf = wbuf;
-        match res {
-            Ok(()) => self.queue.push_back(Envelope {
-                from,
-                to,
-                target,
-                reroute,
-                trace_id,
-                trace_path,
-            }),
+        match self.enqueue_frame(from.index() as u32, to.index() as u32, &msg) {
+            Ok(appended) => {
+                // Exact stream cost: the codec frame plus the 8-byte
+                // sequence header, as queued in place by enqueue_frame.
+                self.bytes_sent[msg.kind_index()] += appended as u64;
+                self.queue.push_back(Envelope {
+                    from,
+                    to,
+                    target,
+                    reroute,
+                    trace_id,
+                    trace_path,
+                });
+            }
             Err(e) => self.defer(e),
         }
     }
@@ -751,7 +860,11 @@ impl Transport for TcpTransport {
         };
         // Invariant: peeked non-empty above.
         let env = self.queue.pop_front().expect("peeked above");
-        let (msg, _) = wire::decode_message(&frame, &self.catalog)?;
+        let decoded = wire::decode_message(&frame, &self.catalog);
+        // The frame buffer is pool-backed: recycle it for the next read,
+        // whether or not the decode succeeded.
+        self.pool.put(frame);
+        let (msg, _) = decoded?;
         Ok(Some(Pending {
             from: env.from,
             to: env.to,
@@ -785,5 +898,16 @@ impl Transport for TcpTransport {
 
     fn take_wire_bytes(&mut self) -> Option<[u64; 11]> {
         Some(std::mem::take(&mut self.bytes_sent))
+    }
+
+    fn take_socket_stats(&mut self) -> Option<SocketStats> {
+        let mut stats = std::mem::take(&mut self.stats);
+        for conn in self.conns.iter_mut().flatten() {
+            stats.merge_conn(&conn.fc.take_counters());
+        }
+        let (hits, misses) = self.pool.take_counters();
+        stats.pool_hits += hits;
+        stats.pool_misses += misses;
+        Some(stats)
     }
 }

@@ -8,7 +8,7 @@ use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::time::Duration;
 
-use cq_engine::frames::{FrameConn, SHRINK_AT};
+use cq_engine::frames::{BufPool, FrameConn, SHRINK_AT, SHRINK_TO, WRITE_SEG};
 use cq_engine::{Algorithm, EngineConfig, Network, TcpOptions};
 use cq_relational::{Catalog, DataType, RelationSchema, Value};
 
@@ -181,6 +181,7 @@ fn large_frames_backpressure_and_shrink_through_the_real_transport() {
         send_buffer: Some(4096),
         recv_buffer: Some(4096),
         stall_timeout: Duration::from_secs(30),
+        ..TcpOptions::default()
     })
     .expect("perfect-delivery config accepts the TCP transport");
     let poser = net.node_at(0);
@@ -220,7 +221,10 @@ fn frameconn_rejects_oversized_header_immediately() {
     client.write_all(&header).unwrap();
     std::thread::sleep(Duration::from_millis(20));
     let mut out = Vec::new();
-    let err = fc.read_frames(&mut out).expect_err("header must be judged");
+    let mut pool = BufPool::new();
+    let err = fc
+        .read_frames(&mut out, &mut pool)
+        .expect_err("header must be judged");
     assert!(err.to_string().contains("outside (0, 1024]"), "{err}");
     assert!(out.is_empty());
 }
@@ -239,10 +243,14 @@ fn frameconn_shrinks_after_a_large_frame() {
         client // keep the connection open
     });
     let mut out = Vec::new();
+    let mut pool = BufPool::new();
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while out.is_empty() {
         assert!(std::time::Instant::now() < deadline, "frame never arrived");
-        assert!(fc.read_frames(&mut out).unwrap(), "peer stays open");
+        assert!(
+            fc.read_frames(&mut out, &mut pool).unwrap(),
+            "peer stays open"
+        );
         std::thread::sleep(Duration::from_millis(2));
     }
     let _client = writer.join().unwrap();
@@ -254,6 +262,169 @@ fn frameconn_shrinks_after_a_large_frame() {
          (capacity {})",
         fc.read_buffer_capacity()
     );
+}
+
+#[test]
+fn vectored_flush_survives_partial_writes_across_segments() {
+    // Queue enough frames to seal several 32 KiB write segments, then push
+    // them through a 4 KiB SO_SNDBUF at a slow reader: every flush attempt
+    // short-writes somewhere in the middle of the iovec array, so the
+    // flushed-cursor bookkeeping (wpos across segment boundaries) is
+    // exercised hard. The peer must receive the exact queued byte stream.
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = TcpStream::connect(addr).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    cq_poll::set_send_buffer(&server, 4096).unwrap();
+    let mut fc = FrameConn::new(server, cq_engine::wire::MAX_FRAME).unwrap();
+
+    let mut expected = Vec::new();
+    for seq in 0..200u64 {
+        let body = vec![(seq & 0xFF) as u8; 997];
+        let frame = raw_frame(seq, &body);
+        fc.queue_frame(seq, &frame[8..]);
+        expected.extend_from_slice(&frame);
+    }
+    assert!(
+        fc.queued_segments() > 1,
+        "~200 KB must seal multiple {WRITE_SEG}-byte segments \
+         (got {} segments)",
+        fc.queued_segments()
+    );
+
+    let total = expected.len();
+    let reader = std::thread::spawn(move || {
+        use std::io::Read;
+        let mut client = client;
+        let mut received = Vec::with_capacity(total);
+        let mut chunk = [0u8; 8192];
+        while received.len() < total {
+            // A slow reader keeps the kernel buffer full so flushes stay
+            // partial for most of the transfer.
+            std::thread::sleep(Duration::from_millis(1));
+            match client.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => received.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("reader: {e}"),
+            }
+        }
+        received
+    });
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while fc.wants_write() {
+        assert!(std::time::Instant::now() < deadline, "flush never drained");
+        fc.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(
+        fc.blocked_writes() > 0,
+        "200 KB through a 4 KiB kernel buffer must short-write"
+    );
+    drop(fc); // close so the reader's final read can observe EOF if needed
+    let received = reader.join().unwrap();
+    assert_eq!(received.len(), expected.len());
+    assert!(
+        received == expected,
+        "byte stream corrupted by partial writes"
+    );
+}
+
+#[test]
+fn pool_buffers_are_reused_and_large_ones_shrink() {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut client = TcpStream::connect(addr).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    let mut fc = FrameConn::new(server, cq_engine::wire::MAX_FRAME).unwrap();
+    let mut pool = BufPool::new();
+    let mut out = Vec::new();
+
+    // Steady state: one frame at a time, recycled after each delivery.
+    // After the first miss primes the pool, every further frame is a hit.
+    for seq in 0..50u64 {
+        client.write_all(&raw_frame(seq, &[7u8; 256])).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while out.is_empty() {
+            assert!(std::time::Instant::now() < deadline, "frame never arrived");
+            assert!(fc.read_frames(&mut out, &mut pool).unwrap());
+        }
+        for (_, buf) in out.drain(..) {
+            pool.put(buf);
+        }
+    }
+    let (hits, misses) = pool.counters();
+    assert_eq!(hits + misses, 50, "every frame drew one pool buffer");
+    assert!(
+        hits >= 49,
+        "steady-state frames must reuse the pooled buffer \
+         ({hits} hits / {misses} misses)"
+    );
+    assert_eq!(pool.buffered(), 1, "the one buffer cycles through the pool");
+
+    // A buffer that ballooned past SHRINK_AT must not be retained at full
+    // capacity — the pool shrinks it on put.
+    let mut big = pool.get();
+    big.reserve(SHRINK_AT + 1);
+    pool.put(big);
+    let recycled = pool.get();
+    assert!(
+        recycled.capacity() <= SHRINK_TO,
+        "oversized buffers must shrink to {SHRINK_TO} on put \
+         (capacity {})",
+        recycled.capacity()
+    );
+}
+
+#[test]
+fn coalesced_and_eager_flush_deliver_identically() {
+    // The coalesced flush policy (buffer in enqueue, one vectored write per
+    // reactor drain) must be invisible to the protocol: a run with eager
+    // per-message flushes (max_coalesce_bytes: 0, PR 9's policy) and a run
+    // with the default coalescing bound must deliver the same notifications
+    // and count the same logical traffic and wire bytes.
+    let run = |coalesce: usize| {
+        let mut net = Network::new(
+            EngineConfig::new(Algorithm::DaiT)
+                .with_nodes(8)
+                .with_seed(5)
+                .with_retained_notifications(true),
+            catalog(),
+        );
+        net.enable_tcp_transport_with(TcpOptions {
+            max_coalesce_bytes: coalesce,
+            ..TcpOptions::default()
+        })
+        .expect("perfect-delivery config accepts the TCP transport");
+        let poser = net.node_at(0);
+        net.pose_query_sql(poser, "SELECT R.A, S.D FROM R, S WHERE R.B = S.C")
+            .unwrap();
+        net.pose_query_sql(net.node_at(3), "SELECT R.B, S.C FROM R, S WHERE R.A = S.C")
+            .unwrap();
+        for i in 0..30i64 {
+            net.insert_tuple(net.node_at(1), "R", vec![Value::Int(i), Value::Int(i % 7)])
+                .unwrap();
+            net.insert_tuple(
+                net.node_at(2),
+                "S",
+                vec![Value::Int(i % 7), Value::Str(format!("s{i}"))],
+            )
+            .unwrap();
+        }
+        let m = net.metrics();
+        let total = m.total_traffic();
+        (
+            net.delivered_set(),
+            m.notifications_delivered,
+            total.messages,
+            total.hops,
+            m.faults.total_bytes_sent(),
+        )
+    };
+    let eager = run(0);
+    let coalesced = run(TcpOptions::default().max_coalesce_bytes);
+    assert!(eager.1 > 0, "the workload must deliver notifications");
+    assert_eq!(eager, coalesced, "flush policy leaked into the protocol");
 }
 
 #[test]

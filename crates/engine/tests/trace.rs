@@ -5,7 +5,8 @@
 use std::sync::Arc;
 
 use cq_engine::{
-    Algorithm, EngineConfig, FaultConfig, JsonlSink, Network, RingBufferSink, TeeSink, TraceEvent,
+    Algorithm, BinarySummarySink, EngineConfig, FaultConfig, JsonlSink, Network, RingBufferSink,
+    TeeSink, TraceEvent,
 };
 use cq_relational::{Catalog, DataType, RelationSchema, Value};
 
@@ -127,6 +128,50 @@ fn jsonl_file_round_trips_the_in_memory_event_stream() {
     // the events the in-memory sink saw, in order.
     assert_eq!(parsed, ring.events());
     check_ordering(&parsed, "parsed JSONL");
+}
+
+#[test]
+fn binary_trace_dumps_back_to_byte_identical_jsonl() {
+    // The same run streams into a JSONL sink and the buffered binary sink;
+    // converting the binary file the way `trace_dump` does (decode each
+    // wire frame, re-serialize with `to_jsonl`) must reproduce the JSONL
+    // file byte for byte — the writer's batching is invisible on disk.
+    let pid = std::process::id();
+    let jsonl_path = std::env::temp_dir().join(format!("cq-trace-bin-rt-{pid}.jsonl"));
+    let bin_path = std::env::temp_dir().join(format!("cq-trace-bin-rt-{pid}.trace"));
+    let jsonl = Arc::new(JsonlSink::create(&jsonl_path).unwrap());
+    let binary = Arc::new(BinarySummarySink::create(&bin_path).unwrap());
+    let mut net = Network::new(
+        EngineConfig::new(Algorithm::DaiQ)
+            .with_nodes(16)
+            .with_seed(7)
+            .with_fault(FaultConfig::lossy(0.15, 99)),
+        catalog(),
+    );
+    net.set_tracer(Arc::new(TeeSink::new(vec![jsonl.clone(), binary.clone()])));
+    stream(&mut net);
+    jsonl.flush().unwrap();
+    binary.flush().unwrap();
+
+    let expected = std::fs::read_to_string(&jsonl_path).unwrap();
+    let bytes = std::fs::read(&bin_path).unwrap();
+    std::fs::remove_file(&jsonl_path).ok();
+    std::fs::remove_file(&bin_path).ok();
+    assert!(!bytes.is_empty(), "binary trace must not be empty");
+
+    let mut dumped = String::with_capacity(expected.len());
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let (ev, used) = cq_engine::wire::decode_trace_event(&bytes[pos..])
+            .unwrap_or_else(|e| panic!("bad frame at byte {pos}: {e}"));
+        pos += used;
+        ev.to_jsonl(&mut dumped);
+        dumped.push('\n');
+    }
+    assert!(
+        dumped == expected,
+        "binary round-trip diverged from the JSONL file"
+    );
 }
 
 #[test]

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! tcp_cluster [--alg A] [--nodes N] [--queries Q] [--tuples T] [--seed S]
-//!             [--clients C]
+//!             [--clients C] [--payload-size B]
 //! ```
 //!
 //! Without `--clients`, the command stream is applied in-process and only
@@ -13,11 +13,23 @@
 //! into one server event loop (true multi-client mode), and the outcome is
 //! checked against a sequential in-memory run of the same command list.
 //!
+//! With `--payload-size B`, the equivalence check is replaced by the
+//! loopback throughput harness: wide tuples carrying a `B`-byte string
+//! payload are streamed through the real reactor and only the throughput
+//! summary is printed (the default workload's tuples are all-`Int`, so
+//! stress payloads need the harness's own catalog).
+//!
+//! Every socket run ends with a throughput summary: frames sent/received,
+//! wire bytes, syscalls, frames per flush, pool hit rate, wall time, and
+//! messages per second.
+//!
 //! Exits nonzero (with a description of the first divergence) if the socket
 //! run and the simulator run disagree.
 
-use cq_engine::Algorithm;
-use cq_sim::cluster::{compare, run_multi_client, ClusterConfig};
+use std::time::Duration;
+
+use cq_engine::{Algorithm, SocketStats};
+use cq_sim::cluster::{compare, run_multi_client, run_throughput, ClusterConfig, ThroughputConfig};
 
 fn parse<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> T {
     v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -26,10 +38,38 @@ fn parse<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> T {
     })
 }
 
+/// Prints the per-run socket throughput summary.
+fn print_summary(messages: u64, wall: Duration, s: &SocketStats) {
+    let secs = wall.as_secs_f64().max(1e-9);
+    println!(
+        "socket summary: {} frames out / {} in, {} bytes written / {} read",
+        s.frames_sent, s.frames_received, s.bytes_written, s.bytes_read
+    );
+    println!(
+        "  {} write syscalls ({:.1} frames/flush, {:.0} bytes/syscall), \
+         {} read syscalls, {} blocked writes",
+        s.write_syscalls,
+        s.frames_per_flush(),
+        s.bytes_per_syscall(),
+        s.read_syscalls,
+        s.blocked_writes
+    );
+    println!(
+        "  pool hit rate {:.1}% ({} hits / {} misses), wall {:.3}s, {:.0} msgs/sec",
+        s.pool_hit_rate() * 100.0,
+        s.pool_hits,
+        s.pool_misses,
+        secs,
+        messages as f64 / secs
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ClusterConfig::default();
     let mut clients: Option<usize> = None;
+    let mut payload_size: Option<usize> = None;
+    let mut nodes_set = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -43,20 +83,51 @@ fn main() {
                         std::process::exit(2);
                     });
             }
-            "--nodes" => cfg.nodes = parse("--nodes", iter.next()),
+            "--nodes" => {
+                cfg.nodes = parse("--nodes", iter.next());
+                nodes_set = true;
+            }
             "--queries" => cfg.queries = parse("--queries", iter.next()),
             "--tuples" => cfg.tuples = parse("--tuples", iter.next()),
             "--seed" => cfg.seed = parse("--seed", iter.next()),
             "--clients" => clients = Some(parse("--clients", iter.next())),
+            "--payload-size" => payload_size = Some(parse("--payload-size", iter.next())),
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
                     "usage: tcp_cluster [--alg A] [--nodes N] [--queries Q] \
-                     [--tuples T] [--seed S] [--clients C]"
+                     [--tuples T] [--seed S] [--clients C] [--payload-size B]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(payload) = payload_size {
+        let tcfg = ThroughputConfig {
+            nodes: if nodes_set {
+                cfg.nodes
+            } else {
+                ThroughputConfig::default().nodes
+            },
+            payload,
+            tuples: cfg.tuples.max(ThroughputConfig::default().tuples),
+            seed: cfg.seed,
+        };
+        println!(
+            "tcp_cluster throughput: {} nodes, {} tuples, {}-byte payloads, seed {}",
+            tcfg.nodes, tcfg.tuples, tcfg.payload, tcfg.seed
+        );
+        let report = run_throughput(&tcfg);
+        println!(
+            "moved {} messages / {} wire bytes in {:.3}s ({:.0} msgs/sec, {:.2} MB/s)",
+            report.messages,
+            report.wire_bytes,
+            report.wall.as_secs_f64(),
+            report.msgs_per_sec(),
+            report.mb_per_sec()
+        );
+        print_summary(report.messages, report.wall, &report.socket);
+        return;
     }
     println!(
         "tcp_cluster: {} over {} nodes, {} queries, {} tuples, seed {}",
@@ -83,8 +154,12 @@ fn main() {
         return;
     }
     match compare(&cfg) {
-        Ok(wire_bytes) => {
-            println!("sim and tcp runs agree; tcp moved {wire_bytes} wire bytes");
+        Ok(report) => {
+            println!(
+                "sim and tcp runs agree; tcp moved {} wire bytes",
+                report.wire_bytes
+            );
+            print_summary(report.messages, report.wall, &report.socket);
         }
         Err(divergence) => {
             eprintln!("MISMATCH: {divergence}");

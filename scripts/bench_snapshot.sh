@@ -1,21 +1,28 @@
 #!/usr/bin/env bash
-# Captures a perf snapshot of the quick experiment suite and the
-# join-evaluation kernels, writing BENCH_6.json at the repo root so future
-# PRs have a trajectory to compare against.
+# Captures a perf snapshot of the quick experiment suite, the
+# join-evaluation kernels, and the socket hot path, writing BENCH_10.json
+# at the repo root so future PRs have a trajectory to compare against.
 #
-#   scripts/bench_snapshot.sh            full snapshot -> BENCH_6.json
+#   scripts/bench_snapshot.sh            full snapshot -> BENCH_10.json
 #   scripts/bench_snapshot.sh --check    CI smoke mode: one quick-suite run,
-#                                        shrunk kernel audit, output to a
-#                                        temp file (the committed snapshot
-#                                        is not touched), plus the
-#                                        flat-allocation-slope check
+#                                        shrunk kernel audit and throughput
+#                                        bench, output to a temp file (the
+#                                        committed snapshot is not touched),
+#                                        plus every gate below
 #
 # The snapshot records wall times (min over N runs — min, not mean, because
-# a shared box only adds noise upward), kernel events/sec, and heap
-# allocations per event from the counting-allocator build. The allocation
-# numbers are the zero-clone guarantee: each scan kernel is measured at two
-# table sizes an order of magnitude apart, and allocations/event must not
-# grow with the candidate count.
+# a shared box only adds noise upward), kernel events/sec, heap allocations
+# per event from the counting-allocator build, and loopback throughput at
+# three payload sizes through the real TCP reactor.
+#
+# Gates enforced in both modes:
+#   - scan-kernel allocations stay flat in the table size (slope < 0.5)
+#   - the ALQT group scan is allocation-free (< 0.01 allocs/event)
+#   - the socket pump is allocation-free in steady state (< 0.01
+#     allocs/frame: encode-in-place write, vectored flush, pooled read)
+#   - the throughput bench covers >= 3 payload sizes, every size moves
+#     messages, coalesces > 1 frame per vectored flush on average, and
+#     recycles inbox buffers at a >= 90% pool hit rate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,17 +34,20 @@ for arg in "$@"; do
   esac
 done
 
-out=BENCH_6.json
+out=BENCH_10.json
 runs=3
 audit_args=()
+socket_args=()
 if [[ $mode == check ]]; then
   out=$(mktemp --suffix=.json)
   runs=1
   audit_args=(--quick)
+  socket_args=(--quick)
 fi
 
 cargo build --release -p cq-sim --bin experiments
 cargo build --release -p cq-bench --features count-allocs --bin alloc_audit
+cargo build --release -p cq-bench --bin socket_bench
 
 best=
 for ((i = 0; i < runs; i++)); do
@@ -50,19 +60,22 @@ for ((i = 0; i < runs; i++)); do
 done
 
 audit=$(target/release/alloc_audit "${audit_args[@]}")
+socket=$(target/release/socket_bench "${socket_args[@]}")
 
 jq -n \
   --argjson wall "$best" \
   --argjson runs "$runs" \
   --argjson audit "$audit" \
+  --argjson socket "$socket" \
   '{
-    snapshot: "BENCH_6",
+    snapshot: "BENCH_10",
     baseline: {
       quick_suite_wall_ms: 4230,
-      note: "main before PR 6 (zero-clone kernels + batched delivery), same box"
+      note: "main before PR 6 (zero-clone kernels + batched delivery), same box; PR 10 adds the socket hot-path snapshot"
     },
     quick_suite: { wall_ms_min: $wall, runs: $runs },
-    alloc_audit: $audit
+    alloc_audit: $audit,
+    socket_bench: $socket
   }' > "$out"
 
 echo "wrote $out (quick suite min ${best} ms over ${runs} run(s))" >&2
@@ -85,4 +98,28 @@ jq -e '
     | all(. < 0.01)
   )
 ' "$out" > /dev/null || { echo "FAIL: alqt-scan is not allocation-free" >&2; exit 1; }
-echo "allocation-slope check passed" >&2
+
+# Zero-copy socket guarantee: the loopback frame pump (encode in place,
+# vectored flush, pooled read, recycle) must be allocation-free per frame.
+jq -e '
+  .alloc_audit.count_allocs == false or (
+    [ .alloc_audit.kernels[] | select(.kernel == "socket-pump") | .allocs_per_event ]
+    | (length > 0 and all(. < 0.01))
+  )
+' "$out" > /dev/null || { echo "FAIL: socket-pump allocates per frame" >&2; exit 1; }
+
+# Throughput-bench structure: >= 3 payload sizes, every size moves
+# messages, coalesces > 1 frame per flush, and recycles pool buffers.
+jq -e '
+  .socket_bench.payloads | length >= 3
+' "$out" > /dev/null || { echo "FAIL: socket_bench must cover >= 3 payload sizes" >&2; exit 1; }
+jq -e '
+  [ .socket_bench.payloads[] | .msgs_per_sec > 0 and .wire_bytes > 0 ] | all
+' "$out" > /dev/null || { echo "FAIL: a payload size moved no traffic" >&2; exit 1; }
+jq -e '
+  [ .socket_bench.payloads[].frames_per_flush ] | all(. > 1)
+' "$out" > /dev/null || { echo "FAIL: coalesced flushes must batch > 1 frame on average" >&2; exit 1; }
+jq -e '
+  [ .socket_bench.payloads[].pool_hit_rate ] | all(. >= 0.9)
+' "$out" > /dev/null || { echo "FAIL: inbox pool hit rate below 90%" >&2; exit 1; }
+echo "allocation-slope and socket hot-path checks passed" >&2
